@@ -1,0 +1,118 @@
+// Command fetch is the indirect-routing client: it probes the direct path
+// and every given relay with an initial range request, selects the path
+// with the best probe, downloads the remainder over it, and reports the
+// per-path probe throughputs and the selection.
+//
+// Usage (against origind + one or more relayd instances):
+//
+//	fetch -origin 127.0.0.1:8080 -object large.bin -size 4000000 \
+//	      -relay campus=127.0.0.1:8081 -relay isp=127.0.0.1:8082
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/realnet"
+	"repro/internal/registry"
+)
+
+type relayList []string
+
+func (r *relayList) String() string     { return strings.Join(*r, ",") }
+func (r *relayList) Set(v string) error { *r = append(*r, v); return nil }
+
+func main() {
+	var relays relayList
+	origin := flag.String("origin", "127.0.0.1:8080", "origin server address")
+	object := flag.String("object", "large.bin", "object name")
+	size := flag.Int64("size", 0, "object size in bytes (0 = discover via HEAD)")
+	probe := flag.Int64("probe", core.DefaultProbeBytes, "probe size x in bytes")
+	verify := flag.Bool("verify", true, "verify synthetic content")
+	adaptive := flag.Bool("adaptive", false, "download adaptively: segmented fetches with periodic re-races and failover")
+	segment := flag.Int64("segment", 1_000_000, "adaptive mode: segment size in bytes")
+	regAddr := flag.String("registry", "", "discover relays from this registry (in addition to -relay flags)")
+	flag.Var(&relays, "relay", "relay spec name=addr (repeatable)")
+	flag.Parse()
+
+	tr := &realnet.Transport{
+		Servers: map[string]string{"origin": *origin},
+		Relays:  map[string]string{},
+		Verify:  *verify,
+	}
+	var candidates []string
+	for _, spec := range relays {
+		name, addr, ok := strings.Cut(spec, "=")
+		if !ok {
+			log.Fatalf("bad -relay %q (want name=addr)", spec)
+		}
+		tr.Relays[name] = addr
+		candidates = append(candidates, name)
+	}
+	if *regAddr != "" {
+		entries, err := registry.List(*regAddr)
+		if err != nil {
+			log.Fatalf("registry discovery failed: %v", err)
+		}
+		for _, e := range entries {
+			if _, dup := tr.Relays[e.Name]; dup {
+				continue
+			}
+			tr.Relays[e.Name] = e.Addr
+			candidates = append(candidates, e.Name)
+		}
+		fmt.Printf("discovered %d relays from %s\n", len(entries), *regAddr)
+	}
+
+	if *size == 0 {
+		discovered, err := tr.Stat("origin", *object)
+		if err != nil {
+			log.Fatalf("size discovery failed: %v", err)
+		}
+		*size = discovered
+		fmt.Printf("discovered size of %s: %d bytes\n", *object, *size)
+	}
+	obj := core.Object{Server: "origin", Name: *object, Size: *size}
+
+	if *adaptive {
+		dl := &core.Downloader{
+			Transport:    tr,
+			ProbeBytes:   *probe,
+			SegmentBytes: *segment,
+		}
+		res, err := dl.Download(obj, candidates)
+		if err != nil {
+			log.Fatalf("adaptive download failed: %v", err)
+		}
+		fmt.Printf("segments:\n")
+		for _, s := range res.Segments {
+			kind := "fetch"
+			if s.Raced {
+				kind = "race "
+			}
+			fmt.Printf("  %s %-20s [%9d +%8d]  %6.2f Mb/s\n",
+				kind, s.Path, s.Offset, s.Bytes, s.Throughput/1e6)
+		}
+		fmt.Printf("switches: %d  failovers: %d  final path: %s\n",
+			res.Switches, res.Failovers, res.FinalPath())
+		fmt.Printf("downloaded %d bytes in %.3fs -> %.2f Mb/s overall\n",
+			obj.Size, res.Duration(), res.Throughput()/1e6)
+		return
+	}
+
+	out := core.SelectAndFetch(tr, obj, candidates, core.Config{ProbeBytes: *probe})
+	if out.Err != nil {
+		log.Fatalf("transfer failed: %v", out.Err)
+	}
+
+	fmt.Printf("probes (%d bytes each):\n", *probe)
+	for _, p := range out.Probes {
+		fmt.Printf("  %-20s %8.2f Mb/s  (%.3fs)\n", p.Path, p.Throughput()/1e6, p.Duration())
+	}
+	fmt.Printf("selected: %s\n", out.Selected)
+	fmt.Printf("downloaded %d bytes in %.3fs -> %.2f Mb/s overall\n",
+		obj.Size, out.Duration(), out.Throughput()/1e6)
+}

@@ -1,0 +1,54 @@
+// Command origind runs an origin server that serves synthetic objects
+// with HTTP range support — the stand-in for the paper's destination web
+// servers (eBay, Google, Microsoft, Yahoo).
+//
+// Usage:
+//
+//	origind -listen 127.0.0.1:8080 -object large.bin=4000000 -object small.bin=200000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"repro/internal/relay"
+)
+
+type objectList []string
+
+func (o *objectList) String() string     { return strings.Join(*o, ",") }
+func (o *objectList) Set(v string) error { *o = append(*o, v); return nil }
+
+func main() {
+	var objects objectList
+	listen := flag.String("listen", "127.0.0.1:8080", "listen address")
+	flag.Var(&objects, "object", "object spec name=size (repeatable)")
+	flag.Parse()
+
+	origin := relay.NewOrigin()
+	if len(objects) == 0 {
+		objects = objectList{"large.bin=4000000"}
+	}
+	for _, spec := range objects {
+		name, sizeStr, ok := strings.Cut(spec, "=")
+		if !ok {
+			log.Fatalf("bad -object %q (want name=size)", spec)
+		}
+		size, err := strconv.ParseInt(sizeStr, 10, 64)
+		if err != nil || size < 0 {
+			log.Fatalf("bad size in -object %q", spec)
+		}
+		origin.Put(name, size)
+		fmt.Printf("serving /%s (%d bytes)\n", name, size)
+	}
+
+	l, err := origin.ServeAddr(*listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("origind listening on %s\n", l.Addr())
+	select {} // serve forever
+}

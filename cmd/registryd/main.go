@@ -1,0 +1,38 @@
+// Command registryd runs the relay registry: relays register themselves
+// with TTL heartbeats, and clients discover the live relay set from it —
+// the operational realization of the paper's "set of nodes available to a
+// client".
+//
+// Usage:
+//
+//	registryd -listen 127.0.0.1:8070
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/registry"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:8070", "listen address")
+	statsEvery := flag.Duration("stats", 30*time.Second, "stats print interval (0 = off)")
+	flag.Parse()
+
+	var s registry.Server
+	l, err := s.ServeAddr(*listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("registryd listening on %s\n", l.Addr())
+
+	if *statsEvery > 0 {
+		for range time.Tick(*statsEvery) {
+			fmt.Printf("registryd: %d live relays\n", len(s.List()))
+		}
+	}
+	select {}
+}

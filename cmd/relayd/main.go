@@ -1,0 +1,51 @@
+// Command relayd runs an indirect-routing relay: the intermediate-node
+// forwarding service that accepts absolute-form HTTP GETs, contacts the
+// origin, and splices the (ranged) response back to the client.
+//
+// Usage:
+//
+//	relayd -listen 127.0.0.1:8081
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/registry"
+	"repro/internal/relay"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:8081", "listen address")
+	statsEvery := flag.Duration("stats", 30*time.Second, "stats print interval (0 = off)")
+	regAddr := flag.String("registry", "", "registry address to self-register with (optional)")
+	name := flag.String("name", "relay", "relay name used when registering")
+	ttl := flag.Duration("ttl", time.Minute, "registration TTL")
+	flag.Parse()
+
+	r := &relay.Relay{}
+	l, err := r.ServeAddr(*listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("relayd listening on %s\n", l.Addr())
+
+	if *regAddr != "" {
+		stop := make(chan struct{})
+		defer close(stop)
+		if err := registry.Heartbeat(*regAddr, *name, l.Addr().String(), *ttl, stop); err != nil {
+			log.Fatalf("registration failed: %v", err)
+		}
+		fmt.Printf("registered as %q with %s (ttl %v)\n", *name, *regAddr, *ttl)
+	}
+
+	if *statsEvery > 0 {
+		for range time.Tick(*statsEvery) {
+			fmt.Printf("relayd: %d requests, %d bytes relayed\n",
+				r.Requests.Load(), r.BytesRelayed.Load())
+		}
+	}
+	select {}
+}

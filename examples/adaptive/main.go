@@ -1,0 +1,34 @@
+// adaptive: the Section 4 intermediate-node selection policies on one
+// client — how large must a uniform random candidate set be, and what
+// does utilization-weighted sampling (the paper's Section 6 proposal)
+// buy over it?
+//
+//	go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/experiment"
+	"repro/internal/report"
+)
+
+func main() {
+	fmt.Println("sweeping random-set size for Duke over 35 intermediates (simulated)...")
+	f6 := experiment.Fig6(experiment.Fig6Params{
+		Seed:             2007,
+		Clients:          []string{"Duke (client)"},
+		SetSizes:         []int{1, 2, 4, 6, 10, 16, 24, 35},
+		TransfersPerSize: 80,
+	})
+	report.Fig6(os.Stdout, f6)
+
+	fmt.Println("\ncomparing uniform vs utilization-weighted candidate sets (k=5)...")
+	pts := experiment.AblateWeightedPolicy(experiment.AblationParams{
+		Seed:    2007,
+		Clients: []string{"Duke (client)"},
+		Rounds:  120,
+	}, 5)
+	report.Ablation(os.Stdout, "uniform vs weighted random set", pts)
+}

@@ -1,0 +1,30 @@
+// planetlab: a scaled-down run of the paper's Section 3 measurement
+// campaign — all 22 international clients downloading from eBay with a
+// statically chosen good intermediate — followed by the Figure 1 and
+// Table I reports.
+//
+//	go run ./examples/planetlab
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/experiment"
+	"repro/internal/report"
+)
+
+func main() {
+	fmt.Println("running 22 clients x 30 transfers against eBay (simulated)...")
+	study := experiment.RunStudy(experiment.StudyParams{
+		Seed:               2007,
+		TransfersPerClient: 30,
+		Servers:            []string{"eBay"},
+	})
+
+	report.Fig1(os.Stdout, experiment.Fig1(study))
+	fmt.Println()
+	report.Table1(os.Stdout, experiment.Table1(study))
+	fmt.Println()
+	report.Fig4(os.Stdout, experiment.Fig4(study, 5))
+}

@@ -1,0 +1,145 @@
+// Package repro is an open-source reproduction of "A Performance Analysis
+// of Indirect Routing" (Opos, Ramabhadran, Terry, Pasquale, Snoeren,
+// Vahdat — IPPS 2007): a library for throughput-seeking indirect routing,
+// the wide-area network simulator its evaluation runs on, and a real TCP
+// relay stack for deployment.
+//
+// The root package is a facade over the implementation packages:
+//
+//   - the selection engine (probe, race, select, fetch) — internal/core
+//   - the virtual-time network simulator — internal/simnet, internal/topo,
+//     internal/httpsim, internal/tcpmodel
+//   - the real TCP origin/relay daemons and transport — internal/relay,
+//     internal/realnet, internal/httpx, internal/shaper
+//   - the paper's evaluation drivers — internal/experiment,
+//     internal/report
+//
+// # Quick use (real network)
+//
+//	tr := &repro.RealTransport{
+//	    Servers: map[string]string{"origin": "10.0.0.1:8080"},
+//	    Relays:  map[string]string{"campus": "10.0.0.2:8081"},
+//	}
+//	obj := repro.Object{Server: "origin", Name: "large.bin", Size: 4_000_000}
+//	out := repro.SelectAndFetch(tr, obj, []string{"campus"}, repro.Config{})
+//	fmt.Println(out.Selected, out.Throughput())
+//
+// See the examples directory for simulated and loopback-TCP walkthroughs,
+// and cmd/indirectlab for the paper's full evaluation.
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/realnet"
+)
+
+// Core selection-engine types, re-exported for downstream users.
+type (
+	// Object names a downloadable resource of known size.
+	Object = core.Object
+	// Path identifies the direct route or a relay by name.
+	Path = core.Path
+	// Config parameterizes probing and selection.
+	Config = core.Config
+	// Outcome describes one select-and-fetch operation.
+	Outcome = core.Outcome
+	// Transport moves object ranges over paths (simulated or real).
+	Transport = core.Transport
+	// Handle is an in-flight transfer.
+	Handle = core.Handle
+	// ProbeResult is a probe-phase transfer result.
+	ProbeResult = core.ProbeResult
+	// FetchResult is a completed transfer result.
+	FetchResult = core.FetchResult
+	// Rule selects the probe winner.
+	Rule = core.Rule
+	// Policy chooses candidate intermediates per transfer.
+	Policy = core.Policy
+	// Tracker accumulates per-intermediate utilization statistics.
+	Tracker = core.Tracker
+
+	// StaticPolicy always proposes one fixed intermediate.
+	StaticPolicy = core.StaticPolicy
+	// UniformRandomPolicy proposes a uniform random subset of size K.
+	UniformRandomPolicy = core.UniformRandomPolicy
+	// WeightedRandomPolicy samples candidates by their utilization.
+	WeightedRandomPolicy = core.WeightedRandomPolicy
+
+	// Downloader fetches adaptively: segments, periodic re-races,
+	// failover.
+	Downloader = core.Downloader
+	// DownloadResult summarizes an adaptive download.
+	DownloadResult = core.DownloadResult
+	// Segment is one contiguous fetch within an adaptive download.
+	Segment = core.Segment
+
+	// Monitor keeps RON-style background path estimates for probe-free
+	// selection.
+	Monitor = core.Monitor
+
+	// MultipathDownloader stripes an object across paths concurrently.
+	MultipathDownloader = core.MultipathDownloader
+	// MultipathResult summarizes a striped download.
+	MultipathResult = core.MultipathResult
+	// PathShare is one path's contribution to a striped download.
+	PathShare = core.PathShare
+
+	// RealTransport implements Transport over live TCP via relay daemons.
+	RealTransport = realnet.Transport
+)
+
+// Selection rules.
+const (
+	FirstFinished = core.FirstFinished
+	MaxThroughput = core.MaxThroughput
+)
+
+// Direct is the Path.Via value for the default (non-relayed) route.
+const Direct = core.Direct
+
+// DefaultProbeBytes is the paper's probe size x (100 KB).
+const DefaultProbeBytes = core.DefaultProbeBytes
+
+// SelectAndFetch probes the direct path and all candidates, selects the
+// winner, and fetches the remainder of obj over it.
+func SelectAndFetch(t Transport, obj Object, candidates []string, cfg Config) Outcome {
+	return core.SelectAndFetch(t, obj, candidates, cfg)
+}
+
+// Probe races an x-byte range request on the direct path and every
+// candidate concurrently.
+func Probe(t Transport, obj Object, x int64, candidates []string) []ProbeResult {
+	return core.Probe(t, obj, x, candidates)
+}
+
+// ProbeSequential probes candidates one at a time (contention-free).
+func ProbeSequential(t Transport, obj Object, x int64, candidates []string) []ProbeResult {
+	return core.ProbeSequential(t, obj, x, candidates)
+}
+
+// Choose applies the selection rule to probe results.
+func Choose(probes []ProbeResult, rule Rule) Path {
+	return core.Choose(probes, rule)
+}
+
+// Improvement returns the paper's improvement metric in percent.
+func Improvement(selected, direct float64) float64 {
+	return core.Improvement(selected, direct)
+}
+
+// Penalty expresses a slowdown as the paper's penalty metric in percent.
+func Penalty(selected, direct float64) float64 {
+	return core.Penalty(selected, direct)
+}
+
+// NewTracker returns an empty utilization tracker.
+func NewTracker() *Tracker { return core.NewTracker() }
+
+// NewMonitor returns an empty background path monitor.
+func NewMonitor() *Monitor { return core.NewMonitor() }
+
+// SelectMonitored performs a probe-free transfer using the monitor's
+// table, feeding the outcome back into it.
+func SelectMonitored(t Transport, obj Object, candidates []string, m *Monitor) Outcome {
+	return core.SelectMonitored(t, obj, candidates, m)
+}

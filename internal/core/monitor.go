@@ -1,0 +1,147 @@
+package core
+
+import "sort"
+
+// Monitor maintains exponentially-weighted throughput estimates per path
+// from any observations the client makes (probes, transfers, background
+// refreshes). It enables RON-style probe-free selection — the related
+// work the paper builds on keeps exactly this kind of path table — at the
+// cost of acting on stale information when conditions shift between
+// refreshes.
+type Monitor struct {
+	// Alpha is the EWMA weight of a new sample (default 0.3).
+	Alpha float64
+
+	est map[string]ewma
+}
+
+type ewma struct {
+	value float64
+	n     int64
+}
+
+// NewMonitor returns an empty monitor.
+func NewMonitor() *Monitor {
+	return &Monitor{est: make(map[string]ewma)}
+}
+
+func (m *Monitor) alpha() float64 {
+	if m.Alpha > 0 && m.Alpha <= 1 {
+		return m.Alpha
+	}
+	return 0.3
+}
+
+// Observe folds a throughput measurement (bits/sec) for the path into the
+// estimate. Non-positive samples are ignored.
+func (m *Monitor) Observe(path Path, throughput float64) {
+	if throughput <= 0 {
+		return
+	}
+	e, ok := m.est[path.Via]
+	if !ok {
+		m.est[path.Via] = ewma{value: throughput, n: 1}
+		return
+	}
+	a := m.alpha()
+	e.value = (1-a)*e.value + a*throughput
+	e.n++
+	m.est[path.Via] = e
+}
+
+// Estimate returns the current estimate (bits/sec) and whether the path
+// has ever been observed.
+func (m *Monitor) Estimate(path Path) (float64, bool) {
+	e, ok := m.est[path.Via]
+	return e.value, ok
+}
+
+// Samples returns how many observations back a path's estimate.
+func (m *Monitor) Samples(path Path) int64 { return m.est[path.Via].n }
+
+// Unknown returns the candidates (from the given set) that have no
+// estimate yet — the ones a cold-start refresh must probe.
+func (m *Monitor) Unknown(candidates []string) []string {
+	var out []string
+	for _, c := range candidates {
+		if _, ok := m.est[c]; !ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Best returns the path with the highest estimate among the direct path
+// and the candidates. Paths without estimates are skipped; if nothing has
+// an estimate, the direct path is returned (ok=false).
+func (m *Monitor) Best(candidates []string) (best Path, ok bool) {
+	bestVal := 0.0
+	best = Path{Via: Direct}
+	paths := append([]string{Direct}, candidates...)
+	for _, via := range paths {
+		if e, known := m.est[via]; known && (!ok || e.value > bestVal) {
+			best, bestVal, ok = Path{Via: via}, e.value, true
+		}
+	}
+	return best, ok
+}
+
+// Ranked returns all known paths among direct + candidates, best first.
+func (m *Monitor) Ranked(candidates []string) []Path {
+	type pe struct {
+		p Path
+		v float64
+	}
+	var known []pe
+	for _, via := range append([]string{Direct}, candidates...) {
+		if e, ok := m.est[via]; ok {
+			known = append(known, pe{Path{Via: via}, e.value})
+		}
+	}
+	sort.Slice(known, func(i, j int) bool {
+		if known[i].v != known[j].v {
+			return known[i].v > known[j].v
+		}
+		return known[i].p.Via < known[j].p.Via
+	})
+	out := make([]Path, len(known))
+	for i, k := range known {
+		out[i] = k.p
+	}
+	return out
+}
+
+// Refresh probes the direct path and every candidate with x bytes of obj
+// (concurrently) and folds the measured throughputs into the monitor.
+// This is the background maintenance a monitored client runs between
+// transfers.
+func (m *Monitor) Refresh(t Transport, obj Object, x int64, candidates []string) {
+	probes := Probe(t, obj, x, candidates)
+	for _, p := range probes {
+		if p.Err == nil {
+			m.Observe(p.Path, p.Throughput())
+		}
+	}
+}
+
+// SelectMonitored performs a probe-free transfer: it picks the best path
+// from the monitor's table (falling back to the direct path when nothing
+// is known), fetches the whole object over it, and feeds the achieved
+// throughput back into the monitor. Compare with SelectAndFetch, which
+// pays an in-band probe race per transfer for fresh information.
+func SelectMonitored(t Transport, obj Object, candidates []string, m *Monitor) Outcome {
+	o := Outcome{Object: obj, Candidates: candidates, Start: t.Now()}
+	sel, _ := m.Best(candidates)
+	o.Selected = sel
+	o.ProbeEnd = o.Start // no probing phase
+
+	h := t.Start(obj, sel, 0, obj.Size)
+	t.Wait(h)
+	o.Remainder = h.Result()
+	o.Err = o.Remainder.Err
+	o.End = o.Remainder.End
+	if o.Err == nil {
+		m.Observe(sel, o.Remainder.Throughput())
+	}
+	return o
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMonitorObserveAndEstimate(t *testing.T) {
+	m := NewMonitor()
+	if _, ok := m.Estimate(Path{Via: "A"}); ok {
+		t.Fatal("empty monitor reported an estimate")
+	}
+	m.Observe(Path{Via: "A"}, 2e6)
+	if v, ok := m.Estimate(Path{Via: "A"}); !ok || v != 2e6 {
+		t.Fatalf("first sample: %v %v", v, ok)
+	}
+	m.Observe(Path{Via: "A"}, 4e6)
+	v, _ := m.Estimate(Path{Via: "A"})
+	want := 0.7*2e6 + 0.3*4e6
+	if math.Abs(v-want) > 1 {
+		t.Fatalf("EWMA = %v, want %v", v, want)
+	}
+	if m.Samples(Path{Via: "A"}) != 2 {
+		t.Fatalf("samples = %d", m.Samples(Path{Via: "A"}))
+	}
+}
+
+func TestMonitorIgnoresBadSamples(t *testing.T) {
+	m := NewMonitor()
+	m.Observe(Path{Via: "A"}, 0)
+	m.Observe(Path{Via: "A"}, -5)
+	if _, ok := m.Estimate(Path{Via: "A"}); ok {
+		t.Fatal("non-positive samples recorded")
+	}
+}
+
+func TestMonitorBestAndRanked(t *testing.T) {
+	m := NewMonitor()
+	if best, ok := m.Best([]string{"A", "B"}); ok || !best.IsDirect() {
+		t.Fatalf("empty monitor best = %v, %v", best, ok)
+	}
+	m.Observe(Path{Via: Direct}, 1e6)
+	m.Observe(Path{Via: "A"}, 3e6)
+	m.Observe(Path{Via: "B"}, 2e6)
+	best, ok := m.Best([]string{"A", "B"})
+	if !ok || best.Via != "A" {
+		t.Fatalf("best = %v", best)
+	}
+	ranked := m.Ranked([]string{"A", "B"})
+	if len(ranked) != 3 || ranked[0].Via != "A" || ranked[2].Via != Direct {
+		t.Fatalf("ranked = %v", ranked)
+	}
+}
+
+func TestMonitorUnknown(t *testing.T) {
+	m := NewMonitor()
+	m.Observe(Path{Via: "A"}, 1e6)
+	unknown := m.Unknown([]string{"A", "B", "C"})
+	if len(unknown) != 2 || unknown[0] != "B" || unknown[1] != "C" {
+		t.Fatalf("unknown = %v", unknown)
+	}
+}
+
+func TestMonitorRefresh(t *testing.T) {
+	tr := newFake(1e6)
+	tr.rate["A"] = 4e6
+	m := NewMonitor()
+	obj := Object{Server: "s", Name: "o", Size: 4_000_000}
+	m.Refresh(tr, obj, 100_000, []string{"A"})
+	if v, ok := m.Estimate(Path{Via: "A"}); !ok || math.Abs(v-4e6) > 1 {
+		t.Fatalf("refresh estimate = %v %v", v, ok)
+	}
+	if v, ok := m.Estimate(Path{Via: Direct}); !ok || math.Abs(v-1e6) > 1 {
+		t.Fatalf("direct estimate = %v %v", v, ok)
+	}
+}
+
+func TestSelectMonitoredUsesTableAndLearns(t *testing.T) {
+	tr := newFake(1e6)
+	tr.rate["A"] = 4e6
+	m := NewMonitor()
+	obj := Object{Server: "s", Name: "o", Size: 2_000_000}
+
+	// Cold start: nothing known, falls back to direct, learns from it.
+	out := SelectMonitored(tr, obj, []string{"A"}, m)
+	if !out.Selected.IsDirect() || out.Err != nil {
+		t.Fatalf("cold start outcome: %+v", out)
+	}
+	if _, ok := m.Estimate(Path{Via: Direct}); !ok {
+		t.Fatal("cold-start transfer not observed")
+	}
+
+	// After a refresh, the faster relay is known and chosen, with no
+	// probing phase in the transfer itself.
+	m.Refresh(tr, obj, 100_000, []string{"A"})
+	out = SelectMonitored(tr, obj, []string{"A"}, m)
+	if out.Selected.Via != "A" {
+		t.Fatalf("monitored selection = %v, want A", out.Selected)
+	}
+	if out.ProbeEnd != out.Start {
+		t.Fatal("monitored transfer has a probing phase")
+	}
+}
+
+func TestSelectMonitoredPropagatesError(t *testing.T) {
+	tr := newFake(1e6)
+	tr.fail["A"] = errTestMon
+	m := NewMonitor()
+	m.Observe(Path{Via: "A"}, 9e6) // stale belief in a dead path
+	obj := Object{Server: "s", Name: "o", Size: 1_000_000}
+	out := SelectMonitored(tr, obj, []string{"A"}, m)
+	if out.Err == nil {
+		t.Fatal("dead path error not propagated")
+	}
+}
+
+var errTestMon = errSentinelMon{}
+
+type errSentinelMon struct{}
+
+func (errSentinelMon) Error() string { return "monitor test error" }

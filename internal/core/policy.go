@@ -1,0 +1,181 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/randx"
+)
+
+// Policy chooses the candidate intermediates offered to the probe race for
+// one transfer. The paper evaluates a static single intermediate
+// (Section 3), a uniform random subset of size k (Section 4), and proposes
+// utilization-weighted subsets as future work (Section 6); all three are
+// implemented here.
+type Policy interface {
+	// Candidates returns the intermediates to probe for the next
+	// transfer, drawn from full.
+	Candidates(full []string, r *randx.RNG) []string
+}
+
+// StaticPolicy always proposes the same single intermediate, mirroring the
+// paper's Section 3 deployment where one good indirect path was chosen a
+// priori.
+type StaticPolicy struct {
+	Intermediate string
+}
+
+// Candidates returns the fixed intermediate (regardless of full).
+func (p StaticPolicy) Candidates(full []string, _ *randx.RNG) []string {
+	return []string{p.Intermediate}
+}
+
+// UniformRandomPolicy proposes a uniform random subset of K intermediates
+// per transfer (the paper's Section 4 "random set"). K values at or above
+// len(full) yield the full set.
+type UniformRandomPolicy struct {
+	K int
+}
+
+// Candidates draws K distinct intermediates uniformly at random.
+func (p UniformRandomPolicy) Candidates(full []string, r *randx.RNG) []string {
+	k := p.K
+	if k >= len(full) {
+		out := make([]string, len(full))
+		copy(out, full)
+		return out
+	}
+	if k <= 0 {
+		return nil
+	}
+	perm := r.Perm(len(full))
+	out := make([]string, k)
+	for i := 0; i < k; i++ {
+		out[i] = full[perm[i]]
+	}
+	return out
+}
+
+// WeightedRandomPolicy proposes K intermediates sampled without
+// replacement with probability proportional to (utilization + Floor),
+// using the live Tracker statistics. This is the paper's Section 6
+// proposal: "if a client uses the utilization data to weight the
+// likelihood of a node appearing in the random set, the better nodes will
+// be chosen more often". Floor keeps unexplored nodes discoverable.
+type WeightedRandomPolicy struct {
+	K       int
+	Tracker *Tracker
+	Floor   float64 // added to every weight; default 0.05 when zero
+}
+
+// Candidates draws K distinct intermediates, weighted by utilization.
+func (p WeightedRandomPolicy) Candidates(full []string, r *randx.RNG) []string {
+	k := p.K
+	if k >= len(full) {
+		out := make([]string, len(full))
+		copy(out, full)
+		return out
+	}
+	if k <= 0 {
+		return nil
+	}
+	floor := p.Floor
+	if floor == 0 {
+		floor = 0.05
+	}
+	type cand struct {
+		name string
+		w    float64
+	}
+	pool := make([]cand, len(full))
+	total := 0.0
+	for i, name := range full {
+		w := floor
+		if p.Tracker != nil {
+			w += p.Tracker.Utilization(name)
+		}
+		pool[i] = cand{name, w}
+		total += w
+	}
+	out := make([]string, 0, k)
+	for len(out) < k {
+		x := r.Float64() * total
+		idx := len(pool) - 1
+		for i := range pool {
+			if x < pool[i].w {
+				idx = i
+				break
+			}
+			x -= pool[i].w
+		}
+		out = append(out, pool[idx].name)
+		total -= pool[idx].w
+		pool[idx] = pool[len(pool)-1]
+		pool = pool[:len(pool)-1]
+	}
+	return out
+}
+
+// Tracker accumulates the paper's utilization statistics: how often each
+// intermediate appeared in a random set, and how often it was actually
+// selected for the transfer. It is not safe for concurrent use; parallel
+// workers keep private trackers and Merge them.
+type Tracker struct {
+	inSet  map[string]int64
+	chosen map[string]int64
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{inSet: make(map[string]int64), chosen: make(map[string]int64)}
+}
+
+// Observe records one transfer: the candidate set offered and the path
+// selected.
+func (t *Tracker) Observe(candidates []string, selected Path) {
+	for _, c := range candidates {
+		t.inSet[c]++
+	}
+	if !selected.IsDirect() {
+		t.chosen[selected.Via]++
+	}
+}
+
+// Utilization returns chosen/inSet for the intermediate — the Section 4
+// definition ("the ratio of the number of times it is selected for
+// transfer divided by the number of times that it appears in the random
+// set"). Unknown intermediates yield 0.
+func (t *Tracker) Utilization(name string) float64 {
+	n := t.inSet[name]
+	if n == 0 {
+		return 0
+	}
+	return float64(t.chosen[name]) / float64(n)
+}
+
+// InSet returns how many times the intermediate appeared in a candidate
+// set.
+func (t *Tracker) InSet(name string) int64 { return t.inSet[name] }
+
+// Chosen returns how many times the intermediate won the probe race.
+func (t *Tracker) Chosen(name string) int64 { return t.chosen[name] }
+
+// Names returns all intermediates ever offered, sorted for deterministic
+// iteration.
+func (t *Tracker) Names() []string {
+	names := make([]string, 0, len(t.inSet))
+	for n := range t.inSet {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Merge folds another tracker's counts into t.
+func (t *Tracker) Merge(o *Tracker) {
+	for n, c := range o.inSet {
+		t.inSet[n] += c
+	}
+	for n, c := range o.chosen {
+		t.chosen[n] += c
+	}
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/randx"
+)
+
+var fullSet = []string{"A", "B", "C", "D", "E", "F", "G", "H"}
+
+func TestStaticPolicy(t *testing.T) {
+	p := StaticPolicy{Intermediate: "C"}
+	got := p.Candidates(fullSet, randx.New(1))
+	if len(got) != 1 || got[0] != "C" {
+		t.Fatalf("candidates = %v, want [C]", got)
+	}
+}
+
+func TestUniformRandomDistinct(t *testing.T) {
+	p := UniformRandomPolicy{K: 4}
+	r := randx.New(2)
+	f := func(uint8) bool {
+		got := p.Candidates(fullSet, r)
+		if len(got) != 4 {
+			return false
+		}
+		seen := map[string]bool{}
+		for _, c := range got {
+			if seen[c] {
+				return false
+			}
+			seen[c] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformRandomFullAndEmpty(t *testing.T) {
+	r := randx.New(3)
+	if got := (UniformRandomPolicy{K: 100}).Candidates(fullSet, r); len(got) != len(fullSet) {
+		t.Fatalf("K>len: got %d candidates", len(got))
+	}
+	if got := (UniformRandomPolicy{K: 0}).Candidates(fullSet, r); got != nil {
+		t.Fatalf("K=0: got %v", got)
+	}
+}
+
+func TestUniformRandomCoversAll(t *testing.T) {
+	p := UniformRandomPolicy{K: 2}
+	r := randx.New(4)
+	counts := map[string]int{}
+	for i := 0; i < 4000; i++ {
+		for _, c := range p.Candidates(fullSet, r) {
+			counts[c]++
+		}
+	}
+	// Each of 8 nodes should appear ~1000 times (2/8 of 4000).
+	for _, name := range fullSet {
+		if counts[name] < 700 || counts[name] > 1300 {
+			t.Fatalf("node %s appeared %d times, want ~1000", name, counts[name])
+		}
+	}
+}
+
+func TestTrackerCounts(t *testing.T) {
+	tr := NewTracker()
+	tr.Observe([]string{"A", "B"}, Path{Via: "A"})
+	tr.Observe([]string{"A", "B"}, Path{Via: Direct})
+	tr.Observe([]string{"A"}, Path{Via: "A"})
+	if tr.InSet("A") != 3 || tr.InSet("B") != 2 {
+		t.Fatalf("inSet A=%d B=%d", tr.InSet("A"), tr.InSet("B"))
+	}
+	if tr.Chosen("A") != 2 || tr.Chosen("B") != 0 {
+		t.Fatalf("chosen A=%d B=%d", tr.Chosen("A"), tr.Chosen("B"))
+	}
+	if got := tr.Utilization("A"); got != 2.0/3 {
+		t.Fatalf("utilization A = %v", got)
+	}
+	if got := tr.Utilization("Z"); got != 0 {
+		t.Fatalf("unknown utilization = %v, want 0", got)
+	}
+}
+
+func TestTrackerNamesSorted(t *testing.T) {
+	tr := NewTracker()
+	tr.Observe([]string{"Z", "A", "M"}, Path{})
+	names := tr.Names()
+	if len(names) != 3 || names[0] != "A" || names[1] != "M" || names[2] != "Z" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestTrackerMerge(t *testing.T) {
+	a, b := NewTracker(), NewTracker()
+	a.Observe([]string{"A"}, Path{Via: "A"})
+	b.Observe([]string{"A", "B"}, Path{Via: "B"})
+	a.Merge(b)
+	if a.InSet("A") != 2 || a.Chosen("B") != 1 {
+		t.Fatalf("merged: inSetA=%d chosenB=%d", a.InSet("A"), a.Chosen("B"))
+	}
+}
+
+func TestWeightedRandomPrefersUtilized(t *testing.T) {
+	tr := NewTracker()
+	// "Texas" chosen 90% of its appearances; "UCLA" 1%.
+	for i := 0; i < 100; i++ {
+		sel := Path{Via: Direct}
+		if i < 90 {
+			sel = Path{Via: "Texas"}
+		}
+		tr.Observe([]string{"Texas"}, sel)
+		sel = Path{Via: Direct}
+		if i < 1 {
+			sel = Path{Via: "UCLA"}
+		}
+		tr.Observe([]string{"UCLA"}, sel)
+	}
+	p := WeightedRandomPolicy{K: 1, Tracker: tr}
+	r := randx.New(5)
+	full := []string{"Texas", "UCLA"}
+	texas := 0
+	const draws = 2000
+	for i := 0; i < draws; i++ {
+		got := p.Candidates(full, r)
+		if len(got) != 1 {
+			t.Fatalf("K=1 returned %d candidates", len(got))
+		}
+		if got[0] == "Texas" {
+			texas++
+		}
+	}
+	// Weights: Texas 0.95, UCLA 0.06 -> Texas ~94%.
+	if frac := float64(texas) / draws; frac < 0.85 {
+		t.Fatalf("Texas drawn %.2f of the time, want >= 0.85", frac)
+	}
+}
+
+func TestWeightedRandomDistinctAndComplete(t *testing.T) {
+	p := WeightedRandomPolicy{K: 3, Tracker: NewTracker()}
+	r := randx.New(6)
+	f := func(uint8) bool {
+		got := p.Candidates(fullSet, r)
+		if len(got) != 3 {
+			return false
+		}
+		seen := map[string]bool{}
+		for _, c := range got {
+			if seen[c] {
+				return false
+			}
+			seen[c] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+	if got := (WeightedRandomPolicy{K: 99}).Candidates(fullSet, r); len(got) != len(fullSet) {
+		t.Fatal("K >= len should return the full set")
+	}
+	if got := (WeightedRandomPolicy{K: 0}).Candidates(fullSet, r); got != nil {
+		t.Fatal("K = 0 should return nil")
+	}
+}
+
+func TestWeightedRandomNilTrackerUniform(t *testing.T) {
+	p := WeightedRandomPolicy{K: 1}
+	r := randx.New(7)
+	counts := map[string]int{}
+	for i := 0; i < 8000; i++ {
+		counts[p.Candidates(fullSet, r)[0]]++
+	}
+	for _, name := range fullSet {
+		if counts[name] < 700 || counts[name] > 1300 {
+			t.Fatalf("nil-tracker draw skewed: %s = %d", name, counts[name])
+		}
+	}
+}

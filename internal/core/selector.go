@@ -1,0 +1,357 @@
+package core
+
+import "fmt"
+
+// Rule is the probe-comparison rule used to select a path.
+type Rule int
+
+// Selection rules. The paper's mechanism is FirstFinished: the client
+// requests the remainder over whichever path returned the probe range
+// first. MaxThroughput compares measured probe throughputs instead; with
+// equal probe sizes the two agree unless probes start at different times.
+const (
+	FirstFinished Rule = iota
+	MaxThroughput
+)
+
+func (r Rule) String() string {
+	switch r {
+	case FirstFinished:
+		return "first-finished"
+	case MaxThroughput:
+		return "max-throughput"
+	}
+	return "unknown"
+}
+
+// DefaultProbeBytes is the paper's experimentally determined probe size:
+// 100 KB is large enough to out-last TCP slow start and marginalize its
+// effect on the throughput estimate.
+const DefaultProbeBytes = 100_000
+
+// Config parameterizes the selection engine.
+type Config struct {
+	// ProbeBytes is the size x of the initial range request
+	// (DefaultProbeBytes when 0).
+	ProbeBytes int64
+	// Rule picks the probe winner (FirstFinished when unset).
+	Rule Rule
+	// Sequential probes candidates one at a time instead of racing them
+	// all concurrently. With large candidate sets, concurrent probes
+	// contend on the client's access link and can no longer discriminate
+	// paths; sequential "preliminary download tests" (the paper's
+	// Section 4 wording) keep each measurement clean at the cost of a
+	// longer probing phase. Sequential probing implies the MaxThroughput
+	// rule, since finish order is meaningless for staggered starts.
+	Sequential bool
+}
+
+func (c Config) probeBytes() int64 {
+	if c.ProbeBytes > 0 {
+		return c.ProbeBytes
+	}
+	return DefaultProbeBytes
+}
+
+// Outcome describes one complete select-and-fetch operation.
+type Outcome struct {
+	Object     Object
+	Candidates []string // candidate intermediates (random set)
+	Probes     []ProbeResult
+	Selected   Path
+
+	// Start is when probing began; End is when the last object byte
+	// arrived over the selected path.
+	Start, End float64
+
+	// ProbeEnd is when the probing phase finished (all probes done).
+	ProbeEnd float64
+
+	// Remainder is the result of the n−x byte fetch on the selected path.
+	Remainder FetchResult
+
+	// Err is the first transfer error encountered, if any.
+	Err error
+}
+
+// Duration returns the total wall (or virtual) time of the operation.
+func (o Outcome) Duration() float64 { return o.End - o.Start }
+
+// Throughput returns the client-observed throughput of the whole object:
+// all Object.Size bytes over the full duration including the probing
+// phase. Probing overhead therefore counts against indirect routing,
+// exactly as it did in the paper's deployment.
+func (o Outcome) Throughput() float64 {
+	d := o.Duration()
+	if d <= 0 {
+		return 0
+	}
+	return float64(o.Object.Size) * 8 / d
+}
+
+// SelectedIndirect reports whether an indirect path won the probe race.
+func (o Outcome) SelectedIndirect() bool { return !o.Selected.IsDirect() }
+
+// StartProbes launches an x-byte probe on the direct path and on every
+// candidate indirect path concurrently, returning the paths (index 0 is
+// direct) and their in-flight handles.
+func StartProbes(t Transport, obj Object, x int64, candidates []string) ([]Path, []Handle) {
+	if x > obj.Size {
+		x = obj.Size
+	}
+	paths := make([]Path, 0, len(candidates)+1)
+	paths = append(paths, Path{Via: Direct})
+	for _, c := range candidates {
+		paths = append(paths, Path{Via: c})
+	}
+	handles := make([]Handle, len(paths))
+	for i, p := range paths {
+		handles[i] = t.Start(obj, p, 0, x)
+	}
+	return paths, handles
+}
+
+// Probe fetches the first x bytes of obj concurrently over the direct path
+// and over each candidate indirect path, returning the per-path results.
+// Order: index 0 is the direct probe, then one entry per candidate.
+func Probe(t Transport, obj Object, x int64, candidates []string) []ProbeResult {
+	_, handles := StartProbes(t, obj, x, candidates)
+	t.Wait(handles...)
+	probes := make([]ProbeResult, len(handles))
+	for i, h := range handles {
+		probes[i] = ProbeResult{h.Result()}
+	}
+	return probes
+}
+
+// AwaitFirstSuccess blocks until a handle completes without error,
+// returning its index and the indices still outstanding. It returns
+// winner = -1 if every handle completed with an error. Transports
+// implementing AnyWaiter make this an early commit: the caller can act on
+// the winner while the losers are still transferring.
+func AwaitFirstSuccess(t Transport, hs []Handle) (winner int, pending []int) {
+	outstanding := make(map[int]Handle, len(hs))
+	for i, h := range hs {
+		outstanding[i] = h
+	}
+	aw, hasAny := t.(AnyWaiter)
+	for len(outstanding) > 0 {
+		// Collect already-done handles first (validation failures are
+		// born done).
+		doneIdx := -1
+		for i, h := range outstanding {
+			if h.Done() {
+				doneIdx = i
+				break
+			}
+		}
+		if doneIdx < 0 {
+			if hasAny {
+				rest := make([]Handle, 0, len(outstanding))
+				idxs := make([]int, 0, len(outstanding))
+				for i, h := range outstanding {
+					rest = append(rest, h)
+					idxs = append(idxs, i)
+				}
+				doneIdx = idxs[aw.WaitAny(rest...)]
+			} else {
+				// Fallback: wait everything out; the earliest successful
+				// End is the de-facto winner.
+				all := make([]Handle, 0, len(outstanding))
+				for _, h := range outstanding {
+					all = append(all, h)
+				}
+				t.Wait(all...)
+				continue
+			}
+		}
+		h := outstanding[doneIdx]
+		delete(outstanding, doneIdx)
+		if h.Result().Err == nil {
+			best := doneIdx
+			// Another handle may have finished at the same instant (or,
+			// on the wait-all fallback, all of them have); prefer the
+			// earliest successful End.
+			for i, o := range outstanding {
+				if o.Done() && o.Result().Err == nil && o.Result().End < h.Result().End {
+					best = i
+				}
+			}
+			if best != doneIdx {
+				outstanding[doneIdx] = h
+				h = outstanding[best]
+				delete(outstanding, best)
+				doneIdx = best
+			}
+			for i := range outstanding {
+				pending = append(pending, i)
+			}
+			return doneIdx, pending
+		}
+	}
+	return -1, nil
+}
+
+// Choose applies the selection rule to probe results, returning the
+// winning path. Failed probes never win; if every probe failed, the direct
+// path is returned as a fallback.
+func Choose(probes []ProbeResult, rule Rule) Path {
+	best := -1
+	for i, p := range probes {
+		if p.Err != nil {
+			continue
+		}
+		if best < 0 {
+			best = i
+			continue
+		}
+		switch rule {
+		case FirstFinished:
+			if p.End < probes[best].End {
+				best = i
+			}
+		case MaxThroughput:
+			if p.Throughput() > probes[best].Throughput() {
+				best = i
+			}
+		default:
+			panic(fmt.Sprintf("core: unknown rule %d", rule))
+		}
+	}
+	if best < 0 {
+		return Path{Via: Direct}
+	}
+	return probes[best].Path
+}
+
+// ProbeSequential fetches the first x bytes of obj over each path one at
+// a time: first the direct path, then each candidate in order. Each probe
+// gets the path to itself, so measurements do not contend with each other.
+// Result order matches Probe: direct first, then candidates.
+func ProbeSequential(t Transport, obj Object, x int64, candidates []string) []ProbeResult {
+	if x > obj.Size {
+		x = obj.Size
+	}
+	paths := make([]Path, 0, len(candidates)+1)
+	paths = append(paths, Path{Via: Direct})
+	for _, c := range candidates {
+		paths = append(paths, Path{Via: c})
+	}
+	probes := make([]ProbeResult, len(paths))
+	for i, p := range paths {
+		h := t.Start(obj, p, 0, x)
+		t.Wait(h)
+		probes[i] = ProbeResult{h.Result()}
+	}
+	return probes
+}
+
+// SelectAndFetch runs the paper's full client operation: probe the direct
+// path and all candidates with an x-byte range request, select the winner,
+// then fetch the remaining Size−x bytes over it. The returned Outcome
+// carries per-phase timings for improvement accounting.
+//
+// Under the FirstFinished rule the client commits the moment the first
+// probe completes — the remainder starts (warm, on the winner's
+// connection) while the losing probes are still draining, exactly as the
+// paper's client behaves. Under MaxThroughput (and sequential probing)
+// all probes are measured before the decision.
+func SelectAndFetch(t Transport, obj Object, candidates []string, cfg Config) Outcome {
+	x := cfg.probeBytes()
+	if x > obj.Size {
+		x = obj.Size
+	}
+	o := Outcome{Object: obj, Candidates: candidates, Start: t.Now()}
+	rest := obj.Size - x
+
+	if !cfg.Sequential && cfg.Rule == FirstFinished {
+		paths, handles := StartProbes(t, obj, x, candidates)
+		win, pending := AwaitFirstSuccess(t, handles)
+		o.ProbeEnd = t.Now()
+		if win >= 0 {
+			o.Selected = paths[win]
+		} else {
+			o.Selected = Path{Via: Direct} // every probe failed
+		}
+
+		var rem Handle
+		if rest > 0 && win >= 0 {
+			rem = startOn(t, true, obj, o.Selected, x, rest)
+		}
+		// Drain the losers alongside the remainder; they contend for
+		// bandwidth just as the paper's real probes did.
+		wait := make([]Handle, 0, len(pending)+1)
+		for _, i := range pending {
+			wait = append(wait, handles[i])
+		}
+		if rem != nil {
+			wait = append(wait, rem)
+		}
+		if len(wait) > 0 {
+			t.Wait(wait...)
+		}
+		o.Probes = make([]ProbeResult, len(handles))
+		for i, h := range handles {
+			o.Probes[i] = ProbeResult{h.Result()}
+		}
+		if rem != nil {
+			o.Remainder = rem.Result()
+		}
+	} else {
+		if cfg.Sequential {
+			o.Probes = ProbeSequential(t, obj, x, candidates)
+			cfg.Rule = MaxThroughput
+		} else {
+			o.Probes = Probe(t, obj, x, candidates)
+		}
+		o.ProbeEnd = t.Now()
+		o.Selected = Choose(o.Probes, cfg.Rule)
+		if rest > 0 {
+			// The remainder continues on the winning probe's connection
+			// (same path, same socket): warm when the transport supports
+			// it.
+			h := startOn(t, true, obj, o.Selected, x, rest)
+			t.Wait(h)
+			o.Remainder = h.Result()
+		}
+	}
+
+	for _, p := range o.Probes {
+		if p.Err != nil && o.Err == nil {
+			o.Err = p.Err
+		}
+	}
+	if o.Remainder.Err != nil && o.Err == nil {
+		o.Err = o.Remainder.Err
+	}
+	// The operation ends when the last object byte arrives — losing
+	// probes may still be draining after that and do not count.
+	switch {
+	case o.Remainder.Bytes > 0:
+		o.End = o.Remainder.End
+	default:
+		o.End = o.ProbeEnd
+	}
+	return o
+}
+
+// Improvement returns the paper's improvement metric in percent: the ratio
+// of the difference between selected-path and direct-path throughput to
+// direct-path throughput. Doubling throughput is +100%; halving is −50%.
+func Improvement(selected, direct float64) float64 {
+	if direct <= 0 {
+		return 0
+	}
+	return (selected - direct) / direct * 100
+}
+
+// Penalty expresses a negative improvement as the paper's Table I penalty
+// statistic: how many percent slower the selected path was than the direct
+// path, relative to the selected path ((direct/selected − 1) × 100). It
+// returns 0 when the selected path was not slower.
+func Penalty(selected, direct float64) float64 {
+	if selected <= 0 || direct <= selected {
+		return 0
+	}
+	return (direct/selected - 1) * 100
+}

@@ -1,0 +1,417 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// fakeTransport implements Transport with a fixed throughput per path and
+// an explicit clock, for testing the selection engine in isolation.
+type fakeTransport struct {
+	now  float64
+	rate map[string]float64 // bits/sec per Path.Via ("" = direct)
+	fail map[string]error
+}
+
+type fakeHandle struct {
+	res  FetchResult
+	done bool
+}
+
+func (h *fakeHandle) Done() bool          { return h.done }
+func (h *fakeHandle) Result() FetchResult { return h.res }
+
+func newFake(direct float64) *fakeTransport {
+	return &fakeTransport{
+		rate: map[string]float64{Direct: direct},
+		fail: map[string]error{},
+	}
+}
+
+func (t *fakeTransport) Now() float64 { return t.now }
+
+func (t *fakeTransport) Start(obj Object, path Path, off, n int64) Handle {
+	h := &fakeHandle{res: FetchResult{Path: path, Offset: off, Bytes: n, Start: t.now}}
+	if err := t.fail[path.Via]; err != nil {
+		h.res.Err = err
+		h.res.End = t.now
+		h.done = true
+		return h
+	}
+	rate, ok := t.rate[path.Via]
+	if !ok || rate <= 0 {
+		h.res.Err = errors.New("no such path")
+		h.res.End = t.now
+		h.done = true
+		return h
+	}
+	h.res.End = t.now + float64(n)*8/rate
+	return h
+}
+
+func (t *fakeTransport) Wait(hs ...Handle) {
+	maxEnd := t.now
+	for _, h := range hs {
+		fh := h.(*fakeHandle)
+		if fh.res.End > maxEnd {
+			maxEnd = fh.res.End
+		}
+		fh.done = true
+	}
+	t.now = maxEnd
+}
+
+func TestProbeOrderAndTiming(t *testing.T) {
+	tr := newFake(1e6)
+	tr.rate["A"] = 2e6
+	tr.rate["B"] = 0.5e6
+	obj := Object{Server: "s", Name: "o", Size: 4_000_000}
+	probes := Probe(tr, obj, 100_000, []string{"A", "B"})
+	if len(probes) != 3 {
+		t.Fatalf("probes = %d, want 3 (direct + 2)", len(probes))
+	}
+	if !probes[0].Path.IsDirect() || probes[1].Path.Via != "A" || probes[2].Path.Via != "B" {
+		t.Fatal("probe order must be direct, then candidates in order")
+	}
+	// A is fastest: 100KB at 2 Mb/s = 0.4s.
+	if math.Abs(probes[1].End-0.4) > 1e-9 {
+		t.Fatalf("A probe end = %v, want 0.4", probes[1].End)
+	}
+}
+
+func TestProbeClampsToObjectSize(t *testing.T) {
+	tr := newFake(1e6)
+	obj := Object{Server: "s", Name: "o", Size: 50_000}
+	probes := Probe(tr, obj, 100_000, nil)
+	if probes[0].Bytes != 50_000 {
+		t.Fatalf("probe bytes = %d, want clamped to 50000", probes[0].Bytes)
+	}
+}
+
+func TestChooseFirstFinished(t *testing.T) {
+	tr := newFake(1e6)
+	tr.rate["fast"] = 3e6
+	tr.rate["slow"] = 0.2e6
+	obj := Object{Server: "s", Name: "o", Size: 4_000_000}
+	probes := Probe(tr, obj, 100_000, []string{"slow", "fast"})
+	sel := Choose(probes, FirstFinished)
+	if sel.Via != "fast" {
+		t.Fatalf("selected %q, want fast", sel.Via)
+	}
+}
+
+func TestChooseMaxThroughput(t *testing.T) {
+	tr := newFake(2e6)
+	tr.rate["meh"] = 1e6
+	obj := Object{Server: "s", Name: "o", Size: 4_000_000}
+	probes := Probe(tr, obj, 100_000, []string{"meh"})
+	if sel := Choose(probes, MaxThroughput); !sel.IsDirect() {
+		t.Fatalf("selected %v, want direct (it is faster)", sel)
+	}
+}
+
+func TestChooseSkipsFailedProbes(t *testing.T) {
+	tr := newFake(1e6)
+	tr.rate["good"] = 0.5e6
+	tr.fail["bad"] = errors.New("relay down")
+	obj := Object{Server: "s", Name: "o", Size: 4_000_000}
+	probes := Probe(tr, obj, 100_000, []string{"bad", "good"})
+	// bad "finishes" instantly but with an error; it must not win.
+	if sel := Choose(probes, FirstFinished); sel.Via == "bad" {
+		t.Fatal("failed probe won the race")
+	}
+}
+
+func TestChooseAllFailedFallsBackToDirect(t *testing.T) {
+	probes := []ProbeResult{
+		{FetchResult{Path: Path{Via: "x"}, Err: errors.New("boom")}},
+	}
+	if sel := Choose(probes, FirstFinished); !sel.IsDirect() {
+		t.Fatal("all-failed race must fall back to direct")
+	}
+}
+
+func TestChooseEmptyIsDirect(t *testing.T) {
+	if sel := Choose(nil, FirstFinished); !sel.IsDirect() {
+		t.Fatal("empty probe set must select direct")
+	}
+}
+
+func TestSelectAndFetchIndirectWin(t *testing.T) {
+	tr := newFake(1e6)
+	tr.rate["A"] = 4e6
+	obj := Object{Server: "s", Name: "o", Size: 4_100_000}
+	out := SelectAndFetch(tr, obj, []string{"A"}, Config{})
+	if !out.SelectedIndirect() || out.Selected.Via != "A" {
+		t.Fatalf("selected %v, want via A", out.Selected)
+	}
+	if out.Err != nil {
+		t.Fatalf("unexpected error: %v", out.Err)
+	}
+	// Probe phase: 100KB on direct takes 0.8s (slowest probe); remainder
+	// 4MB at 4 Mb/s = 8s. Total 8.8s.
+	if math.Abs(out.Duration()-8.8) > 1e-9 {
+		t.Fatalf("duration = %v, want 8.8", out.Duration())
+	}
+	wantTp := float64(obj.Size) * 8 / 8.8
+	if math.Abs(out.Throughput()-wantTp) > 1e-6 {
+		t.Fatalf("throughput = %v, want %v", out.Throughput(), wantTp)
+	}
+	if out.ProbeEnd != 0.8 {
+		t.Fatalf("probe end = %v, want 0.8", out.ProbeEnd)
+	}
+}
+
+func TestSelectAndFetchDirectWin(t *testing.T) {
+	tr := newFake(5e6)
+	tr.rate["A"] = 1e6
+	obj := Object{Server: "s", Name: "o", Size: 2_000_000}
+	out := SelectAndFetch(tr, obj, []string{"A"}, Config{})
+	if out.SelectedIndirect() {
+		t.Fatalf("selected %v, want direct", out.Selected)
+	}
+}
+
+func TestSelectAndFetchTinyObject(t *testing.T) {
+	// Object smaller than the probe: the probe IS the transfer; there is
+	// no remainder fetch.
+	tr := newFake(1e6)
+	tr.rate["A"] = 2e6
+	obj := Object{Server: "s", Name: "o", Size: 60_000}
+	out := SelectAndFetch(tr, obj, []string{"A"}, Config{})
+	if out.Remainder.Bytes != 0 {
+		t.Fatalf("remainder bytes = %d, want 0", out.Remainder.Bytes)
+	}
+	if out.Err != nil {
+		t.Fatal(out.Err)
+	}
+}
+
+func TestSelectAndFetchPropagatesError(t *testing.T) {
+	tr := newFake(1e6)
+	tr.fail["A"] = errors.New("relay down")
+	obj := Object{Server: "s", Name: "o", Size: 2_000_000}
+	out := SelectAndFetch(tr, obj, []string{"A"}, Config{})
+	if out.Err == nil {
+		t.Fatal("probe error not propagated")
+	}
+	if out.SelectedIndirect() {
+		t.Fatal("failed candidate should not be selected")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	if (Config{}).probeBytes() != DefaultProbeBytes {
+		t.Fatal("default probe bytes wrong")
+	}
+	if (Config{ProbeBytes: 5}).probeBytes() != 5 {
+		t.Fatal("explicit probe bytes ignored")
+	}
+}
+
+func TestImprovementMetric(t *testing.T) {
+	if got := Improvement(2e6, 1e6); got != 100 {
+		t.Errorf("doubling = %v, want 100", got)
+	}
+	if got := Improvement(0.5e6, 1e6); got != -50 {
+		t.Errorf("halving = %v, want -50", got)
+	}
+	if got := Improvement(1e6, 0); got != 0 {
+		t.Errorf("zero direct = %v, want 0", got)
+	}
+}
+
+func TestPenaltyMetric(t *testing.T) {
+	if got := Penalty(1e6, 4e6); got != 300 {
+		t.Errorf("4x slowdown penalty = %v, want 300", got)
+	}
+	if got := Penalty(2e6, 1e6); got != 0 {
+		t.Errorf("faster selection penalty = %v, want 0", got)
+	}
+	if got := Penalty(0, 1e6); got != 0 {
+		t.Errorf("zero selected penalty = %v, want 0", got)
+	}
+}
+
+func TestPathString(t *testing.T) {
+	if (Path{}).String() != "direct" {
+		t.Error("direct path string")
+	}
+	if (Path{Via: "MIT"}).String() != "via MIT" {
+		t.Error("indirect path string")
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	if FirstFinished.String() != "first-finished" || MaxThroughput.String() != "max-throughput" {
+		t.Error("rule strings wrong")
+	}
+	if Rule(99).String() != "unknown" {
+		t.Error("unknown rule string")
+	}
+}
+
+func TestFetchResultThroughput(t *testing.T) {
+	r := FetchResult{Bytes: 1_000_000, Start: 0, End: 8}
+	if got := r.Throughput(); got != 1e6 {
+		t.Fatalf("throughput = %v, want 1e6", got)
+	}
+	bad := FetchResult{Bytes: 1, Start: 0, End: 0}
+	if bad.Throughput() != 0 {
+		t.Fatal("instantaneous transfer should have 0 throughput")
+	}
+	failed := FetchResult{Bytes: 1, Start: 0, End: 5, Err: errors.New("x")}
+	if failed.Throughput() != 0 {
+		t.Fatal("failed transfer should have 0 throughput")
+	}
+}
+
+// anyWaiterFake wraps fakeTransport with a WaitAny that completes the
+// earliest-ending pending handle, advancing the clock only to that point —
+// mimicking the simulator's behavior.
+type anyWaiterFake struct{ *fakeTransport }
+
+func (t *anyWaiterFake) WaitAny(hs ...Handle) int {
+	best, bestEnd := -1, 0.0
+	for i, h := range hs {
+		fh := h.(*fakeHandle)
+		if fh.done {
+			return i
+		}
+		if best < 0 || fh.res.End < bestEnd {
+			best, bestEnd = i, fh.res.End
+		}
+	}
+	fh := hs[best].(*fakeHandle)
+	fh.done = true
+	if fh.res.End > t.now {
+		t.now = fh.res.End
+	}
+	return best
+}
+
+func TestAwaitFirstSuccessEarlyCommit(t *testing.T) {
+	tr := &anyWaiterFake{newFake(1e6)}
+	tr.rate["fast"] = 8e6
+	tr.rate["slow"] = 0.1e6
+	obj := Object{Server: "s", Name: "o", Size: 4_000_000}
+	_, handles := StartProbes(tr, obj, 100_000, []string{"slow", "fast"})
+	win, pending := AwaitFirstSuccess(tr, handles)
+	if win != 2 {
+		t.Fatalf("winner index %d, want 2 (fast)", win)
+	}
+	if len(pending) != 2 {
+		t.Fatalf("pending = %v, want the two losers", pending)
+	}
+	// Early commit: the clock stands at the winner's finish (0.1s), not
+	// at the slowest probe's (8s).
+	if tr.now > 0.2 {
+		t.Fatalf("clock advanced to %v; early commit failed", tr.now)
+	}
+}
+
+func TestAwaitFirstSuccessSkipsFailures(t *testing.T) {
+	tr := &anyWaiterFake{newFake(1e6)}
+	tr.fail["dead"] = errors.New("down")
+	tr.rate["ok"] = 0.5e6
+	obj := Object{Server: "s", Name: "o", Size: 1_000_000}
+	paths, handles := StartProbes(tr, obj, 100_000, []string{"dead", "ok"})
+	win, _ := AwaitFirstSuccess(tr, handles)
+	if win < 0 || paths[win].Via == "dead" {
+		t.Fatalf("winner = %d (%v); failed probe must not win", win, paths[win])
+	}
+}
+
+func TestAwaitFirstSuccessAllFailed(t *testing.T) {
+	tr := &anyWaiterFake{newFake(0)} // direct has no rate -> fails
+	tr.fail["a"] = errors.New("down")
+	obj := Object{Server: "s", Name: "o", Size: 1_000_000}
+	_, handles := StartProbes(tr, obj, 100_000, []string{"a"})
+	win, pending := AwaitFirstSuccess(tr, handles)
+	if win != -1 || pending != nil {
+		t.Fatalf("all-failed race returned %d, %v", win, pending)
+	}
+}
+
+func TestAwaitFirstSuccessFallbackWithoutAnyWaiter(t *testing.T) {
+	// Plain fakeTransport has no WaitAny: the fallback waits everything
+	// out and picks the earliest successful End.
+	tr := newFake(1e6)
+	tr.rate["fast"] = 8e6
+	obj := Object{Server: "s", Name: "o", Size: 4_000_000}
+	paths, handles := StartProbes(tr, obj, 100_000, []string{"fast"})
+	win, pending := AwaitFirstSuccess(tr, handles)
+	if paths[win].Via != "fast" {
+		t.Fatalf("fallback winner %v, want fast", paths[win])
+	}
+	if len(pending) != 1 {
+		t.Fatalf("pending = %v", pending)
+	}
+}
+
+func TestSelectAndFetchEarlyCommitDuration(t *testing.T) {
+	// With early commit, a pathologically slow loser must not delay the
+	// selecting process: duration = winner probe + remainder.
+	tr := &anyWaiterFake{newFake(0.05e6)} // direct is glacial
+	tr.rate["good"] = 4e6
+	obj := Object{Server: "s", Name: "o", Size: 2_100_000}
+	out := SelectAndFetch(tr, obj, []string{"good"}, Config{ProbeBytes: 100_000})
+	if out.Err != nil {
+		t.Fatal(out.Err)
+	}
+	if out.Selected.Via != "good" {
+		t.Fatalf("selected %v", out.Selected)
+	}
+	// Winner probe: 0.2s; remainder 2MB at 4Mb/s: 4s. The direct probe
+	// alone would take 16s.
+	if out.Duration() > 5 {
+		t.Fatalf("duration %.1fs; early commit failed (loser charged)", out.Duration())
+	}
+}
+
+func TestSelectAndFetchAllProbesFailed(t *testing.T) {
+	tr := &anyWaiterFake{newFake(0)}
+	tr.fail["a"] = errors.New("down")
+	obj := Object{Server: "s", Name: "o", Size: 2_000_000}
+	out := SelectAndFetch(tr, obj, []string{"a"}, Config{ProbeBytes: 100_000})
+	if out.Err == nil {
+		t.Fatal("all-failed select did not error")
+	}
+	if !out.Selected.IsDirect() {
+		t.Fatalf("selected %v, want direct fallback", out.Selected)
+	}
+	if out.Remainder.Bytes != 0 {
+		t.Fatal("remainder should not start when every probe failed")
+	}
+}
+
+func TestStartOnFallsBackWithoutWarmStarter(t *testing.T) {
+	// fakeTransport does not implement WarmStarter: warm requests must
+	// silently fall back to Start.
+	tr := newFake(1e6)
+	obj := Object{Server: "s", Name: "o", Size: 1_000_000}
+	h := startOn(tr, true, obj, Path{}, 0, 100_000)
+	tr.Wait(h)
+	if h.Result().Err != nil {
+		t.Fatal(h.Result().Err)
+	}
+}
+
+func TestProbeSequentialOrderAndStagger(t *testing.T) {
+	tr := newFake(1e6)
+	tr.rate["A"] = 1e6
+	obj := Object{Server: "s", Name: "o", Size: 1_000_000}
+	probes := ProbeSequential(tr, obj, 100_000, []string{"A"})
+	if len(probes) != 2 {
+		t.Fatalf("probes = %d", len(probes))
+	}
+	if !probes[0].Path.IsDirect() || probes[1].Path.Via != "A" {
+		t.Fatal("sequential probe order wrong")
+	}
+	// Sequential probes must not overlap: the second starts when the
+	// first ends.
+	if probes[1].Start < probes[0].End {
+		t.Fatalf("probes overlap: %v < %v", probes[1].Start, probes[0].End)
+	}
+}

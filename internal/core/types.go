@@ -1,0 +1,117 @@
+// Package core implements the paper's contribution: throughput-seeking
+// indirect routing. A client downloading a large object probes the direct
+// path and one or more indirect paths (through intermediate overlay nodes)
+// with an initial range request, selects the path whose probe performed
+// best, and fetches the remainder of the object over the selected path.
+//
+// The package is transport-agnostic: the same selection engine drives the
+// virtual-time simulator (package httpsim) and the real TCP relay stack
+// (package realnet). Paths are identified by the intermediate's name, with
+// the empty string denoting the direct path.
+package core
+
+// Direct is the Path.Via value denoting the default (non-relayed) route.
+const Direct = ""
+
+// Path identifies a route to the origin server: either the direct path or
+// an indirect path through a named intermediate node.
+type Path struct {
+	Via string // intermediate name; Direct ("") for the default route
+}
+
+// IsDirect reports whether the path is the default route.
+func (p Path) IsDirect() bool { return p.Via == Direct }
+
+func (p Path) String() string {
+	if p.IsDirect() {
+		return "direct"
+	}
+	return "via " + p.Via
+}
+
+// Object names a downloadable resource of known size on an origin server.
+type Object struct {
+	Server string // origin server name
+	Name   string // resource name
+	Size   int64  // total size, bytes
+}
+
+// FetchResult describes one completed (or failed) range transfer.
+type FetchResult struct {
+	Path       Path
+	Offset     int64
+	Bytes      int64   // bytes requested
+	Start, End float64 // transport timestamps, seconds
+	Err        error
+}
+
+// Duration returns the transfer duration in seconds.
+func (r FetchResult) Duration() float64 { return r.End - r.Start }
+
+// Throughput returns the transfer's average throughput in bits/sec, or 0
+// for failed or instantaneous transfers.
+func (r FetchResult) Throughput() float64 {
+	d := r.Duration()
+	if r.Err != nil || d <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) * 8 / d
+}
+
+// ProbeResult is a FetchResult from the probing phase.
+type ProbeResult struct {
+	FetchResult
+}
+
+// Handle is an in-flight transfer started on a Transport.
+type Handle interface {
+	// Done reports whether the transfer has finished (or failed).
+	Done() bool
+	// Result returns the transfer's outcome; valid only once Done.
+	Result() FetchResult
+}
+
+// Transport moves object ranges over paths. Implementations decide what
+// "time" means: the simulator uses virtual seconds, the real stack uses
+// wall-clock seconds. Start never blocks; Wait blocks until every given
+// handle is done.
+type Transport interface {
+	// Start begins transferring bytes [off, off+n) of obj over path.
+	Start(obj Object, path Path, off, n int64) Handle
+	// Wait blocks until all handles are done.
+	Wait(hs ...Handle)
+	// Now returns the transport's current time in seconds.
+	Now() float64
+}
+
+// AnyWaiter is an optional Transport extension that blocks until at least
+// one of the given handles is done, returning its index. It lets the
+// first-finished rule commit to the winning probe immediately instead of
+// waiting out the losers (which is what the paper's client does: "it will
+// then request the remaining n−x bytes through the indirect path" the
+// moment the first probe completes). Transports without it fall back to
+// waiting for all handles.
+type AnyWaiter interface {
+	WaitAny(hs ...Handle) int
+}
+
+// WarmStarter is an optional Transport extension for transfers that
+// continue on an already-established connection: after a probe wins, the
+// client requests the remainder over the same connection, paying neither
+// connection setup nor a fresh slow start. The selection engine uses it
+// when the chosen path matches the probed one.
+type WarmStarter interface {
+	// StartWarm is Start minus connection establishment and slow start.
+	StartWarm(obj Object, path Path, off, n int64) Handle
+}
+
+// startOn begins a transfer on t, warm if the transport supports it and
+// warm continuation was requested.
+func startOn(t Transport, warm bool, obj Object, path Path, off, n int64) Handle {
+	if warm {
+		if ws, ok := t.(WarmStarter); ok {
+			return ws.StartWarm(obj, path, off, n)
+		}
+	}
+	return t.Start(obj, path, off, n)
+}

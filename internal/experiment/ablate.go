@@ -1,0 +1,343 @@
+package experiment
+
+import (
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// The ablations quantify the design choices DESIGN.md calls out: the probe
+// size x, the selection rule, utilization-weighted candidate sets, and the
+// cost of shared bottlenecks.
+
+// AblationPoint is one configuration's aggregate outcome.
+type AblationPoint struct {
+	Label string
+
+	// AvgImprovement is the mean improvement (percent) over all rounds.
+	AvgImprovement float64
+	// Utilization is the indirect-selection fraction.
+	Utilization float64
+	// PenaltyFrac is the fraction of indirect-selected rounds with
+	// negative improvement (mispredictions).
+	PenaltyFrac float64
+	// ProbeOverheadPct is the mean share of round duration spent probing.
+	ProbeOverheadPct float64
+}
+
+// summarizeRounds folds campaign records into an AblationPoint.
+func summarizeRounds(lbl string, recs []Record) AblationPoint {
+	pt := AblationPoint{Label: lbl}
+	var imps []float64
+	indirect, penalties := 0, 0
+	for _, r := range recs {
+		if r.Err != nil {
+			continue
+		}
+		imps = append(imps, r.Improvement)
+		if r.Indirect() {
+			indirect++
+			if r.Improvement < 0 {
+				penalties++
+			}
+		}
+	}
+	pt.AvgImprovement = stats.Mean(imps)
+	if len(imps) > 0 {
+		pt.Utilization = float64(indirect) / float64(len(imps))
+	}
+	if indirect > 0 {
+		pt.PenaltyFrac = float64(penalties) / float64(indirect)
+	}
+	return pt
+}
+
+// AblationParams configures all ablation sweeps.
+type AblationParams struct {
+	Seed     uint64
+	Scenario topo.Params
+	// Clients are the subjects; default: one client per category.
+	Clients []string
+	Rounds  int // default 80 per configuration per client
+	Config  Config
+	Workers int
+}
+
+func (p AblationParams) withDefaults() AblationParams {
+	if p.Scenario.Seed == 0 {
+		p.Scenario.Seed = p.Seed
+	}
+	if len(p.Clients) == 0 {
+		p.Clients = []string{"India", "Sweden", "Canada"} // Low, Medium, High
+	}
+	if p.Rounds == 0 {
+		p.Rounds = 80
+	}
+	if p.Config.Period == 0 {
+		p.Config.Period = 60
+	}
+	return p
+}
+
+// sec4Config applies the Section 4 methodology flags used by the
+// set-based ablations.
+func sec4Config(c Config) Config {
+	c.SequentialProbes = true
+	c.ExcludeProbePhase = true
+	return c
+}
+
+// AblateProbeSize sweeps the probe size x and reports how prediction
+// quality and overhead respond. The paper determined x = 100 KB
+// experimentally; small probes terminate inside slow start and mispredict,
+// huge probes waste time on both paths.
+func AblateProbeSize(p AblationParams, sizes []int64) []AblationPoint {
+	p = p.withDefaults()
+	if len(sizes) == 0 {
+		sizes = []int64{10_000, 25_000, 50_000, 100_000, 250_000, 500_000, 1_000_000}
+	}
+	scen := topo.NewScenario(p.Scenario)
+	server := scen.FindServer("eBay")
+	must(server != nil, "eBay server missing")
+
+	var specs []CampaignSpec
+	var labels []string
+	for _, x := range sizes {
+		cfg := p.Config
+		cfg.ProbeBytes = x
+		for _, name := range p.Clients {
+			client := scen.FindClient(name)
+			must(client != nil, "unknown client %q", name)
+			inter := staticIntermediate(scen, client)
+			specs = append(specs, CampaignSpec{
+				Scenario:  scen,
+				Client:    client,
+				Server:    server,
+				Inters:    []*topo.Node{inter},
+				Policy:    core.StaticPolicy{Intermediate: inter.Name},
+				Transfers: p.Rounds,
+				Seed:      campaignSeed(p.Seed, label("probe", strconv.FormatInt(x, 10), name)),
+				Config:    cfg,
+			})
+			labels = append(labels, "x="+strconv.FormatInt(x, 10))
+		}
+	}
+	results := RunAll(specs, p.Workers)
+	return groupPoints(labels, results)
+}
+
+// AblateSelectionRule compares first-finished selection with
+// max-measured-throughput selection on identical campaigns.
+func AblateSelectionRule(p AblationParams) []AblationPoint {
+	p = p.withDefaults()
+	scen := topo.NewScenario(p.Scenario)
+	server := scen.FindServer("eBay")
+	must(server != nil, "eBay server missing")
+
+	var specs []CampaignSpec
+	var labels []string
+	for _, rule := range []core.Rule{core.FirstFinished, core.MaxThroughput} {
+		cfg := p.Config
+		cfg.Rule = rule
+		for _, name := range p.Clients {
+			client := scen.FindClient(name)
+			must(client != nil, "unknown client %q", name)
+			inter := staticIntermediate(scen, client)
+			specs = append(specs, CampaignSpec{
+				Scenario:  scen,
+				Client:    client,
+				Server:    server,
+				Inters:    []*topo.Node{inter},
+				Policy:    core.StaticPolicy{Intermediate: inter.Name},
+				Transfers: p.Rounds,
+				Seed:      campaignSeed(p.Seed, label("rule", rule.String(), name)),
+				Config:    cfg,
+			})
+			labels = append(labels, rule.String())
+		}
+	}
+	results := RunAll(specs, p.Workers)
+	return groupPoints(labels, results)
+}
+
+// AblateWeightedPolicy compares the uniform random set against the
+// utilization-weighted random set the paper proposes in Section 6, at the
+// same set size.
+func AblateWeightedPolicy(p AblationParams, setSize int) []AblationPoint {
+	p = p.withDefaults()
+	if setSize == 0 {
+		setSize = 5
+	}
+	scenP := p.Scenario
+	scenP.NumIntermediates = 35
+	scen := topo.NewScenario(scenP)
+	server := scen.FindServer("eBay")
+	must(server != nil, "eBay server missing")
+
+	var specs []CampaignSpec
+	var labels []string
+	for _, name := range p.Clients {
+		client := scen.FindClient(name)
+		must(client != nil, "unknown client %q", name)
+
+		specs = append(specs, CampaignSpec{
+			Scenario:  scen,
+			Client:    client,
+			Server:    server,
+			Inters:    scen.Intermediates,
+			Policy:    core.UniformRandomPolicy{K: setSize},
+			Transfers: p.Rounds,
+			Seed:      campaignSeed(p.Seed, label("policy", "uniform", name)),
+			Config:    sec4Config(p.Config),
+		})
+		labels = append(labels, "uniform")
+
+		tracker := core.NewTracker()
+		specs = append(specs, CampaignSpec{
+			Scenario:  scen,
+			Client:    client,
+			Server:    server,
+			Inters:    scen.Intermediates,
+			Policy:    core.WeightedRandomPolicy{K: setSize, Tracker: tracker},
+			Transfers: p.Rounds,
+			Seed:      campaignSeed(p.Seed, label("policy", "weighted", name)),
+			Config:    sec4Config(p.Config),
+			Tracker:   tracker,
+		})
+		labels = append(labels, "weighted")
+	}
+	results := RunAll(specs, p.Workers)
+	return groupPoints(labels, results)
+}
+
+// AblateSharedBottleneck sweeps the fraction of clients whose access link
+// pins both paths, showing how shared bottlenecks erode improvement and
+// inflate penalties (a paper-identified failure mode).
+func AblateSharedBottleneck(p AblationParams, fracs []float64) []AblationPoint {
+	p = p.withDefaults()
+	if len(fracs) == 0 {
+		fracs = []float64{0.0001, 0.25, 0.5, 0.999}
+	}
+	var out []AblationPoint
+	for _, f := range fracs {
+		scenP := p.Scenario
+		scenP.SharedBottleneckFrac = f
+		scen := topo.NewScenario(scenP)
+		server := scen.FindServer("eBay")
+		must(server != nil, "eBay server missing")
+
+		var specs []CampaignSpec
+		for _, name := range p.Clients {
+			client := scen.FindClient(name)
+			must(client != nil, "unknown client %q", name)
+			inter := staticIntermediate(scen, client)
+			specs = append(specs, CampaignSpec{
+				Scenario:  scen,
+				Client:    client,
+				Server:    server,
+				Inters:    []*topo.Node{inter},
+				Policy:    core.StaticPolicy{Intermediate: inter.Name},
+				Transfers: p.Rounds,
+				Seed:      campaignSeed(p.Seed, label("shared", strconv.FormatFloat(f, 'g', -1, 64), name)),
+				Config:    p.Config,
+			})
+		}
+		results := RunAll(specs, p.Workers)
+		var recs []Record
+		for _, r := range results {
+			recs = append(recs, r.Records...)
+		}
+		out = append(out, summarizeRounds("frac="+strconv.FormatFloat(f, 'g', 3, 64), recs))
+	}
+	return out
+}
+
+// groupPoints merges same-labelled campaign results into one point each,
+// preserving first-appearance order.
+func groupPoints(labels []string, results []CampaignResult) []AblationPoint {
+	byLabel := make(map[string][]Record)
+	var order []string
+	for i, r := range results {
+		if _, ok := byLabel[labels[i]]; !ok {
+			order = append(order, labels[i])
+		}
+		byLabel[labels[i]] = append(byLabel[labels[i]], r.Records...)
+	}
+	var out []AblationPoint
+	for _, lbl := range order {
+		pt := summarizeRounds(lbl, byLabel[lbl])
+		pt.ProbeOverheadPct = probeOverhead(byLabel[lbl])
+		out = append(out, pt)
+	}
+	return out
+}
+
+// probeOverhead estimates the probing share of the selecting process's
+// round time from probe and overall throughput.
+func probeOverhead(recs []Record) float64 {
+	var sum float64
+	n := 0
+	for _, r := range recs {
+		if r.Err != nil || r.SelectedTp <= 0 || r.ProbeBestTp <= 0 {
+			continue
+		}
+		// Round duration = size/selectedTp; probe duration approximated
+		// by probeBytes/probeBestTp is not recorded directly, so use the
+		// throughput deficit as the proxy: 1 - selected/best ceiling.
+		deficit := 1 - r.SelectedTp/maxF(r.ProbeBestTp, r.SelectedTp)
+		sum += deficit * 100
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// AblateObjectSize sweeps the download size, showing why the paper
+// restricts itself to files of at least 2 MB: short transfers are
+// dominated by slow start and the fixed probing overhead, so indirect
+// routing cannot pay for itself.
+func AblateObjectSize(p AblationParams, sizes []int64) []AblationPoint {
+	p = p.withDefaults()
+	if len(sizes) == 0 {
+		sizes = []int64{250_000, 500_000, 1_000_000, 2_000_000, 4_000_000, 8_000_000}
+	}
+	scen := topo.NewScenario(p.Scenario)
+	server := scen.FindServer("eBay")
+	must(server != nil, "eBay server missing")
+
+	var specs []CampaignSpec
+	var labels []string
+	for _, size := range sizes {
+		cfg := p.Config
+		cfg.ObjectBytes = size
+		for _, name := range p.Clients {
+			client := scen.FindClient(name)
+			must(client != nil, "unknown client %q", name)
+			inter := staticIntermediate(scen, client)
+			specs = append(specs, CampaignSpec{
+				Scenario:  scen,
+				Client:    client,
+				Server:    server,
+				Inters:    []*topo.Node{inter},
+				Policy:    core.StaticPolicy{Intermediate: inter.Name},
+				Transfers: p.Rounds,
+				Seed:      campaignSeed(p.Seed, label("objsize", strconv.FormatInt(size, 10), name)),
+				Config:    cfg,
+			})
+			labels = append(labels, "size="+strconv.FormatInt(size, 10))
+		}
+	}
+	results := RunAll(specs, p.Workers)
+	return groupPoints(labels, results)
+}

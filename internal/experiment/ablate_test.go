@@ -1,0 +1,112 @@
+package experiment
+
+import "testing"
+
+func TestAblateProbeSize(t *testing.T) {
+	pts := AblateProbeSize(AblationParams{Seed: 42, Rounds: 30},
+		[]int64{10_000, 100_000, 500_000})
+	if len(pts) != 3 {
+		t.Fatalf("points = %d, want 3", len(pts))
+	}
+	for _, p := range pts {
+		if p.Utilization < 0 || p.Utilization > 1 {
+			t.Fatalf("%s utilization %v", p.Label, p.Utilization)
+		}
+		if p.PenaltyFrac < 0 || p.PenaltyFrac > 1 {
+			t.Fatalf("%s penalty frac %v", p.Label, p.PenaltyFrac)
+		}
+	}
+	// A huge probe drags overall throughput down: the 500 KB point's
+	// average improvement should not exceed the 100 KB point's by a wide
+	// margin (probing 1/8th of the object on every candidate is costly).
+	if pts[2].AvgImprovement > pts[1].AvgImprovement+25 {
+		t.Errorf("500KB probe improved on 100KB by too much: %+v", pts)
+	}
+}
+
+func TestAblateSelectionRule(t *testing.T) {
+	pts := AblateSelectionRule(AblationParams{Seed: 42, Rounds: 30})
+	if len(pts) != 2 {
+		t.Fatalf("points = %d, want 2", len(pts))
+	}
+	if pts[0].Label != "first-finished" || pts[1].Label != "max-throughput" {
+		t.Fatalf("labels = %v, %v", pts[0].Label, pts[1].Label)
+	}
+	// The two rules agree on equal-size probes up to timing detail; their
+	// aggregate outcomes should be in the same band.
+	d := pts[0].AvgImprovement - pts[1].AvgImprovement
+	if d > 40 || d < -40 {
+		t.Errorf("rules diverge too much: %+v vs %+v", pts[0], pts[1])
+	}
+}
+
+func TestAblateWeightedPolicy(t *testing.T) {
+	pts := AblateWeightedPolicy(AblationParams{Seed: 42, Rounds: 60}, 5)
+	if len(pts) != 2 {
+		t.Fatalf("points = %d, want 2", len(pts))
+	}
+	uniform, weighted := pts[0], pts[1]
+	if uniform.Label != "uniform" || weighted.Label != "weighted" {
+		t.Fatalf("labels = %q, %q", uniform.Label, weighted.Label)
+	}
+	// The paper's Section 6 expectation: weighting by utilization finds
+	// the better nodes more often. Allow sampling slack but weighted must
+	// not be dramatically worse.
+	if weighted.AvgImprovement < uniform.AvgImprovement-20 {
+		t.Errorf("weighted policy much worse than uniform: %+v vs %+v", weighted, uniform)
+	}
+}
+
+func TestAblateSharedBottleneck(t *testing.T) {
+	pts := AblateSharedBottleneck(AblationParams{Seed: 42, Rounds: 40},
+		[]float64{0.0001, 0.999})
+	if len(pts) != 2 {
+		t.Fatalf("points = %d, want 2", len(pts))
+	}
+	noShare, allShare := pts[0], pts[1]
+	// With every client bottlenecked at its own access link, indirect
+	// routing cannot deliver meaningful gains: average improvement must
+	// collapse relative to the no-sharing configuration.
+	if allShare.AvgImprovement > noShare.AvgImprovement/2+5 {
+		t.Errorf("shared bottleneck did not erode improvement: %+v vs %+v", allShare, noShare)
+	}
+}
+
+func TestSummarizeRoundsSkipsErrors(t *testing.T) {
+	recs := []Record{
+		{Improvement: 50, Selected: "X"},
+		{Improvement: 999, Err: errTest},
+		{Improvement: -10, Selected: "Y"},
+		{Improvement: 0, Selected: ""},
+	}
+	pt := summarizeRounds("t", recs)
+	if pt.AvgImprovement != (50-10+0)/3.0 {
+		t.Fatalf("avg = %v", pt.AvgImprovement)
+	}
+	if pt.Utilization != 2.0/3 {
+		t.Fatalf("utilization = %v", pt.Utilization)
+	}
+	if pt.PenaltyFrac != 0.5 {
+		t.Fatalf("penalty frac = %v", pt.PenaltyFrac)
+	}
+}
+
+var errTest = errSentinel{}
+
+type errSentinel struct{}
+
+func (errSentinel) Error() string { return "test error" }
+
+func TestAblateObjectSize(t *testing.T) {
+	pts := AblateObjectSize(AblationParams{Seed: 42, Rounds: 25},
+		[]int64{500_000, 4_000_000})
+	if len(pts) != 2 {
+		t.Fatalf("points = %d, want 2", len(pts))
+	}
+	small, large := pts[0], pts[1]
+	// Large transfers must benefit at least as much as small ones: the
+	// probe is a fixed cost that a 500 KB object cannot amortize.
+	if large.AvgImprovement < small.AvgImprovement-10 {
+		t.Errorf("large transfers gained less than small: %+v vs %+v", large, small)
+	}
+}

@@ -1,0 +1,42 @@
+package experiment
+
+import "testing"
+
+func TestRunAdaptive(t *testing.T) {
+	results := RunAdaptive(AdaptiveParams{Seed: 42, Rounds: 25})
+	if len(results) == 0 {
+		t.Fatal("no adaptive results")
+	}
+	for _, r := range results {
+		if r.OneShot <= 0 || r.Adaptive <= 0 {
+			t.Fatalf("%s: non-positive throughputs %+v", r.Client, r)
+		}
+		if r.OneShotCV < 0 || r.AdaptiveCV < 0 {
+			t.Fatalf("%s: negative CV", r.Client)
+		}
+		// The adaptive client re-races and switches sometimes; a client
+		// that never switches suggests the mechanism is inert.
+	}
+	anySwitches := false
+	for _, r := range results {
+		if r.MeanSwitches > 0 {
+			anySwitches = true
+		}
+	}
+	if !anySwitches {
+		t.Fatal("adaptive downloader never switched on any variable client")
+	}
+}
+
+func TestRunAdaptiveThroughputComparable(t *testing.T) {
+	// Adaptation must not be catastrophically worse than one-shot
+	// selection (it may pay re-race overhead but recovers from bad
+	// commitments).
+	results := RunAdaptive(AdaptiveParams{Seed: 42, Rounds: 25})
+	for _, r := range results {
+		if r.Adaptive < 0.5*r.OneShot {
+			t.Errorf("%s: adaptive %.2f << one-shot %.2f Mb/s",
+				r.Client, r.Adaptive/1e6, r.OneShot/1e6)
+		}
+	}
+}

@@ -1,0 +1,367 @@
+// Package experiment reproduces the paper's evaluation: it drives
+// measurement campaigns on the simulated PlanetLab topology and derives
+// every table and figure of the paper (Figures 1–6, Tables I–III), plus
+// ablations of the design choices.
+//
+// The unit of work is a campaign: one client node repeatedly downloading a
+// large object from one web server, with two logical client processes as
+// in the paper's methodology — a control process that always uses the
+// direct path, and a selecting process that probes the direct and
+// candidate indirect paths, picks the winner, and fetches the remainder
+// over it. Campaigns are independent (each owns a simulator instance), so
+// the drivers fan them out across a worker pool.
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/httpsim"
+	"repro/internal/randx"
+	"repro/internal/simnet"
+	"repro/internal/topo"
+)
+
+// Config holds the transfer-level parameters shared by all experiments.
+type Config struct {
+	// ObjectBytes is the download size (the paper uses multi-megabyte
+	// files, at least 2 MB). Default 4 MB.
+	ObjectBytes int64
+	// ProbeBytes is the initial range-request size x. Default 100 KB.
+	ProbeBytes int64
+	// Rule selects the probe winner. Default FirstFinished.
+	Rule core.Rule
+	// Period is the virtual time between transfer starts (the paper's
+	// Section 3 schedule is one transfer every 6 minutes). Default 360 s.
+	Period float64
+	// Warmup is the virtual time the stochastic link drivers run before
+	// the first transfer. Default 600 s.
+	Warmup float64
+	// SequentialProbes probes candidates one at a time (Section 4's
+	// per-candidate "preliminary download tests") instead of racing them
+	// concurrently. Implies max-throughput selection.
+	SequentialProbes bool
+	// ExcludeProbePhase computes the selecting process's throughput over
+	// the remainder transfer only, leaving the probing overhead out of
+	// the improvement metric (used by the Section 4 analyses, where the
+	// probing phase grows with the candidate-set size).
+	ExcludeProbePhase bool
+	// SetupRTTs is the per-transfer connection-establishment cost in
+	// RTTs (default 1.5: TCP handshake + request; < 0 disables).
+	SetupRTTs float64
+}
+
+// DefaultConfig returns the paper-faithful transfer configuration.
+func DefaultConfig() Config {
+	return Config{
+		ObjectBytes: 4_000_000,
+		ProbeBytes:  core.DefaultProbeBytes,
+		Rule:        core.FirstFinished,
+		Period:      360,
+		Warmup:      600,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.ObjectBytes == 0 {
+		c.ObjectBytes = d.ObjectBytes
+	}
+	if c.ProbeBytes == 0 {
+		c.ProbeBytes = d.ProbeBytes
+	}
+	if c.Period == 0 {
+		c.Period = d.Period
+	}
+	if c.Warmup == 0 {
+		c.Warmup = d.Warmup
+	}
+	switch {
+	case c.SetupRTTs == 0:
+		c.SetupRTTs = 1.5
+	case c.SetupRTTs < 0:
+		c.SetupRTTs = 0
+	}
+	return c
+}
+
+// Record is the measurement from one transfer round: the selecting
+// process's outcome side by side with the concurrent control process.
+type Record struct {
+	Client   string
+	Category topo.Category
+	Server   string
+
+	// Time is the virtual time at which the round's probing began.
+	Time float64
+
+	// Candidates is the intermediate set offered to the probe race.
+	Candidates []string
+
+	// Selected is the winning intermediate, or "" when the direct path
+	// won.
+	Selected string
+
+	// DirectTp is the control process's throughput (bits/sec) over the
+	// full object on the direct path.
+	DirectTp float64
+
+	// SelectedTp is the selecting process's overall throughput (bits/sec)
+	// over the full object, probing overhead included.
+	SelectedTp float64
+
+	// ProbeDirectTp and ProbeBestTp are the probe-phase throughputs of
+	// the direct path and of the winning path.
+	ProbeDirectTp float64
+	ProbeBestTp   float64
+
+	// Improvement is the paper's metric in percent:
+	// (SelectedTp − DirectTp) / DirectTp × 100.
+	Improvement float64
+
+	// Err records a failed round (excluded from statistics by drivers).
+	Err error
+}
+
+// Indirect reports whether the round selected an indirect path.
+func (r Record) Indirect() bool { return r.Selected != "" }
+
+// CampaignSpec describes one measurement campaign.
+type CampaignSpec struct {
+	Scenario *topo.Scenario
+	Client   *topo.Node
+	Server   *topo.Node
+	// Inters is the full intermediate set instantiated for the campaign;
+	// Policy draws per-transfer candidate subsets from it.
+	Inters    []*topo.Node
+	Policy    core.Policy
+	Transfers int
+	Seed      uint64
+	Config    Config
+
+	// Tracker, when non-nil, receives the campaign's utilization
+	// observations; passing the same tracker to a WeightedRandomPolicy
+	// closes the adaptation loop (the paper's Section 6 proposal). When
+	// nil a fresh tracker is created.
+	Tracker *core.Tracker
+}
+
+// CampaignResult bundles the per-transfer records with the utilization
+// tracker accumulated over the campaign.
+type CampaignResult struct {
+	Spec    CampaignSpec
+	Records []Record
+	Tracker *core.Tracker
+}
+
+// objectName is the synthetic large file every server exposes.
+const objectName = "large.bin"
+
+// RunCampaign executes one campaign to completion and returns its records.
+// It is deterministic in spec.Seed.
+func RunCampaign(spec CampaignSpec) CampaignResult {
+	cfg := spec.Config.withDefaults()
+	eng := simnet.NewEngine()
+	net := simnet.NewNetwork(eng)
+	rng := randx.New(spec.Seed)
+
+	inst := spec.Scenario.Instantiate(net, rng.Fork("instance"), spec.Client,
+		[]*topo.Node{spec.Server}, spec.Inters)
+	defer inst.Close()
+	world := httpsim.NewWorld(inst, []*topo.Node{spec.Server}, spec.Inters)
+	world.SetupRTTs = cfg.SetupRTTs
+	world.Put(spec.Server.Name, objectName, cfg.ObjectBytes)
+
+	inst.Warmup(cfg.Warmup)
+	polRng := rng.Fork("policy")
+	tracker := spec.Tracker
+	if tracker == nil {
+		tracker = core.NewTracker()
+	}
+	full := make([]string, len(spec.Inters))
+	for i, in := range spec.Inters {
+		full[i] = in.Name
+	}
+
+	obj := core.Object{Server: spec.Server.Name, Name: objectName, Size: cfg.ObjectBytes}
+	x := cfg.ProbeBytes
+	if x > obj.Size {
+		x = obj.Size
+	}
+
+	res := CampaignResult{Spec: spec, Tracker: tracker}
+	for i := 0; i < spec.Transfers; i++ {
+		roundStart := world.Now()
+		cands := spec.Policy.Candidates(full, polRng)
+
+		// Phase 1: probe race. Under the first-finished rule the client
+		// commits the moment the first probe completes (early commit);
+		// sequential probing measures each candidate in turn.
+		var probes []core.ProbeResult
+		var sel core.Path
+		var rem, ctrl core.Handle
+		if cfg.SequentialProbes || cfg.Rule == core.MaxThroughput {
+			// Max-throughput selection needs every probe measured before
+			// the decision; sequential probing implies it.
+			if cfg.SequentialProbes {
+				probes = core.ProbeSequential(world, obj, x, cands)
+			} else {
+				probes = core.Probe(world, obj, x, cands)
+			}
+			sel = core.Choose(probes, core.MaxThroughput)
+			ctrl = world.Start(obj, core.Path{Via: core.Direct}, 0, obj.Size)
+			if obj.Size > x {
+				rem = world.StartWarm(obj, sel, x, obj.Size-x)
+				world.Wait(ctrl, rem)
+			} else {
+				world.Wait(ctrl)
+			}
+		} else {
+			paths, handles := core.StartProbes(world, obj, x, cands)
+			win, pending := core.AwaitFirstSuccess(world, handles)
+			sel = core.Path{Via: core.Direct}
+			if win >= 0 {
+				sel = paths[win]
+			}
+			// Phase 2: the control process downloads the whole object
+			// directly while the selecting process fetches the remainder
+			// over the winner; losing probes drain alongside, contending
+			// for bandwidth as in the real deployment.
+			ctrl = world.Start(obj, core.Path{Via: core.Direct}, 0, obj.Size)
+			if obj.Size > x && win >= 0 {
+				rem = world.StartWarm(obj, sel, x, obj.Size-x)
+			}
+			wait := []core.Handle{ctrl}
+			for _, pi := range pending {
+				wait = append(wait, handles[pi])
+			}
+			if rem != nil {
+				wait = append(wait, rem)
+			}
+			world.Wait(wait...)
+			probes = make([]core.ProbeResult, len(handles))
+			for pi, h := range handles {
+				probes[pi] = core.ProbeResult{FetchResult: h.Result()}
+			}
+		}
+		tracker.Observe(cands, sel)
+
+		rec := Record{
+			Client:     spec.Client.Name,
+			Category:   spec.Client.Category,
+			Server:     spec.Server.Name,
+			Time:       roundStart,
+			Candidates: cands,
+			Selected:   sel.Via,
+		}
+		ctrlRes := ctrl.Result()
+		rec.DirectTp = ctrlRes.Throughput()
+		rec.ProbeDirectTp = probes[0].Throughput()
+		if cfg.ExcludeProbePhase {
+			if rem != nil {
+				rec.SelectedTp = rem.Result().Throughput()
+			} else {
+				rec.SelectedTp = rec.DirectTp
+			}
+		} else {
+			selEnd := world.Now()
+			if rem != nil {
+				selEnd = rem.Result().End
+			}
+			if dur := selEnd - roundStart; dur > 0 {
+				rec.SelectedTp = float64(obj.Size) * 8 / dur
+			}
+		}
+		if rem != nil {
+			if rr := rem.Result(); rr.Err != nil {
+				rec.Err = rr.Err
+			}
+		}
+		for _, p := range probes {
+			if p.Err != nil {
+				rec.Err = p.Err
+			}
+			if p.Path.Via == sel.Via && p.Err == nil {
+				rec.ProbeBestTp = p.Throughput()
+			}
+		}
+		if ctrlRes.Err != nil {
+			rec.Err = ctrlRes.Err
+		}
+		rec.Improvement = core.Improvement(rec.SelectedTp, rec.DirectTp)
+		res.Records = append(res.Records, rec)
+
+		// Schedule the next round.
+		next := roundStart + cfg.Period
+		if now := world.Now(); next < now+5 {
+			next = now + 5
+		}
+		eng.RunUntil(next)
+	}
+	return res
+}
+
+// RunAll executes campaigns across a worker pool and returns results in
+// input order. workers <= 0 uses GOMAXPROCS.
+func RunAll(specs []CampaignSpec, workers int) []CampaignResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	results := make([]CampaignResult, len(specs))
+	if len(specs) == 0 {
+		return results
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = RunCampaign(specs[i])
+			}
+		}()
+	}
+	for i := range specs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+// campaignSeed derives a stable per-campaign seed from the study seed and
+// a label, so adding campaigns never changes existing ones.
+func campaignSeed(studySeed uint64, label string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	return h ^ (studySeed * 0x9e3779b97f4a7c15)
+}
+
+// label builds the canonical campaign label.
+func label(parts ...string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += "|"
+		}
+		out += p
+	}
+	return out
+}
+
+// must panics with a formatted message; experiment drivers use it for
+// impossible states.
+func must(cond bool, format string, args ...any) {
+	if !cond {
+		panic("experiment: " + fmt.Sprintf(format, args...))
+	}
+}

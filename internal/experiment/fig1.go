@@ -1,0 +1,115 @@
+package experiment
+
+import (
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Fig1Result reproduces Figure 1 (histogram of throughput improvements
+// aggregated over all clients) together with the headline statistics the
+// paper reports around it: average and median improvement, the fraction of
+// mass in [0, 100], the fraction of penalties, and the per-site average
+// improvement range (33–49% in the paper).
+type Fig1Result struct {
+	// Hist is the improvement histogram over all indirect-selected
+	// rounds, in percent, with the paper's axis ([-100, 300), 5%-wide
+	// bins).
+	Hist *stats.Histogram
+
+	// Summary summarizes the same improvement samples.
+	Summary stats.Summary
+
+	// FracNegative is the penalty fraction (paper: ~12%).
+	FracNegative float64
+
+	// FracZeroToHundred is the fraction of samples in [0, 100]
+	// (paper: 84%).
+	FracZeroToHundred float64
+
+	// Utilization is the overall fraction of rounds that chose the
+	// indirect path (paper: ~45%).
+	Utilization float64
+
+	// PerSiteAvg is the average improvement (conditional on indirect
+	// selection) per destination web site (paper: 33–49% depending on
+	// site).
+	PerSiteAvg map[string]float64
+
+	// Sites lists the sites in deterministic order.
+	Sites []string
+}
+
+// Fig1 computes the Figure 1 artifacts from the Section 3 dataset.
+func Fig1(study *StudyResult) Fig1Result {
+	imps := Improvements(study.Records)
+	must(stats.NaNFree(imps), "NaN improvement sample")
+
+	res := Fig1Result{
+		Hist:       stats.NewHistogram(-100, 300, 80),
+		Summary:    stats.Summarize(imps),
+		PerSiteAvg: make(map[string]float64),
+	}
+	res.Hist.AddAll(imps)
+	neg, inBand := 0, 0
+	for _, v := range imps {
+		if v < 0 {
+			neg++
+		}
+		if v >= 0 && v <= 100 {
+			inBand++
+		}
+	}
+	if len(imps) > 0 {
+		res.FracNegative = float64(neg) / float64(len(imps))
+		res.FracZeroToHundred = float64(inBand) / float64(len(imps))
+	}
+	res.Utilization = UtilizationOf(study.Records)
+
+	perSite := make(map[string][]float64)
+	for _, r := range study.Records {
+		if r.Indirect() {
+			perSite[r.Server] = append(perSite[r.Server], r.Improvement)
+		}
+	}
+	for site, vals := range perSite {
+		res.PerSiteAvg[site] = stats.Mean(vals)
+		res.Sites = append(res.Sites, site)
+	}
+	sort.Strings(res.Sites)
+	return res
+}
+
+// Fig2Result reproduces Figure 2: per-client improvement histograms for a
+// selection of clients, which the paper shows to be roughly similar to the
+// aggregate distribution.
+type Fig2Result struct {
+	Clients []string
+	Hists   map[string]*stats.Histogram
+	Summary map[string]stats.Summary
+}
+
+// Fig2 computes per-client improvement histograms. clients defaults to the
+// figure's exemplars present in the dataset when nil.
+func Fig2(study *StudyResult, clients []string) Fig2Result {
+	if clients == nil {
+		for _, c := range []string{"Australia 2", "France", "Israel", "Sweden"} {
+			if len(study.PerClient[c]) > 0 {
+				clients = append(clients, c)
+			}
+		}
+	}
+	res := Fig2Result{
+		Clients: clients,
+		Hists:   make(map[string]*stats.Histogram),
+		Summary: make(map[string]stats.Summary),
+	}
+	for _, c := range clients {
+		imps := Improvements(study.PerClient[c])
+		h := stats.NewHistogram(-100, 300, 40)
+		h.AddAll(imps)
+		res.Hists[c] = h
+		res.Summary[c] = stats.Summarize(imps)
+	}
+	return res
+}

@@ -1,0 +1,43 @@
+package experiment
+
+import "testing"
+
+func TestRunMonitored(t *testing.T) {
+	results := RunMonitored(MonitoredParams{Seed: 42, Rounds: 30})
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, r := range results {
+		if r.Rounds != 30 {
+			t.Fatalf("%s: rounds = %d", r.Client, r.Rounds)
+		}
+		// Both strategies must produce meaningful data; monitored must
+		// not be catastrophically worse than probing (its whole point is
+		// trading freshness for zero probe overhead).
+		if r.MonitoredAvg < r.ProbingAvg-60 {
+			t.Errorf("%s: monitored %.1f%% far below probing %.1f%%",
+				r.Client, r.MonitoredAvg, r.ProbingAvg)
+		}
+		if r.Disagreements == 0 && r.Client == "Canada" {
+			// Variable clients should occasionally diverge; a zero here
+			// for every client would suggest the monitor is shadowing
+			// the prober rather than acting on its own table.
+			t.Logf("%s: strategies never disagreed", r.Client)
+		}
+	}
+}
+
+func TestRunMonitoredRefreshEveryRound(t *testing.T) {
+	// Refreshing before every round should keep the monitored client at
+	// least competitive on average across clients.
+	results := RunMonitored(MonitoredParams{Seed: 42, Rounds: 25, RefreshEvery: 1})
+	var probing, monitored float64
+	for _, r := range results {
+		probing += r.ProbingAvg
+		monitored += r.MonitoredAvg
+	}
+	if monitored < probing-90 {
+		t.Errorf("fresh monitored selection much worse: %.1f vs %.1f (summed)",
+			monitored, probing)
+	}
+}

@@ -1,0 +1,48 @@
+package experiment
+
+import "testing"
+
+func TestRunMultipath(t *testing.T) {
+	results := RunMultipath(MultipathParams{Seed: 42, Rounds: 20})
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	anyStriping := false
+	for _, r := range results {
+		if r.Rounds != 20 {
+			t.Fatalf("%s rounds = %d", r.Client, r.Rounds)
+		}
+		if r.StripeSpread < 0 || r.StripeSpread > 1 {
+			t.Fatalf("%s spread = %v", r.Client, r.StripeSpread)
+		}
+		if r.StripeSpread > 0.1 {
+			anyStriping = true
+		}
+		// Striping must not be catastrophically worse than selection —
+		// work stealing keeps slow paths from dragging the download.
+		if r.StripeAvg < r.SelectAvg-120 {
+			t.Errorf("%s: striping %.1f%% far below selection %.1f%%",
+				r.Client, r.StripeAvg, r.SelectAvg)
+		}
+	}
+	if !anyStriping {
+		t.Error("no client spread meaningful bytes over relays; striping inert")
+	}
+}
+
+func TestRunMultipathAggregatesForLowClients(t *testing.T) {
+	// For a low-throughput client whose access link has headroom, striping
+	// direct+relay should beat single-path selection on average (it uses
+	// both pipes).
+	results := RunMultipath(MultipathParams{
+		Seed: 42, Rounds: 30, Clients: []string{"Korea"},
+	})
+	r := results[0]
+	if r.StripeAvg <= r.SelectAvg {
+		t.Logf("note: striping %.1f%% did not beat selection %.1f%% for %s",
+			r.StripeAvg, r.SelectAvg, r.Client)
+	}
+	if r.StripeAvg < 10 {
+		t.Errorf("striping improvement %.1f%% implausibly low for a Low client", r.StripeAvg)
+	}
+}

@@ -1,0 +1,121 @@
+package experiment
+
+import (
+	"testing"
+)
+
+var pairStudyCache *PairStudyResult
+
+func testPairStudy(t *testing.T) *PairStudyResult {
+	t.Helper()
+	if pairStudyCache == nil {
+		pairStudyCache = RunPairStudy(PairStudyParams{Seed: 42, TransfersPerPair: 12})
+	}
+	return pairStudyCache
+}
+
+func TestPairStudyCoverage(t *testing.T) {
+	ps := testPairStudy(t)
+	if len(ps.PerPair) != 22 {
+		t.Fatalf("pair study covers %d clients, want 22", len(ps.PerPair))
+	}
+	for c, m := range ps.PerPair {
+		if len(m) != 21 {
+			t.Fatalf("client %s paired with %d intermediates, want 21", c, len(m))
+		}
+	}
+	if ps.Server != "eBay" {
+		t.Fatalf("default server %q, want eBay", ps.Server)
+	}
+}
+
+func TestTable2TopThree(t *testing.T) {
+	ps := testPairStudy(t)
+	t2 := Table2(ps)
+	if len(t2.Rows) != 22 {
+		t.Fatalf("table II has %d rows, want 22", len(t2.Rows))
+	}
+	for _, row := range t2.Rows {
+		if len(row.Top) == 0 || len(row.Top) > 3 {
+			t.Fatalf("client %s has %d top intermediates", row.Client, len(row.Top))
+		}
+		for i := 1; i < len(row.Top); i++ {
+			if row.Top[i].Utilization > row.Top[i-1].Utilization {
+				t.Fatalf("client %s top list not sorted", row.Client)
+			}
+		}
+		for _, u := range row.Top {
+			if u.Utilization < 0 || u.Utilization > 1 {
+				t.Fatalf("client %s utilization %v out of [0,1]", row.Client, u.Utilization)
+			}
+		}
+	}
+}
+
+// TestTable2Overlap asserts the paper's observation that a handful of
+// intermediates recur across many clients' top-3 lists.
+func TestTable2Overlap(t *testing.T) {
+	t2 := Table2(testPairStudy(t))
+	maxOverlap := 0
+	for _, c := range t2.OverlapCount {
+		if c > maxOverlap {
+			maxOverlap = c
+		}
+	}
+	if maxOverlap < 4 {
+		t.Fatalf("max top-3 overlap %d clients, want >= 4 (paper: heavy overlap)", maxOverlap)
+	}
+	if len(t2.OverlapCount) >= 22*3 {
+		t.Fatal("no overlap at all: every top-3 slot is distinct")
+	}
+}
+
+// TestFig3InverseRelation asserts the paper's Figure 3 trend: improvement
+// decreases as direct-path throughput rises, for the vast majority of
+// clients.
+func TestFig3InverseRelation(t *testing.T) {
+	f3 := Fig3(testPairStudy(t))
+	if len(f3.Clients) < 15 {
+		t.Fatalf("only %d clients have enough indirect rounds", len(f3.Clients))
+	}
+	if f3.MeanSlope >= 0 {
+		t.Errorf("mean slope %.1f %%/Mbps, want negative", f3.MeanSlope)
+	}
+	if f3.FractionNegative < 0.7 {
+		t.Errorf("only %.0f%% of clients trend downward, want >= 70%%", f3.FractionNegative*100)
+	}
+}
+
+// TestFig5UtilizationStats asserts the Figure 5 shape: overall average
+// utilization in the paper's ballpark and per-intermediate stats coherent.
+func TestFig5UtilizationStats(t *testing.T) {
+	f5 := Fig5(testPairStudy(t))
+	if len(f5.Rows) != 21 {
+		t.Fatalf("fig5 has %d intermediates, want 21", len(f5.Rows))
+	}
+	if f5.OverallAvg < 25 || f5.OverallAvg > 65 {
+		t.Errorf("overall avg utilization %.1f%%, want within [25, 65] (paper: 45%%)", f5.OverallAvg)
+	}
+	for _, r := range f5.Rows {
+		if r.Average < 0 || r.Average > 100 {
+			t.Fatalf("%s avg utilization %v out of range", r.Inter, r.Average)
+		}
+		// RMS >= |mean| always.
+		if r.RMS < r.Average-1e-9 {
+			t.Fatalf("%s RMS %.1f < mean %.1f", r.Inter, r.RMS, r.Average)
+		}
+	}
+	// Intermediates must differ in usefulness (quality spread).
+	lo, hi := f5.Rows[0].Average, f5.Rows[0].Average
+	for _, r := range f5.Rows {
+		if r.Average < lo {
+			lo = r.Average
+		}
+		if r.Average > hi {
+			hi = r.Average
+		}
+	}
+	if hi-lo < 15 {
+		t.Errorf("utilization range %.1f-%.1f too narrow; popularity effects missing", lo, hi)
+	}
+}

@@ -1,0 +1,211 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/topo"
+)
+
+// testStudy runs a reduced Section 3 study once and shares it across the
+// shape tests in this file.
+var testStudyCache *StudyResult
+
+func testStudy(t *testing.T) *StudyResult {
+	t.Helper()
+	if testStudyCache == nil {
+		testStudyCache = RunStudy(StudyParams{
+			Seed:               42,
+			TransfersPerClient: 40,
+			Servers:            []string{"eBay"},
+		})
+	}
+	return testStudyCache
+}
+
+func TestStudyCoversAllClients(t *testing.T) {
+	study := testStudy(t)
+	if got := len(study.PerClient); got != 22 {
+		t.Fatalf("study covers %d clients, want 22", got)
+	}
+	for c, recs := range study.PerClient {
+		if len(recs) == 0 {
+			t.Fatalf("client %s has no records", c)
+		}
+		if study.StaticInter[c] == "" {
+			t.Fatalf("client %s has no static intermediate", c)
+		}
+	}
+}
+
+func TestStudyClientCVPositive(t *testing.T) {
+	study := testStudy(t)
+	for c, cv := range study.ClientCV {
+		if cv <= 0 || math.IsNaN(cv) {
+			t.Fatalf("client %s has CV %v", c, cv)
+		}
+	}
+}
+
+// TestFig1Shape asserts the headline Figure 1 statistics fall in the
+// paper's qualitative bands: tens-of-percent average improvement,
+// double-digit median, a minority of penalties, and substantial indirect
+// utilization.
+func TestFig1Shape(t *testing.T) {
+	study := testStudy(t)
+	f1 := Fig1(study)
+	if f1.Summary.N < 200 {
+		t.Fatalf("only %d improvement samples", f1.Summary.N)
+	}
+	if f1.Summary.Mean < 20 || f1.Summary.Mean > 90 {
+		t.Errorf("avg improvement %.1f%%, want within [20, 90] (paper: 49%%)", f1.Summary.Mean)
+	}
+	if f1.Summary.Median < 15 || f1.Summary.Median > 70 {
+		t.Errorf("median improvement %.1f%%, want within [15, 70] (paper: 37%%)", f1.Summary.Median)
+	}
+	if f1.FracNegative < 0.02 || f1.FracNegative > 0.30 {
+		t.Errorf("penalty fraction %.2f, want within [0.02, 0.30] (paper: 0.12)", f1.FracNegative)
+	}
+	if f1.FracZeroToHundred < 0.5 {
+		t.Errorf("mass in [0,100] = %.2f, want > 0.5 (paper: 0.84)", f1.FracZeroToHundred)
+	}
+	if f1.Utilization < 0.3 || f1.Utilization > 0.85 {
+		t.Errorf("utilization %.2f, want within [0.3, 0.85] (paper: ~0.45-0.6)", f1.Utilization)
+	}
+	if f1.Hist.Total() != int64(f1.Summary.N) {
+		t.Errorf("histogram total %d != samples %d", f1.Hist.Total(), f1.Summary.N)
+	}
+}
+
+func TestFig1PerSiteRange(t *testing.T) {
+	// All four sites, fewer transfers: per-site averages should all be
+	// positive and within a plausible band of each other (paper: 33-49%).
+	study := RunStudy(StudyParams{Seed: 42, TransfersPerClient: 15})
+	f1 := Fig1(study)
+	if len(f1.Sites) != 4 {
+		t.Fatalf("sites = %v, want 4", f1.Sites)
+	}
+	for _, s := range f1.Sites {
+		avg := f1.PerSiteAvg[s]
+		if avg < 10 || avg > 120 {
+			t.Errorf("site %s avg improvement %.1f%%, want within [10, 120]", s, avg)
+		}
+	}
+}
+
+func TestFig2PerClientHistograms(t *testing.T) {
+	study := testStudy(t)
+	f2 := Fig2(study, nil)
+	if len(f2.Clients) == 0 {
+		t.Fatal("no exemplar clients selected")
+	}
+	for _, c := range f2.Clients {
+		if f2.Hists[c] == nil {
+			t.Fatalf("missing histogram for %s", c)
+		}
+		if f2.Summary[c].N != int(f2.Hists[c].Total()) {
+			t.Fatalf("%s: summary N %d != hist total %d", c, f2.Summary[c].N, f2.Hists[c].Total())
+		}
+	}
+	custom := Fig2(study, []string{"Korea"})
+	if len(custom.Clients) != 1 || custom.Hists["Korea"] == nil {
+		t.Fatal("explicit client list ignored")
+	}
+}
+
+// TestTable1FilterOrdering asserts the paper's central Table I claim: each
+// successive filter lowers (or keeps equal) both the penalty fraction and
+// the average penalty.
+func TestTable1FilterOrdering(t *testing.T) {
+	study := testStudy(t)
+	t1 := Table1(study)
+	if t1.All.Rounds == 0 {
+		t.Fatal("no rounds in penalty analysis")
+	}
+	if t1.MedLow.PenaltyPoints > t1.All.PenaltyPoints+1e-9 {
+		t.Errorf("MedLow penalty fraction %.3f > All %.3f", t1.MedLow.PenaltyPoints, t1.All.PenaltyPoints)
+	}
+	if t1.LowVar.PenaltyPoints > t1.MedLow.PenaltyPoints+1e-9 {
+		t.Errorf("LowVar penalty fraction %.3f > MedLow %.3f", t1.LowVar.PenaltyPoints, t1.MedLow.PenaltyPoints)
+	}
+	if t1.All.Rounds < t1.MedLow.Rounds || t1.MedLow.Rounds < t1.LowVar.Rounds {
+		t.Error("filters must not add rounds")
+	}
+	if t1.MedLow.AvgPenalty > t1.All.AvgPenalty+1e-9 {
+		t.Errorf("MedLow avg penalty %.1f > All %.1f", t1.MedLow.AvgPenalty, t1.All.AvgPenalty)
+	}
+}
+
+func TestTable1PenaltiesNonNegative(t *testing.T) {
+	t1 := Table1(testStudy(t))
+	for _, row := range []PenaltyRow{t1.All, t1.MedLow, t1.LowVar} {
+		if row.AvgPenalty < 0 || row.Max < 0 || row.PenaltyPoints < 0 || row.PenaltyPoints > 1 {
+			t.Fatalf("row %s has invalid stats: %+v", row.Filter, row)
+		}
+		if row.Max < row.AvgPenalty {
+			t.Fatalf("row %s: max %.1f < avg %.1f", row.Filter, row.Max, row.AvgPenalty)
+		}
+	}
+}
+
+// TestFig4NoTrend asserts the paper's Figure 4 claim: indirect-path
+// throughput shows no systematic drift over the measurement window.
+func TestFig4NoTrend(t *testing.T) {
+	study := testStudy(t)
+	f4 := Fig4(study, 8)
+	if len(f4.Series) < 5 {
+		t.Fatalf("only %d clients with enough indirect rounds", len(f4.Series))
+	}
+	// Average |trend| across clients should be modest: well under 100% of
+	// the mean per hour.
+	if f4.MeanAbsSlopePct > 60 {
+		t.Errorf("mean |trend| %.1f%%/hour, want < 60 (paper: no discernable trend)", f4.MeanAbsSlopePct)
+	}
+	for _, s := range f4.Series {
+		if len(s.Times) != len(s.Tp) {
+			t.Fatalf("series %s length mismatch", s.Client)
+		}
+	}
+}
+
+func TestImprovementsHelper(t *testing.T) {
+	recs := []Record{
+		{Selected: "X", Improvement: 50},
+		{Selected: "", Improvement: -1},
+		{Selected: "Y", Improvement: -20},
+	}
+	imps := Improvements(recs)
+	if len(imps) != 2 || imps[0] != 50 || imps[1] != -20 {
+		t.Fatalf("improvements = %v", imps)
+	}
+	if got := UtilizationOf(recs); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("utilization = %v", got)
+	}
+	if UtilizationOf(nil) != 0 {
+		t.Fatal("empty utilization should be 0")
+	}
+}
+
+func TestStaticIntermediateIsGoodButNotBest(t *testing.T) {
+	scen := topo.NewScenario(topo.Params{Seed: 9})
+	client := scen.Clients[0]
+	pick := staticIntermediate(scen, client)
+	better := 0
+	for _, in := range scen.Intermediates {
+		if scen.PairMean(client, in) > scen.PairMean(client, pick) {
+			better++
+		}
+	}
+	if better != 4 {
+		t.Fatalf("static pick has %d better pairs, want 4 (fifth-best)", better)
+	}
+}
+
+func TestRunStudyUnknownServerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown server")
+		}
+	}()
+	RunStudy(StudyParams{Seed: 1, TransfersPerClient: 1, Servers: []string{"AltaVista"}})
+}

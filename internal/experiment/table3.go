@@ -1,0 +1,128 @@
+package experiment
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// Table3Params configures the utilization-vs-improvement analysis of the
+// paper's Table III: one client (Duke) runs a long random-set campaign
+// over the 35-node full set, and every intermediate is scored by how often
+// it wins when offered and by how much improvement it delivers.
+type Table3Params struct {
+	Seed     uint64
+	Scenario topo.Params
+	Client   string // default "Duke (client)"
+	SetSize  int    // default 10 (the Figure 6 knee)
+	Rounds   int    // default 500
+	Config   Config
+	Workers  int
+}
+
+func (p Table3Params) withDefaults() Table3Params {
+	if p.Scenario.Seed == 0 {
+		p.Scenario.Seed = p.Seed
+	}
+	if p.Scenario.NumIntermediates == 0 {
+		p.Scenario.NumIntermediates = 35
+	}
+	if p.Client == "" {
+		p.Client = "Duke (client)"
+	}
+	if p.SetSize == 0 {
+		p.SetSize = 10
+	}
+	if p.Rounds == 0 {
+		p.Rounds = 500
+	}
+	if p.Config.Period == 0 {
+		p.Config.Period = 30
+	}
+	// Same Section 4 methodology as Figure 6.
+	p.Config.SequentialProbes = true
+	p.Config.ExcludeProbePhase = true
+	return p
+}
+
+// Table3Row is one intermediate's line in Table III.
+type Table3Row struct {
+	Inter string
+	// Utilization is chosen/offered in percent (Section 4 definition).
+	Utilization float64
+	// Improvement is the mean improvement (percent) of the rounds this
+	// intermediate won.
+	Improvement float64
+	// Offered and Chosen are the raw counts.
+	Offered, Chosen int64
+}
+
+// Table3Result reproduces Table III.
+type Table3Result struct {
+	Client string
+	Rows   []Table3Row // non-zero-utilization rows, best first
+
+	// PearsonR and SpearmanR correlate utilization with improvement
+	// across rows; the paper finds them positive but imperfect.
+	PearsonR, SpearmanR float64
+}
+
+// Table3 runs the campaign and derives the correlation table.
+func Table3(p Table3Params) Table3Result {
+	p = p.withDefaults()
+	scen := topo.NewScenario(p.Scenario)
+	client := scen.FindClient(p.Client)
+	must(client != nil, "unknown client %q", p.Client)
+	server := scen.FindServer("eBay")
+	must(server != nil, "eBay server missing")
+
+	result := RunCampaign(CampaignSpec{
+		Scenario:  scen,
+		Client:    client,
+		Server:    server,
+		Inters:    scen.Intermediates,
+		Policy:    core.UniformRandomPolicy{K: p.SetSize},
+		Transfers: p.Rounds,
+		Seed:      campaignSeed(p.Seed, label("table3", p.Client)),
+		Config:    p.Config,
+	})
+
+	perInter := make(map[string][]float64)
+	for _, rec := range result.Records {
+		if rec.Err == nil && rec.Indirect() {
+			perInter[rec.Selected] = append(perInter[rec.Selected], rec.Improvement)
+		}
+	}
+
+	res := Table3Result{Client: p.Client}
+	for _, name := range result.Tracker.Names() {
+		chosen := result.Tracker.Chosen(name)
+		if chosen == 0 {
+			continue // the paper's table lists non-zero utilizations only
+		}
+		res.Rows = append(res.Rows, Table3Row{
+			Inter:       name,
+			Utilization: result.Tracker.Utilization(name) * 100,
+			Improvement: stats.Mean(perInter[name]),
+			Offered:     result.Tracker.InSet(name),
+			Chosen:      chosen,
+		})
+	}
+	sort.Slice(res.Rows, func(i, j int) bool {
+		if res.Rows[i].Utilization != res.Rows[j].Utilization {
+			return res.Rows[i].Utilization > res.Rows[j].Utilization
+		}
+		return res.Rows[i].Inter < res.Rows[j].Inter
+	})
+
+	var us, is []float64
+	for _, r := range res.Rows {
+		us = append(us, r.Utilization)
+		is = append(is, r.Improvement)
+	}
+	res.PearsonR = stats.Pearson(us, is)
+	res.SpearmanR = stats.Spearman(us, is)
+	return res
+}

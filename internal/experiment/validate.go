@@ -1,0 +1,128 @@
+package experiment
+
+import (
+	"math"
+
+	"repro/internal/randx"
+	"repro/internal/stats"
+	"repro/internal/tcpmodel"
+	"repro/internal/tcpsim"
+)
+
+// The validation sweep makes the model cross-checks visible: for a grid of
+// path configurations it compares the fluid TCP model's transfer time
+// (what the evaluation simulator uses) against an independent packet-level
+// TCP Reno simulation, and measures how fairly competing packet-level
+// flows share a bottleneck (the fluid simulator assumes max-min fairness).
+
+// ValidatePoint is one configuration's comparison.
+type ValidatePoint struct {
+	BottleneckMbps float64
+	RTTms          float64
+	Bytes          int64
+
+	Note string // non-empty for deliberate stress configurations
+
+	FluidSeconds  float64
+	PacketSeconds float64
+	// Ratio is PacketSeconds / FluidSeconds: near 1 means the fluid
+	// model's timing is trustworthy.
+	Ratio float64
+}
+
+// ValidateResult aggregates the sweep.
+type ValidateResult struct {
+	Points []ValidatePoint
+
+	// RatioMin and RatioMax bound the packet/fluid timing ratios.
+	RatioMin, RatioMax float64
+
+	// Fairness2 and Fairness4 are Jain indices for 2 and 4 identical
+	// packet-level flows competing at one bottleneck (1.0 = perfectly
+	// fair, matching the fluid max-min assumption).
+	Fairness2, Fairness4 float64
+}
+
+// Validate runs the model-validation sweep. It is deterministic.
+func Validate() ValidateResult {
+	// The grid covers the evaluation's envelope (0.4–8 Mb/s, 50–200 ms)
+	// with buffers sized by the router rule of thumb (one BDP). The final
+	// row deliberately under-buffers a high-BDP path to expose the known
+	// fluid-model limit: buffer-starved TCP sawtooths far below the link
+	// rate, which a rate-capped fluid cannot reproduce.
+	grid := []struct {
+		bps   float64
+		rtt   float64
+		bytes int64
+		queue int
+		note  string
+	}{
+		{1e6, 0.20, 2_000_000, 0, ""},
+		{2e6, 0.10, 4_000_000, 0, ""},
+		{4e6, 0.15, 8_000_000, 64, ""},
+		{8e6, 0.05, 4_000_000, 64, ""},
+		{8e6, 0.20, 8_000_000, 160, ""},
+		{8e6, 0.20, 8_000_000, 32, "under-buffered"},
+	}
+	res := ValidateResult{RatioMin: math.Inf(1)}
+	for _, g := range grid {
+		pkt := tcpsim.Transfer(tcpsim.Config{
+			BottleneckBps: g.bps, RTT: g.rtt, QueuePackets: g.queue,
+		}, g.bytes, nil)
+		p := tcpmodel.Params{RTT: g.rtt}
+		fluid := fluidTime(p, math.Min(p.Ceiling(), g.bps), g.bytes)
+		pt := ValidatePoint{
+			BottleneckMbps: g.bps / 1e6,
+			RTTms:          g.rtt * 1000,
+			Bytes:          g.bytes,
+			Note:           g.note,
+			FluidSeconds:   fluid,
+			PacketSeconds:  pkt.Duration,
+			Ratio:          pkt.Duration / fluid,
+		}
+		res.Points = append(res.Points, pt)
+		if g.note == "" {
+			// Ratio bounds summarize the realistic (well-buffered) rows;
+			// the deliberate stress row is reported but not bounded.
+			res.RatioMin = math.Min(res.RatioMin, pt.Ratio)
+			res.RatioMax = math.Max(res.RatioMax, pt.Ratio)
+		}
+	}
+
+	fair := func(n int) float64 {
+		sizes := make([]int64, n)
+		for i := range sizes {
+			sizes[i] = 8_000_000
+		}
+		rs := tcpsim.TransferN(tcpsim.Config{BottleneckBps: 10e6, RTT: 0.08},
+			sizes, randx.New(1))
+		tps := make([]float64, n)
+		for i, r := range rs {
+			tps[i] = r.Throughput()
+		}
+		return stats.JainFairness(tps)
+	}
+	res.Fairness2 = fair(2)
+	res.Fairness4 = fair(4)
+	return res
+}
+
+// fluidTime mirrors tcpmodel.TransferTime with an explicit link ceiling.
+func fluidTime(p tcpmodel.Params, ceiling float64, bytes int64) float64 {
+	bits := float64(bytes) * 8
+	rate := math.Min(p.InitialRate(), ceiling)
+	const sub = 4
+	interval := p.RTT / sub
+	factor := math.Pow(2, 1.0/sub)
+	t := 0.0
+	for rate < ceiling {
+		step := rate * interval
+		if bits <= step {
+			return t + bits/rate
+		}
+		bits -= step
+		t += interval
+		rate *= factor
+	}
+	return t + bits/ceiling
+}

@@ -1,0 +1,30 @@
+package experiment
+
+import "testing"
+
+func TestValidate(t *testing.T) {
+	res := Validate()
+	if len(res.Points) != 6 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	// The low/medium-rate rows (which drive the paper's results) sit near
+	// 1.1-1.2; the high-BDP row reaches ~2 because the simplified Reno
+	// recovery over-penalizes multi-loss windows where NewReno/SACK would
+	// recover smoothly.
+	if res.RatioMin < 0.7 || res.RatioMax > 2.2 {
+		t.Fatalf("fluid-vs-packet ratios [%.2f, %.2f] out of tolerance",
+			res.RatioMin, res.RatioMax)
+	}
+	// The deliberately under-buffered row must show the documented
+	// divergence: buffer-starved TCP falls well behind the fluid model.
+	stress := res.Points[len(res.Points)-1]
+	if stress.Note == "" || stress.Ratio < 1.5 {
+		t.Fatalf("stress row did not stress: %+v", stress)
+	}
+	if res.Fairness2 < 0.9 {
+		t.Fatalf("2-flow Jain index %.3f; fluid fair-share assumption shaky", res.Fairness2)
+	}
+	if res.Fairness4 < 0.8 {
+		t.Fatalf("4-flow Jain index %.3f; fluid fair-share assumption shaky", res.Fairness4)
+	}
+}

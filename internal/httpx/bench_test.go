@@ -1,0 +1,55 @@
+package httpx
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func BenchmarkRequestWrite(b *testing.B) {
+	req := NewGet("/obj.bin", "origin:80")
+	req.SetRange(100_000, 3_900_000)
+	var buf bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		req.Write(&buf)
+	}
+}
+
+func BenchmarkReadRequest(b *testing.B) {
+	raw := "GET /obj.bin HTTP/1.1\r\nhost: origin:80\r\nrange: bytes=0-99999\r\nconnection: close\r\n\r\n"
+	r := strings.NewReader(raw)
+	br := bufio.NewReader(r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Reset(raw)
+		br.Reset(r)
+		if _, err := ReadRequest(br); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadResponse(b *testing.B) {
+	raw := "HTTP/1.1 206 Partial Content\r\ncontent-length: 100000\r\ncontent-range: bytes 0-99999/4000000\r\n\r\n"
+	r := strings.NewReader(raw)
+	br := bufio.NewReader(r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Reset(raw)
+		br.Reset(r)
+		if _, err := ReadResponse(br); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseRange(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ParseRange("bytes=100000-3999999", 4_000_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package httpx
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+// The fuzz targets double as robustness tests: the codec must never
+// panic on arbitrary bytes, and accepted messages must satisfy basic
+// invariants. `go test` runs the seed corpus; `go test -fuzz=FuzzX`
+// explores further.
+
+func FuzzReadRequest(f *testing.F) {
+	f.Add("GET / HTTP/1.1\r\nhost: h\r\n\r\n")
+	f.Add("GET http://a/b HTTP/1.0\r\n\r\n")
+	f.Add("HEAD /x HTTP/1.1\r\nrange: bytes=0-99\r\n\r\n")
+	f.Add("")
+	f.Add("\r\n\r\n")
+	f.Add("GET")
+	f.Add("GET / HTTP/1.1\r\n: novalue\r\n\r\n")
+	f.Add(strings.Repeat("A", 9000))
+	f.Fuzz(func(t *testing.T, raw string) {
+		req, err := ReadRequest(bufio.NewReader(strings.NewReader(raw)))
+		if err != nil {
+			return
+		}
+		if req.Method == "" || req.Target == "" {
+			t.Fatalf("accepted request with empty method/target: %+v", req)
+		}
+		for k := range req.Header {
+			if strings.ContainsAny(k, " \r\n") || k != strings.ToLower(k) {
+				t.Fatalf("header key %q not canonical", k)
+			}
+		}
+	})
+}
+
+func FuzzReadResponse(f *testing.F) {
+	f.Add("HTTP/1.1 200 OK\r\ncontent-length: 5\r\n\r\nhello")
+	f.Add("HTTP/1.1 404 Not Found\r\n\r\n")
+	f.Add("HTTP/1.1 206\r\ncontent-range: bytes 0-4/10\r\n\r\n")
+	f.Add("garbage")
+	f.Add("HTTP/1.1 99999999999999999999 X\r\n\r\n")
+	f.Fuzz(func(t *testing.T, raw string) {
+		resp, err := ReadResponse(bufio.NewReader(strings.NewReader(raw)))
+		if err != nil {
+			return
+		}
+		if resp.ContentLength < -1 {
+			t.Fatalf("negative content length accepted: %d", resp.ContentLength)
+		}
+	})
+}
+
+func FuzzParseRange(f *testing.F) {
+	f.Add("bytes=0-99", int64(1000))
+	f.Add("bytes=-50", int64(1000))
+	f.Add("bytes=500-", int64(1000))
+	f.Add("", int64(10))
+	f.Add("bytes=9999999999999999999-", int64(5))
+	f.Add("bytes=--", int64(5))
+	f.Fuzz(func(t *testing.T, h string, size int64) {
+		if size < 0 {
+			size = -size
+		}
+		if size == 0 {
+			size = 1
+		}
+		off, n, err := ParseRange(h, size)
+		if err != nil {
+			return
+		}
+		if off < 0 || n < 0 || off+n > size {
+			t.Fatalf("ParseRange(%q, %d) accepted out-of-bounds [%d, %d)", h, size, off, off+n)
+		}
+	})
+}

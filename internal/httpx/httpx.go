@@ -1,0 +1,250 @@
+// Package httpx implements the small slice of HTTP/1.1 that indirect
+// routing needs, directly over net.Conn: GET requests in origin form or
+// absolute form (for relaying), single-range Range headers (RFC 7233
+// subset), and Content-Length-delimited responses.
+//
+// The paper's mechanism only ever issues two request shapes — "first x
+// bytes" and "bytes x through n−1" — and measures when the bytes arrive.
+// Hand-rolling the codec keeps each transfer on exactly one fresh TCP
+// connection with no pooling, pipelining, or hidden buffering between the
+// byte stream and the throughput clock, which is what the measurement
+// needs; net/http's transport machinery would get in the way.
+package httpx
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Protocol limits, generous for this use.
+const (
+	maxLineLen    = 8 << 10
+	maxHeaderends = 64
+)
+
+// Errors surfaced by the codec.
+var (
+	ErrMalformed      = errors.New("httpx: malformed message")
+	ErrUnsatisfiable  = errors.New("httpx: range not satisfiable")
+	ErrLineTooLong    = errors.New("httpx: header line too long")
+	ErrTooManyHeaders = errors.New("httpx: too many header fields")
+)
+
+// Request is an HTTP request: method, target (origin-form "/name" or
+// absolute-form "http://host/name" when sent to a relay), and headers.
+type Request struct {
+	Method string
+	Target string
+	Proto  string
+	Header map[string]string // canonicalized to lower-case keys
+}
+
+// NewGet builds a GET request for target with a Host header.
+func NewGet(target, host string) *Request {
+	return &Request{
+		Method: "GET",
+		Target: target,
+		Proto:  "HTTP/1.1",
+		Header: map[string]string{"host": host, "connection": "close"},
+	}
+}
+
+// SetRange sets a single-range Range header for [off, off+n).
+func (r *Request) SetRange(off, n int64) {
+	r.Header["range"] = fmt.Sprintf("bytes=%d-%d", off, off+n-1)
+}
+
+// Write serializes the request.
+func (r *Request) Write(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s %s\r\n", r.Method, r.Target, r.Proto)
+	for k, v := range r.Header {
+		fmt.Fprintf(&b, "%s: %s\r\n", k, v)
+	}
+	b.WriteString("\r\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ReadRequest parses a request head from br. The caller owns any body.
+func ReadRequest(br *bufio.Reader) (*Request, error) {
+	line, err := readLine(br)
+	if err != nil {
+		return nil, err
+	}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) != 3 || parts[0] == "" || parts[1] == "" ||
+		!strings.HasPrefix(parts[2], "HTTP/1.") || len(parts[2]) <= len("HTTP/1.") {
+		return nil, fmt.Errorf("%w: bad request line %q", ErrMalformed, line)
+	}
+	req := &Request{Method: parts[0], Target: parts[1], Proto: parts[2]}
+	req.Header, err = readHeader(br)
+	return req, err
+}
+
+// AbsoluteTarget splits an absolute-form target into (hostport, path). It
+// reports ok=false for origin-form targets.
+func (r *Request) AbsoluteTarget() (hostport, path string, ok bool) {
+	t := r.Target
+	if !strings.HasPrefix(t, "http://") {
+		return "", "", false
+	}
+	rest := strings.TrimPrefix(t, "http://")
+	i := strings.IndexByte(rest, '/')
+	if i < 0 {
+		return rest, "/", true
+	}
+	return rest[:i], rest[i:], true
+}
+
+// Response is an HTTP response head plus a length-delimited body reader.
+type Response struct {
+	Status int
+	Reason string
+	Header map[string]string
+
+	// ContentLength is the declared body length (-1 if absent).
+	ContentLength int64
+
+	// Body reads exactly ContentLength bytes when it is >= 0.
+	Body io.Reader
+}
+
+// WriteResponseHead serializes a response status line and headers.
+func WriteResponseHead(w io.Writer, status int, reason string, header map[string]string) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "HTTP/1.1 %d %s\r\n", status, reason)
+	for k, v := range header {
+		fmt.Fprintf(&b, "%s: %s\r\n", k, v)
+	}
+	b.WriteString("\r\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ReadResponse parses a response head from br and wires up a bounded body
+// reader.
+func ReadResponse(br *bufio.Reader) (*Response, error) {
+	line, err := readLine(br)
+	if err != nil {
+		return nil, err
+	}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/1.") {
+		return nil, fmt.Errorf("%w: bad status line %q", ErrMalformed, line)
+	}
+	status, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad status %q", ErrMalformed, parts[1])
+	}
+	resp := &Response{Status: status, ContentLength: -1}
+	if len(parts) == 3 {
+		resp.Reason = parts[2]
+	}
+	if resp.Header, err = readHeader(br); err != nil {
+		return nil, err
+	}
+	if cl, ok := resp.Header["content-length"]; ok {
+		n, err := strconv.ParseInt(cl, 10, 64)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("%w: bad content-length %q", ErrMalformed, cl)
+		}
+		resp.ContentLength = n
+		resp.Body = io.LimitReader(br, n)
+	} else {
+		resp.Body = br
+	}
+	return resp, nil
+}
+
+// ParseRange parses a single-range "bytes=a-b" header against an object of
+// the given size, returning the satisfiable [off, off+n) window. An empty
+// header means the whole object. Suffix ranges ("bytes=-n") are supported.
+func ParseRange(h string, size int64) (off, n int64, err error) {
+	if h == "" {
+		return 0, size, nil
+	}
+	spec, ok := strings.CutPrefix(h, "bytes=")
+	if !ok || strings.Contains(spec, ",") {
+		return 0, 0, fmt.Errorf("%w: %q", ErrMalformed, h)
+	}
+	dash := strings.IndexByte(spec, '-')
+	if dash < 0 {
+		return 0, 0, fmt.Errorf("%w: %q", ErrMalformed, h)
+	}
+	first, last := strings.TrimSpace(spec[:dash]), strings.TrimSpace(spec[dash+1:])
+	switch {
+	case first == "" && last == "":
+		return 0, 0, fmt.Errorf("%w: %q", ErrMalformed, h)
+	case first == "": // suffix: last n bytes
+		sn, err := strconv.ParseInt(last, 10, 64)
+		if err != nil || sn <= 0 {
+			return 0, 0, fmt.Errorf("%w: %q", ErrMalformed, h)
+		}
+		if sn > size {
+			sn = size
+		}
+		return size - sn, sn, nil
+	default:
+		a, err := strconv.ParseInt(first, 10, 64)
+		if err != nil || a < 0 {
+			return 0, 0, fmt.Errorf("%w: %q", ErrMalformed, h)
+		}
+		if a >= size {
+			return 0, 0, ErrUnsatisfiable
+		}
+		b := size - 1
+		if last != "" {
+			if b, err = strconv.ParseInt(last, 10, 64); err != nil || b < a {
+				return 0, 0, fmt.Errorf("%w: %q", ErrMalformed, h)
+			}
+			if b >= size {
+				b = size - 1
+			}
+		}
+		return a, b - a + 1, nil
+	}
+}
+
+// ContentRange formats a Content-Range header value for [off, off+n) of
+// size.
+func ContentRange(off, n, size int64) string {
+	return fmt.Sprintf("bytes %d-%d/%d", off, off+n-1, size)
+}
+
+func readLine(br *bufio.Reader) (string, error) {
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	if len(line) > maxLineLen {
+		return "", ErrLineTooLong
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+func readHeader(br *bufio.Reader) (map[string]string, error) {
+	h := make(map[string]string)
+	for {
+		line, err := readLine(br)
+		if err != nil {
+			return nil, err
+		}
+		if line == "" {
+			return h, nil
+		}
+		if len(h) >= maxHeaderends {
+			return nil, ErrTooManyHeaders
+		}
+		i := strings.IndexByte(line, ':')
+		if i <= 0 {
+			return nil, fmt.Errorf("%w: header %q", ErrMalformed, line)
+		}
+		k := strings.ToLower(strings.TrimSpace(line[:i]))
+		h[k] = strings.TrimSpace(line[i+1:])
+	}
+}

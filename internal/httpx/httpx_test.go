@@ -1,0 +1,192 @@
+package httpx
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	req := NewGet("/obj.bin", "origin.example:80")
+	req.SetRange(100, 50)
+	var buf bytes.Buffer
+	if err := req.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRequest(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Method != "GET" || got.Target != "/obj.bin" {
+		t.Fatalf("parsed %+v", got)
+	}
+	if got.Header["range"] != "bytes=100-149" {
+		t.Fatalf("range header = %q", got.Header["range"])
+	}
+	if got.Header["host"] != "origin.example:80" {
+		t.Fatalf("host header = %q", got.Header["host"])
+	}
+}
+
+func TestAbsoluteTarget(t *testing.T) {
+	req := NewGet("http://origin:8080/obj", "origin:8080")
+	host, path, ok := req.AbsoluteTarget()
+	if !ok || host != "origin:8080" || path != "/obj" {
+		t.Fatalf("got %q %q %v", host, path, ok)
+	}
+	req2 := NewGet("/obj", "h")
+	if _, _, ok := req2.AbsoluteTarget(); ok {
+		t.Fatal("origin-form flagged as absolute")
+	}
+	req3 := NewGet("http://bare-host", "bare-host")
+	host, path, ok = req3.AbsoluteTarget()
+	if !ok || host != "bare-host" || path != "/" {
+		t.Fatalf("bare host: %q %q %v", host, path, ok)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteResponseHead(&buf, 206, "Partial Content", map[string]string{
+		"content-length": "5",
+		"content-range":  ContentRange(10, 5, 100),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("hello")
+	resp, err := ReadResponse(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 206 || resp.ContentLength != 5 {
+		t.Fatalf("resp %+v", resp)
+	}
+	if resp.Header["content-range"] != "bytes 10-14/100" {
+		t.Fatalf("content-range %q", resp.Header["content-range"])
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil || string(body) != "hello" {
+		t.Fatalf("body %q err %v", body, err)
+	}
+}
+
+func TestReadResponseNoLength(t *testing.T) {
+	raw := "HTTP/1.1 200 OK\r\n\r\nrest"
+	resp, err := ReadResponse(bufio.NewReader(strings.NewReader(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ContentLength != -1 {
+		t.Fatalf("content length = %d, want -1", resp.ContentLength)
+	}
+}
+
+func TestReadRequestMalformed(t *testing.T) {
+	cases := []string{
+		"GARBAGE\r\n\r\n",
+		"GET /x\r\n\r\n",
+		"GET /x SPDY/9\r\n\r\n",
+		"GET /x HTTP/1.1\r\nbadheader\r\n\r\n",
+	}
+	for _, c := range cases {
+		if _, err := ReadRequest(bufio.NewReader(strings.NewReader(c))); err == nil {
+			t.Errorf("accepted malformed request %q", c)
+		}
+	}
+}
+
+func TestReadResponseMalformed(t *testing.T) {
+	cases := []string{
+		"NOPE\r\n\r\n",
+		"HTTP/1.1 abc OK\r\n\r\n",
+		"HTTP/1.1 200 OK\r\ncontent-length: -3\r\n\r\n",
+		"HTTP/1.1 200 OK\r\ncontent-length: xyz\r\n\r\n",
+	}
+	for _, c := range cases {
+		if _, err := ReadResponse(bufio.NewReader(strings.NewReader(c))); err == nil {
+			t.Errorf("accepted malformed response %q", c)
+		}
+	}
+}
+
+func TestParseRange(t *testing.T) {
+	cases := []struct {
+		h        string
+		off, n   int64
+		wantErr  bool
+		unsatErr bool
+	}{
+		{"", 0, 1000, false, false},
+		{"bytes=0-99", 0, 100, false, false},
+		{"bytes=100-149", 100, 50, false, false},
+		{"bytes=900-", 900, 100, false, false},
+		{"bytes=900-5000", 900, 100, false, false}, // clamp to end
+		{"bytes=-100", 900, 100, false, false},     // suffix
+		{"bytes=-5000", 0, 1000, false, false},     // suffix clamp
+		{"bytes=1000-", 0, 0, true, true},          // past end
+		{"bytes=5-2", 0, 0, true, false},
+		{"bytes=a-b", 0, 0, true, false},
+		{"bytes=0-5,10-20", 0, 0, true, false}, // multi-range unsupported
+		{"bits=0-5", 0, 0, true, false},
+		{"bytes=-", 0, 0, true, false},
+	}
+	for _, c := range cases {
+		off, n, err := ParseRange(c.h, 1000)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParseRange(%q): no error", c.h)
+			}
+			if c.unsatErr && !errors.Is(err, ErrUnsatisfiable) {
+				t.Errorf("ParseRange(%q): err = %v, want unsatisfiable", c.h, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseRange(%q): %v", c.h, err)
+			continue
+		}
+		if off != c.off || n != c.n {
+			t.Errorf("ParseRange(%q) = (%d,%d), want (%d,%d)", c.h, off, n, c.off, c.n)
+		}
+	}
+}
+
+func TestParseRangeSetRangeInverse(t *testing.T) {
+	// SetRange followed by ParseRange must recover (off, n) whenever the
+	// range is valid for the object.
+	f := func(offRaw, nRaw uint16) bool {
+		size := int64(100_000)
+		off := int64(offRaw) % size
+		n := int64(nRaw)%(size-off) + 1
+		req := NewGet("/o", "h")
+		req.SetRange(off, n)
+		gotOff, gotN, err := ParseRange(req.Header["range"], size)
+		return err == nil && gotOff == off && gotN == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContentRange(t *testing.T) {
+	if got := ContentRange(0, 10, 100); got != "bytes 0-9/100" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestHeaderLimits(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("GET / HTTP/1.1\r\n")
+	for i := 0; i < 100; i++ {
+		b.WriteString("x-h-" + strings.Repeat("a", i%30) + string(rune('a'+i%26)) + ": v\r\n")
+	}
+	b.WriteString("\r\n")
+	if _, err := ReadRequest(bufio.NewReader(strings.NewReader(b.String()))); err == nil {
+		t.Fatal("accepted over-long header block")
+	}
+}

@@ -1,0 +1,61 @@
+package randx
+
+import "testing"
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		r.Uint64()
+	}
+}
+
+func BenchmarkFloat64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		r.Float64()
+	}
+}
+
+func BenchmarkNormFloat64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		r.NormFloat64()
+	}
+}
+
+func BenchmarkIntn(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		r.Intn(35)
+	}
+}
+
+func BenchmarkPerm35(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		r.Perm(35)
+	}
+}
+
+func BenchmarkFork(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		r.Fork("label")
+	}
+}
+
+func BenchmarkOUStep(b *testing.B) {
+	r := New(1)
+	p := NewOU(1e6, 1.0/60, 0.4)
+	for i := 0; i < b.N; i++ {
+		p.Step(r, 15)
+	}
+}
+
+func BenchmarkRegimeStep(b *testing.B) {
+	r := New(1)
+	p := NewRegime(1, 0.4, 600, 120)
+	for i := 0; i < b.N; i++ {
+		p.Step(r, 15)
+	}
+}

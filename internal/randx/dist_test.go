@@ -1,0 +1,147 @@
+package randx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func sampleMean(d Dist, r *RNG, n int) float64 {
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += d.Sample(r)
+	}
+	return sum / float64(n)
+}
+
+func TestUniformMean(t *testing.T) {
+	d := Uniform{Lo: 2, Hi: 6}
+	got := sampleMean(d, New(1), 100000)
+	if math.Abs(got-d.Mean()) > 0.05 {
+		t.Fatalf("uniform sample mean %v, want ~%v", got, d.Mean())
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	d := Uniform{Lo: -1, Hi: 1}
+	r := New(2)
+	for i := 0; i < 10000; i++ {
+		v := d.Sample(r)
+		if v < -1 || v >= 1 {
+			t.Fatalf("uniform out of range: %v", v)
+		}
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	d := Normal{Mu: 5, Sigma: 2}
+	r := New(3)
+	const n = 100000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := d.Sample(r)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	sd := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean-5) > 0.05 {
+		t.Errorf("normal mean %v, want ~5", mean)
+	}
+	if math.Abs(sd-2) > 0.05 {
+		t.Errorf("normal sd %v, want ~2", sd)
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	d := LogNormal{Mu: 0, Sigma: 1.5}
+	r := New(4)
+	for i := 0; i < 10000; i++ {
+		if v := d.Sample(r); v <= 0 {
+			t.Fatalf("lognormal variate non-positive: %v", v)
+		}
+	}
+}
+
+func TestLogNormalFromMeanHitsMean(t *testing.T) {
+	for _, sigma := range []float64{0.2, 0.5, 1.0} {
+		d := LogNormalFromMean(3.0, sigma)
+		if math.Abs(d.Mean()-3.0) > 1e-12 {
+			t.Fatalf("analytic mean %v, want 3.0 (sigma=%v)", d.Mean(), sigma)
+		}
+		got := sampleMean(d, New(5), 400000)
+		if math.Abs(got-3.0) > 0.1 {
+			t.Fatalf("sample mean %v, want ~3.0 (sigma=%v)", got, sigma)
+		}
+	}
+}
+
+func TestLogNormalFromMeanPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	LogNormalFromMean(0, 1)
+}
+
+func TestExponentialMean(t *testing.T) {
+	d := Exponential{Rate: 0.25}
+	got := sampleMean(d, New(6), 200000)
+	if math.Abs(got-4) > 0.1 {
+		t.Fatalf("exponential mean %v, want ~4", got)
+	}
+}
+
+func TestParetoTailAndMean(t *testing.T) {
+	d := Pareto{Xm: 1, Alpha: 3}
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		if v := d.Sample(r); v < 1 {
+			t.Fatalf("pareto below scale: %v", v)
+		}
+	}
+	want := d.Mean() // 1.5
+	got := sampleMean(d, New(8), 400000)
+	if math.Abs(got-want) > 0.05 {
+		t.Fatalf("pareto mean %v, want ~%v", got, want)
+	}
+}
+
+func TestParetoInfiniteMean(t *testing.T) {
+	d := Pareto{Xm: 1, Alpha: 1}
+	if !math.IsInf(d.Mean(), 1) {
+		t.Fatalf("alpha=1 mean should be +Inf, got %v", d.Mean())
+	}
+}
+
+func TestConstant(t *testing.T) {
+	d := Constant{Value: 7.5}
+	if d.Sample(New(1)) != 7.5 || d.Mean() != 7.5 {
+		t.Fatal("Constant should always return its value")
+	}
+}
+
+func TestClampedProperty(t *testing.T) {
+	r := New(9)
+	c := Clamped{D: Normal{Mu: 0, Sigma: 10}, Lo: -1, Hi: 2}
+	f := func(uint8) bool {
+		v := c.Sample(r)
+		return v >= -1 && v <= 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClampedMean(t *testing.T) {
+	if m := (Clamped{D: Constant{Value: 10}, Lo: 0, Hi: 5}).Mean(); m != 5 {
+		t.Fatalf("clamped mean above range = %v, want 5", m)
+	}
+	if m := (Clamped{D: Constant{Value: -3}, Lo: 0, Hi: 5}).Mean(); m != 0 {
+		t.Fatalf("clamped mean below range = %v, want 0", m)
+	}
+	if m := (Clamped{D: Constant{Value: 3}, Lo: 0, Hi: 5}).Mean(); m != 3 {
+		t.Fatalf("clamped mean inside range = %v, want 3", m)
+	}
+}

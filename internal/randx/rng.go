@@ -1,0 +1,158 @@
+// Package randx provides deterministic pseudo-random number generation,
+// probability distributions, and stochastic processes for the indirect
+// routing simulator.
+//
+// Everything in this package is reproducible: the same seed always yields
+// the same stream. Independent substreams are derived with Fork, which
+// hashes a label into the parent state so that adding a new consumer never
+// perturbs existing ones. The generator is xoshiro256** seeded through
+// splitmix64, which is small, fast, and has no shared global state, making
+// it safe to embed one RNG per worker in parallel sweeps.
+package randx
+
+import "math"
+
+// RNG is a deterministic pseudo-random number generator (xoshiro256**).
+// The zero value is not usable; construct with New or Fork.
+type RNG struct {
+	s        [4]uint64
+	id       uint64 // seed-derived identity, stable as the stream advances
+	spare    float64
+	hasSpare bool
+}
+
+// New returns an RNG seeded from seed via splitmix64 so that nearby seeds
+// produce uncorrelated streams.
+func New(seed uint64) *RNG {
+	r := new(RNG)
+	sm := seed
+	for i := range r.s {
+		sm, r.s[i] = splitmix64(sm)
+	}
+	_, r.id = splitmix64(sm)
+	// xoshiro must not start at the all-zero state.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+// Fork derives an independent substream labeled by name. Substreams with
+// different labels are statistically independent of each other and of the
+// parent, and forking does not advance the parent stream, so the set of
+// consumers can grow without changing existing results.
+func (r *RNG) Fork(label string) *RNG {
+	h := uint64(14695981039346656037) // FNV-64 offset basis
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	// Mix the parent's seed-derived identity (not its evolving position)
+	// with the label hash.
+	return New(r.id ^ rotl(h, 17) ^ (h * 0x2545f4914f6cdd1d))
+}
+
+func splitmix64(x uint64) (next, out uint64) {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return x, z ^ (z >> 31)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns a uniformly distributed 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("randx: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded sampling.
+	bound := uint64(n)
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	a0, a1 := a&mask, a>>32
+	b0, b1 := b&mask, b>>32
+	w0 := a0 * b0
+	t := a1*b0 + w0>>32
+	w1 := t & mask
+	w2 := t >> 32
+	w1 += a0 * b1
+	hi = a1*b1 + w2 + w1>>32
+	lo = a * b
+	return hi, lo
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle randomizes the order of n elements using the provided swap
+// function (Fisher–Yates).
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// NormFloat64 returns a standard normal variate (polar Box–Muller).
+func (r *RNG) NormFloat64() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			f := math.Sqrt(-2 * math.Log(s) / s)
+			r.spare, r.hasSpare = v*f, true
+			return u * f
+		}
+	}
+}
+
+// ExpFloat64 returns an exponential variate with rate 1.
+func (r *RNG) ExpFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}

@@ -1,0 +1,285 @@
+// Package realnet implements core.Transport over real TCP connections,
+// tying the selection engine to the relay/origin daemons. Where package
+// httpsim measures virtual time on the fluid simulator, realnet measures
+// wall-clock time on live sockets — the same engine code drives both,
+// which is the point: the library a downstream user deploys is the one
+// the experiments exercised.
+package realnet
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"reflect"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/httpx"
+	"repro/internal/relay"
+)
+
+// Transport fetches object ranges directly from origin servers or through
+// relay daemons.
+type Transport struct {
+	// Servers maps origin server names (core.Object.Server) to TCP
+	// addresses.
+	Servers map[string]string
+	// Relays maps intermediate names (core.Path.Via) to relay addresses.
+	Relays map[string]string
+	// Dial opens client-side connections; nil means net.Dial. Inject a
+	// shaper.Dialer to emulate heterogeneous paths on loopback.
+	Dial func(network, addr string) (net.Conn, error)
+	// Verify checks received bytes against the canonical synthetic
+	// content and fails transfers on corruption.
+	Verify bool
+
+	startOnce sync.Once
+	start     time.Time
+
+	// poolMu guards pool, the per-path parked keep-alive connections
+	// (at most one per path) that warm continuations reuse.
+	poolMu sync.Mutex
+	pool   map[string]*pooledConn
+}
+
+type pooledConn struct {
+	conn net.Conn
+	br   *bufio.Reader
+}
+
+// Now returns seconds since the transport's first use.
+func (t *Transport) Now() float64 {
+	t.init()
+	return time.Since(t.start).Seconds()
+}
+
+func (t *Transport) init() {
+	t.startOnce.Do(func() { t.start = time.Now() })
+}
+
+type handle struct {
+	done chan struct{}
+	mu   sync.Mutex
+	res  core.FetchResult
+}
+
+func (h *handle) Done() bool {
+	select {
+	case <-h.done:
+		return true
+	default:
+		return false
+	}
+}
+
+func (h *handle) Result() core.FetchResult {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.res
+}
+
+// Start launches the range transfer on its own goroutine over a fresh
+// connection (the cold path: TCP handshake + slow start included).
+func (t *Transport) Start(obj core.Object, path core.Path, off, n int64) core.Handle {
+	return t.startFetch(obj, path, off, n, false)
+}
+
+func (t *Transport) startFetch(obj core.Object, path core.Path, off, n int64, warm bool) core.Handle {
+	t.init()
+	h := &handle{done: make(chan struct{})}
+	h.res = core.FetchResult{Path: path, Offset: off, Bytes: n, Start: t.Now()}
+
+	go func() {
+		defer close(h.done)
+		body, err := t.fetch(obj, path, off, n, warm)
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		h.res.End = t.Now()
+		if err != nil {
+			h.res.Err = err
+			return
+		}
+		if int64(len(body)) != n {
+			h.res.Err = fmt.Errorf("realnet: short read %d of %d bytes", len(body), n)
+			return
+		}
+		if t.Verify && !relay.VerifyRange(obj.Name, off, body) {
+			h.res.Err = fmt.Errorf("realnet: content mismatch for %s at %d", obj.Name, off)
+		}
+	}()
+	return h
+}
+
+// pathKey identifies a path's connection-pool slot.
+func pathKey(p core.Path) string {
+	if p.IsDirect() {
+		return "\x00direct"
+	}
+	return p.Via
+}
+
+func (t *Transport) takeConn(key string) *pooledConn {
+	t.poolMu.Lock()
+	defer t.poolMu.Unlock()
+	pc := t.pool[key]
+	delete(t.pool, key)
+	return pc
+}
+
+func (t *Transport) parkConn(key string, pc *pooledConn) {
+	t.poolMu.Lock()
+	if t.pool == nil {
+		t.pool = make(map[string]*pooledConn)
+	}
+	prev := t.pool[key]
+	t.pool[key] = pc
+	t.poolMu.Unlock()
+	if prev != nil {
+		prev.conn.Close()
+	}
+}
+
+// Close releases any parked keep-alive connections.
+func (t *Transport) Close() {
+	t.poolMu.Lock()
+	defer t.poolMu.Unlock()
+	for k, pc := range t.pool {
+		pc.conn.Close()
+		delete(t.pool, k)
+	}
+}
+
+// fetch moves one range. Cold fetches always dial; warm fetches reuse the
+// path's parked keep-alive connection when one exists (falling back to a
+// fresh dial if the parked connection has gone stale). Successful fetches
+// park their connection for the next warm continuation.
+func (t *Transport) fetch(obj core.Object, path core.Path, off, n int64, warm bool) ([]byte, error) {
+	originAddr, ok := t.Servers[obj.Server]
+	if !ok {
+		return nil, fmt.Errorf("realnet: unknown server %q", obj.Server)
+	}
+	var dialAddr, target, host string
+	if path.IsDirect() {
+		dialAddr, target, host = originAddr, "/"+obj.Name, originAddr
+	} else {
+		relayAddr, ok := t.Relays[path.Via]
+		if !ok {
+			return nil, fmt.Errorf("realnet: unknown relay %q", path.Via)
+		}
+		dialAddr, target, host = relayAddr, "http://"+originAddr+"/"+obj.Name, originAddr
+	}
+	key := pathKey(path)
+
+	var pc *pooledConn
+	reused := false
+	if warm {
+		if pc = t.takeConn(key); pc != nil {
+			reused = true
+		}
+	}
+	for attempt := 0; ; attempt++ {
+		if pc == nil {
+			dial := t.Dial
+			if dial == nil {
+				dial = net.Dial
+			}
+			conn, err := dial("tcp", dialAddr)
+			if err != nil {
+				return nil, err
+			}
+			pc = &pooledConn{conn: conn, br: bufio.NewReader(conn)}
+		}
+		body, reusable, err := doRange(pc, target, host, off, n)
+		if err != nil {
+			pc.conn.Close()
+			if reused && attempt == 0 {
+				// The parked connection went stale; retry cold once.
+				pc = nil
+				reused = false
+				continue
+			}
+			return nil, err
+		}
+		if reusable {
+			t.parkConn(key, pc)
+		} else {
+			pc.conn.Close()
+		}
+		return body, nil
+	}
+}
+
+// doRange issues one keep-alive range request on an open connection and
+// reads the full body. It reports whether the connection remains usable.
+func doRange(pc *pooledConn, target, host string, off, n int64) (body []byte, reusable bool, err error) {
+	req := httpx.NewGet(target, host)
+	delete(req.Header, "connection") // keep-alive
+	req.SetRange(off, n)
+	if err := req.Write(pc.conn); err != nil {
+		return nil, false, err
+	}
+	resp, err := httpx.ReadResponse(pc.br)
+	if err != nil {
+		return nil, false, err
+	}
+	if resp.Status != 200 && resp.Status != 206 {
+		// Drain the (bounded) body so the connection stays usable, then
+		// report the failure.
+		if resp.ContentLength >= 0 {
+			io.Copy(io.Discard, resp.Body)
+		}
+		return nil, false, fmt.Errorf("realnet: status %d %s", resp.Status, resp.Reason)
+	}
+	if resp.ContentLength < 0 {
+		b, err := io.ReadAll(resp.Body)
+		return b, false, err
+	}
+	b := make([]byte, resp.ContentLength)
+	if _, err := io.ReadFull(resp.Body, b); err != nil {
+		return nil, false, err
+	}
+	return b, resp.Header["connection"] != "close", nil
+}
+
+// Wait blocks until all handles complete.
+func (t *Transport) Wait(hs ...core.Handle) {
+	for _, h := range hs {
+		<-h.(*handle).done
+	}
+}
+
+// WaitAny blocks until at least one handle completes and returns its
+// index, implementing core.AnyWaiter.
+func (t *Transport) WaitAny(hs ...core.Handle) int {
+	cases := make([]reflect.SelectCase, len(hs))
+	for i, h := range hs {
+		cases[i] = reflect.SelectCase{
+			Dir:  reflect.SelectRecv,
+			Chan: reflect.ValueOf(h.(*handle).done),
+		}
+	}
+	chosen, _, _ := reflect.Select(cases)
+	return chosen
+}
+
+// StartWarm continues on the path's parked keep-alive connection when one
+// is available: no TCP handshake, and the kernel's congestion window is
+// already open — the real counterpart of the simulator's warm start. It
+// implements core.WarmStarter.
+func (t *Transport) StartWarm(obj core.Object, path core.Path, off, n int64) core.Handle {
+	return t.startFetch(obj, path, off, n, true)
+}
+
+// Stat discovers an object's size with a HEAD request to its origin, so
+// clients need not know sizes out of band.
+func (t *Transport) Stat(server, name string) (int64, error) {
+	addr, ok := t.Servers[server]
+	if !ok {
+		return 0, fmt.Errorf("realnet: unknown server %q", server)
+	}
+	return relay.Head(t.Dial, addr, name)
+}
+
+var _ core.Transport = (*Transport)(nil)

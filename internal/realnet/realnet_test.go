@@ -1,0 +1,358 @@
+package realnet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/relay"
+	"repro/internal/shaper"
+)
+
+// testbed spins up one origin and two relays on loopback with shaped
+// client paths: the direct path is slow, relay "fast" is quick, relay
+// "slow" is slower than direct.
+func testbed(t *testing.T) (*Transport, func()) {
+	t.Helper()
+	origin := relay.NewOrigin()
+	origin.Put("big.bin", 2_000_000)
+	ol, err := origin.ServeAddr("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fast := &relay.Relay{}
+	fl, err := fast.ServeAddr("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := &relay.Relay{}
+	sl, err := slow.ServeAddr("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d := shaper.NewDialer()
+	d.SetProfile(ol.Addr().String(), shaper.PathProfile{DownloadBps: 4e6})  // direct: 4 Mb/s
+	d.SetProfile(fl.Addr().String(), shaper.PathProfile{DownloadBps: 16e6}) // fast relay
+	d.SetProfile(sl.Addr().String(), shaper.PathProfile{DownloadBps: 1e6})  // slow relay
+
+	tr := &Transport{
+		Servers: map[string]string{"origin": ol.Addr().String()},
+		Relays: map[string]string{
+			"fast": fl.Addr().String(),
+			"slow": sl.Addr().String(),
+		},
+		Dial:   d.Dial,
+		Verify: true,
+	}
+	cleanup := func() {
+		ol.Close()
+		fl.Close()
+		sl.Close()
+	}
+	return tr, cleanup
+}
+
+func TestDirectTransfer(t *testing.T) {
+	tr, cleanup := testbed(t)
+	defer cleanup()
+	obj := core.Object{Server: "origin", Name: "big.bin", Size: 2_000_000}
+	h := tr.Start(obj, core.Path{}, 0, 100_000)
+	tr.Wait(h)
+	res := h.Result()
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Throughput() <= 0 {
+		t.Fatal("no throughput measured")
+	}
+}
+
+func TestSelectionPicksFastRelay(t *testing.T) {
+	tr, cleanup := testbed(t)
+	defer cleanup()
+	obj := core.Object{Server: "origin", Name: "big.bin", Size: 600_000}
+	out := core.SelectAndFetch(tr, obj, []string{"slow", "fast"}, core.Config{ProbeBytes: 100_000})
+	if out.Err != nil {
+		t.Fatal(out.Err)
+	}
+	if out.Selected.Via != "fast" {
+		t.Fatalf("selected %v, want via fast (16 Mb/s vs 4 direct vs 1 slow)", out.Selected)
+	}
+	if out.Throughput() <= 0 {
+		t.Fatal("no overall throughput")
+	}
+}
+
+func TestSelectionPrefersDirectOverSlowRelay(t *testing.T) {
+	tr, cleanup := testbed(t)
+	defer cleanup()
+	obj := core.Object{Server: "origin", Name: "big.bin", Size: 400_000}
+	out := core.SelectAndFetch(tr, obj, []string{"slow"}, core.Config{ProbeBytes: 100_000})
+	if out.Err != nil {
+		t.Fatal(out.Err)
+	}
+	if !out.Selected.IsDirect() {
+		t.Fatalf("selected %v, want direct (4 Mb/s vs 1 Mb/s relay)", out.Selected)
+	}
+}
+
+func TestContentVerification(t *testing.T) {
+	tr, cleanup := testbed(t)
+	defer cleanup()
+	obj := core.Object{Server: "origin", Name: "big.bin", Size: 2_000_000}
+	h := tr.Start(obj, core.Path{Via: "fast"}, 50_000, 75_000)
+	tr.Wait(h)
+	if err := h.Result().Err; err != nil {
+		t.Fatalf("verified relay fetch failed: %v", err)
+	}
+}
+
+func TestUnknownServerAndRelay(t *testing.T) {
+	tr, cleanup := testbed(t)
+	defer cleanup()
+	h := tr.Start(core.Object{Server: "nope", Name: "x", Size: 10}, core.Path{}, 0, 10)
+	tr.Wait(h)
+	if h.Result().Err == nil {
+		t.Fatal("unknown server not reported")
+	}
+	h = tr.Start(core.Object{Server: "origin", Name: "big.bin", Size: 10}, core.Path{Via: "ghost"}, 0, 10)
+	tr.Wait(h)
+	if h.Result().Err == nil {
+		t.Fatal("unknown relay not reported")
+	}
+}
+
+func TestShortObjectError(t *testing.T) {
+	tr, cleanup := testbed(t)
+	defer cleanup()
+	// Range beyond the object must surface an error, not hang.
+	h := tr.Start(core.Object{Server: "origin", Name: "big.bin", Size: 2_000_000}, core.Path{}, 1_999_999, 500)
+	done := make(chan struct{})
+	go func() {
+		tr.Wait(h)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("wait hung on bad range")
+	}
+	if h.Result().Err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+func TestNowMonotone(t *testing.T) {
+	tr, cleanup := testbed(t)
+	defer cleanup()
+	a := tr.Now()
+	time.Sleep(10 * time.Millisecond)
+	b := tr.Now()
+	if b <= a {
+		t.Fatalf("clock not monotone: %v -> %v", a, b)
+	}
+}
+
+func TestConcurrentProbesWallClock(t *testing.T) {
+	tr, cleanup := testbed(t)
+	defer cleanup()
+	obj := core.Object{Server: "origin", Name: "big.bin", Size: 2_000_000}
+	start := time.Now()
+	probes := core.Probe(tr, obj, 50_000, []string{"fast", "slow"})
+	elapsed := time.Since(start)
+	for _, p := range probes {
+		if p.Err != nil {
+			t.Fatalf("probe %v failed: %v", p.Path, p.Err)
+		}
+	}
+	// Probes run concurrently: total time should be near the slowest
+	// single probe (~50KB at 1 Mb/s = 0.4s), not the sum (> 0.5s + ...).
+	if elapsed > 3*time.Second {
+		t.Fatalf("probe race took %v; not concurrent?", elapsed)
+	}
+}
+
+func TestStat(t *testing.T) {
+	tr, cleanup := testbed(t)
+	defer cleanup()
+	size, err := tr.Stat("origin", "big.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != 2_000_000 {
+		t.Fatalf("size = %d, want 2000000", size)
+	}
+	if _, err := tr.Stat("nope", "big.bin"); err == nil {
+		t.Fatal("unknown server should fail")
+	}
+	if _, err := tr.Stat("origin", "ghost"); err == nil {
+		t.Fatal("unknown object should fail")
+	}
+}
+
+func TestMiniCampaignSelectionTracksConditions(t *testing.T) {
+	// A small real-TCP measurement campaign: the direct path's emulated
+	// bandwidth flips between fast and slow across rounds; the selection
+	// must follow it. This exercises the paper's whole loop (probe,
+	// select, fetch, account) over live sockets.
+	origin := relay.NewOrigin()
+	origin.Put("big.bin", 500_000)
+	ol, err := origin.ServeAddr("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ol.Close()
+	r := &relay.Relay{}
+	rl, err := r.ServeAddr("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rl.Close()
+
+	d := shaper.NewDialer()
+	d.SetProfile(rl.Addr().String(), shaper.PathProfile{DownloadBps: 4e6}) // relay fixed
+	tr := &Transport{
+		Servers: map[string]string{"origin": ol.Addr().String()},
+		Relays:  map[string]string{"r": rl.Addr().String()},
+		Dial:    d.Dial,
+		Verify:  true,
+	}
+	obj := core.Object{Server: "origin", Name: "big.bin", Size: 500_000}
+	tracker := core.NewTracker()
+	for round := 0; round < 4; round++ {
+		directFast := round%2 == 0
+		rate := 12e6
+		if !directFast {
+			rate = 1e6
+		}
+		d.SetProfile(ol.Addr().String(), shaper.PathProfile{DownloadBps: rate})
+		out := core.SelectAndFetch(tr, obj, []string{"r"}, core.Config{ProbeBytes: 150_000})
+		if out.Err != nil {
+			t.Fatalf("round %d: %v", round, out.Err)
+		}
+		tracker.Observe([]string{"r"}, out.Selected)
+		if directFast && out.SelectedIndirect() {
+			t.Errorf("round %d: picked relay while direct was 12 Mb/s", round)
+		}
+		if !directFast && !out.SelectedIndirect() {
+			t.Errorf("round %d: picked direct while it was 1 Mb/s", round)
+		}
+	}
+	if got := tracker.Utilization("r"); got != 0.5 {
+		t.Fatalf("relay utilization %.2f, want 0.50", got)
+	}
+}
+
+func TestWarmReuseSkipsHandshake(t *testing.T) {
+	origin := relay.NewOrigin()
+	origin.Put("big.bin", 1_000_000)
+	ol, err := origin.ServeAddr("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ol.Close()
+	tr := &Transport{
+		Servers: map[string]string{"origin": ol.Addr().String()},
+		Verify:  true,
+	}
+	defer tr.Close()
+	obj := core.Object{Server: "origin", Name: "big.bin", Size: 1_000_000}
+
+	// Cold fetch opens a connection and parks it.
+	h := tr.Start(obj, core.Path{}, 0, 100_000)
+	tr.Wait(h)
+	if err := h.Result().Err; err != nil {
+		t.Fatal(err)
+	}
+	cold := origin.Conns.Load()
+	if cold < 1 {
+		t.Fatal("no connection accounted")
+	}
+
+	// Warm continuation must reuse the parked connection: the origin's
+	// connection count stays flat.
+	h2 := tr.StartWarm(obj, core.Path{}, 100_000, 200_000)
+	tr.Wait(h2)
+	if err := h2.Result().Err; err != nil {
+		t.Fatal(err)
+	}
+	if got := origin.Conns.Load(); got != cold {
+		t.Fatalf("warm fetch opened a new connection: %d -> %d", cold, got)
+	}
+
+	// A cold fetch always dials.
+	h3 := tr.Start(obj, core.Path{}, 0, 50_000)
+	tr.Wait(h3)
+	if got := origin.Conns.Load(); got != cold+1 {
+		t.Fatalf("cold fetch did not dial: %d -> %d", cold, got)
+	}
+}
+
+func TestWarmReuseThroughRelay(t *testing.T) {
+	origin := relay.NewOrigin()
+	origin.Put("big.bin", 1_000_000)
+	ol, err := origin.ServeAddr("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ol.Close()
+	r := &relay.Relay{}
+	rl, err := r.ServeAddr("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rl.Close()
+	tr := &Transport{
+		Servers: map[string]string{"origin": ol.Addr().String()},
+		Relays:  map[string]string{"r": rl.Addr().String()},
+		Verify:  true,
+	}
+	defer tr.Close()
+	obj := core.Object{Server: "origin", Name: "big.bin", Size: 1_000_000}
+	h := tr.Start(obj, core.Path{Via: "r"}, 0, 100_000)
+	tr.Wait(h)
+	if err := h.Result().Err; err != nil {
+		t.Fatal(err)
+	}
+	h2 := tr.StartWarm(obj, core.Path{Via: "r"}, 100_000, 300_000)
+	tr.Wait(h2)
+	if err := h2.Result().Err; err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Requests.Load(); got != 2 {
+		t.Fatalf("relay handled %d requests, want 2 (both on one client conn)", got)
+	}
+}
+
+func TestWarmFallsBackWhenConnStale(t *testing.T) {
+	origin := relay.NewOrigin()
+	origin.Put("big.bin", 1_000_000)
+	ol, err := origin.ServeAddr("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &Transport{
+		Servers: map[string]string{"origin": ol.Addr().String()},
+		Verify:  true,
+	}
+	defer tr.Close()
+	obj := core.Object{Server: "origin", Name: "big.bin", Size: 1_000_000}
+	h := tr.Start(obj, core.Path{}, 0, 50_000)
+	tr.Wait(h)
+	if err := h.Result().Err; err != nil {
+		t.Fatal(err)
+	}
+	// Kill the parked connection from under the pool.
+	tr.poolMu.Lock()
+	for _, pc := range tr.pool {
+		pc.conn.Close()
+	}
+	tr.poolMu.Unlock()
+	h2 := tr.StartWarm(obj, core.Path{}, 50_000, 50_000)
+	tr.Wait(h2)
+	if err := h2.Result().Err; err != nil {
+		t.Fatalf("stale-connection fallback failed: %v", err)
+	}
+}

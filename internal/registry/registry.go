@@ -1,0 +1,234 @@
+// Package registry provides relay-node discovery: relays register
+// themselves (with a TTL, refreshed by heartbeats) and clients list the
+// live set. This is the operational glue the paper's deployment implies —
+// "the set of nodes available to a client" from which candidate policies
+// draw — turned into a small service.
+//
+// The wire protocol is line-based over TCP, one session per command:
+//
+//	REGISTER <name> <addr> <ttl-seconds>\n   ->  OK\n
+//	LIST\n                                   ->  <name> <addr>\n ... .\n
+//
+// Names and addresses must be token-shaped (no whitespace).
+package registry
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Errors returned by the client helpers.
+var (
+	ErrBadEntry  = errors.New("registry: malformed entry")
+	ErrRejected  = errors.New("registry: request rejected")
+	ErrBadName   = errors.New("registry: name and addr must be non-empty tokens")
+	ErrBadTTL    = errors.New("registry: ttl must be positive")
+	errShortRead = errors.New("registry: short response")
+)
+
+// Entry is one registered relay.
+type Entry struct {
+	Name string
+	Addr string
+	// Expires is when the entry lapses unless refreshed.
+	Expires time.Time
+}
+
+// Server is the registry service. The zero value is ready to use; set
+// Clock only in tests.
+type Server struct {
+	// Clock returns the current time (nil means time.Now); injectable
+	// for expiry tests.
+	Clock func() time.Time
+
+	mu      sync.Mutex
+	entries map[string]Entry
+}
+
+func (s *Server) now() time.Time {
+	if s.Clock != nil {
+		return s.Clock()
+	}
+	return time.Now()
+}
+
+// Register inserts or refreshes an entry.
+func (s *Server) Register(name, addr string, ttl time.Duration) error {
+	if name == "" || addr == "" || strings.ContainsAny(name+addr, " \t\r\n") {
+		return ErrBadName
+	}
+	if ttl <= 0 {
+		return ErrBadTTL
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.entries == nil {
+		s.entries = make(map[string]Entry)
+	}
+	s.entries[name] = Entry{Name: name, Addr: addr, Expires: s.now().Add(ttl)}
+	return nil
+}
+
+// List returns the live entries sorted by name, dropping lapsed ones.
+func (s *Server) List() []Entry {
+	now := s.now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Entry
+	for name, e := range s.entries {
+		if e.Expires.Before(now) {
+			delete(s.entries, name)
+			continue
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Remove deletes an entry by name (idempotent).
+func (s *Server) Remove(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.entries, name)
+}
+
+// Serve accepts registry sessions until the listener closes.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go s.handle(conn)
+	}
+}
+
+// ServeAddr starts the registry on addr and returns its listener.
+func (s *Server) ServeAddr(addr string) (net.Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go s.Serve(l)
+	return l, nil
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	br := bufio.NewReader(conn)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return
+	}
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		fmt.Fprintf(conn, "ERR empty command\n")
+		return
+	}
+	switch fields[0] {
+	case "REGISTER":
+		if len(fields) != 4 {
+			fmt.Fprintf(conn, "ERR usage: REGISTER name addr ttl\n")
+			return
+		}
+		ttlSec, err := strconv.Atoi(fields[3])
+		if err != nil || ttlSec <= 0 {
+			fmt.Fprintf(conn, "ERR bad ttl\n")
+			return
+		}
+		if err := s.Register(fields[1], fields[2], time.Duration(ttlSec)*time.Second); err != nil {
+			fmt.Fprintf(conn, "ERR %v\n", err)
+			return
+		}
+		fmt.Fprintf(conn, "OK\n")
+	case "LIST":
+		for _, e := range s.List() {
+			fmt.Fprintf(conn, "%s %s\n", e.Name, e.Addr)
+		}
+		fmt.Fprintf(conn, ".\n")
+	default:
+		fmt.Fprintf(conn, "ERR unknown command %q\n", fields[0])
+	}
+}
+
+// Register performs one REGISTER call against the registry at regAddr.
+func Register(regAddr, name, relayAddr string, ttl time.Duration) error {
+	conn, err := net.Dial("tcp", regAddr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	fmt.Fprintf(conn, "REGISTER %s %s %d\n", name, relayAddr, int(ttl.Seconds()))
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		return fmt.Errorf("%w: %v", errShortRead, err)
+	}
+	if strings.TrimSpace(line) != "OK" {
+		return fmt.Errorf("%w: %s", ErrRejected, strings.TrimSpace(line))
+	}
+	return nil
+}
+
+// List fetches the live relay set from the registry at regAddr.
+func List(regAddr string) ([]Entry, error) {
+	conn, err := net.Dial("tcp", regAddr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	fmt.Fprintf(conn, "LIST\n")
+	br := bufio.NewReader(conn)
+	var out []Entry
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", errShortRead, err)
+		}
+		line = strings.TrimSpace(line)
+		if line == "." {
+			return out, nil
+		}
+		name, addr, ok := strings.Cut(line, " ")
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrBadEntry, line)
+		}
+		out = append(out, Entry{Name: name, Addr: addr})
+	}
+}
+
+// Heartbeat keeps name registered at regAddr until stop is closed,
+// re-registering every ttl/3. Registration errors are retried on the next
+// tick; the first registration happens immediately and its error is
+// returned so callers can fail fast on misconfiguration.
+func Heartbeat(regAddr, name, relayAddr string, ttl time.Duration, stop <-chan struct{}) error {
+	if err := Register(regAddr, name, relayAddr, ttl); err != nil {
+		return err
+	}
+	go func() {
+		t := time.NewTicker(ttl / 3)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				_ = Register(regAddr, name, relayAddr, ttl) // retried next tick
+			}
+		}
+	}()
+	return nil
+}

@@ -1,0 +1,255 @@
+// Package relay contains the real-TCP components of the indirect routing
+// system: an origin server that serves synthetic ranged objects, and the
+// relay daemon that forwards client requests to origins — the
+// intermediate-node software of the paper. Both speak the httpx protocol
+// subset over plain net.Conn.
+package relay
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/httpx"
+)
+
+// keepAliveIdle is how long a connection may sit idle between requests
+// before the server drops it.
+const keepAliveIdle = 60 * time.Second
+
+// FillRange writes the deterministic content of object name at [off,
+// off+len(p)) into p. Content is a cheap position-dependent pattern, so
+// any byte range can be generated (and verified) without materializing
+// the object.
+func FillRange(name string, off int64, p []byte) {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	for i := range p {
+		pos := uint64(off + int64(i))
+		x := (pos + h) * 0x9e3779b97f4a7c15
+		x ^= x >> 29
+		p[i] = byte(x)
+	}
+}
+
+// VerifyRange reports whether p matches the canonical content of object
+// name at offset off.
+func VerifyRange(name string, off int64, p []byte) bool {
+	want := make([]byte, len(p))
+	FillRange(name, off, want)
+	for i := range p {
+		if p[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Origin is an origin server holding synthetic objects of declared sizes.
+type Origin struct {
+	mu      sync.RWMutex
+	objects map[string]int64
+
+	// BytesServed counts content bytes written to clients.
+	BytesServed atomic.Int64
+	// Conns counts accepted connections (keep-alive reuse keeps this
+	// flat across requests).
+	Conns atomic.Int64
+}
+
+// NewOrigin returns an empty origin server.
+func NewOrigin() *Origin {
+	return &Origin{objects: make(map[string]int64)}
+}
+
+// Put registers an object.
+func (o *Origin) Put(name string, size int64) {
+	if size < 0 {
+		panic("relay: negative object size")
+	}
+	o.mu.Lock()
+	o.objects[name] = size
+	o.mu.Unlock()
+}
+
+// Size returns an object's size.
+func (o *Origin) Size(name string) (int64, bool) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	sz, ok := o.objects[name]
+	return sz, ok
+}
+
+// Serve accepts connections until the listener closes. A connection
+// serves requests in sequence (HTTP keep-alive) until the client sends
+// "connection: close" or hangs up — which is what lets the remainder of
+// a selected transfer continue on the winning probe's warm connection.
+func (o *Origin) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go o.handle(conn)
+	}
+}
+
+func (o *Origin) handle(conn net.Conn) {
+	defer conn.Close()
+	o.Conns.Add(1)
+	br := bufio.NewReader(conn)
+	for {
+		// Idle keep-alive connections lapse so they cannot accumulate.
+		conn.SetReadDeadline(time.Now().Add(keepAliveIdle))
+		req, err := httpx.ReadRequest(br)
+		if err != nil {
+			return
+		}
+		conn.SetReadDeadline(time.Time{})
+		if !o.serveOne(conn, req) {
+			return
+		}
+		if req.Header["connection"] == "close" {
+			return
+		}
+	}
+}
+
+// serveOne answers a single request; it reports whether the connection
+// can serve another.
+func (o *Origin) serveOne(conn net.Conn, req *httpx.Request) bool {
+	name := req.Target
+	if _, path, ok := req.AbsoluteTarget(); ok {
+		name = path
+	}
+	if len(name) > 0 && name[0] == '/' {
+		name = name[1:]
+	}
+	size, ok := o.Size(name)
+	if !ok {
+		return httpx.WriteResponseHead(conn, 404, "Not Found",
+			map[string]string{"content-length": "0"}) == nil
+	}
+	off, n, err := httpx.ParseRange(req.Header["range"], size)
+	if err != nil {
+		status, reason := 400, "Bad Request"
+		if errors.Is(err, httpx.ErrUnsatisfiable) {
+			status, reason = 416, "Range Not Satisfiable"
+		}
+		return httpx.WriteResponseHead(conn, status, reason,
+			map[string]string{"content-length": "0"}) == nil
+	}
+
+	header := map[string]string{
+		"content-length": strconv.FormatInt(n, 10),
+		"accept-ranges":  "bytes",
+	}
+	status, reason := 200, "OK"
+	if req.Header["range"] != "" {
+		status, reason = 206, "Partial Content"
+		header["content-range"] = httpx.ContentRange(off, n, size)
+	}
+	if err := httpx.WriteResponseHead(conn, status, reason, header); err != nil {
+		return false
+	}
+	if req.Method == "HEAD" {
+		return true
+	}
+
+	buf := make([]byte, 32<<10)
+	for sent := int64(0); sent < n; {
+		chunk := int64(len(buf))
+		if rest := n - sent; rest < chunk {
+			chunk = rest
+		}
+		FillRange(name, off+sent, buf[:chunk])
+		w, err := conn.Write(buf[:chunk])
+		o.BytesServed.Add(int64(w))
+		if err != nil {
+			return false
+		}
+		sent += int64(w)
+	}
+	return true
+}
+
+// ServeAddr starts the origin on addr (e.g. "127.0.0.1:0") and returns the
+// listener; callers close it to stop.
+func (o *Origin) ServeAddr(addr string) (net.Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go o.Serve(l)
+	return l, nil
+}
+
+// Head asks the origin (or a relay, with an absolute-form target built by
+// the caller) for an object's size without transferring content.
+func Head(dial func(network, addr string) (net.Conn, error), addr, name string) (int64, error) {
+	if dial == nil {
+		dial = net.Dial
+	}
+	conn, err := dial("tcp", addr)
+	if err != nil {
+		return 0, err
+	}
+	defer conn.Close()
+	req := httpx.NewGet("/"+name, addr)
+	req.Method = "HEAD"
+	if err := req.Write(conn); err != nil {
+		return 0, err
+	}
+	resp, err := httpx.ReadResponse(bufio.NewReader(conn))
+	if err != nil {
+		return 0, err
+	}
+	if resp.Status != 200 {
+		return 0, fmt.Errorf("relay: head status %d", resp.Status)
+	}
+	if resp.ContentLength < 0 {
+		return 0, errors.New("relay: head response missing content-length")
+	}
+	return resp.ContentLength, nil
+}
+
+// Fetch is a convenience client: it downloads [off, off+n) of object name
+// from addr over a fresh connection, optionally via dial (nil = net.Dial),
+// returning the body.
+func Fetch(dial func(network, addr string) (net.Conn, error), addr, name string, off, n int64) ([]byte, error) {
+	if dial == nil {
+		dial = net.Dial
+	}
+	conn, err := dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	req := httpx.NewGet("/"+name, addr)
+	if off != 0 || n >= 0 {
+		req.SetRange(off, n)
+	}
+	if err := req.Write(conn); err != nil {
+		return nil, err
+	}
+	resp, err := httpx.ReadResponse(bufio.NewReader(conn))
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != 200 && resp.Status != 206 {
+		return nil, fmt.Errorf("relay: fetch status %d", resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}

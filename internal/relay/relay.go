@@ -1,0 +1,157 @@
+package relay
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/httpx"
+)
+
+// Relay is the intermediate-node forwarding service: it accepts
+// absolute-form GET requests ("GET http://origin:port/name"), dials the
+// origin, forwards the (possibly ranged) request, and splices the
+// response back to the client — the overlay proxy of the paper's
+// methodology.
+type Relay struct {
+	// Dial opens upstream connections; nil means net.Dial. Tests and the
+	// loopback example inject a shaping dialer here to emulate the
+	// intermediate-to-origin path.
+	Dial func(network, addr string) (net.Conn, error)
+
+	// BytesRelayed counts response-body bytes forwarded to clients.
+	BytesRelayed atomic.Int64
+	// Requests counts requests handled (including failures).
+	Requests atomic.Int64
+}
+
+// Serve accepts and forwards until the listener closes.
+func (r *Relay) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go r.handle(conn)
+	}
+}
+
+// ServeAddr starts the relay on addr and returns its listener.
+func (r *Relay) ServeAddr(addr string) (net.Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go r.Serve(l)
+	return l, nil
+}
+
+func (r *Relay) handle(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	for {
+		conn.SetReadDeadline(time.Now().Add(keepAliveIdle))
+		req, err := httpx.ReadRequest(br)
+		if err != nil {
+			return
+		}
+		conn.SetReadDeadline(time.Time{})
+		if !r.forwardOne(conn, req) {
+			return
+		}
+		if req.Header["connection"] == "close" {
+			return
+		}
+	}
+}
+
+// forwardOne relays a single request upstream; it reports whether the
+// client connection can carry another request. Upstream connections are
+// per-request; the client-facing connection stays warm.
+func (r *Relay) forwardOne(conn net.Conn, req *httpx.Request) bool {
+	r.Requests.Add(1)
+	upstreamAddr, path, ok := req.AbsoluteTarget()
+	if !ok {
+		httpx.WriteResponseHead(conn, 400, "Bad Request: relay requires absolute-form target",
+			map[string]string{"content-length": "0"})
+		return true
+	}
+
+	dial := r.Dial
+	if dial == nil {
+		dial = net.Dial
+	}
+	upstream, err := dial("tcp", upstreamAddr)
+	if err != nil {
+		httpx.WriteResponseHead(conn, 502, "Bad Gateway",
+			map[string]string{"content-length": "0"})
+		return true
+	}
+	defer upstream.Close()
+
+	// Rewrite to origin form, preserving the method (GET/HEAD) and the
+	// Range header — the relay is transparent to the range-probing
+	// mechanism. The upstream leg is one-shot.
+	fwd := httpx.NewGet(path, upstreamAddr)
+	fwd.Method = req.Method
+	if rg := req.Header["range"]; rg != "" {
+		fwd.Header["range"] = rg
+	}
+	if err := fwd.Write(upstream); err != nil {
+		httpx.WriteResponseHead(conn, 502, "Bad Gateway",
+			map[string]string{"content-length": "0"})
+		return true
+	}
+
+	ubr := bufio.NewReader(upstream)
+	resp, err := httpx.ReadResponse(ubr)
+	if err != nil {
+		httpx.WriteResponseHead(conn, 502, "Bad Gateway",
+			map[string]string{"content-length": "0"})
+		return true
+	}
+	if resp.ContentLength < 0 {
+		// Without a length the body is delimited by upstream close; the
+		// client connection cannot be reused afterwards.
+		resp.Header["connection"] = "close"
+	}
+	if err := httpx.WriteResponseHead(conn, resp.Status, resp.Reason, resp.Header); err != nil {
+		return false
+	}
+	n, err := io.Copy(conn, resp.Body)
+	r.BytesRelayed.Add(n)
+	return err == nil && resp.ContentLength >= 0
+}
+
+// FetchVia downloads [off, off+n) of object name from originAddr through
+// the relay at relayAddr, optionally with a custom dialer for the
+// client-to-relay hop.
+func FetchVia(dial func(network, addr string) (net.Conn, error), relayAddr, originAddr, name string, off, n int64) ([]byte, error) {
+	if dial == nil {
+		dial = net.Dial
+	}
+	conn, err := dial("tcp", relayAddr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	req := httpx.NewGet("http://"+originAddr+"/"+name, originAddr)
+	req.SetRange(off, n)
+	if err := req.Write(conn); err != nil {
+		return nil, err
+	}
+	resp, err := httpx.ReadResponse(bufio.NewReader(conn))
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != 200 && resp.Status != 206 {
+		return nil, errors.New("relay: upstream status " + resp.Reason)
+	}
+	return io.ReadAll(resp.Body)
+}

@@ -1,0 +1,151 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/experiment"
+)
+
+// The plot-data writers emit tab-separated series with a commented header
+// line, ready for gnuplot/matplotlib, so the paper's figures can be
+// re-drawn graphically from the same results the terminal renderers show.
+
+// WriteTSV writes a commented header and tab-separated rows.
+func WriteTSV(w io.Writer, header []string, rows [][]string) error {
+	if _, err := fmt.Fprintf(w, "# %s\n", strings.Join(header, "\t")); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if _, err := fmt.Fprintln(w, strings.Join(row, "\t")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fig1Data writes the improvement histogram as (bin_center, count) rows.
+func Fig1Data(w io.Writer, r experiment.Fig1Result) error {
+	rows := make([][]string, 0, len(r.Hist.Bins))
+	for i, c := range r.Hist.Bins {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.1f", r.Hist.BinCenter(i)),
+			fmt.Sprintf("%d", c),
+		})
+	}
+	return WriteTSV(w, []string{"improvement_pct_bin", "count"}, rows)
+}
+
+// Fig3Data writes the scatter of (direct Mb/s, improvement %) points with a
+// client column.
+func Fig3Data(w io.Writer, r experiment.Fig3Result) error {
+	var rows [][]string
+	for _, c := range r.Clients {
+		for _, p := range c.Points {
+			rows = append(rows, []string{
+				strings.ReplaceAll(c.Client, " ", "_"),
+				fmt.Sprintf("%.4f", p.DirectTp/1e6),
+				fmt.Sprintf("%.2f", p.Improvement),
+			})
+		}
+	}
+	return WriteTSV(w, []string{"client", "direct_mbps", "improvement_pct"}, rows)
+}
+
+// Fig4Data writes per-client time series as (client, t_seconds, mbps).
+func Fig4Data(w io.Writer, r experiment.Fig4Result) error {
+	var rows [][]string
+	for _, s := range r.Series {
+		for i := range s.Times {
+			rows = append(rows, []string{
+				strings.ReplaceAll(s.Client, " ", "_"),
+				fmt.Sprintf("%.0f", s.Times[i]),
+				fmt.Sprintf("%.4f", s.Tp[i]/1e6),
+			})
+		}
+	}
+	return WriteTSV(w, []string{"client", "t_seconds", "indirect_mbps"}, rows)
+}
+
+// Fig5Data writes per-intermediate utilization statistics.
+func Fig5Data(w io.Writer, r experiment.Fig5Result) error {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			strings.ReplaceAll(row.Inter, " ", "_"),
+			fmt.Sprintf("%.2f", row.Average),
+			fmt.Sprintf("%.2f", row.Stdev),
+			fmt.Sprintf("%.2f", row.RMS),
+		})
+	}
+	return WriteTSV(w, []string{"intermediate", "avg_util_pct", "stdev", "rms"}, rows)
+}
+
+// Fig6Data writes the improvement-vs-set-size curves with CI bounds.
+func Fig6Data(w io.Writer, r experiment.Fig6Result) error {
+	var rows [][]string
+	for _, c := range r.Curves {
+		for i, k := range c.Sizes {
+			lo, hi := "", ""
+			if i < len(c.ImprovementCI) {
+				lo = fmt.Sprintf("%.2f", c.ImprovementCI[i].Lo)
+				hi = fmt.Sprintf("%.2f", c.ImprovementCI[i].Hi)
+			}
+			rows = append(rows, []string{
+				strings.ReplaceAll(c.Client, " ", "_"),
+				fmt.Sprintf("%d", k),
+				fmt.Sprintf("%.2f", c.AvgImprovement[i]),
+				lo, hi,
+				fmt.Sprintf("%.3f", c.Utilization[i]),
+			})
+		}
+	}
+	return WriteTSV(w, []string{"client", "set_size", "avg_improvement_pct", "ci_lo", "ci_hi", "utilization"}, rows)
+}
+
+// Table2Data writes each client's top-3 intermediates.
+func Table2Data(w io.Writer, r experiment.Table2Result) error {
+	var rows [][]string
+	for _, row := range r.Rows {
+		for rank, u := range row.Top {
+			rows = append(rows, []string{
+				strings.ReplaceAll(row.Client, " ", "_"),
+				fmt.Sprintf("%d", rank+1),
+				strings.ReplaceAll(u.Inter, " ", "_"),
+				fmt.Sprintf("%.3f", u.Utilization),
+			})
+		}
+	}
+	return WriteTSV(w, []string{"client", "rank", "intermediate", "utilization"}, rows)
+}
+
+// Table3Data writes the utilization-improvement pairs.
+func Table3Data(w io.Writer, r experiment.Table3Result) error {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			strings.ReplaceAll(row.Inter, " ", "_"),
+			fmt.Sprintf("%.2f", row.Utilization),
+			fmt.Sprintf("%.2f", row.Improvement),
+			fmt.Sprintf("%d", row.Chosen),
+			fmt.Sprintf("%d", row.Offered),
+		})
+	}
+	return WriteTSV(w, []string{"intermediate", "utilization_pct", "improvement_pct", "chosen", "offered"}, rows)
+}
+
+// Table1Data writes the penalty rows.
+func Table1Data(w io.Writer, r experiment.Table1Result) error {
+	rows := make([][]string, 0, 3)
+	for _, row := range []experiment.PenaltyRow{r.All, r.MedLow, r.LowVar} {
+		rows = append(rows, []string{
+			strings.ReplaceAll(row.Filter, " ", "_"),
+			fmt.Sprintf("%.4f", row.PenaltyPoints),
+			fmt.Sprintf("%.2f", row.AvgPenalty),
+			fmt.Sprintf("%.2f", row.StdDev),
+			fmt.Sprintf("%.2f", row.Max),
+		})
+	}
+	return WriteTSV(w, []string{"filter", "penalty_points", "avg_penalty", "stdev", "max"}, rows)
+}

@@ -1,0 +1,135 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/stats"
+)
+
+func TestWriteTSV(t *testing.T) {
+	var b strings.Builder
+	err := WriteTSV(&b, []string{"a", "b"}, [][]string{{"1", "2"}, {"3", "4"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if lines[0] != "# a\tb" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "1\t2" {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestFig1Data(t *testing.T) {
+	h := stats.NewHistogram(-100, 300, 4)
+	h.AddAll([]float64{10, 20, 150})
+	var b strings.Builder
+	if err := Fig1Data(&b, experiment.Fig1Result{Hist: h}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "improvement_pct_bin") {
+		t.Fatal("header missing")
+	}
+	if lines := strings.Count(out, "\n"); lines != 5 { // header + 4 bins
+		t.Fatalf("line count = %d", lines)
+	}
+}
+
+func TestFig6DataIncludesCI(t *testing.T) {
+	r := experiment.Fig6Result{Curves: []experiment.Fig6Curve{{
+		Client:         "Duke (client)",
+		Sizes:          []int{1, 10},
+		AvgImprovement: []float64{10, 40},
+		ImprovementCI: []stats.CI{
+			{Lo: 8, Hi: 12, Resample: 100},
+			{Lo: 37, Hi: 43, Resample: 100},
+		},
+		Utilization: []float64{0.5, 0.9},
+	}}}
+	var b strings.Builder
+	if err := Fig6Data(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Duke_(client)\t10\t40.00\t37.00\t43.00\t0.900") {
+		t.Fatalf("row missing or malformed:\n%s", out)
+	}
+}
+
+func TestPlotDataEndToEnd(t *testing.T) {
+	study := experiment.RunStudy(experiment.StudyParams{
+		Seed: 6, TransfersPerClient: 5, Servers: []string{"eBay"},
+	})
+	checks := map[string]func(*strings.Builder) error{
+		"fig1":   func(b *strings.Builder) error { return Fig1Data(b, experiment.Fig1(study)) },
+		"fig4":   func(b *strings.Builder) error { return Fig4Data(b, experiment.Fig4(study, 1)) },
+		"table1": func(b *strings.Builder) error { return Table1Data(b, experiment.Table1(study)) },
+	}
+	for name, fn := range checks {
+		var b strings.Builder
+		if err := fn(&b); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.HasPrefix(b.String(), "# ") {
+			t.Fatalf("%s: missing header comment", name)
+		}
+		if len(strings.Split(strings.TrimSpace(b.String()), "\n")) < 2 {
+			t.Fatalf("%s: no data rows", name)
+		}
+	}
+}
+
+func TestTableDataWriters(t *testing.T) {
+	t2 := experiment.Table2Result{Rows: []experiment.Table2Row{{
+		Client: "Korea",
+		Top:    []experiment.InterUtil{{Inter: "Notre Dame", Utilization: 0.5}},
+	}}}
+	var b strings.Builder
+	if err := Table2Data(&b, t2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Korea\t1\tNotre_Dame\t0.500") {
+		t.Fatalf("table2 row wrong:\n%s", b.String())
+	}
+
+	t3 := experiment.Table3Result{Rows: []experiment.Table3Row{{
+		Inter: "MIT", Utilization: 84, Improvement: 53.4, Chosen: 152, Offered: 181,
+	}}}
+	b.Reset()
+	if err := Table3Data(&b, t3); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "MIT\t84.00\t53.40\t152\t181") {
+		t.Fatalf("table3 row wrong:\n%s", b.String())
+	}
+
+	f3 := experiment.Fig3Result{Clients: []experiment.Fig3Client{{
+		Client: "Korea",
+		Points: []experiment.Fig3Point{{DirectTp: 1e6, Improvement: 42}},
+	}}}
+	b.Reset()
+	if err := Fig3Data(&b, f3); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Korea\t1.0000\t42.00") {
+		t.Fatalf("fig3 row wrong:\n%s", b.String())
+	}
+
+	f5 := experiment.Fig5Result{Rows: []experiment.Fig5Row{{
+		Inter: "Georgia Tech", Average: 36.5, Stdev: 12.1, RMS: 38.4,
+	}}}
+	b.Reset()
+	if err := Fig5Data(&b, f5); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Georgia_Tech\t36.50\t12.10\t38.40") {
+		t.Fatalf("fig5 row wrong:\n%s", b.String())
+	}
+}

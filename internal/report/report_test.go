@@ -1,0 +1,187 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/stats"
+)
+
+func TestTableAlignment(t *testing.T) {
+	var b strings.Builder
+	Table(&b, []string{"A", "Long header"}, [][]string{
+		{"x", "1"},
+		{"yyyy", "22"},
+	})
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want 4", len(lines))
+	}
+	if !strings.Contains(lines[0], "A") || !strings.Contains(lines[0], "Long header") {
+		t.Fatalf("header missing: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Fatalf("separator missing: %q", lines[1])
+	}
+}
+
+func TestHistogramRendering(t *testing.T) {
+	h := stats.NewHistogram(0, 100, 10)
+	h.AddAll([]float64{-5, 5, 5, 15, 200})
+	var b strings.Builder
+	Histogram(&b, h, 20)
+	out := b.String()
+	if !strings.Contains(out, "#") {
+		t.Fatal("no bars rendered")
+	}
+	if !strings.Contains(out, "< min") || !strings.Contains(out, "> max") {
+		t.Fatal("under/overflow rows missing")
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var b strings.Builder
+	Histogram(&b, stats.NewHistogram(0, 10, 5), 20)
+	if !strings.Contains(b.String(), "empty") {
+		t.Fatal("empty histogram not flagged")
+	}
+}
+
+func TestLineChart(t *testing.T) {
+	var b strings.Builder
+	Line(&b, []float64{1, 2, 3, 4}, []float64{1, 3, 2, 4}, 4, "y")
+	out := b.String()
+	if strings.Count(out, "*") != 4 {
+		t.Fatalf("expected 4 points, got output:\n%s", out)
+	}
+	var empty strings.Builder
+	Line(&empty, nil, nil, 4, "y")
+	if !strings.Contains(empty.String(), "no data") {
+		t.Fatal("empty series not flagged")
+	}
+}
+
+func TestLineFlatSeries(t *testing.T) {
+	var b strings.Builder
+	Line(&b, []float64{1, 2}, []float64{5, 5}, 3, "y")
+	if !strings.Contains(b.String(), "*") {
+		t.Fatal("flat series should still render points")
+	}
+}
+
+func TestRenderersProduceOutput(t *testing.T) {
+	// A tiny end-to-end render over real experiment results: every
+	// renderer must produce non-empty output containing its title.
+	study := experiment.RunStudy(experiment.StudyParams{
+		Seed: 5, TransfersPerClient: 6, Servers: []string{"eBay"},
+	})
+	checks := []struct {
+		name   string
+		render func(b *strings.Builder)
+	}{
+		{"Figure 1", func(b *strings.Builder) { Fig1(b, experiment.Fig1(study)) }},
+		{"Figure 2", func(b *strings.Builder) { Fig2(b, experiment.Fig2(study, nil)) }},
+		{"Table I", func(b *strings.Builder) { Table1(b, experiment.Table1(study)) }},
+		{"Figure 4", func(b *strings.Builder) { Fig4(b, experiment.Fig4(study, 2)) }},
+	}
+	for _, c := range checks {
+		var b strings.Builder
+		c.render(&b)
+		if !strings.Contains(b.String(), c.name) {
+			t.Errorf("%s: title missing from output", c.name)
+		}
+		if len(b.String()) < 40 {
+			t.Errorf("%s: output suspiciously short", c.name)
+		}
+	}
+}
+
+func TestAblationRender(t *testing.T) {
+	var b strings.Builder
+	Ablation(&b, "probe size", []experiment.AblationPoint{
+		{Label: "x=10000", AvgImprovement: 12.5, Utilization: 0.4, PenaltyFrac: 0.2},
+	})
+	out := b.String()
+	if !strings.Contains(out, "probe size") || !strings.Contains(out, "x=10000") {
+		t.Fatalf("ablation render missing fields:\n%s", out)
+	}
+}
+
+func TestRemainingRenderers(t *testing.T) {
+	var b strings.Builder
+
+	Fig3(&b, experiment.Fig3Result{
+		Clients: []experiment.Fig3Client{{
+			Client: "Korea", Slope: -120.5, R2: 0.4,
+			Points: []experiment.Fig3Point{{DirectTp: 1e6, Improvement: 50}},
+		}},
+		MeanSlope:        -120.5,
+		FractionNegative: 1,
+	})
+	if !strings.Contains(b.String(), "Figure 3") || !strings.Contains(b.String(), "-120.5") {
+		t.Errorf("fig3 render:\n%s", b.String())
+	}
+
+	b.Reset()
+	Fig5(&b, experiment.Fig5Result{
+		Rows:       []experiment.Fig5Row{{Inter: "MIT", Average: 40, Stdev: 10, RMS: 41}},
+		OverallAvg: 40,
+	})
+	if !strings.Contains(b.String(), "Figure 5") || !strings.Contains(b.String(), "MIT") {
+		t.Errorf("fig5 render:\n%s", b.String())
+	}
+
+	b.Reset()
+	Fig6(&b, experiment.Fig6Result{Curves: []experiment.Fig6Curve{{
+		Client:         "Duke (client)",
+		Sizes:          []int{1, 10, 35},
+		AvgImprovement: []float64{15, 42, 45},
+		ImprovementCI: []stats.CI{
+			{Lo: 12, Hi: 18, Resample: 100},
+			{Lo: 39, Hi: 45, Resample: 100},
+			{Lo: 42, Hi: 48, Resample: 100},
+		},
+		Utilization: []float64{0.5, 0.9, 0.95},
+	}}})
+	out := b.String()
+	if !strings.Contains(out, "Figure 6") || !strings.Contains(out, "knee") {
+		t.Errorf("fig6 render:\n%s", out)
+	}
+	if !strings.Contains(out, "[39.0, 45.0]") {
+		t.Errorf("fig6 CI missing:\n%s", out)
+	}
+
+	b.Reset()
+	Table2(&b, experiment.Table2Result{
+		Rows: []experiment.Table2Row{{
+			Client: "Korea",
+			Top:    []experiment.InterUtil{{Inter: "MIT", Utilization: 0.8}},
+		}},
+		OverlapCount: map[string]int{"MIT": 5},
+	})
+	if !strings.Contains(b.String(), "Table II") || !strings.Contains(b.String(), "MIT (80%)") {
+		t.Errorf("table2 render:\n%s", b.String())
+	}
+
+	b.Reset()
+	Table3(&b, experiment.Table3Result{
+		Client:    "Duke (client)",
+		Rows:      []experiment.Table3Row{{Inter: "MIT", Utilization: 84, Improvement: 53, Chosen: 10, Offered: 12}},
+		PearsonR:  0.56,
+		SpearmanR: 0.63,
+	})
+	if !strings.Contains(b.String(), "Table III") || !strings.Contains(b.String(), "0.63") {
+		t.Errorf("table3 render:\n%s", b.String())
+	}
+
+	b.Reset()
+	Adaptive(&b, []experiment.AdaptiveResult{{
+		Client: "Berlin", OneShot: 2.4e6, Adaptive: 2.1e6,
+		OneShotCV: 0.32, AdaptiveCV: 0.24, MeanSwitches: 0.17,
+	}})
+	if !strings.Contains(b.String(), "adaptive") || !strings.Contains(b.String(), "Berlin") {
+		t.Errorf("adaptive render:\n%s", b.String())
+	}
+}

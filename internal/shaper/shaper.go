@@ -1,0 +1,182 @@
+// Package shaper emulates heterogeneous wide-area paths on loopback by
+// wrapping net.Conn with a token-bucket rate limiter and optional one-way
+// latency injection. The real-network examples and integration tests use
+// it to give each relay path a different bandwidth, so the selection
+// engine has something real to choose between.
+package shaper
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// Bucket is a token-bucket rate limiter over bytes. It is safe for
+// concurrent use.
+type Bucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens (bytes) per second
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+	sleep  func(time.Duration)
+}
+
+// NewBucket creates a bucket that refills at rate bytes/sec with the given
+// burst size. A non-positive rate means unlimited.
+func NewBucket(rate float64, burst int) *Bucket {
+	b := &Bucket{
+		rate:  rate,
+		burst: float64(burst),
+		now:   time.Now,
+		sleep: time.Sleep,
+	}
+	b.tokens = b.burst
+	b.last = b.now()
+	return b
+}
+
+// Take consumes n tokens, sleeping until the bucket can supply them.
+func (b *Bucket) Take(n int) {
+	if b == nil || b.rate <= 0 || n <= 0 {
+		return
+	}
+	for n > 0 {
+		b.mu.Lock()
+		now := b.now()
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		b.last = now
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		grab := float64(n)
+		if grab > b.tokens {
+			grab = b.tokens
+		}
+		if grab > 0 {
+			b.tokens -= grab
+			n -= int(grab)
+		}
+		var wait time.Duration
+		if n > 0 {
+			need := float64(n)
+			if need > b.burst {
+				need = b.burst
+			}
+			wait = time.Duration((need - b.tokens) / b.rate * float64(time.Second))
+		}
+		b.mu.Unlock()
+		if wait > 0 {
+			b.sleep(wait)
+		}
+	}
+}
+
+// Conn wraps a net.Conn, limiting read and write throughput with separate
+// buckets and delaying the first byte by Latency (a crude propagation
+// model, applied once per direction).
+type Conn struct {
+	net.Conn
+	ReadBucket  *Bucket
+	WriteBucket *Bucket
+	Latency     time.Duration
+
+	readDelayed, writeDelayed sync.Once
+}
+
+// Read applies latency-then-rate shaping to inbound bytes.
+func (c *Conn) Read(p []byte) (int, error) {
+	c.readDelayed.Do(func() {
+		if c.Latency > 0 {
+			time.Sleep(c.Latency)
+		}
+	})
+	// Shape in small chunks so rates stay smooth at slow speeds.
+	if len(p) > 32<<10 {
+		p = p[:32<<10]
+	}
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		c.ReadBucket.Take(n)
+	}
+	return n, err
+}
+
+// Write applies latency-then-rate shaping to outbound bytes.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.writeDelayed.Do(func() {
+		if c.Latency > 0 {
+			time.Sleep(c.Latency)
+		}
+	})
+	written := 0
+	for written < len(p) {
+		chunk := p[written:]
+		if len(chunk) > 32<<10 {
+			chunk = chunk[:32<<10]
+		}
+		c.WriteBucket.Take(len(chunk))
+		n, err := c.Conn.Write(chunk)
+		written += n
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// PathProfile describes the emulated path for one dial target.
+type PathProfile struct {
+	DownloadBps float64 // download direction rate, bits/sec (0 = unlimited)
+	UploadBps   float64 // upload direction rate, bits/sec (0 = unlimited)
+	Latency     time.Duration
+}
+
+// Dialer dials TCP and shapes each connection according to the profile
+// registered for its target address. Unregistered targets pass through
+// unshaped.
+type Dialer struct {
+	mu       sync.Mutex
+	profiles map[string]PathProfile
+}
+
+// NewDialer returns an empty Dialer.
+func NewDialer() *Dialer {
+	return &Dialer{profiles: make(map[string]PathProfile)}
+}
+
+// SetProfile registers (or replaces) the profile for addr.
+func (d *Dialer) SetProfile(addr string, p PathProfile) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.profiles[addr] = p
+}
+
+// Dial connects to addr and applies its profile, if any.
+func (d *Dialer) Dial(network, addr string) (net.Conn, error) {
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	p, ok := d.profiles[addr]
+	d.mu.Unlock()
+	if !ok {
+		return conn, nil
+	}
+	return Shape(conn, p), nil
+}
+
+// Shape wraps conn with the profile's rate limits and latency. Rates are
+// given in bits/sec to match the rest of the system; buckets meter bytes.
+func Shape(conn net.Conn, p PathProfile) net.Conn {
+	var rb, wb *Bucket
+	if p.DownloadBps > 0 {
+		rb = NewBucket(p.DownloadBps/8, 64<<10)
+	}
+	if p.UploadBps > 0 {
+		wb = NewBucket(p.UploadBps/8, 64<<10)
+	}
+	return &Conn{Conn: conn, ReadBucket: rb, WriteBucket: wb, Latency: p.Latency}
+}

@@ -1,0 +1,74 @@
+package simnet
+
+import (
+	"testing"
+
+	"repro/internal/randx"
+)
+
+// BenchmarkEngineSchedule measures raw event-queue throughput.
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := NewEngine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(1, func() {})
+		e.Step()
+	}
+}
+
+// BenchmarkEngineScheduleCancel measures the schedule+cancel pattern the
+// network uses for completion timers.
+func BenchmarkEngineScheduleCancel(b *testing.B) {
+	e := NewEngine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := e.After(1e9, func() {})
+		t.Cancel()
+		if i%1024 == 0 {
+			for e.Step() {
+			}
+		}
+	}
+}
+
+// benchMaxMin measures one reallocation with n concurrent flows over a
+// shared access link plus per-flow transit links — the probe-race shape.
+func benchMaxMin(b *testing.B, n int) {
+	e := NewEngine()
+	net := NewNetwork(e)
+	access := net.NewLink("access", 10e6, 0.005, 0)
+	for i := 0; i < n; i++ {
+		transit := net.NewLink("transit", 2e6, 0.05, 0)
+		net.StartFlow(FlowSpec{Links: []*Link{access, transit}, Bytes: 1 << 40})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.reallocate()
+	}
+}
+
+func BenchmarkMaxMin2Flows(b *testing.B)  { benchMaxMin(b, 2) }
+func BenchmarkMaxMin8Flows(b *testing.B)  { benchMaxMin(b, 8) }
+func BenchmarkMaxMin36Flows(b *testing.B) { benchMaxMin(b, 36) }
+
+// BenchmarkTransferCycle measures a full small-transfer lifecycle: start,
+// progress under a driven link, complete.
+func BenchmarkTransferCycle(b *testing.B) {
+	e := NewEngine()
+	net := NewNetwork(e)
+	l := net.NewLink("l", 8e6, 0.01, 0)
+	rng := randx.New(1)
+	stop := l.Drive(randx.NewOU(8e6, 1.0/60, 0.3), 15, 1.0, rng)
+	defer stop()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		done := false
+		net.StartFlow(FlowSpec{Links: []*Link{l}, Bytes: 100_000,
+			OnComplete: func(*Flow) { done = true }})
+		for !done {
+			if !e.Step() {
+				b.Fatal("queue drained")
+			}
+		}
+	}
+}

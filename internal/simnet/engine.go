@@ -1,0 +1,161 @@
+// Package simnet is a virtual-time fluid network simulator.
+//
+// The simulator models a set of links whose available capacity varies over
+// time (driven by stochastic processes) and a set of fluid flows, each
+// crossing one or more links. Bandwidth is shared max-min fairly among the
+// flows on each link, subject to a per-flow rate cap supplied by the TCP
+// model (slow-start ramp, window and loss ceilings). Between events every
+// flow progresses linearly at its allocated rate, so the engine only needs
+// to process discrete events: flow arrivals and completions, rate-cap
+// changes, and link-capacity updates.
+//
+// This reproduces the environment of the indirect-routing paper: wide-area
+// paths with time-varying available throughput, self-contention on client
+// access links, and shared bottlenecks between "direct" and "indirect"
+// paths.
+package simnet
+
+import "container/heap"
+
+// Engine is a discrete-event scheduler over a virtual clock measured in
+// seconds. It is single-goroutine: callers schedule callbacks and then
+// drive the clock with Step, RunUntil, or RunFor. Engines are cheap;
+// parallel experiments create one engine per worker.
+type Engine struct {
+	now float64
+	pq  eventHeap
+	seq uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Timer is a handle to a scheduled callback; Cancel prevents a pending
+// callback from running.
+type Timer struct {
+	at        float64
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int // heap index, -1 when popped
+}
+
+// Cancel prevents the timer's callback from running. Cancelling an
+// already-fired or already-cancelled timer is a no-op.
+func (t *Timer) Cancel() {
+	if t != nil {
+		t.cancelled = true
+	}
+}
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the
+// past panics: that always indicates a simulation logic error.
+func (e *Engine) At(at float64, fn func()) *Timer {
+	if at < e.now {
+		panic("simnet: scheduling event in the past")
+	}
+	e.seq++
+	t := &Timer{at: at, seq: e.seq, fn: fn}
+	heap.Push(&e.pq, t)
+	return t
+}
+
+// After schedules fn to run d seconds from now.
+func (e *Engine) After(d float64, fn func()) *Timer {
+	if d < 0 {
+		panic("simnet: negative delay")
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Step runs the next pending event, advancing the clock to its timestamp.
+// It returns false when no events remain.
+func (e *Engine) Step() bool {
+	for e.pq.Len() > 0 {
+		t := heap.Pop(&e.pq).(*Timer)
+		if t.cancelled {
+			continue
+		}
+		e.now = t.at
+		t.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil processes events with timestamps <= deadline, then advances the
+// clock to the deadline. Events scheduled during processing are honored if
+// they fall within the deadline.
+func (e *Engine) RunUntil(deadline float64) {
+	for e.pq.Len() > 0 {
+		next := e.pq[0]
+		if next.cancelled {
+			heap.Pop(&e.pq)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if deadline > e.now {
+		e.now = deadline
+	}
+}
+
+// RunFor advances the clock by d seconds, processing all events in the
+// window.
+func (e *Engine) RunFor(d float64) { e.RunUntil(e.now + d) }
+
+// RunWhile steps the engine as long as cond() is true and events remain.
+// It returns true if cond became false (the awaited state was reached) and
+// false if the event queue drained first.
+func (e *Engine) RunWhile(cond func() bool) bool {
+	for cond() {
+		if !e.Step() {
+			return false
+		}
+	}
+	return true
+}
+
+// Pending returns the number of scheduled (possibly cancelled) events.
+func (e *Engine) Pending() int { return e.pq.Len() }
+
+// eventHeap is a min-heap ordered by (at, seq) so simultaneous events run
+// in scheduling order.
+type eventHeap []*Timer
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	t := x.(*Timer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*h = old[:n-1]
+	return t
+}

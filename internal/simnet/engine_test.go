@@ -1,0 +1,174 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.After(3, func() { order = append(order, 3) })
+	e.After(1, func() { order = append(order, 1) })
+	e.After(2, func() { order = append(order, 2) })
+	for e.Step() {
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 3 {
+		t.Fatalf("clock = %v, want 3", e.Now())
+	}
+}
+
+func TestEngineFIFOAtSameTime(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.After(1, func() { order = append(order, 1) })
+	e.After(1, func() { order = append(order, 2) })
+	e.After(1, func() { order = append(order, 3) })
+	for e.Step() {
+	}
+	for i, v := range order {
+		if v != i+1 {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	tm := e.After(1, func() { ran = true })
+	tm.Cancel()
+	for e.Step() {
+	}
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+	tm.Cancel() // double-cancel is a no-op
+	var nilTimer *Timer
+	nilTimer.Cancel() // nil-safe
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []float64
+	for _, d := range []float64{1, 2, 5, 9} {
+		d := d
+		e.After(d, func() { fired = append(fired, d) })
+	}
+	e.RunUntil(5)
+	if len(fired) != 3 {
+		t.Fatalf("fired = %v, want 3 events", fired)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("clock = %v, want 5", e.Now())
+	}
+	e.RunUntil(100)
+	if len(fired) != 4 {
+		t.Fatalf("fired = %v, want all 4", fired)
+	}
+}
+
+func TestEngineRunUntilAdvancesIdleClock(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(42)
+	if e.Now() != 42 {
+		t.Fatalf("clock = %v, want 42", e.Now())
+	}
+	e.RunUntil(10) // never goes backwards
+	if e.Now() != 42 {
+		t.Fatalf("clock moved backwards: %v", e.Now())
+	}
+}
+
+func TestEngineEventScheduledDuringEvent(t *testing.T) {
+	e := NewEngine()
+	var times []float64
+	e.After(1, func() {
+		e.After(1, func() { times = append(times, e.Now()) })
+	})
+	e.RunUntil(10)
+	if len(times) != 1 || times[0] != 2 {
+		t.Fatalf("nested event times = %v, want [2]", times)
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling in the past")
+		}
+	}()
+	e.At(5, func() {})
+}
+
+func TestEngineNegativeDelayPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative delay")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestEngineRunWhile(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < 5 {
+			e.After(1, tick)
+		}
+	}
+	e.After(1, tick)
+	if !e.RunWhile(func() bool { return n < 3 }) {
+		t.Fatal("RunWhile should reach the condition")
+	}
+	if n != 3 {
+		t.Fatalf("n = %d, want 3", n)
+	}
+	if e.RunWhile(func() bool { return n < 100 }) {
+		t.Fatal("RunWhile should report queue drain")
+	}
+}
+
+func TestEnginePending(t *testing.T) {
+	e := NewEngine()
+	e.After(1, func() {})
+	e.After(2, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", e.Pending())
+	}
+}
+
+func TestTimerHeapStress(t *testing.T) {
+	e := NewEngine()
+	// Schedule and cancel a large interleaved set; verify monotone
+	// dispatch times.
+	last := math.Inf(-1)
+	count := 0
+	for i := 0; i < 1000; i++ {
+		d := float64((i*7919)%100) / 10
+		tm := e.After(d, func() {
+			if e.Now() < last {
+				t.Errorf("time went backwards: %v < %v", e.Now(), last)
+			}
+			last = e.Now()
+			count++
+		})
+		if i%3 == 0 {
+			tm.Cancel()
+		}
+	}
+	for e.Step() {
+	}
+	if count != 666 {
+		t.Fatalf("ran %d events, want 666", count)
+	}
+}

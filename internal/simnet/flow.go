@@ -1,0 +1,84 @@
+package simnet
+
+// Flow is a fluid data transfer across an ordered set of links. Its
+// instantaneous rate is the max-min fair share on its most constrained
+// link, further capped by RateCap (the TCP model's current ceiling).
+type Flow struct {
+	Label string
+
+	links   []*Link
+	rateCap float64
+	rate    float64
+
+	totalBits     float64
+	remainingBits float64
+
+	started  float64
+	finished float64
+	lastT    float64
+	done     bool
+
+	completion *Timer
+	onComplete func(*Flow)
+	net        *Network
+}
+
+// Rate returns the flow's current allocated rate in bits/sec.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// RateCap returns the flow's current TCP ceiling in bits/sec.
+func (f *Flow) RateCap() float64 { return f.rateCap }
+
+// Done reports whether the flow has delivered all its bytes.
+func (f *Flow) Done() bool { return f.done }
+
+// Start returns the virtual time at which the flow started.
+func (f *Flow) Start() float64 { return f.started }
+
+// Finish returns the virtual time at which the flow completed; it is only
+// meaningful once Done is true.
+func (f *Flow) Finish() float64 { return f.finished }
+
+// Duration returns the transfer duration in seconds (finish − start). For
+// an unfinished flow it returns elapsed time so far.
+func (f *Flow) Duration() float64 {
+	if f.done {
+		return f.finished - f.started
+	}
+	return f.net.eng.Now() - f.started
+}
+
+// Bytes returns the flow's total transfer size in bytes.
+func (f *Flow) Bytes() int64 { return int64(f.totalBits / 8) }
+
+// BytesMoved returns the bytes delivered so far (all of them once done).
+func (f *Flow) BytesMoved() int64 {
+	return int64((f.totalBits - f.remainingBits) / 8)
+}
+
+// Throughput returns the flow's average throughput in bits/sec over its
+// lifetime so far (or its whole life once done). It returns 0 before any
+// time has elapsed.
+func (f *Flow) Throughput() float64 {
+	d := f.Duration()
+	if d <= 0 {
+		return 0
+	}
+	return float64(f.BytesMoved()) * 8 / d
+}
+
+// Links returns the links the flow traverses.
+func (f *Flow) Links() []*Link { return f.links }
+
+// advance charges progress at the current rate from f.lastT to now.
+func (f *Flow) advance(now float64) {
+	if f.done || now <= f.lastT {
+		f.lastT = now
+		return
+	}
+	f.remainingBits -= f.rate * (now - f.lastT)
+	if f.remainingBits < 0 {
+		f.remainingBits = 0
+	}
+	f.lastT = now
+}

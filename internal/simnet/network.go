@@ -1,0 +1,298 @@
+package simnet
+
+import "math"
+
+// completionSlack is the margin (in bits) below which a flow is considered
+// complete, absorbing floating-point drift in progress charging.
+const completionSlack = 1e-6
+
+// Network owns links and flows and keeps their rates max-min fair.
+// It is bound to one Engine and, like the engine, is single-goroutine.
+type Network struct {
+	eng   *Engine
+	links []*Link
+	flows map[*Flow]struct{}
+
+	// reallocating suppresses recursive reallocation when completion
+	// handlers start new flows.
+	reallocating bool
+	dirty        bool
+
+	// Reallocations counts rate recomputations, exposed for benchmarks.
+	Reallocations int64
+}
+
+// NewNetwork creates an empty network bound to eng.
+func NewNetwork(eng *Engine) *Network {
+	return &Network{eng: eng, flows: make(map[*Flow]struct{})}
+}
+
+// Engine returns the engine the network is bound to.
+func (n *Network) Engine() *Engine { return n.eng }
+
+// NewLink adds a link with the given initial available capacity (bits/sec),
+// one-way latency (seconds), and loss probability. The capacity floor is
+// set to 0.1% of the initial capacity so congested flows always progress,
+// mirroring how real TCP transfers stall but do not halt.
+func (n *Network) NewLink(name string, capacity, latency, loss float64) *Link {
+	if capacity <= 0 {
+		panic("simnet: link capacity must be > 0")
+	}
+	l := &Link{
+		Name:     name,
+		Latency:  latency,
+		Loss:     loss,
+		capacity: capacity,
+		floor:    capacity * 0.001,
+		flows:    make(map[*Flow]struct{}),
+		net:      n,
+	}
+	n.links = append(n.links, l)
+	return l
+}
+
+// FlowSpec describes a transfer to start.
+type FlowSpec struct {
+	Label      string
+	Links      []*Link // links traversed, client side first
+	Bytes      int64   // transfer size
+	RateCap    float64 // initial TCP ceiling, bits/sec (0 = unlimited)
+	OnComplete func(*Flow)
+}
+
+// StartFlow begins a fluid transfer. The flow is immediately included in
+// the fair-share allocation. Zero-byte flows complete on the next event
+// dispatch.
+func (n *Network) StartFlow(spec FlowSpec) *Flow {
+	if len(spec.Links) == 0 {
+		panic("simnet: flow must traverse at least one link")
+	}
+	if spec.Bytes < 0 {
+		panic("simnet: negative flow size")
+	}
+	rc := spec.RateCap
+	if rc <= 0 {
+		rc = math.Inf(1)
+	}
+	f := &Flow{
+		Label:         spec.Label,
+		links:         spec.Links,
+		rateCap:       rc,
+		totalBits:     float64(spec.Bytes) * 8,
+		remainingBits: float64(spec.Bytes) * 8,
+		started:       n.eng.Now(),
+		lastT:         n.eng.Now(),
+		onComplete:    spec.OnComplete,
+		net:           n,
+	}
+	n.flows[f] = struct{}{}
+	for _, l := range f.links {
+		l.flows[f] = struct{}{}
+	}
+	n.reallocate()
+	return f
+}
+
+// SetRateCap updates a flow's TCP ceiling (bits/sec; <= 0 means unlimited)
+// and reallocates.
+func (n *Network) SetRateCap(f *Flow, rc float64) {
+	if f.done {
+		return
+	}
+	if rc <= 0 {
+		rc = math.Inf(1)
+	}
+	if rc == f.rateCap {
+		return
+	}
+	f.rateCap = rc
+	n.reallocate()
+}
+
+// Abort removes a flow before completion without invoking its completion
+// callback. Progress made so far remains observable on the flow.
+func (n *Network) Abort(f *Flow) {
+	if f.done {
+		return
+	}
+	f.advance(n.eng.Now())
+	n.finish(f, false)
+	n.reallocate()
+}
+
+// ActiveFlows returns the number of in-progress flows.
+func (n *Network) ActiveFlows() int { return len(n.flows) }
+
+// finish marks f done and detaches it; callers reallocate afterwards.
+func (n *Network) finish(f *Flow, complete bool) {
+	f.done = true
+	f.finished = n.eng.Now()
+	if complete {
+		f.remainingBits = 0
+	}
+	f.rate = 0
+	if f.completion != nil {
+		f.completion.Cancel()
+		f.completion = nil
+	}
+	delete(n.flows, f)
+	for _, l := range f.links {
+		delete(l.flows, f)
+	}
+	if complete && f.onComplete != nil {
+		f.onComplete(f)
+	}
+}
+
+// reallocate recomputes max-min fair rates for all flows, charges progress
+// up to the current instant, completes any flows that just finished, and
+// reschedules completion events. It is the single point through which all
+// state changes flow.
+func (n *Network) reallocate() {
+	if n.reallocating {
+		// A completion callback mutated the network; redo the allocation
+		// once the outer call finishes.
+		n.dirty = true
+		return
+	}
+	n.reallocating = true
+	for {
+		n.dirty = false
+		n.reallocateOnce()
+		if !n.dirty {
+			break
+		}
+	}
+	n.reallocating = false
+}
+
+func (n *Network) reallocateOnce() {
+	n.Reallocations++
+	now := n.eng.Now()
+
+	// Charge progress at the previous rates and complete finished flows.
+	var finished []*Flow
+	for f := range n.flows {
+		f.advance(now)
+		if f.remainingBits <= completionSlack {
+			finished = append(finished, f)
+		}
+	}
+	for _, f := range finished {
+		n.finish(f, true)
+	}
+
+	n.computeMaxMin()
+
+	// Reschedule completion timers at the new rates.
+	for f := range n.flows {
+		if f.completion != nil {
+			f.completion.Cancel()
+			f.completion = nil
+		}
+		if f.rate <= 0 {
+			continue // a capacity floor should prevent this; be safe
+		}
+		eta := f.remainingBits / f.rate
+		// Clamp to a minimum that always advances the virtual clock: an
+		// eta below the float ulp of now would fire at the same instant,
+		// charge zero progress, and reschedule forever.
+		if eta < 1e-9 {
+			eta = 1e-9
+		}
+		f.completion = n.eng.After(eta, func() { n.reallocate() })
+	}
+}
+
+// computeMaxMin assigns each active flow its max-min fair rate via
+// progressive filling: rates of all unfrozen flows grow together until a
+// link saturates or a flow hits its cap; affected flows freeze; repeat.
+func (n *Network) computeMaxMin() {
+	if len(n.flows) == 0 {
+		return
+	}
+
+	// Work over the touched links only.
+	type linkState struct {
+		rem float64
+		cap float64
+		cnt int
+	}
+	ls := make(map[*Link]*linkState)
+	unfrozen := make(map[*Flow]struct{}, len(n.flows))
+	for f := range n.flows {
+		f.rate = 0
+		unfrozen[f] = struct{}{}
+		for _, l := range f.links {
+			st := ls[l]
+			if st == nil {
+				st = &linkState{rem: l.capacity, cap: l.capacity}
+				ls[l] = st
+			}
+			st.cnt++
+		}
+	}
+
+	// Saturation must be judged RELATIVE to magnitudes: the residue of
+	// rem -= inc*cnt is on the order of ulps of the capacity, which at
+	// Mb/s scales dwarfs any absolute epsilon. An absolute test here once
+	// left flows frozen below their fair share (caught by the max-min
+	// bottleneck-condition property test).
+	const relEps = 1e-9
+	for len(unfrozen) > 0 {
+		// Smallest permissible uniform rate increment.
+		inc := math.Inf(1)
+		for _, st := range ls {
+			if st.cnt > 0 {
+				if share := st.rem / float64(st.cnt); share < inc {
+					inc = share
+				}
+			}
+		}
+		for f := range unfrozen {
+			if head := f.rateCap - f.rate; head < inc {
+				inc = head
+			}
+		}
+		if inc < 0 {
+			inc = 0
+		}
+
+		// Apply the increment.
+		for f := range unfrozen {
+			f.rate += inc
+		}
+		for _, st := range ls {
+			st.rem -= inc * float64(st.cnt)
+			if st.rem < 0 {
+				st.rem = 0
+			}
+		}
+
+		// Freeze flows that hit their cap or cross a saturated link.
+		progressed := false
+		for f := range unfrozen {
+			saturated := !math.IsInf(f.rateCap, 1) && f.rate >= f.rateCap*(1-relEps)
+			if !saturated {
+				for _, l := range f.links {
+					if st := ls[l]; st.rem <= st.cap*relEps {
+						saturated = true
+						break
+					}
+				}
+			}
+			if saturated {
+				delete(unfrozen, f)
+				for _, l := range f.links {
+					ls[l].cnt--
+				}
+				progressed = true
+			}
+		}
+		if !progressed {
+			// Defensive: the relative thresholds should always freeze the
+			// binding constraint; bail out rather than loop forever.
+			break
+		}
+	}
+}

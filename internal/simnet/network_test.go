@@ -1,0 +1,492 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/randx"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// newNet returns an engine+network pair.
+func newNet() (*Engine, *Network) {
+	e := NewEngine()
+	return e, NewNetwork(e)
+}
+
+func TestSingleFlowTransferTime(t *testing.T) {
+	e, n := newNet()
+	l := n.NewLink("l", 8e6, 0.01, 0) // 8 Mb/s -> 1 MB/s
+	done := -1.0
+	n.StartFlow(FlowSpec{
+		Label: "f", Links: []*Link{l}, Bytes: 2_000_000,
+		OnComplete: func(f *Flow) { done = f.Finish() },
+	})
+	e.RunUntil(100)
+	if done < 0 {
+		t.Fatal("flow did not complete")
+	}
+	if !almost(done, 2.0, 1e-6) {
+		t.Fatalf("completion at %v, want 2.0s", done)
+	}
+}
+
+func TestFlowThroughputAccounting(t *testing.T) {
+	e, n := newNet()
+	l := n.NewLink("l", 8e6, 0.01, 0)
+	var got *Flow
+	n.StartFlow(FlowSpec{Links: []*Link{l}, Bytes: 1_000_000,
+		OnComplete: func(f *Flow) { got = f }})
+	e.RunUntil(100)
+	if got == nil {
+		t.Fatal("no completion")
+	}
+	if got.Bytes() != 1_000_000 || got.BytesMoved() != 1_000_000 {
+		t.Fatalf("bytes=%d moved=%d", got.Bytes(), got.BytesMoved())
+	}
+	if !almost(got.Throughput(), 8e6, 1) {
+		t.Fatalf("throughput=%v, want 8e6", got.Throughput())
+	}
+}
+
+func TestTwoFlowsShareFairly(t *testing.T) {
+	e, n := newNet()
+	l := n.NewLink("l", 8e6, 0.01, 0)
+	var t1, t2 float64
+	n.StartFlow(FlowSpec{Links: []*Link{l}, Bytes: 1_000_000,
+		OnComplete: func(f *Flow) { t1 = f.Finish() }})
+	n.StartFlow(FlowSpec{Links: []*Link{l}, Bytes: 1_000_000,
+		OnComplete: func(f *Flow) { t2 = f.Finish() }})
+	e.RunUntil(100)
+	// Each gets 4 Mb/s; both finish at 2s.
+	if !almost(t1, 2.0, 1e-6) || !almost(t2, 2.0, 1e-6) {
+		t.Fatalf("finish times %v, %v; want 2.0, 2.0", t1, t2)
+	}
+}
+
+func TestShortFlowReleasesBandwidth(t *testing.T) {
+	e, n := newNet()
+	l := n.NewLink("l", 8e6, 0.01, 0)
+	var tBig float64
+	n.StartFlow(FlowSpec{Links: []*Link{l}, Bytes: 2_000_000,
+		OnComplete: func(f *Flow) { tBig = f.Finish() }})
+	n.StartFlow(FlowSpec{Links: []*Link{l}, Bytes: 500_000, OnComplete: func(*Flow) {}})
+	e.RunUntil(100)
+	// Shared until the small flow's 0.5 MB is done at t=1 (4 Mb/s each);
+	// big flow then has 1.5 MB left at 8 Mb/s -> 1.5s more. Total 2.5s.
+	if !almost(tBig, 2.5, 1e-6) {
+		t.Fatalf("big flow finished at %v, want 2.5", tBig)
+	}
+}
+
+func TestRateCapHonored(t *testing.T) {
+	e, n := newNet()
+	l := n.NewLink("l", 8e6, 0.01, 0)
+	var fin float64
+	n.StartFlow(FlowSpec{Links: []*Link{l}, Bytes: 1_000_000, RateCap: 2e6,
+		OnComplete: func(f *Flow) { fin = f.Finish() }})
+	e.RunUntil(100)
+	if !almost(fin, 4.0, 1e-6) {
+		t.Fatalf("capped flow finished at %v, want 4.0", fin)
+	}
+}
+
+func TestCappedFlowLeavesBandwidthToOthers(t *testing.T) {
+	e, n := newNet()
+	l := n.NewLink("l", 10e6, 0.01, 0)
+	var fast float64
+	n.StartFlow(FlowSpec{Links: []*Link{l}, Bytes: 10_000_000, RateCap: 2e6,
+		OnComplete: func(*Flow) {}})
+	n.StartFlow(FlowSpec{Links: []*Link{l}, Bytes: 1_000_000,
+		OnComplete: func(f *Flow) { fast = f.Finish() }})
+	e.RunUntil(100)
+	// Uncapped flow gets 10-2 = 8 Mb/s -> 1s for 1 MB.
+	if !almost(fast, 1.0, 1e-6) {
+		t.Fatalf("uncapped flow finished at %v, want 1.0", fast)
+	}
+}
+
+func TestMultiLinkBottleneck(t *testing.T) {
+	e, n := newNet()
+	a := n.NewLink("a", 100e6, 0.01, 0)
+	b := n.NewLink("b", 4e6, 0.05, 0) // bottleneck
+	c := n.NewLink("c", 100e6, 0.01, 0)
+	var fin float64
+	n.StartFlow(FlowSpec{Links: []*Link{a, b, c}, Bytes: 1_000_000,
+		OnComplete: func(f *Flow) { fin = f.Finish() }})
+	e.RunUntil(100)
+	if !almost(fin, 2.0, 1e-6) {
+		t.Fatalf("finished at %v, want 2.0 (4 Mb/s bottleneck)", fin)
+	}
+}
+
+func TestSharedAccessLinkContention(t *testing.T) {
+	// Two flows from the same client over a shared access link, diverging
+	// to separate transit links: the access link is the shared bottleneck.
+	e, n := newNet()
+	access := n.NewLink("access", 4e6, 0.005, 0)
+	t1 := n.NewLink("t1", 100e6, 0.02, 0)
+	t2 := n.NewLink("t2", 100e6, 0.02, 0)
+	var f1, f2 float64
+	n.StartFlow(FlowSpec{Links: []*Link{access, t1}, Bytes: 1_000_000,
+		OnComplete: func(f *Flow) { f1 = f.Finish() }})
+	n.StartFlow(FlowSpec{Links: []*Link{access, t2}, Bytes: 1_000_000,
+		OnComplete: func(f *Flow) { f2 = f.Finish() }})
+	e.RunUntil(100)
+	if !almost(f1, 4.0, 1e-6) || !almost(f2, 4.0, 1e-6) {
+		t.Fatalf("finish times %v, %v; want 4.0 each (2 Mb/s shares)", f1, f2)
+	}
+}
+
+func TestMaxMinUnequalPaths(t *testing.T) {
+	// Flow X crosses links A(10) and B(4) shared with flow Y on B only,
+	// plus flow Z on A only. Max-min: X and Y split B at 2 each; Z gets
+	// A's remainder 8.
+	e, n := newNet()
+	a := n.NewLink("a", 10e6, 0.01, 0)
+	b := n.NewLink("b", 4e6, 0.01, 0)
+	fx := n.StartFlow(FlowSpec{Links: []*Link{a, b}, Bytes: 1 << 30})
+	fy := n.StartFlow(FlowSpec{Links: []*Link{b}, Bytes: 1 << 30})
+	fz := n.StartFlow(FlowSpec{Links: []*Link{a}, Bytes: 1 << 30})
+	_ = e
+	if !almost(fx.Rate(), 2e6, 1) {
+		t.Errorf("X rate %v, want 2e6", fx.Rate())
+	}
+	if !almost(fy.Rate(), 2e6, 1) {
+		t.Errorf("Y rate %v, want 2e6", fy.Rate())
+	}
+	if !almost(fz.Rate(), 8e6, 1) {
+		t.Errorf("Z rate %v, want 8e6", fz.Rate())
+	}
+}
+
+func TestSetRateCapMidTransfer(t *testing.T) {
+	e, n := newNet()
+	l := n.NewLink("l", 8e6, 0.01, 0)
+	var fin float64
+	f := n.StartFlow(FlowSpec{Links: []*Link{l}, Bytes: 2_000_000, RateCap: 4e6,
+		OnComplete: func(f *Flow) { fin = f.Finish() }})
+	e.RunUntil(1) // 0.5 MB moved at 4 Mb/s
+	n.SetRateCap(f, 8e6)
+	e.RunUntil(100)
+	// Remaining 1.5 MB at 8 Mb/s = 1.5s; total 2.5s.
+	if !almost(fin, 2.5, 1e-6) {
+		t.Fatalf("finished at %v, want 2.5", fin)
+	}
+}
+
+func TestLinkCapacityChangeMidTransfer(t *testing.T) {
+	e, n := newNet()
+	l := n.NewLink("l", 8e6, 0.01, 0)
+	var fin float64
+	n.StartFlow(FlowSpec{Links: []*Link{l}, Bytes: 2_000_000,
+		OnComplete: func(f *Flow) { fin = f.Finish() }})
+	e.RunUntil(1) // 1 MB moved
+	l.SetCapacity(2e6)
+	e.RunUntil(100)
+	// Remaining 1 MB at 2 Mb/s = 4s; total 5s.
+	if !almost(fin, 5.0, 1e-6) {
+		t.Fatalf("finished at %v, want 5.0", fin)
+	}
+}
+
+func TestCapacityFloor(t *testing.T) {
+	_, n := newNet()
+	l := n.NewLink("l", 1e6, 0.01, 0)
+	l.SetCapacity(0) // floored at 0.1% of initial
+	if l.Capacity() <= 0 {
+		t.Fatalf("capacity %v, want > 0 (floor)", l.Capacity())
+	}
+}
+
+func TestAbort(t *testing.T) {
+	e, n := newNet()
+	l := n.NewLink("l", 8e6, 0.01, 0)
+	completed := false
+	f := n.StartFlow(FlowSpec{Links: []*Link{l}, Bytes: 8_000_000,
+		OnComplete: func(*Flow) { completed = true }})
+	e.RunUntil(1)
+	n.Abort(f)
+	e.RunUntil(100)
+	if completed {
+		t.Fatal("aborted flow invoked OnComplete")
+	}
+	if !f.Done() {
+		t.Fatal("aborted flow not marked done")
+	}
+	if got := f.BytesMoved(); !almost(float64(got), 1_000_000, 2) {
+		t.Fatalf("aborted flow moved %d bytes, want ~1e6", got)
+	}
+	if n.ActiveFlows() != 0 {
+		t.Fatalf("active flows = %d after abort", n.ActiveFlows())
+	}
+}
+
+func TestCompletionStartsNewFlow(t *testing.T) {
+	e, n := newNet()
+	l := n.NewLink("l", 8e6, 0.01, 0)
+	var second float64
+	n.StartFlow(FlowSpec{Links: []*Link{l}, Bytes: 1_000_000,
+		OnComplete: func(*Flow) {
+			n.StartFlow(FlowSpec{Links: []*Link{l}, Bytes: 1_000_000,
+				OnComplete: func(f *Flow) { second = f.Finish() }})
+		}})
+	e.RunUntil(100)
+	if !almost(second, 2.0, 1e-6) {
+		t.Fatalf("chained flow finished at %v, want 2.0", second)
+	}
+}
+
+func TestZeroByteFlowCompletes(t *testing.T) {
+	e, n := newNet()
+	l := n.NewLink("l", 8e6, 0.01, 0)
+	done := false
+	n.StartFlow(FlowSpec{Links: []*Link{l}, Bytes: 0,
+		OnComplete: func(*Flow) { done = true }})
+	e.RunUntil(1)
+	if !done {
+		t.Fatal("zero-byte flow did not complete")
+	}
+}
+
+func TestDriveVariesCapacity(t *testing.T) {
+	e, n := newNet()
+	l := n.NewLink("l", 10e6, 0.01, 0)
+	proc := randx.NewOU(1.0, 0.2, 0.5)
+	rng := randx.New(1)
+	stop := l.Drive(proc, 5, 10e6, rng)
+	caps := map[float64]bool{}
+	for i := 0; i < 20; i++ {
+		e.RunFor(5)
+		caps[l.Capacity()] = true
+	}
+	if len(caps) < 10 {
+		t.Fatalf("capacity took only %d distinct values in 20 ticks", len(caps))
+	}
+	stop()
+	e.RunFor(50)
+	after := l.Capacity()
+	e.RunFor(50)
+	if l.Capacity() != after {
+		t.Fatal("driver kept running after stop")
+	}
+}
+
+func TestConservationProperty(t *testing.T) {
+	// Max-min allocation must never exceed any link capacity and never
+	// exceed a flow's cap, for random topologies.
+	f := func(seed uint64) bool {
+		rng := randx.New(seed)
+		_, n := newNet()
+		nLinks := 2 + rng.Intn(6)
+		links := make([]*Link, nLinks)
+		for i := range links {
+			links[i] = n.NewLink("l", 1e6+rng.Float64()*50e6, 0.01, 0)
+		}
+		nFlows := 1 + rng.Intn(10)
+		flows := make([]*Flow, nFlows)
+		for i := range flows {
+			// Random subset of links (at least one).
+			var fl []*Link
+			for _, l := range links {
+				if rng.Float64() < 0.4 {
+					fl = append(fl, l)
+				}
+			}
+			if len(fl) == 0 {
+				fl = []*Link{links[rng.Intn(nLinks)]}
+			}
+			rc := 0.0
+			if rng.Float64() < 0.5 {
+				rc = 0.5e6 + rng.Float64()*20e6
+			}
+			flows[i] = n.StartFlow(FlowSpec{Links: fl, Bytes: 1 << 30, RateCap: rc})
+		}
+		// Check link conservation.
+		for _, l := range links {
+			sum := 0.0
+			for f := range l.flows {
+				sum += f.rate
+			}
+			if sum > l.Capacity()*(1+1e-9)+1e-6 {
+				return false
+			}
+		}
+		// Check flow caps.
+		for _, f := range flows {
+			if f.rate > f.rateCap*(1+1e-9)+1e-6 {
+				return false
+			}
+			if f.rate < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxMinNoStarvationProperty(t *testing.T) {
+	// Every flow must receive a strictly positive rate (links have
+	// positive capacity floors).
+	f := func(seed uint64) bool {
+		rng := randx.New(seed)
+		_, n := newNet()
+		links := make([]*Link, 3)
+		for i := range links {
+			links[i] = n.NewLink("l", 1e6+rng.Float64()*10e6, 0.01, 0)
+		}
+		var flows []*Flow
+		for i := 0; i < 5; i++ {
+			fl := []*Link{links[rng.Intn(3)], links[rng.Intn(3)]}
+			flows = append(flows, n.StartFlow(FlowSpec{Links: fl, Bytes: 1 << 30}))
+		}
+		for _, f := range flows {
+			if f.Rate() <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartFlowValidation(t *testing.T) {
+	_, n := newNet()
+	for name, fn := range map[string]func(){
+		"no links":       func() { n.StartFlow(FlowSpec{Bytes: 1}) },
+		"negative bytes": func() { n.StartFlow(FlowSpec{Links: []*Link{n.NewLink("l", 1e6, 0, 0)}, Bytes: -1}) },
+		"zero capacity":  func() { n.NewLink("bad", 0, 0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMaxMinBottleneckConditionProperty(t *testing.T) {
+	// The defining property of a max-min fair allocation: every flow is
+	// either at its rate cap or crosses at least one saturated link
+	// (otherwise its rate could be raised, contradicting max-min
+	// optimality).
+	f := func(seed uint64) bool {
+		rng := randx.New(seed)
+		_, n := newNet()
+		nLinks := 2 + rng.Intn(5)
+		links := make([]*Link, nLinks)
+		for i := range links {
+			links[i] = n.NewLink("l", 1e6+rng.Float64()*20e6, 0.01, 0)
+		}
+		var flows []*Flow
+		for i := 0; i < 1+rng.Intn(8); i++ {
+			var fl []*Link
+			for _, l := range links {
+				if rng.Float64() < 0.5 {
+					fl = append(fl, l)
+				}
+			}
+			if len(fl) == 0 {
+				fl = []*Link{links[rng.Intn(nLinks)]}
+			}
+			rc := 0.0
+			if rng.Float64() < 0.4 {
+				rc = 0.5e6 + rng.Float64()*10e6
+			}
+			flows = append(flows, n.StartFlow(FlowSpec{Links: fl, Bytes: 1 << 40, RateCap: rc}))
+		}
+		for _, f := range flows {
+			if f.Rate() >= f.RateCap()*(1-1e-6) {
+				continue // capped
+			}
+			saturated := false
+			for _, l := range f.Links() {
+				sum := 0.0
+				for fl := range l.flows {
+					sum += fl.Rate()
+				}
+				if sum >= l.Capacity()*(1-1e-6) {
+					saturated = true
+					break
+				}
+			}
+			if !saturated {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkConservationOverTime(t *testing.T) {
+	// Bytes delivered by a completed flow must equal its declared size,
+	// and the sum of deliveries over a busy sequence must be exact —
+	// progress charging must not create or destroy bytes under capacity
+	// churn and contention.
+	e, n := newNet()
+	l1 := n.NewLink("l1", 6e6, 0.01, 0)
+	l2 := n.NewLink("l2", 3e6, 0.02, 0)
+	var delivered int64
+	const flows = 24
+	for i := 0; i < flows; i++ {
+		links := []*Link{l1}
+		if i%2 == 0 {
+			links = []*Link{l1, l2}
+		}
+		size := int64(100_000 + 37_000*i)
+		n.StartFlow(FlowSpec{Links: links, Bytes: size,
+			OnComplete: func(f *Flow) { delivered += f.BytesMoved() }})
+		// Capacity churn mid-stream.
+		e.After(float64(i)*0.7+0.3, func() { l1.SetCapacity(2e6 + float64(i%5)*1e6) })
+	}
+	e.RunUntil(5000)
+	if n.ActiveFlows() != 0 {
+		t.Fatalf("%d flows still active", n.ActiveFlows())
+	}
+	var want int64
+	for i := 0; i < flows; i++ {
+		want += int64(100_000 + 37_000*i)
+	}
+	if delivered != want {
+		t.Fatalf("delivered %d bytes, want %d", delivered, want)
+	}
+}
+
+func TestEngineDeterminismUnderLoad(t *testing.T) {
+	run := func() []float64 {
+		e, n := newNet()
+		l := n.NewLink("l", 5e6, 0.01, 0)
+		rng := randx.New(42)
+		stop := l.Drive(randx.NewOU(5e6, 1.0/30, 0.4), 5, 1.0, rng)
+		defer stop()
+		var finishes []float64
+		for i := 0; i < 10; i++ {
+			n.StartFlow(FlowSpec{Links: []*Link{l}, Bytes: int64(200_000 * (i + 1)),
+				OnComplete: func(f *Flow) { finishes = append(finishes, f.Finish()) }})
+		}
+		e.RunUntil(100)
+		return finishes
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("different completion counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("finish %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package simnet
+
+// Sampler periodically records a float-valued source (a link's capacity, a
+// flow's rate, anything observable from the engine's thread) into a
+// timestamped series. It is the instrumentation used to inspect path
+// dynamics without perturbing them.
+type Sampler struct {
+	Times  []float64
+	Values []float64
+
+	stopped bool
+}
+
+// Sample attaches a sampler to eng that reads source() every interval
+// seconds of virtual time, starting one interval from now. Stop it with
+// (*Sampler).Stop.
+func Sample(eng *Engine, interval float64, source func() float64) *Sampler {
+	if interval <= 0 {
+		panic("simnet: Sample requires interval > 0")
+	}
+	s := &Sampler{}
+	var tick func()
+	tick = func() {
+		if s.stopped {
+			return
+		}
+		s.Times = append(s.Times, eng.Now())
+		s.Values = append(s.Values, source())
+		eng.After(interval, tick)
+	}
+	eng.After(interval, tick)
+	return s
+}
+
+// Stop detaches the sampler; the collected series remains available.
+func (s *Sampler) Stop() { s.stopped = true }
+
+// Len returns the number of samples collected.
+func (s *Sampler) Len() int { return len(s.Values) }
+
+// Mean returns the average of the collected values (0 if empty).
+func (s *Sampler) Mean() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.Values {
+		sum += v
+	}
+	return sum / float64(len(s.Values))
+}
+
+// Min and Max return the extrema of the collected values (0 if empty).
+func (s *Sampler) Min() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	m := s.Values[0]
+	for _, v := range s.Values[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest collected value (0 if empty).
+func (s *Sampler) Max() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	m := s.Values[0]
+	for _, v := range s.Values[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,71 @@
+package simnet
+
+import "testing"
+
+func TestSamplerCollects(t *testing.T) {
+	e := NewEngine()
+	v := 0.0
+	e.After(25, func() { v = 10 })
+	s := Sample(e, 10, func() float64 { return v })
+	e.RunUntil(100)
+	if s.Len() != 10 {
+		t.Fatalf("collected %d samples, want 10", s.Len())
+	}
+	// First two samples (t=10,20) see 0; the rest see 10.
+	if s.Values[0] != 0 || s.Values[1] != 0 || s.Values[2] != 10 {
+		t.Fatalf("values = %v", s.Values[:3])
+	}
+	if s.Times[0] != 10 || s.Times[9] != 100 {
+		t.Fatalf("times = %v", s.Times)
+	}
+}
+
+func TestSamplerStats(t *testing.T) {
+	e := NewEngine()
+	i := 0.0
+	s := Sample(e, 1, func() float64 { i++; return i })
+	e.RunUntil(4) // samples: 1,2,3,4
+	if s.Mean() != 2.5 || s.Min() != 1 || s.Max() != 4 {
+		t.Fatalf("stats = %v/%v/%v", s.Mean(), s.Min(), s.Max())
+	}
+}
+
+func TestSamplerStop(t *testing.T) {
+	e := NewEngine()
+	s := Sample(e, 1, func() float64 { return 1 })
+	e.RunUntil(3)
+	s.Stop()
+	e.RunUntil(10)
+	if s.Len() != 3 {
+		t.Fatalf("sampler kept running after Stop: %d samples", s.Len())
+	}
+}
+
+func TestSamplerEmptyStats(t *testing.T) {
+	s := &Sampler{}
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Len() != 0 {
+		t.Fatal("empty sampler stats should be zero")
+	}
+}
+
+func TestSamplerBadIntervalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Sample(NewEngine(), 0, func() float64 { return 0 })
+}
+
+func TestSamplerOnLinkCapacity(t *testing.T) {
+	e := NewEngine()
+	n := NewNetwork(e)
+	l := n.NewLink("l", 8e6, 0.01, 0)
+	s := Sample(e, 5, l.Capacity)
+	e.RunUntil(20)
+	l.SetCapacity(2e6)
+	e.RunUntil(40)
+	if s.Min() != 2e6 || s.Max() != 8e6 {
+		t.Fatalf("link capacity series min/max = %v/%v", s.Min(), s.Max())
+	}
+}

@@ -1,0 +1,62 @@
+package stats
+
+import "testing"
+
+func benchSample(n int) []float64 {
+	xs := make([]float64, n)
+	v := 12345.0
+	for i := range xs {
+		v = (v*69069 + 1) - float64(int64(v*69069+1)/1e6)*1e6
+		xs[i] = v / 1e4
+	}
+	return xs
+}
+
+func BenchmarkAccAdd(b *testing.B) {
+	var a Acc
+	for i := 0; i < b.N; i++ {
+		a.Add(float64(i))
+	}
+}
+
+func BenchmarkSummarize1k(b *testing.B) {
+	xs := benchSample(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Summarize(xs)
+	}
+}
+
+func BenchmarkHistogramAdd(b *testing.B) {
+	h := NewHistogram(-100, 300, 80)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Add(float64(i % 400))
+	}
+}
+
+func BenchmarkOLS1k(b *testing.B) {
+	xs := benchSample(1000)
+	ys := benchSample(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		OLS(xs, ys)
+	}
+}
+
+func BenchmarkPearson1k(b *testing.B) {
+	xs := benchSample(1000)
+	ys := benchSample(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Pearson(xs, ys)
+	}
+}
+
+func BenchmarkEmpiricalCDF1k(b *testing.B) {
+	xs := benchSample(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EmpiricalCDF(xs)
+	}
+}

@@ -1,0 +1,63 @@
+package stats
+
+import (
+	"sort"
+
+	"repro/internal/randx"
+)
+
+// CI is a two-sided confidence interval for a statistic.
+type CI struct {
+	Point    float64 // the statistic on the original sample
+	Lo, Hi   float64 // interval bounds
+	Level    float64 // confidence level, e.g. 0.95
+	Resample int     // number of bootstrap resamples used
+}
+
+// Width returns Hi − Lo.
+func (c CI) Width() float64 { return c.Hi - c.Lo }
+
+// Contains reports whether v lies in [Lo, Hi].
+func (c CI) Contains(v float64) bool { return v >= c.Lo && v <= c.Hi }
+
+// BootstrapMeanCI estimates a percentile-bootstrap confidence interval
+// for the mean of xs at the given level (e.g. 0.95), using resamples
+// bootstrap draws (default 1000 when <= 0) from the provided RNG. The
+// experiment drivers use it to put error margins on the headline
+// improvement numbers, which the paper reports as bare means.
+func BootstrapMeanCI(xs []float64, level float64, resamples int, r *randx.RNG) CI {
+	return BootstrapCI(xs, Mean, level, resamples, r)
+}
+
+// BootstrapCI is the general percentile bootstrap for any statistic.
+// An empty sample yields a zero CI.
+func BootstrapCI(xs []float64, stat func([]float64) float64, level float64, resamples int, r *randx.RNG) CI {
+	if resamples <= 0 {
+		resamples = 1000
+	}
+	if level <= 0 || level >= 1 {
+		level = 0.95
+	}
+	ci := CI{Level: level, Resample: resamples}
+	if len(xs) == 0 {
+		return ci
+	}
+	ci.Point = stat(xs)
+	if len(xs) == 1 {
+		ci.Lo, ci.Hi = ci.Point, ci.Point
+		return ci
+	}
+	buf := make([]float64, len(xs))
+	points := make([]float64, resamples)
+	for i := 0; i < resamples; i++ {
+		for j := range buf {
+			buf[j] = xs[r.Intn(len(xs))]
+		}
+		points[i] = stat(buf)
+	}
+	sort.Float64s(points)
+	alpha := (1 - level) / 2
+	ci.Lo = Quantile(points, alpha)
+	ci.Hi = Quantile(points, 1-alpha)
+	return ci
+}

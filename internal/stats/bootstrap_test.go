@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/randx"
+)
+
+func TestBootstrapMeanCICoversTruth(t *testing.T) {
+	// Draw samples from a known distribution; the 95% CI should contain
+	// the true mean in roughly 95% of trials. Check a loose lower bound
+	// over 100 trials.
+	rng := randx.New(1)
+	covered := 0
+	const trials = 100
+	for trial := 0; trial < trials; trial++ {
+		xs := make([]float64, 60)
+		for i := range xs {
+			xs[i] = 10 + 3*rng.NormFloat64()
+		}
+		ci := BootstrapMeanCI(xs, 0.95, 400, rng.Fork("bs"))
+		if ci.Contains(10) {
+			covered++
+		}
+	}
+	if covered < 85 {
+		t.Fatalf("95%% CI covered the truth only %d/100 times", covered)
+	}
+}
+
+func TestBootstrapCIOrdering(t *testing.T) {
+	rng := randx.New(2)
+	xs := []float64{1, 5, 2, 8, 3, 9, 4, 2, 7, 6}
+	ci := BootstrapMeanCI(xs, 0.95, 500, rng)
+	if ci.Lo > ci.Point || ci.Point > ci.Hi {
+		t.Fatalf("CI not ordered: %+v", ci)
+	}
+	if !almost(ci.Point, Mean(xs), 1e-12) {
+		t.Fatalf("point estimate %v != mean %v", ci.Point, Mean(xs))
+	}
+	if ci.Width() <= 0 {
+		t.Fatal("degenerate interval for a dispersed sample")
+	}
+}
+
+func TestBootstrapNarrowsWithN(t *testing.T) {
+	rng := randx.New(3)
+	mk := func(n int) []float64 {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		return xs
+	}
+	small := BootstrapMeanCI(mk(20), 0.95, 500, rng.Fork("a"))
+	large := BootstrapMeanCI(mk(2000), 0.95, 500, rng.Fork("b"))
+	if large.Width() >= small.Width() {
+		t.Fatalf("CI did not narrow with sample size: %v vs %v", large.Width(), small.Width())
+	}
+}
+
+func TestBootstrapEdgeCases(t *testing.T) {
+	rng := randx.New(4)
+	empty := BootstrapMeanCI(nil, 0.95, 100, rng)
+	if empty.Point != 0 || empty.Lo != 0 || empty.Hi != 0 {
+		t.Fatalf("empty CI = %+v", empty)
+	}
+	single := BootstrapMeanCI([]float64{7}, 0.95, 100, rng)
+	if single.Lo != 7 || single.Hi != 7 || single.Point != 7 {
+		t.Fatalf("single-sample CI = %+v", single)
+	}
+	constant := BootstrapMeanCI([]float64{3, 3, 3, 3}, 0.95, 100, rng)
+	if constant.Width() != 0 || constant.Point != 3 {
+		t.Fatalf("constant-sample CI = %+v", constant)
+	}
+}
+
+func TestBootstrapDefaults(t *testing.T) {
+	rng := randx.New(5)
+	ci := BootstrapMeanCI([]float64{1, 2, 3}, 0, 0, rng)
+	if ci.Level != 0.95 || ci.Resample != 1000 {
+		t.Fatalf("defaults not applied: %+v", ci)
+	}
+	bad := BootstrapMeanCI([]float64{1, 2, 3}, 1.5, 50, rng)
+	if bad.Level != 0.95 {
+		t.Fatalf("out-of-range level not defaulted: %+v", bad)
+	}
+}
+
+func TestBootstrapCustomStatistic(t *testing.T) {
+	rng := randx.New(6)
+	xs := []float64{1, 2, 3, 4, 100}
+	ci := BootstrapCI(xs, Median, 0.95, 500, rng)
+	if math.Abs(ci.Point-3) > 1e-12 {
+		t.Fatalf("median point = %v, want 3", ci.Point)
+	}
+	if ci.Lo > ci.Point || ci.Point > ci.Hi {
+		t.Fatalf("median CI not ordered: %+v", ci)
+	}
+	// Every bootstrap median of this sample is one of its order
+	// statistics, so the interval must stay within the sample's range.
+	if ci.Lo < 1 || ci.Hi > 100 {
+		t.Fatalf("median CI outside sample range: %+v", ci)
+	}
+}

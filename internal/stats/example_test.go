@@ -1,0 +1,54 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"repro/internal/randx"
+	"repro/internal/stats"
+)
+
+// ExampleSummarize computes the descriptive statistics the evaluation
+// reports for improvement samples.
+func ExampleSummarize() {
+	imps := []float64{-12, 5, 22, 37, 41, 58, 76, 103}
+	s := stats.Summarize(imps)
+	fmt.Printf("n=%d mean=%.1f median=%.1f\n", s.N, s.Mean, s.Median)
+	fmt.Printf("negative=%.2f in[0,100]=%.2f\n", s.FracNegative, s.FracInUnit)
+	// Output:
+	// n=8 mean=41.2 median=39.0
+	// negative=0.12 in[0,100]=0.75
+}
+
+// ExampleNewHistogram bins improvement samples like Figure 1.
+func ExampleNewHistogram() {
+	h := stats.NewHistogram(-100, 300, 8) // 50%-wide bins
+	h.AddAll([]float64{-20, 10, 30, 45, 60, 80, 120, 350})
+	fmt.Println("total:", h.Total())
+	fmt.Println("overflow:", h.Overflow)
+	fmt.Printf("in [0,100): %.2f\n", h.FractionBetween(0, 100))
+	// Output:
+	// total: 8
+	// overflow: 1
+	// in [0,100): 0.62
+}
+
+// ExampleOLS fits the Figure 3 trend line.
+func ExampleOLS() {
+	direct := []float64{0.5, 1.0, 2.0, 4.0}   // Mb/s
+	improvement := []float64{90, 55, 20, -10} // percent
+	fit := stats.OLS(direct, improvement)
+	fmt.Printf("slope %.1f %%/Mbps (downward: %v)\n", fit.Slope, fit.Slope < 0)
+	// Output:
+	// slope -26.5 %/Mbps (downward: true)
+}
+
+// ExampleBootstrapMeanCI puts an error margin on a mean improvement.
+func ExampleBootstrapMeanCI() {
+	rng := randx.New(7)
+	sample := []float64{31, 44, 29, 51, 38, 47, 35, 42, 39, 45}
+	ci := stats.BootstrapMeanCI(sample, 0.95, 500, rng)
+	fmt.Printf("mean %.1f, CI ordered: %v, contains mean: %v\n",
+		ci.Point, ci.Lo <= ci.Hi, ci.Contains(ci.Point))
+	// Output:
+	// mean 40.1, CI ordered: true, contains mean: true
+}

@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// KSResult is the outcome of a two-sample Kolmogorov–Smirnov comparison.
+type KSResult struct {
+	// D is the KS statistic: the supremum distance between the two
+	// empirical CDFs.
+	D float64
+	// PValue approximates the probability of observing a distance at
+	// least this large under the null hypothesis that both samples come
+	// from the same distribution (asymptotic Kolmogorov distribution).
+	PValue float64
+	N1, N2 int
+}
+
+// SameDistribution reports whether the null hypothesis survives at the
+// given significance level (e.g. 0.05).
+func (r KSResult) SameDistribution(alpha float64) bool { return r.PValue > alpha }
+
+// KolmogorovSmirnov runs the two-sample KS test. The experiment suite uses
+// it to check that headline improvement distributions are stable across
+// seeds (a reproduction that only works for one seed would be a bug, not a
+// result). Empty samples yield D=0, PValue=1.
+func KolmogorovSmirnov(xs, ys []float64) KSResult {
+	res := KSResult{N1: len(xs), N2: len(ys), PValue: 1}
+	if len(xs) == 0 || len(ys) == 0 {
+		return res
+	}
+	a := make([]float64, len(xs))
+	b := make([]float64, len(ys))
+	copy(a, xs)
+	copy(b, ys)
+	sort.Float64s(a)
+	sort.Float64s(b)
+
+	var i, j int
+	var d float64
+	for i < len(a) && j < len(b) {
+		// Advance past the whole tie group on whichever side(s) hold the
+		// smallest remaining value, then compare the CDFs at that point.
+		switch {
+		case a[i] < b[j]:
+			v := a[i]
+			for i < len(a) && a[i] == v {
+				i++
+			}
+		case b[j] < a[i]:
+			v := b[j]
+			for j < len(b) && b[j] == v {
+				j++
+			}
+		default:
+			v := a[i]
+			for i < len(a) && a[i] == v {
+				i++
+			}
+			for j < len(b) && b[j] == v {
+				j++
+			}
+		}
+		diff := math.Abs(float64(i)/float64(len(a)) - float64(j)/float64(len(b)))
+		if diff > d {
+			d = diff
+		}
+	}
+	res.D = d
+
+	// Asymptotic p-value: Q_KS(sqrt(n_e)·D) with the effective size.
+	ne := float64(len(a)) * float64(len(b)) / float64(len(a)+len(b))
+	lambda := (math.Sqrt(ne) + 0.12 + 0.11/math.Sqrt(ne)) * d
+	res.PValue = ksQ(lambda)
+	return res
+}
+
+// ksQ is the Kolmogorov distribution tail Q(λ) = 2 Σ (−1)^{k−1} e^{−2k²λ²}.
+func ksQ(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	sum := 0.0
+	sign := 1.0
+	for k := 1; k <= 100; k++ {
+		term := sign * math.Exp(-2*float64(k*k)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-12 {
+			break
+		}
+		sign = -sign
+	}
+	p := 2 * sum
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}

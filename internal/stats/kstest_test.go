@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"testing"
+
+	"repro/internal/randx"
+)
+
+func normSample(r *randx.RNG, n int, mu, sigma float64) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = mu + sigma*r.NormFloat64()
+	}
+	return xs
+}
+
+func TestKSSameDistribution(t *testing.T) {
+	r := randx.New(1)
+	a := normSample(r, 400, 0, 1)
+	b := normSample(r, 400, 0, 1)
+	res := KolmogorovSmirnov(a, b)
+	if !res.SameDistribution(0.01) {
+		t.Fatalf("identical distributions rejected: %+v", res)
+	}
+	if res.D < 0 || res.D > 1 {
+		t.Fatalf("D out of range: %v", res.D)
+	}
+}
+
+func TestKSDifferentMeans(t *testing.T) {
+	r := randx.New(2)
+	a := normSample(r, 400, 0, 1)
+	b := normSample(r, 400, 1.5, 1)
+	res := KolmogorovSmirnov(a, b)
+	if res.SameDistribution(0.01) {
+		t.Fatalf("clearly shifted distributions accepted: %+v", res)
+	}
+	if res.D < 0.3 {
+		t.Fatalf("D=%v too small for a 1.5-sigma shift", res.D)
+	}
+}
+
+func TestKSDifferentShapes(t *testing.T) {
+	r := randx.New(3)
+	a := normSample(r, 3000, 0, 1)
+	b := make([]float64, 3000)
+	for i := range b {
+		b[i] = 4*r.Float64() - 2 // uniform on [-2,2)
+	}
+	res := KolmogorovSmirnov(a, b)
+	if res.SameDistribution(0.01) {
+		t.Fatalf("normal vs uniform accepted: %+v", res)
+	}
+}
+
+func TestKSIdenticalSamples(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	res := KolmogorovSmirnov(xs, xs)
+	if res.D != 0 || res.PValue < 0.99 {
+		t.Fatalf("identical samples: %+v", res)
+	}
+}
+
+func TestKSEmpty(t *testing.T) {
+	res := KolmogorovSmirnov(nil, []float64{1})
+	if res.D != 0 || res.PValue != 1 {
+		t.Fatalf("empty sample: %+v", res)
+	}
+}
+
+func TestKSDoesNotMutate(t *testing.T) {
+	a := []float64{3, 1, 2}
+	b := []float64{2, 3, 1}
+	KolmogorovSmirnov(a, b)
+	if a[0] != 3 || b[0] != 2 {
+		t.Fatal("KS mutated its inputs")
+	}
+}
+
+func TestKSQBounds(t *testing.T) {
+	if q := ksQ(0); q != 1 {
+		t.Fatalf("ksQ(0)=%v", q)
+	}
+	if q := ksQ(10); q > 1e-10 {
+		t.Fatalf("ksQ(10)=%v, want ~0", q)
+	}
+	prev := 1.0
+	for _, l := range []float64{0.3, 0.6, 1.0, 1.5, 2.0} {
+		q := ksQ(l)
+		if q > prev {
+			t.Fatalf("ksQ not monotone at %v", l)
+		}
+		prev = q
+	}
+}

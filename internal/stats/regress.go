@@ -1,0 +1,120 @@
+package stats
+
+import "math"
+
+// LinearFit is the result of an ordinary least squares fit y = a + b*x.
+type LinearFit struct {
+	Intercept float64 // a
+	Slope     float64 // b
+	R2        float64 // coefficient of determination
+	N         int
+}
+
+// OLS fits y = a + b*x by ordinary least squares. It panics if the slices
+// have different lengths; it returns a zero fit for n < 2 or degenerate x.
+func OLS(xs, ys []float64) LinearFit {
+	if len(xs) != len(ys) {
+		panic("stats: OLS requires len(xs) == len(ys)")
+	}
+	n := len(xs)
+	fit := LinearFit{N: n}
+	if n < 2 {
+		return fit
+	}
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return fit
+	}
+	fit.Slope = sxy / sxx
+	fit.Intercept = my - fit.Slope*mx
+	if syy > 0 {
+		fit.R2 = (sxy * sxy) / (sxx * syy)
+	}
+	return fit
+}
+
+// Pearson returns the Pearson correlation coefficient of the paired
+// samples, or 0 when either sample is degenerate. It panics on mismatched
+// lengths.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic("stats: Pearson requires len(xs) == len(ys)")
+	}
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var sxx, syy, sxy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		syy += dy * dy
+		sxy += dx * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Spearman returns the Spearman rank correlation of the paired samples.
+// It is the Pearson correlation of the ranks, robust to the heavy tails of
+// throughput data. Ties receive average ranks.
+func Spearman(xs, ys []float64) float64 {
+	return Pearson(ranks(xs), ranks(ys))
+}
+
+func ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	// Sort indices by value (insertion sort keeps this dependency-free and
+	// the samples here are small; the experiment aggregates per node, not
+	// per transfer).
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && xs[idx[j]] < xs[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	r := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := (float64(i) + float64(j)) / 2
+		for k := i; k <= j; k++ {
+			r[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return r
+}
+
+// TrendSlopePerHour fits throughput samples taken at times ts (seconds)
+// and returns the OLS slope expressed per hour, used to verify the paper's
+// Figure 4 claim that indirect path throughput shows "no discernable
+// uptrend or downtrend".
+func TrendSlopePerHour(ts, ys []float64) float64 {
+	return OLS(ts, ys).Slope * 3600
+}

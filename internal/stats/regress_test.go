@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOLSExactLine(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 + 2*x
+	}
+	fit := OLS(xs, ys)
+	if !almost(fit.Slope, 2, 1e-12) || !almost(fit.Intercept, 3, 1e-12) {
+		t.Fatalf("fit=%+v, want slope 2 intercept 3", fit)
+	}
+	if !almost(fit.R2, 1, 1e-12) {
+		t.Fatalf("R2=%v, want 1", fit.R2)
+	}
+}
+
+func TestOLSNoise(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	ys := []float64{2.1, 3.9, 6.2, 7.8, 10.1, 11.9}
+	fit := OLS(xs, ys)
+	if math.Abs(fit.Slope-2) > 0.1 {
+		t.Fatalf("slope=%v, want ~2", fit.Slope)
+	}
+	if fit.R2 < 0.99 {
+		t.Fatalf("R2=%v, want > 0.99", fit.R2)
+	}
+}
+
+func TestOLSDegenerate(t *testing.T) {
+	if fit := OLS([]float64{5, 5, 5}, []float64{1, 2, 3}); fit.Slope != 0 {
+		t.Fatal("constant x should give zero slope")
+	}
+	if fit := OLS([]float64{1}, []float64{2}); fit.Slope != 0 {
+		t.Fatal("n=1 should give zero fit")
+	}
+	if fit := OLS(nil, nil); fit.N != 0 {
+		t.Fatal("empty fit should have N=0")
+	}
+}
+
+func TestOLSPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	OLS([]float64{1, 2}, []float64{1})
+}
+
+func TestPearsonPerfect(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{10, 20, 30, 40}
+	if r := Pearson(xs, ys); !almost(r, 1, 1e-12) {
+		t.Fatalf("r=%v, want 1", r)
+	}
+	neg := []float64{40, 30, 20, 10}
+	if r := Pearson(xs, neg); !almost(r, -1, 1e-12) {
+		t.Fatalf("r=%v, want -1", r)
+	}
+}
+
+func TestPearsonDegenerate(t *testing.T) {
+	if r := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}); r != 0 {
+		t.Fatalf("degenerate r=%v, want 0", r)
+	}
+	if r := Pearson([]float64{1}, []float64{2}); r != 0 {
+		t.Fatalf("n=1 r=%v, want 0", r)
+	}
+}
+
+func TestPearsonBoundsProperty(t *testing.T) {
+	f := func(pairs [][2]float64) bool {
+		xs := make([]float64, 0, len(pairs))
+		ys := make([]float64, 0, len(pairs))
+		for _, p := range pairs {
+			if math.IsNaN(p[0]) || math.IsNaN(p[1]) ||
+				math.IsInf(p[0], 0) || math.IsInf(p[1], 0) ||
+				math.Abs(p[0]) > 1e8 || math.Abs(p[1]) > 1e8 {
+				continue
+			}
+			xs = append(xs, p[0])
+			ys = append(ys, p[1])
+		}
+		r := Pearson(xs, ys)
+		return r >= -1-1e-9 && r <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	// Any strictly increasing relation has Spearman rho = 1, even when
+	// Pearson < 1.
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 8, 27, 64, 125}
+	if rho := Spearman(xs, ys); !almost(rho, 1, 1e-12) {
+		t.Fatalf("rho=%v, want 1", rho)
+	}
+}
+
+func TestSpearmanTies(t *testing.T) {
+	xs := []float64{1, 2, 2, 3}
+	ys := []float64{10, 20, 20, 30}
+	if rho := Spearman(xs, ys); !almost(rho, 1, 1e-12) {
+		t.Fatalf("rho with ties=%v, want 1", rho)
+	}
+}
+
+func TestRanksAveragesTies(t *testing.T) {
+	r := ranks([]float64{10, 20, 20, 5})
+	want := []float64{1, 2.5, 2.5, 0}
+	for i := range want {
+		if !almost(r[i], want[i], 1e-12) {
+			t.Fatalf("ranks=%v, want %v", r, want)
+		}
+	}
+}
+
+func TestTrendSlopePerHour(t *testing.T) {
+	// Throughput rising 1 unit per second = 3600 per hour.
+	ts := []float64{0, 1, 2, 3}
+	ys := []float64{0, 1, 2, 3}
+	if s := TrendSlopePerHour(ts, ys); !almost(s, 3600, 1e-9) {
+		t.Fatalf("slope/hr=%v, want 3600", s)
+	}
+}

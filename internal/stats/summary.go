@@ -1,0 +1,206 @@
+// Package stats provides the descriptive statistics used throughout the
+// indirect-routing evaluation: online accumulators, full-sample summaries,
+// histograms, empirical CDFs, correlation, and ordinary least squares.
+//
+// All functions are pure and allocation-conscious; the experiment drivers
+// call them from parallel workers, so nothing here holds global state.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Acc is an online (Welford) accumulator for mean and variance that also
+// tracks min, max, and sum of squares for RMS. The zero value is ready to
+// use. It is not safe for concurrent use; give each worker its own and
+// Merge afterwards.
+type Acc struct {
+	n          int64
+	mean, m2   float64
+	sumSq      float64
+	min, max   float64
+	hasExtrema bool
+}
+
+// Add folds one observation into the accumulator.
+func (a *Acc) Add(x float64) {
+	a.n++
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+	a.sumSq += x * x
+	if !a.hasExtrema || x < a.min {
+		a.min = x
+	}
+	if !a.hasExtrema || x > a.max {
+		a.max = x
+	}
+	a.hasExtrema = true
+}
+
+// Merge folds another accumulator into a (Chan et al. parallel variance).
+func (a *Acc) Merge(b *Acc) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = *b
+		return
+	}
+	n := a.n + b.n
+	d := b.mean - a.mean
+	a.m2 += b.m2 + d*d*float64(a.n)*float64(b.n)/float64(n)
+	a.mean += d * float64(b.n) / float64(n)
+	a.sumSq += b.sumSq
+	if b.min < a.min {
+		a.min = b.min
+	}
+	if b.max > a.max {
+		a.max = b.max
+	}
+	a.n = n
+}
+
+// N returns the number of observations.
+func (a *Acc) N() int64 { return a.n }
+
+// Mean returns the sample mean (0 if empty).
+func (a *Acc) Mean() float64 { return a.mean }
+
+// Var returns the unbiased sample variance (0 for n < 2).
+func (a *Acc) Var() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (a *Acc) Std() float64 { return math.Sqrt(a.Var()) }
+
+// RMS returns the root mean square of the observations.
+func (a *Acc) RMS() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return math.Sqrt(a.sumSq / float64(a.n))
+}
+
+// Min returns the smallest observation (0 if empty).
+func (a *Acc) Min() float64 { return a.min }
+
+// Max returns the largest observation (0 if empty).
+func (a *Acc) Max() float64 { return a.max }
+
+// Summary holds the full set of descriptive statistics for a sample.
+type Summary struct {
+	N                        int
+	Mean, Median, Std, RMS   float64
+	Min, Max                 float64
+	P10, P25, P75, P90, P95  float64
+	FracNegative, FracInUnit float64 // fraction < 0, fraction in [0, 100]
+}
+
+// Summarize computes a Summary of xs. It copies and sorts internally and
+// leaves xs unmodified. An empty sample yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	var s Summary
+	s.N = len(xs)
+	if s.N == 0 {
+		return s
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+
+	var acc Acc
+	neg, inUnit := 0, 0
+	for _, x := range xs {
+		acc.Add(x)
+		if x < 0 {
+			neg++
+		}
+		if x >= 0 && x <= 100 {
+			inUnit++
+		}
+	}
+	s.Mean = acc.Mean()
+	s.Std = acc.Std()
+	s.RMS = acc.RMS()
+	s.Min = sorted[0]
+	s.Max = sorted[len(sorted)-1]
+	s.Median = Quantile(sorted, 0.5)
+	s.P10 = Quantile(sorted, 0.10)
+	s.P25 = Quantile(sorted, 0.25)
+	s.P75 = Quantile(sorted, 0.75)
+	s.P90 = Quantile(sorted, 0.90)
+	s.P95 = Quantile(sorted, 0.95)
+	s.FracNegative = float64(neg) / float64(s.N)
+	s.FracInUnit = float64(inUnit) / float64(s.N)
+	return s
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of an already-sorted
+// sample using linear interpolation between order statistics.
+func Quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Mean returns the arithmetic mean of xs (0 if empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Median returns the median of xs without modifying it.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return Quantile(sorted, 0.5)
+}
+
+// JainFairness returns Jain's fairness index (Σx)²/(n·Σx²) for a set of
+// allocations: 1.0 means perfectly equal shares, 1/n means one member
+// takes everything. Standard metric for judging how fairly concurrent
+// flows share a bottleneck.
+func JainFairness(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}

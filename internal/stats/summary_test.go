@@ -1,0 +1,178 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestAccBasics(t *testing.T) {
+	var a Acc
+	for _, x := range []float64{1, 2, 3, 4, 5} {
+		a.Add(x)
+	}
+	if a.N() != 5 {
+		t.Fatalf("N=%d, want 5", a.N())
+	}
+	if !almost(a.Mean(), 3, 1e-12) {
+		t.Errorf("mean=%v, want 3", a.Mean())
+	}
+	if !almost(a.Var(), 2.5, 1e-12) {
+		t.Errorf("var=%v, want 2.5", a.Var())
+	}
+	if !almost(a.RMS(), math.Sqrt(11), 1e-12) {
+		t.Errorf("rms=%v, want sqrt(11)", a.RMS())
+	}
+	if a.Min() != 1 || a.Max() != 5 {
+		t.Errorf("min/max = %v/%v, want 1/5", a.Min(), a.Max())
+	}
+}
+
+func TestAccEmpty(t *testing.T) {
+	var a Acc
+	if a.Mean() != 0 || a.Var() != 0 || a.RMS() != 0 || a.N() != 0 {
+		t.Fatal("empty accumulator should be all zeros")
+	}
+}
+
+func TestAccMergeEqualsSequential(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				xs = append(xs, x)
+			}
+		}
+		var whole, left, right Acc
+		for i, x := range xs {
+			whole.Add(x)
+			if i < len(xs)/2 {
+				left.Add(x)
+			} else {
+				right.Add(x)
+			}
+		}
+		left.Merge(&right)
+		return left.N() == whole.N() &&
+			almost(left.Mean(), whole.Mean(), 1e-6+1e-9*math.Abs(whole.Mean())) &&
+			almost(left.Var(), whole.Var(), 1e-4+1e-7*whole.Var())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccMergeIntoEmpty(t *testing.T) {
+	var a, b Acc
+	b.Add(4)
+	b.Add(6)
+	a.Merge(&b)
+	if a.N() != 2 || !almost(a.Mean(), 5, 1e-12) {
+		t.Fatalf("merge into empty: n=%d mean=%v", a.N(), a.Mean())
+	}
+	var c Acc
+	b.Merge(&c) // merging empty is a no-op
+	if b.N() != 2 {
+		t.Fatal("merging empty changed accumulator")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{-10, 0, 10, 20, 30, 40, 50, 60, 70, 150}
+	s := Summarize(xs)
+	if s.N != 10 {
+		t.Fatalf("N=%d", s.N)
+	}
+	if !almost(s.Mean, 42, 1e-12) {
+		t.Errorf("mean=%v, want 42", s.Mean)
+	}
+	if !almost(s.Median, 35, 1e-12) {
+		t.Errorf("median=%v, want 35", s.Median)
+	}
+	if s.Min != -10 || s.Max != 150 {
+		t.Errorf("min/max=%v/%v", s.Min, s.Max)
+	}
+	if !almost(s.FracNegative, 0.1, 1e-12) {
+		t.Errorf("fracNeg=%v, want 0.1", s.FracNegative)
+	}
+	if !almost(s.FracInUnit, 0.8, 1e-12) {
+		t.Errorf("fracInUnit=%v, want 0.8", s.FracInUnit)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Fatal("empty summary should be zero")
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Summarize mutated its input")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{0, 10, 20, 30, 40}
+	cases := []struct{ q, want float64 }{
+		{0, 0}, {1, 40}, {0.5, 20}, {0.25, 10}, {0.125, 5}, {-1, 0}, {2, 40},
+	}
+	for _, c := range cases {
+		if got := Quantile(sorted, c.q); !almost(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v)=%v, want %v", c.q, got, c.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("Quantile(empty) != 0")
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	sorted := []float64{1, 2, 2, 3, 8, 13, 21}
+	f := func(a, b float64) bool {
+		qa := math.Mod(math.Abs(a), 1)
+		qb := math.Mod(math.Abs(b), 1)
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return Quantile(sorted, qa) <= Quantile(sorted, qb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanMedian(t *testing.T) {
+	if Mean(nil) != 0 || Median(nil) != 0 {
+		t.Fatal("empty mean/median should be 0")
+	}
+	if !almost(Mean([]float64{1, 2, 6}), 3, 1e-12) {
+		t.Fatal("mean wrong")
+	}
+	if !almost(Median([]float64{5, 1, 3}), 3, 1e-12) {
+		t.Fatal("median wrong")
+	}
+	if !almost(Median([]float64{4, 1, 3, 2}), 2.5, 1e-12) {
+		t.Fatal("even median wrong")
+	}
+}
+
+func TestJainFairness(t *testing.T) {
+	if f := JainFairness([]float64{2, 2, 2, 2}); !almost(f, 1, 1e-12) {
+		t.Errorf("equal shares index = %v, want 1", f)
+	}
+	if f := JainFairness([]float64{4, 0, 0, 0}); !almost(f, 0.25, 1e-12) {
+		t.Errorf("monopoly index = %v, want 0.25", f)
+	}
+	if f := JainFairness([]float64{3, 1}); !almost(f, 16.0/20, 1e-12) {
+		t.Errorf("3:1 index = %v, want 0.8", f)
+	}
+	if JainFairness(nil) != 0 || JainFairness([]float64{0, 0}) != 0 {
+		t.Error("degenerate cases should be 0")
+	}
+}

@@ -1,0 +1,186 @@
+package tcpmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simnet"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDefaults(t *testing.T) {
+	p := Params{RTT: 0.1}
+	if got := p.InitialRate(); !almost(got, DefaultInitSegs*1460*8/0.1, 1e-6) {
+		t.Errorf("InitialRate=%v", got)
+	}
+	if got := p.WindowCeiling(); !almost(got, float64(1<<20)*8/0.1, 1e-3) {
+		t.Errorf("WindowCeiling=%v", got)
+	}
+	if !math.IsInf(p.LossCeiling(), 1) {
+		t.Errorf("loss-free LossCeiling=%v, want +Inf", p.LossCeiling())
+	}
+}
+
+func TestLossCeilingMathis(t *testing.T) {
+	p := Params{RTT: 0.1, Loss: 0.01}
+	// MSS*8/(RTT*sqrt(2p/3)) = 1460*8/(0.1*sqrt(0.006667))
+	want := 1460.0 * 8 / (0.1 * math.Sqrt(2*0.01/3))
+	if got := p.LossCeiling(); !almost(got, want, 1) {
+		t.Fatalf("LossCeiling=%v, want %v", got, want)
+	}
+}
+
+func TestLossCeilingDecreasesWithLoss(t *testing.T) {
+	prev := math.Inf(1)
+	for _, loss := range []float64{0.0001, 0.001, 0.01, 0.05} {
+		c := Params{RTT: 0.05, Loss: loss}.LossCeiling()
+		if c >= prev {
+			t.Fatalf("ceiling not decreasing at loss=%v: %v >= %v", loss, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestCeilingIsMin(t *testing.T) {
+	// High loss: loss ceiling binds.
+	p := Params{RTT: 0.1, Loss: 0.05}
+	if p.Ceiling() != p.LossCeiling() {
+		t.Error("high-loss ceiling should be loss-bound")
+	}
+	// No loss: window binds.
+	p = Params{RTT: 0.1}
+	if p.Ceiling() != p.WindowCeiling() {
+		t.Error("loss-free ceiling should be window-bound")
+	}
+}
+
+func TestZeroRTTIsUnbounded(t *testing.T) {
+	p := Params{}
+	if !math.IsInf(p.InitialRate(), 1) || !math.IsInf(p.Ceiling(), 1) {
+		t.Fatal("zero RTT should yield unbounded rates")
+	}
+}
+
+func TestFromLinks(t *testing.T) {
+	e := simnet.NewEngine()
+	n := simnet.NewNetwork(e)
+	a := n.NewLink("a", 1e6, 0.010, 0.001)
+	b := n.NewLink("b", 1e6, 0.030, 0.002)
+	p := FromLinks([]*simnet.Link{a, b})
+	if !almost(p.RTT, 2*(0.010+0.030)+0.002, 1e-12) {
+		t.Errorf("RTT=%v", p.RTT)
+	}
+	want := 1 - (1-0.001)*(1-0.002)
+	if !almost(p.Loss, want, 1e-12) {
+		t.Errorf("Loss=%v, want %v", p.Loss, want)
+	}
+}
+
+func TestTransferTimeSteadyState(t *testing.T) {
+	// Large transfer: ramp is negligible; throughput approaches ceiling.
+	p := Params{RTT: 0.05, Loss: 0.001}
+	bytes := int64(50_000_000)
+	tt := TransferTime(p, bytes)
+	eff := float64(bytes) * 8 / tt
+	if math.Abs(eff-p.Ceiling())/p.Ceiling() > 0.02 {
+		t.Fatalf("effective rate %v, ceiling %v", eff, p.Ceiling())
+	}
+}
+
+func TestTransferTimeSmallIsSlower(t *testing.T) {
+	// Slow start penalizes small transfers: effective throughput of 10 KB
+	// must be well below that of 10 MB.
+	p := Params{RTT: 0.1, Loss: 0.0005}
+	small := float64(10_000) * 8 / TransferTime(p, 10_000)
+	large := float64(10_000_000) * 8 / TransferTime(p, 10_000_000)
+	if small > 0.7*large {
+		t.Fatalf("small-transfer rate %v not much below large-transfer rate %v", small, large)
+	}
+}
+
+func TestTransferTimeMonotoneProperty(t *testing.T) {
+	p := Params{RTT: 0.08, Loss: 0.002}
+	f := func(a, b uint32) bool {
+		x, y := int64(a%10_000_000), int64(b%10_000_000)
+		if x > y {
+			x, y = y, x
+		}
+		return TransferTime(p, x) <= TransferTime(p, y)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlowStartBytes(t *testing.T) {
+	p := Params{RTT: 0.1, Loss: 0.001}
+	ss := SlowStartBytes(p)
+	if ss <= 0 {
+		t.Fatalf("SlowStartBytes=%d, want > 0", ss)
+	}
+	// The paper's probe (100 KB) must exceed the slow-start phase for
+	// typical wide-area parameters, otherwise probes mispredict.
+	if ss > 100_000 {
+		t.Logf("note: slow-start bytes %d exceeds 100KB probe for RTT=0.1 loss=0.001", ss)
+	}
+	if unb := SlowStartBytes(Params{}); unb != 0 {
+		t.Fatalf("unbounded path SlowStartBytes=%d, want 0", unb)
+	}
+}
+
+func TestAttachRampsToCeiling(t *testing.T) {
+	e := simnet.NewEngine()
+	n := simnet.NewNetwork(e)
+	l := n.NewLink("l", 100e6, 0.025, 0) // RTT 0.052 via FromLinks
+	p := FromLinks([]*simnet.Link{l})
+	p.MaxWindow = 64 << 10 // 64 KB window -> ceiling ~10 Mb/s
+	f := n.StartFlow(simnet.FlowSpec{Links: []*simnet.Link{l}, Bytes: 50_000_000})
+	Attach(n, f, p)
+	if f.Rate() >= p.Ceiling() {
+		t.Fatalf("flow started at ceiling: %v >= %v", f.Rate(), p.Ceiling())
+	}
+	e.RunUntil(2)
+	if !almost(f.Rate(), p.Ceiling(), 1) {
+		t.Fatalf("flow rate %v after ramp, want ceiling %v", f.Rate(), p.Ceiling())
+	}
+}
+
+func TestAttachFluidMatchesAnalytic(t *testing.T) {
+	// With an uncontended fat link, the fluid transfer time must match
+	// the analytic TransferTime closely.
+	e := simnet.NewEngine()
+	n := simnet.NewNetwork(e)
+	l := n.NewLink("l", 1e9, 0.04, 0)
+	p := FromLinks([]*simnet.Link{l})
+	p.MaxWindow = 128 << 10
+	var fin float64
+	f := n.StartFlow(simnet.FlowSpec{Links: []*simnet.Link{l}, Bytes: 5_000_000,
+		OnComplete: func(f *simnet.Flow) { fin = f.Finish() }})
+	Attach(n, f, p)
+	e.RunUntil(1000)
+	want := TransferTime(p, 5_000_000)
+	if fin == 0 {
+		t.Fatal("flow did not finish")
+	}
+	if math.Abs(fin-want)/want > 0.05 {
+		t.Fatalf("fluid time %v vs analytic %v", fin, want)
+	}
+}
+
+func TestAttachStopsAfterFlowDone(t *testing.T) {
+	e := simnet.NewEngine()
+	n := simnet.NewNetwork(e)
+	l := n.NewLink("l", 1e9, 0.001, 0)
+	f := n.StartFlow(simnet.FlowSpec{Links: []*simnet.Link{l}, Bytes: 1000})
+	Attach(n, f, FromLinks([]*simnet.Link{l}))
+	e.RunUntil(10)
+	if !f.Done() {
+		t.Fatal("tiny flow should be done")
+	}
+	// Draining any remaining ramp events must not panic or resurrect
+	// the flow.
+	for e.Step() {
+	}
+}

@@ -1,0 +1,328 @@
+// Package tcpsim is a packet-level TCP Reno simulator: senders compete
+// through one droptail bottleneck queue, segment-by-segment. It exists to
+// validate the fluid TCP model (package tcpmodel) and the max-min fair
+// sharing (package simnet) that the evaluation runs on: the fluid model
+// treats a connection as a rate-capped fluid and concurrent flows as
+// fair-sharing fluids, and tcpsim checks that window dynamics, queueing,
+// and loss recovery actually produce those outcomes.
+//
+// The model: each sender maintains cwnd/ssthresh Reno state (slow start,
+// congestion avoidance, triple-duplicate-ACK fast retransmit, timeout with
+// exponential backoff); data segments serialize through a finite shared
+// FIFO queue at the bottleneck and propagate to the receiver; cumulative
+// ACKs return after the reverse propagation delay (the ACK path is assumed
+// uncongested). Random i.i.d. loss can be injected on the data path in
+// addition to queue overflow drops.
+package tcpsim
+
+import (
+	"math"
+
+	"repro/internal/randx"
+	"repro/internal/simnet"
+)
+
+// Config describes the path and the TCP parameters.
+type Config struct {
+	// BottleneckBps is the bottleneck link rate in bits/sec.
+	BottleneckBps float64
+	// RTT is the two-way propagation delay in seconds (queueing adds to
+	// it dynamically).
+	RTT float64
+	// QueuePackets is the droptail queue capacity (default 64).
+	QueuePackets int
+	// MSS is the segment size in bytes (default 1460).
+	MSS int
+	// InitCwnd is the initial congestion window in segments (default 8,
+	// matching tcpmodel.DefaultInitSegs).
+	InitCwnd int
+	// MaxWindow caps the window in segments (default 1 MiB / MSS,
+	// matching tcpmodel.DefaultMaxWindow).
+	MaxWindow int
+	// Loss is an i.i.d. drop probability applied to data segments on top
+	// of queue overflow.
+	Loss float64
+}
+
+func (c Config) mss() int {
+	if c.MSS > 0 {
+		return c.MSS
+	}
+	return 1460
+}
+
+func (c Config) queue() int {
+	if c.QueuePackets > 0 {
+		return c.QueuePackets
+	}
+	return 64
+}
+
+func (c Config) initCwnd() float64 {
+	if c.InitCwnd > 0 {
+		return float64(c.InitCwnd)
+	}
+	return 8
+}
+
+func (c Config) maxWindow() float64 {
+	if c.MaxWindow > 0 {
+		return float64(c.MaxWindow)
+	}
+	return float64((1 << 20) / c.mss())
+}
+
+// Result summarizes one simulated transfer.
+type Result struct {
+	Duration    float64 // seconds to deliver every byte in order
+	Bytes       int64
+	Segments    int
+	Retransmits int
+	Timeouts    int
+	QueueDrops  int
+	RandomDrops int
+	MaxCwnd     float64 // peak congestion window, segments
+}
+
+// Throughput returns the goodput in bits/sec.
+func (r Result) Throughput() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) * 8 / r.Duration
+}
+
+// path is the bottleneck shared by all senders of one simulation.
+type path struct {
+	cfg Config
+	eng *simnet.Engine
+	rng *randx.RNG
+
+	qLen      int
+	busyUntil float64
+	remaining int // senders not yet done
+}
+
+// sender is one TCP Reno connection.
+type sender struct {
+	p *path
+
+	totalSegs int
+	segBits   float64
+
+	cwnd      float64
+	ssthresh  float64
+	nextSeq   int
+	highAck   int
+	dupAcks   int
+	inFlight  int
+	rtoTimer  *simnet.Timer
+	rto       float64
+	recovered int
+
+	expected int
+	buffered map[int]bool
+
+	res  Result
+	done bool
+}
+
+// Transfer simulates moving bytes over the path alone and returns the
+// result. rng may be nil when cfg.Loss is zero.
+func Transfer(cfg Config, bytes int64, rng *randx.RNG) Result {
+	rs := TransferN(cfg, []int64{bytes}, rng)
+	return rs[0]
+}
+
+// TransferN simulates len(sizes) connections starting simultaneously and
+// competing through the shared bottleneck, returning per-flow results.
+func TransferN(cfg Config, sizes []int64, rng *randx.RNG) []Result {
+	if cfg.BottleneckBps <= 0 || cfg.RTT <= 0 {
+		panic("tcpsim: BottleneckBps and RTT must be positive")
+	}
+	if rng == nil {
+		rng = randx.New(0)
+	}
+	p := &path{cfg: cfg, eng: simnet.NewEngine(), rng: rng}
+	mss := cfg.mss()
+
+	senders := make([]*sender, len(sizes))
+	results := make([]Result, len(sizes))
+	for i, bytes := range sizes {
+		if bytes <= 0 {
+			continue
+		}
+		s := &sender{
+			p:         p,
+			totalSegs: int((bytes + int64(mss) - 1) / int64(mss)),
+			segBits:   float64(mss) * 8,
+			cwnd:      cfg.initCwnd(),
+			ssthresh:  cfg.maxWindow(),
+			buffered:  make(map[int]bool),
+			rto:       math.Max(1.0, 2*cfg.RTT),
+			recovered: -1,
+		}
+		s.res.Bytes = bytes
+		s.res.Segments = s.totalSegs
+		senders[i] = s
+		p.remaining++
+	}
+
+	for _, s := range senders {
+		if s != nil {
+			s.pump()
+			s.armRTO()
+		}
+	}
+	for p.remaining > 0 {
+		if !p.eng.Step() {
+			panic("tcpsim: deadlock — no events while transfers incomplete")
+		}
+	}
+	for i, s := range senders {
+		if s != nil {
+			results[i] = s.res
+		}
+	}
+	return results
+}
+
+// window returns the current send window in whole segments.
+func (s *sender) window() int {
+	w := math.Min(s.cwnd, s.p.cfg.maxWindow())
+	if w < 1 {
+		w = 1
+	}
+	return int(w)
+}
+
+// pump sends new segments while the window allows.
+func (s *sender) pump() {
+	for s.nextSeq < s.totalSegs && s.inFlight < s.window() {
+		s.send(s.nextSeq)
+		s.nextSeq++
+	}
+}
+
+// send puts one segment into the shared bottleneck queue (or drops it).
+func (s *sender) send(seq int) {
+	p := s.p
+	s.inFlight++
+	if p.cfg.Loss > 0 && p.rng.Float64() < p.cfg.Loss {
+		s.res.RandomDrops++
+		return // vanishes; recovery will resend
+	}
+	if p.qLen >= p.cfg.queue() {
+		s.res.QueueDrops++
+		return
+	}
+	p.qLen++
+	serialize := s.segBits / p.cfg.BottleneckBps
+	start := math.Max(p.eng.Now(), p.busyUntil)
+	depart := start + serialize
+	p.busyUntil = depart
+	arrive := depart + p.cfg.RTT/2
+	p.eng.At(arrive, func() {
+		p.qLen--
+		s.deliver(seq)
+	})
+}
+
+// deliver handles a data segment reaching the receiver, which responds
+// with a cumulative ACK after the reverse propagation delay.
+func (s *sender) deliver(seq int) {
+	if seq == s.expected {
+		s.expected++
+		for s.buffered[s.expected] {
+			delete(s.buffered, s.expected)
+			s.expected++
+		}
+	} else if seq > s.expected {
+		s.buffered[seq] = true
+	}
+	ackNo := s.expected
+	s.p.eng.After(s.p.cfg.RTT/2, func() { s.ack(ackNo) })
+}
+
+// ack processes a cumulative ACK at the sender.
+func (s *sender) ack(ackNo int) {
+	if s.done {
+		return
+	}
+	if ackNo >= s.totalSegs {
+		s.done = true
+		s.res.Duration = s.p.eng.Now()
+		s.p.remaining--
+		if s.rtoTimer != nil {
+			s.rtoTimer.Cancel()
+		}
+		return
+	}
+	if ackNo > s.highAck {
+		newly := ackNo - s.highAck
+		s.highAck = ackNo
+		s.inFlight -= newly
+		if s.inFlight < 0 {
+			s.inFlight = 0
+		}
+		s.dupAcks = 0
+		for i := 0; i < newly; i++ {
+			if s.cwnd < s.ssthresh {
+				s.cwnd++ // slow start
+			} else {
+				s.cwnd += 1 / s.cwnd // congestion avoidance
+			}
+		}
+		if s.cwnd > s.p.cfg.maxWindow() {
+			s.cwnd = s.p.cfg.maxWindow()
+		}
+		if s.cwnd > s.res.MaxCwnd {
+			s.res.MaxCwnd = s.cwnd
+		}
+		s.rto = math.Max(1.0, 2*s.p.cfg.RTT) // fresh data resets backoff
+		s.armRTO()
+		s.pump()
+		return
+	}
+	// Duplicate ACK.
+	s.dupAcks++
+	if s.dupAcks == 3 && s.highAck > s.recovered {
+		// Fast retransmit + simplified fast recovery.
+		s.res.Retransmits++
+		s.recovered = s.highAck
+		s.ssthresh = math.Max(s.cwnd/2, 2)
+		s.cwnd = s.ssthresh
+		s.inFlight-- // the lost segment is no longer considered in flight
+		if s.inFlight < 0 {
+			s.inFlight = 0
+		}
+		s.send(s.highAck)
+		s.armRTO()
+	}
+}
+
+// armRTO (re)schedules the retransmission timeout for the oldest unacked
+// segment.
+func (s *sender) armRTO() {
+	if s.rtoTimer != nil {
+		s.rtoTimer.Cancel()
+	}
+	s.rtoTimer = s.p.eng.After(s.rto, s.timeout)
+}
+
+// timeout fires when the oldest unacked segment was not acked in time.
+func (s *sender) timeout() {
+	if s.done {
+		return
+	}
+	s.res.Timeouts++
+	s.ssthresh = math.Max(s.cwnd/2, 2)
+	s.cwnd = 1
+	s.dupAcks = 0
+	s.recovered = s.highAck
+	s.inFlight = 0 // conservatively assume everything outstanding is gone
+	s.nextSeq = s.highAck
+	s.rto = math.Min(s.rto*2, 60)
+	s.armRTO()
+	s.pump()
+}

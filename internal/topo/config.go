@@ -1,0 +1,120 @@
+package topo
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ScenarioConfig is the JSON-loadable form of Params plus optional node
+// overrides, so downstream users can model their own deployment instead
+// of the paper's PlanetLab set. Zero-valued fields keep the calibrated
+// defaults.
+//
+// Example:
+//
+//	{
+//	  "seed": 7,
+//	  "num_intermediates": 12,
+//	  "overlay_a": 1.1,
+//	  "shared_bottleneck_frac": 0.25,
+//	  "clients": [
+//	    {"name": "branch-office", "category": "Low"},
+//	    {"name": "datacenter", "category": "High"}
+//	  ]
+//	}
+type ScenarioConfig struct {
+	Seed                 uint64  `json:"seed"`
+	NumIntermediates     int     `json:"num_intermediates,omitempty"`
+	OverlayA             float64 `json:"overlay_a,omitempty"`
+	OverlayGamma         float64 `json:"overlay_gamma,omitempty"`
+	InterQualitySigma    float64 `json:"inter_quality_sigma,omitempty"`
+	PairNoiseSigma       float64 `json:"pair_noise_sigma,omitempty"`
+	PairCapFactor        float64 `json:"pair_cap_factor,omitempty"`
+	DirectTheta          float64 `json:"direct_theta,omitempty"`
+	OverlaySigma         float64 `json:"overlay_sigma,omitempty"`
+	SharedBottleneckFrac float64 `json:"shared_bottleneck_frac,omitempty"`
+	DiurnalAmplitude     float64 `json:"diurnal_amplitude,omitempty"`
+	DriveInterval        float64 `json:"drive_interval,omitempty"`
+
+	// Clients, when non-empty, replaces the paper's Table IV client set.
+	Clients []NodeConfig `json:"clients,omitempty"`
+}
+
+// NodeConfig declares one custom client.
+type NodeConfig struct {
+	Name     string `json:"name"`
+	Domain   string `json:"domain,omitempty"`
+	Category string `json:"category"` // "Low", "Medium", or "High"
+}
+
+// LoadConfig parses a ScenarioConfig from JSON.
+func LoadConfig(r io.Reader) (*ScenarioConfig, error) {
+	var c ScenarioConfig
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return nil, fmt.Errorf("topo: bad scenario config: %w", err)
+	}
+	for i, n := range c.Clients {
+		if n.Name == "" {
+			return nil, fmt.Errorf("topo: client %d has no name", i)
+		}
+		if _, err := parseCategory(n.Category); err != nil {
+			return nil, fmt.Errorf("topo: client %q: %w", n.Name, err)
+		}
+	}
+	return &c, nil
+}
+
+func parseCategory(s string) (Category, error) {
+	switch s {
+	case "Low":
+		return Low, nil
+	case "Medium":
+		return Medium, nil
+	case "High":
+		return High, nil
+	}
+	return 0, fmt.Errorf("unknown category %q (want Low, Medium, or High)", s)
+}
+
+// Params converts the config into scenario parameters.
+func (c *ScenarioConfig) Params() Params {
+	return Params{
+		Seed:                 c.Seed,
+		NumIntermediates:     c.NumIntermediates,
+		OverlayA:             c.OverlayA,
+		OverlayGamma:         c.OverlayGamma,
+		InterQualitySigma:    c.InterQualitySigma,
+		PairNoiseSigma:       c.PairNoiseSigma,
+		PairCapFactor:        c.PairCapFactor,
+		DirectTheta:          c.DirectTheta,
+		OverlaySigma:         c.OverlaySigma,
+		SharedBottleneckFrac: c.SharedBottleneckFrac,
+		DiurnalAmplitude:     c.DiurnalAmplitude,
+		DriveInterval:        c.DriveInterval,
+	}
+}
+
+// Build constructs the scenario, substituting any custom client set.
+func (c *ScenarioConfig) Build() (*Scenario, error) {
+	s := NewScenarioWithClients(c.Params(), c.customClients())
+	return s, nil
+}
+
+func (c *ScenarioConfig) customClients() []clientSpec {
+	if len(c.Clients) == 0 {
+		return nil
+	}
+	specs := make([]clientSpec, len(c.Clients))
+	for i, n := range c.Clients {
+		cat, _ := parseCategory(n.Category) // validated at load time
+		domain := n.Domain
+		if domain == "" {
+			domain = n.Name + ".example.net"
+		}
+		specs[i] = clientSpec{name: n.Name, domain: domain, cat: cat}
+	}
+	return specs
+}

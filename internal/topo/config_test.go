@@ -1,0 +1,99 @@
+package topo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoadConfigDefaults(t *testing.T) {
+	c, err := LoadConfig(strings.NewReader(`{"seed": 7}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := c.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Clients) != 22 {
+		t.Fatalf("default clients = %d, want the paper's 22", len(s.Clients))
+	}
+	if s.P.Seed != 7 {
+		t.Fatalf("seed = %d", s.P.Seed)
+	}
+	if s.P.OverlayA != DefaultParams(7).OverlayA {
+		t.Fatal("calibrated defaults not applied")
+	}
+}
+
+func TestLoadConfigCustomClients(t *testing.T) {
+	js := `{
+	  "seed": 3,
+	  "num_intermediates": 5,
+	  "overlay_a": 1.2,
+	  "clients": [
+	    {"name": "branch-office", "category": "Low"},
+	    {"name": "datacenter", "domain": "dc1.corp", "category": "High"}
+	  ]
+	}`
+	c, err := LoadConfig(strings.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := c.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Clients) != 2 {
+		t.Fatalf("clients = %d, want 2", len(s.Clients))
+	}
+	if s.Clients[0].Name != "branch-office" || s.Clients[0].Category != Low {
+		t.Fatalf("client 0 = %+v", s.Clients[0])
+	}
+	if s.Clients[1].Domain != "dc1.corp" || s.Clients[1].Category != High {
+		t.Fatalf("client 1 = %+v", s.Clients[1])
+	}
+	if s.Clients[0].Domain != "branch-office.example.net" {
+		t.Fatalf("default domain = %q", s.Clients[0].Domain)
+	}
+	if len(s.Intermediates) != 5 || s.P.OverlayA != 1.2 {
+		t.Fatal("params not applied")
+	}
+	// Custom clients must have full personalities.
+	cn := s.ClientNet(s.Clients[0])
+	if cn.DirectMean["eBay"] <= 0 || cn.OverlayBase <= 0 {
+		t.Fatalf("custom client personality missing: %+v", cn)
+	}
+	if s.PairMean(s.Clients[1], s.Intermediates[0]) <= 0 {
+		t.Fatal("custom client pair means missing")
+	}
+}
+
+func TestLoadConfigValidation(t *testing.T) {
+	cases := []string{
+		`{"clients": [{"name": "", "category": "Low"}]}`,
+		`{"clients": [{"name": "x", "category": "Extreme"}]}`,
+		`{"unknown_field": 1}`,
+		`not json`,
+	}
+	for _, js := range cases {
+		if _, err := LoadConfig(strings.NewReader(js)); err == nil {
+			t.Errorf("accepted bad config %q", js)
+		}
+	}
+}
+
+func TestCustomScenarioDeterminism(t *testing.T) {
+	js := `{"seed": 9, "clients": [{"name": "edge", "category": "Medium"}]}`
+	build := func() *Scenario {
+		c, err := LoadConfig(strings.NewReader(js))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, _ := c.Build()
+		return s
+	}
+	a, b := build(), build()
+	if a.ClientNet(a.Clients[0]).DirectMean["eBay"] != b.ClientNet(b.Clients[0]).DirectMean["eBay"] {
+		t.Fatal("custom scenario not deterministic")
+	}
+}

@@ -1,0 +1,164 @@
+// Package topo defines the PlanetLab-like evaluation topology of the
+// indirect-routing paper: international client nodes, US intermediate
+// (relay) nodes, and destination web servers, together with the stochastic
+// path parameters that give each client its Low/Medium/High direct-path
+// throughput character and each (client, intermediate) overlay link its
+// stable quality.
+//
+// The node names and domains come from the paper's Tables IV and V; the
+// extra intermediates needed to reach the 35-node full set of Section 4
+// come from the paper's Table III plus a handful of plausible fillers.
+package topo
+
+// Role distinguishes the three kinds of nodes in the study.
+type Role int
+
+// Node roles.
+const (
+	RoleClient Role = iota
+	RoleIntermediate
+	RoleServer
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleClient:
+		return "client"
+	case RoleIntermediate:
+		return "intermediate"
+	case RoleServer:
+		return "server"
+	}
+	return "unknown"
+}
+
+// Category is the paper's client classification by average direct-path
+// throughput: Low 0–1.5 Mb/s, Medium 1.5–3.0 Mb/s, High > 3.0 Mb/s.
+type Category int
+
+// Client throughput categories.
+const (
+	Low Category = iota
+	Medium
+	High
+)
+
+func (c Category) String() string {
+	switch c {
+	case Low:
+		return "Low"
+	case Medium:
+		return "Medium"
+	case High:
+		return "High"
+	}
+	return "unknown"
+}
+
+// Node is one participant in the study.
+type Node struct {
+	Name     string
+	Domain   string
+	Role     Role
+	Category Category // meaningful for clients only
+}
+
+// clientSpec seeds the deterministic per-client parameter derivation.
+type clientSpec struct {
+	name, domain string
+	cat          Category
+}
+
+// The paper's Table IV: 22 international client nodes. Categories are
+// assigned by regional connectivity circa 2005 (the paper reports clients
+// are "generally" Low, with a few better-connected exceptions).
+var clientSpecs = []clientSpec{
+	{"Australia 1", "plnode02.cs.mu.oz.au", Low},
+	{"Australia 2", "planet-lab-1.csse.monash.edu.au", Low},
+	{"Beirut", "planetlab1.aub.edu.lb", Low},
+	{"Berlin", "planetlab1.info.ucl.ac.be", Medium},
+	{"Brazil", "planetlab2.lsd.ufcg.edu.br", Low},
+	{"Canada", "planetlab1.enel.ucalgary.ca", High},
+	{"Denmark", "planetlab2.diku.dk", Medium},
+	{"Finland", "planetlab2.hiit.fi", Medium},
+	{"France", "planetlab2.eurecom.fr", Medium},
+	{"Greece", "planetlab1.cslab.ece.ntua.gr", Low},
+	{"Iceland", "planetlab1.ru.is", Low},
+	{"India", "planetlab1.iiitb.ac.in", Low},
+	{"Israel", "planetlab2.bgu.ac.il", Low},
+	{"Italy", "planetlab1.polito.it", Medium},
+	{"Korea", "arari.snu.ac.kr", Low},
+	{"Norway", "planetlab1.ifi.uio.no", Medium},
+	{"Russia", "planet-lab.iki.rssi.ru", Low},
+	{"Singapore", "soccf-planet-001.comp.nus.edu.sg", Low},
+	{"Sweden", "planetlab1.sics.se", Medium},
+	{"Switzerland", "planetlab02.ethz.ch", High},
+	{"Taiwan", "ent1.cs.nccu.edu.tw", Low},
+	{"UK", "planetlab1.rn.informatics.scitech.susx.ac.uk", High},
+}
+
+type interSpec struct {
+	name, domain string
+}
+
+// The paper's Table V (21 intermediates), then the Section 4 / Table III
+// additions, then fillers up to the 35-node full set.
+var interSpecs = []interSpec{
+	{"CMU", "planetlab-2.cmcl.cs.cmu.edu"},
+	{"Berkeley", "planetlab1.millennium.berkeley.edu"},
+	{"Caltech", "planlab1.cs.caltech.edu"},
+	{"Columbia", "planetlab1.comet.columbia.edu"},
+	{"Duke", "planetlab1.cs.duke.edu"},
+	{"Georgia Tech", "planet.cc.gt.atl.ga.us"},
+	{"Harvard", "lefthand.eecs.harvard.edu"},
+	{"Michigan", "planetlab1.eecs.umich.edu"},
+	{"MIT", "planetlab1.csail.mit.edu"},
+	{"Notre Dame", "planetlab1.cse.nd.edu"},
+	{"NYU", "planet1.scs.cs.nyu.edu"},
+	{"Princeton", "planetlab-1.cs.princeton.edu"},
+	{"Rice", "ricepl-1.cs.rice.edu"},
+	{"Stanford", "planetlab-1.stanford.edu"},
+	{"Texas", "planetlab1.csres.utexas.edu"},
+	{"UCLA", "planetlab2.cs.ucla.edu"},
+	{"UCSD", "planetlab2.ucsd.edu"},
+	{"UIUC", "planetlab1.cs.uiuc.edu"},
+	{"Upenn", "planetlab1.cis.upenn.edu"},
+	{"Washington", "planetlab01.cs.washington.edu"},
+	{"Wisconsin", "planetlab1.cs.wisc.edu"},
+	// Section 4 extras (paper Table III).
+	{"Northwestern", "planetlab1.cs.northwestern.edu"},
+	{"Minnesota", "planetlab1.dtc.umn.edu"},
+	{"DePaul", "planetlab1.cti.depaul.edu"},
+	{"Utah", "planetlab1.flux.utah.edu"},
+	{"Maryland", "planetlab1.cs.umd.edu"},
+	{"Wayne State", "planetlab-01.cs.wayne.edu"},
+	{"UCSB", "planetlab1.cs.ucsb.edu"},
+	{"Georgetown", "planetlab1.cs.georgetown.edu"},
+	// Fillers to reach the 35-node full set of Section 4.
+	{"Purdue", "planetlab1.cs.purdue.edu"},
+	{"Cornell", "planetlab1.cs.cornell.edu"},
+	{"Virginia", "planetlab1.cs.virginia.edu"},
+	{"Arizona", "planetlab1.arizona.edu"},
+	{"Colorado", "planetlab1.cs.colorado.edu"},
+	{"Ohio State", "planetlab1.cse.ohio-state.edu"},
+}
+
+// serverSpecs are the destination web sites of the study.
+var serverSpecs = []interSpec{
+	{"eBay", "www.ebay.com"},
+	{"Google", "www.google.com"},
+	{"Microsoft", "www.microsoft.com"},
+	{"Yahoo", "www.yahoo.com"},
+}
+
+// Section-4 clients: Duke, Italy, and Sweden acted as clients against the
+// 35-node intermediate set during May–June 2005, a separate measurement
+// period from the Table IV study — so they carry their own derived
+// personalities (distinct map keys) rather than reusing the Section 3
+// ones. The paper chose them "because they are in the Low or Medium
+// throughput categories".
+var sec4ClientSpecs = []clientSpec{
+	{"Duke (client)", "planetlab1.cs.duke.edu", Low},
+	{"Italy (client)", "planetlab1.polito.it", Low},
+	{"Sweden (client)", "planetlab1.sics.se", Low},
+}

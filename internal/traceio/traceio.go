@@ -1,0 +1,180 @@
+// Package traceio persists measurement records so campaigns can be
+// archived and re-analyzed without rerunning the simulator — the
+// equivalent of the paper's two-month measurement logs. Records are
+// stored as JSON Lines (one record per line, stream-appendable) with a
+// small header line carrying schema metadata, plus a CSV export for
+// spreadsheet analysis.
+package traceio
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/experiment"
+	"repro/internal/topo"
+)
+
+// SchemaVersion identifies the record layout; bump on breaking changes.
+const SchemaVersion = 1
+
+// Errors surfaced by the decoder.
+var (
+	ErrBadHeader = errors.New("traceio: missing or malformed header")
+	ErrBadSchema = errors.New("traceio: unsupported schema version")
+)
+
+type header struct {
+	Schema  int    `json:"schema"`
+	Kind    string `json:"kind"`
+	Comment string `json:"comment,omitempty"`
+}
+
+// jsonRecord mirrors experiment.Record with stable JSON field names.
+// Errors are flattened to strings: traces are for analysis, not
+// resumption.
+type jsonRecord struct {
+	Client        string   `json:"client"`
+	Category      string   `json:"category"`
+	Server        string   `json:"server"`
+	Time          float64  `json:"t"`
+	Candidates    []string `json:"candidates,omitempty"`
+	Selected      string   `json:"selected,omitempty"`
+	DirectTp      float64  `json:"direct_bps"`
+	SelectedTp    float64  `json:"selected_bps"`
+	ProbeDirectTp float64  `json:"probe_direct_bps,omitempty"`
+	ProbeBestTp   float64  `json:"probe_best_bps,omitempty"`
+	Improvement   float64  `json:"improvement_pct"`
+	Err           string   `json:"err,omitempty"`
+}
+
+func toJSON(r experiment.Record) jsonRecord {
+	j := jsonRecord{
+		Client:        r.Client,
+		Category:      r.Category.String(),
+		Server:        r.Server,
+		Time:          r.Time,
+		Candidates:    r.Candidates,
+		Selected:      r.Selected,
+		DirectTp:      r.DirectTp,
+		SelectedTp:    r.SelectedTp,
+		ProbeDirectTp: r.ProbeDirectTp,
+		ProbeBestTp:   r.ProbeBestTp,
+		Improvement:   r.Improvement,
+	}
+	if r.Err != nil {
+		j.Err = r.Err.Error()
+	}
+	return j
+}
+
+func fromJSON(j jsonRecord) (experiment.Record, error) {
+	r := experiment.Record{
+		Client:        j.Client,
+		Server:        j.Server,
+		Time:          j.Time,
+		Candidates:    j.Candidates,
+		Selected:      j.Selected,
+		DirectTp:      j.DirectTp,
+		SelectedTp:    j.SelectedTp,
+		ProbeDirectTp: j.ProbeDirectTp,
+		ProbeBestTp:   j.ProbeBestTp,
+		Improvement:   j.Improvement,
+	}
+	switch j.Category {
+	case "Low":
+		r.Category = topo.Low
+	case "Medium":
+		r.Category = topo.Medium
+	case "High":
+		r.Category = topo.High
+	default:
+		return r, fmt.Errorf("traceio: unknown category %q", j.Category)
+	}
+	if j.Err != "" {
+		r.Err = errors.New(j.Err)
+	}
+	return r, nil
+}
+
+// Write streams records to w as JSONL with a header line. comment is
+// free-form provenance (seed, scale, date).
+func Write(w io.Writer, comment string, records []experiment.Record) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(header{Schema: SchemaVersion, Kind: "records", Comment: comment}); err != nil {
+		return err
+	}
+	for _, r := range records {
+		if err := enc.Encode(toJSON(r)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read loads a JSONL trace written by Write, returning the records and
+// the header comment.
+func Read(r io.Reader) ([]experiment.Record, string, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var h header
+	if err := dec.Decode(&h); err != nil {
+		return nil, "", fmt.Errorf("%w: %v", ErrBadHeader, err)
+	}
+	if h.Schema != SchemaVersion || h.Kind != "records" {
+		return nil, "", fmt.Errorf("%w: schema=%d kind=%q", ErrBadSchema, h.Schema, h.Kind)
+	}
+	var out []experiment.Record
+	for {
+		var j jsonRecord
+		if err := dec.Decode(&j); err != nil {
+			if errors.Is(err, io.EOF) {
+				return out, h.Comment, nil
+			}
+			return nil, "", err
+		}
+		rec, err := fromJSON(j)
+		if err != nil {
+			return nil, "", err
+		}
+		out = append(out, rec)
+	}
+}
+
+// csvHeader is the column layout of WriteCSV.
+var csvHeader = []string{
+	"client", "category", "server", "t_seconds", "selected",
+	"direct_bps", "selected_bps", "probe_direct_bps", "probe_best_bps",
+	"improvement_pct", "err",
+}
+
+// WriteCSV exports records as CSV for spreadsheet analysis. Candidate
+// sets are omitted (they are per-round lists; use the JSONL form for
+// full fidelity).
+func WriteCSV(w io.Writer, records []experiment.Record) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, r := range records {
+		errStr := ""
+		if r.Err != nil {
+			errStr = r.Err.Error()
+		}
+		row := []string{
+			r.Client, r.Category.String(), r.Server, f(r.Time), r.Selected,
+			f(r.DirectTp), f(r.SelectedTp), f(r.ProbeDirectTp), f(r.ProbeBestTp),
+			f(r.Improvement), errStr,
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

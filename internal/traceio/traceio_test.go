@@ -1,0 +1,175 @@
+package traceio
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/experiment"
+	"repro/internal/topo"
+)
+
+func sampleRecords() []experiment.Record {
+	return []experiment.Record{
+		{
+			Client: "Korea", Category: topo.Low, Server: "eBay", Time: 600,
+			Candidates: []string{"MIT", "Texas"}, Selected: "MIT",
+			DirectTp: 0.9e6, SelectedTp: 1.4e6,
+			ProbeDirectTp: 0.8e6, ProbeBestTp: 1.2e6, Improvement: 55.5,
+		},
+		{
+			Client: "Canada", Category: topo.High, Server: "eBay", Time: 960,
+			Selected: "", DirectTp: 5e6, SelectedTp: 4.9e6, Improvement: -2,
+		},
+		{
+			Client: "France", Category: topo.Medium, Server: "Yahoo", Time: 1320,
+			Err: errors.New("relay down"),
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	recs := sampleRecords()
+	var buf bytes.Buffer
+	if err := Write(&buf, "seed=42 scale=test", recs); err != nil {
+		t.Fatal(err)
+	}
+	got, comment, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comment != "seed=42 scale=test" {
+		t.Fatalf("comment = %q", comment)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("got %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		a, b := recs[i], got[i]
+		if a.Client != b.Client || a.Category != b.Category || a.Server != b.Server ||
+			a.Time != b.Time || a.Selected != b.Selected ||
+			a.DirectTp != b.DirectTp || a.SelectedTp != b.SelectedTp ||
+			a.Improvement != b.Improvement {
+			t.Fatalf("record %d differs:\n  %+v\n  %+v", i, a, b)
+		}
+		if (a.Err == nil) != (b.Err == nil) {
+			t.Fatalf("record %d error mismatch", i)
+		}
+		if len(a.Candidates) != len(b.Candidates) {
+			t.Fatalf("record %d candidates mismatch", i)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(tp1, tp2 float64, imp float64, sel bool) bool {
+		rec := experiment.Record{
+			Client: "X", Category: topo.Low, Server: "eBay",
+			DirectTp: abs(tp1), SelectedTp: abs(tp2), Improvement: imp,
+		}
+		if sel {
+			rec.Selected = "MIT"
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, "", []experiment.Record{rec}); err != nil {
+			return false
+		}
+		got, _, err := Read(&buf)
+		if err != nil || len(got) != 1 {
+			return false
+		}
+		return got[0].DirectTp == rec.DirectTp &&
+			got[0].SelectedTp == rec.SelectedTp &&
+			(got[0].Improvement == rec.Improvement ||
+				(rec.Improvement != rec.Improvement && got[0].Improvement != got[0].Improvement))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, _, err := Read(strings.NewReader("not json\n")); !errors.Is(err, ErrBadHeader) {
+		t.Fatalf("err = %v, want ErrBadHeader", err)
+	}
+	if _, _, err := Read(strings.NewReader(`{"schema":99,"kind":"records"}` + "\n")); !errors.Is(err, ErrBadSchema) {
+		t.Fatalf("err = %v, want ErrBadSchema", err)
+	}
+	if _, _, err := Read(strings.NewReader(`{"schema":1,"kind":"wrong"}` + "\n")); !errors.Is(err, ErrBadSchema) {
+		t.Fatalf("err = %v, want ErrBadSchema (wrong kind)", err)
+	}
+}
+
+func TestReadRejectsBadCategory(t *testing.T) {
+	in := `{"schema":1,"kind":"records"}
+{"client":"X","category":"Wat","server":"eBay","t":0,"direct_bps":1,"selected_bps":1,"improvement_pct":0}
+`
+	if _, _, err := Read(strings.NewReader(in)); err == nil {
+		t.Fatal("bad category accepted")
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, "empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	got, comment, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 || comment != "empty" {
+		t.Fatalf("got %d records, comment %q", len(got), comment)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, sampleRecords()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 { // header + 3 rows
+		t.Fatalf("csv has %d lines, want 4:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "client,category,server") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "Korea") || !strings.Contains(lines[1], "MIT") {
+		t.Fatalf("row = %q", lines[1])
+	}
+	if !strings.Contains(lines[3], "relay down") {
+		t.Fatalf("error row = %q", lines[3])
+	}
+}
+
+func TestTraceOfRealCampaign(t *testing.T) {
+	// End-to-end: run a small campaign, archive it, reload it, and check
+	// the derived statistic survives the round trip.
+	study := experiment.RunStudy(experiment.StudyParams{
+		Seed: 5, TransfersPerClient: 5, Servers: []string{"eBay"},
+	})
+	var buf bytes.Buffer
+	if err := Write(&buf, "test campaign", study.Records); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(study.Records) {
+		t.Fatalf("reloaded %d of %d records", len(got), len(study.Records))
+	}
+	if experiment.UtilizationOf(got) != experiment.UtilizationOf(study.Records) {
+		t.Fatal("utilization changed across round trip")
+	}
+}
