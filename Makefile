@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build vet test race bench verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+# The CI tier: static checks plus the full suite under the race detector.
+verify: vet race

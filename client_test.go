@@ -1,0 +1,179 @@
+package repro_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// fakeTransport is a minimal in-memory transport over a fake clock whose
+// first failStarts transfers fail — an outage that heals.
+type fakeTransport struct {
+	now        float64
+	rate       float64
+	failStarts int
+	starts     int
+	lastBytes  int64
+}
+
+type fakeHandle struct {
+	res  repro.FetchResult
+	done bool
+}
+
+func (h *fakeHandle) Done() bool                { return h.done }
+func (h *fakeHandle) Result() repro.FetchResult { return h.res }
+
+func (t *fakeTransport) Now() float64 { return t.now }
+
+func (t *fakeTransport) Start(obj repro.Object, path repro.Path, off, n int64) repro.Handle {
+	t.starts++
+	t.lastBytes = n
+	h := &fakeHandle{res: repro.FetchResult{Path: path, Offset: off, Bytes: n, Start: t.now}}
+	if t.starts <= t.failStarts {
+		h.res.Err, h.res.End, h.done = fmt.Errorf("outage"), t.now, true
+		return h
+	}
+	h.res.End = t.now + float64(n)*8/t.rate
+	return h
+}
+
+func (t *fakeTransport) Wait(hs ...repro.Handle) {
+	for _, h := range hs {
+		fh := h.(*fakeHandle)
+		if fh.res.End > t.now {
+			t.now = fh.res.End
+		}
+		fh.done = true
+	}
+}
+
+func TestClientRetryRecoversFromOutage(t *testing.T) {
+	// Both probes of the first attempt fail; the retry succeeds.
+	tr := &fakeTransport{rate: 1e6, failStarts: 2}
+	c := repro.New(tr, repro.WithProbeBytes(10_000), repro.WithRetry(2, time.Millisecond))
+	obj := repro.Object{Server: "s", Name: "o", Size: 100_000}
+	out := c.SelectAndFetch(context.Background(), obj, []string{"r"})
+	if out.Err != nil {
+		t.Fatalf("retry did not recover: %v", out.Err)
+	}
+	if tr.starts <= 2 {
+		t.Fatalf("%d starts; no second attempt made", tr.starts)
+	}
+}
+
+func TestClientFailsWithoutRetry(t *testing.T) {
+	tr := &fakeTransport{rate: 1e6, failStarts: 2}
+	c := repro.New(tr, repro.WithProbeBytes(10_000))
+	out := c.SelectAndFetch(context.Background(), repro.Object{Server: "s", Name: "o", Size: 100_000},
+		[]string{"r"})
+	if !errors.Is(out.Err, repro.ErrAllPathsFailed) {
+		t.Fatalf("err = %v, want ErrAllPathsFailed", out.Err)
+	}
+	if tr.starts != 2 {
+		t.Fatalf("%d starts, want 2 (no retry configured)", tr.starts)
+	}
+}
+
+func TestClientDoesNotRetryCanceledOperations(t *testing.T) {
+	tr := &fakeTransport{rate: 1e6, failStarts: 100}
+	c := repro.New(tr, repro.WithProbeBytes(10_000), repro.WithRetry(5, time.Millisecond))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out := c.SelectAndFetch(ctx, repro.Object{Server: "s", Name: "o", Size: 100_000}, []string{"r"})
+	if out.Err == nil {
+		t.Fatal("expected an error under a dead context")
+	}
+	if tr.starts != 2 {
+		t.Fatalf("%d starts, want 2 (canceled operations must not retry)", tr.starts)
+	}
+}
+
+func TestClientProbeBytesOption(t *testing.T) {
+	tr := &fakeTransport{rate: 1e6}
+	c := repro.New(tr, repro.WithProbeBytes(12_345))
+	probes := c.Probe(context.Background(), repro.Object{Server: "s", Name: "o", Size: 1_000_000}, nil)
+	if len(probes) != 1 {
+		t.Fatalf("%d probes, want 1 (direct only)", len(probes))
+	}
+	if tr.lastBytes != 12_345 {
+		t.Fatalf("probe size %d, want 12345", tr.lastBytes)
+	}
+}
+
+// stuckTransport only completes transfers through context death.
+type stuckTransport struct{}
+
+type stuckHandle struct {
+	ctx  context.Context
+	res  repro.FetchResult
+	done bool
+}
+
+func (h *stuckHandle) Done() bool                { return h.done }
+func (h *stuckHandle) Result() repro.FetchResult { return h.res }
+
+func (t *stuckTransport) Now() float64 { return 0 }
+
+func (t *stuckTransport) Start(obj repro.Object, path repro.Path, off, n int64) repro.Handle {
+	return t.StartCtx(context.Background(), obj, path, off, n)
+}
+
+func (t *stuckTransport) StartCtx(ctx context.Context, obj repro.Object, path repro.Path, off, n int64) repro.Handle {
+	return &stuckHandle{ctx: ctx, res: repro.FetchResult{Path: path, Offset: off, Bytes: n}}
+}
+
+func (t *stuckTransport) Wait(hs ...repro.Handle) {
+	for _, h := range hs {
+		sh := h.(*stuckHandle)
+		if sh.done {
+			continue
+		}
+		<-sh.ctx.Done()
+		if errors.Is(sh.ctx.Err(), context.DeadlineExceeded) {
+			sh.res.Err = fmt.Errorf("%w: %w", repro.ErrProbeTimeout, sh.ctx.Err())
+		} else {
+			sh.res.Err = fmt.Errorf("%w: %w", repro.ErrCanceled, sh.ctx.Err())
+		}
+		sh.done = true
+	}
+}
+
+func TestClientTimeoutBoundsStuckTransfer(t *testing.T) {
+	c := repro.New(&stuckTransport{}, repro.WithProbeBytes(10_000),
+		repro.WithTimeout(30*time.Millisecond))
+	done := make(chan repro.Outcome, 1)
+	go func() {
+		done <- c.SelectAndFetch(context.Background(),
+			repro.Object{Server: "s", Name: "o", Size: 100_000}, nil)
+	}()
+	select {
+	case out := <-done:
+		if !errors.Is(out.Err, repro.ErrProbeTimeout) {
+			t.Fatalf("err = %v, want ErrProbeTimeout", out.Err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WithTimeout did not bound a stuck transfer")
+	}
+}
+
+func TestDeprecatedFreeFunctionsStillWork(t *testing.T) {
+	tr := &fakeTransport{rate: 1e6}
+	obj := repro.Object{Server: "s", Name: "o", Size: 200_000}
+	out := repro.SelectAndFetch(tr, obj, []string{"r"}, repro.Config{ProbeBytes: 50_000})
+	if out.Err != nil {
+		t.Fatalf("deprecated SelectAndFetch failed: %v", out.Err)
+	}
+	probes := repro.Probe(&fakeTransport{rate: 1e6}, obj, 50_000, []string{"r"})
+	if len(probes) != 2 {
+		t.Fatalf("%d probe results, want 2", len(probes))
+	}
+	seq := repro.ProbeSequential(&fakeTransport{rate: 1e6}, obj, 50_000, []string{"r"})
+	if len(seq) != 2 {
+		t.Fatalf("%d sequential probe results, want 2", len(seq))
+	}
+}

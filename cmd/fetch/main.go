@@ -1,7 +1,8 @@
 // Command fetch is the indirect-routing client: it probes the direct path
 // and every given relay with an initial range request, selects the path
 // with the best probe, downloads the remainder over it, and reports the
-// per-path probe throughputs and the selection.
+// per-path probe throughputs and the selection. Ctrl-C cancels the
+// transfer (closing its connections); -timeout bounds it.
 //
 // Usage (against origind + one or more relayd instances):
 //
@@ -10,13 +11,18 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
-	"repro/internal/core"
-	"repro/internal/realnet"
+	"repro"
 	"repro/internal/registry"
 )
 
@@ -30,15 +36,20 @@ func main() {
 	origin := flag.String("origin", "127.0.0.1:8080", "origin server address")
 	object := flag.String("object", "large.bin", "object name")
 	size := flag.Int64("size", 0, "object size in bytes (0 = discover via HEAD)")
-	probe := flag.Int64("probe", core.DefaultProbeBytes, "probe size x in bytes")
+	probe := flag.Int64("probe", repro.DefaultProbeBytes, "probe size x in bytes")
 	verify := flag.Bool("verify", true, "verify synthetic content")
 	adaptive := flag.Bool("adaptive", false, "download adaptively: segmented fetches with periodic re-races and failover")
 	segment := flag.Int64("segment", 1_000_000, "adaptive mode: segment size in bytes")
+	timeout := flag.Duration("timeout", 0, "overall transfer deadline (0 = none)")
+	retries := flag.Int("retries", 0, "retry a transfer that delivered nothing up to N times")
 	regAddr := flag.String("registry", "", "discover relays from this registry (in addition to -relay flags)")
 	flag.Var(&relays, "relay", "relay spec name=addr (repeatable)")
 	flag.Parse()
 
-	tr := &realnet.Transport{
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	tr := &repro.RealTransport{
 		Servers: map[string]string{"origin": *origin},
 		Relays:  map[string]string{},
 		Verify:  *verify,
@@ -68,22 +79,31 @@ func main() {
 	}
 
 	if *size == 0 {
-		discovered, err := tr.Stat("origin", *object)
+		discovered, err := tr.StatCtx(ctx, "origin", *object)
 		if err != nil {
 			log.Fatalf("size discovery failed: %v", err)
 		}
 		*size = discovered
 		fmt.Printf("discovered size of %s: %d bytes\n", *object, *size)
 	}
-	obj := core.Object{Server: "origin", Name: *object, Size: *size}
+	obj := repro.Object{Server: "origin", Name: *object, Size: *size}
+
+	opts := []repro.Option{repro.WithProbeBytes(*probe)}
+	if *timeout > 0 {
+		opts = append(opts, repro.WithTimeout(*timeout))
+	}
+	if *retries > 0 {
+		opts = append(opts, repro.WithRetry(*retries, 200*time.Millisecond))
+	}
+	client := repro.New(tr, opts...)
 
 	if *adaptive {
-		dl := &core.Downloader{
+		dl := &repro.Downloader{
 			Transport:    tr,
 			ProbeBytes:   *probe,
 			SegmentBytes: *segment,
 		}
-		res, err := dl.Download(obj, candidates)
+		res, err := dl.DownloadCtx(ctx, obj, candidates)
 		if err != nil {
 			log.Fatalf("adaptive download failed: %v", err)
 		}
@@ -103,9 +123,18 @@ func main() {
 		return
 	}
 
-	out := core.SelectAndFetch(tr, obj, candidates, core.Config{ProbeBytes: *probe})
+	out := client.SelectAndFetch(ctx, obj, candidates)
 	if out.Err != nil {
-		log.Fatalf("transfer failed: %v", out.Err)
+		switch {
+		case errors.Is(out.Err, repro.ErrCanceled):
+			log.Fatalf("transfer canceled: %v", out.Err)
+		case errors.Is(out.Err, repro.ErrProbeTimeout):
+			log.Fatalf("transfer deadline exceeded: %v", out.Err)
+		case errors.Is(out.Err, repro.ErrAllPathsFailed):
+			log.Fatalf("every path failed: %v", out.Err)
+		default:
+			log.Fatalf("transfer failed: %v", out.Err)
+		}
 	}
 
 	fmt.Printf("probes (%d bytes each):\n", *probe)

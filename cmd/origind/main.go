@@ -8,11 +8,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro/internal/relay"
 )
@@ -50,5 +54,10 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("origind listening on %s\n", l.Addr())
-	select {} // serve forever
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	fmt.Println("origind: shutting down")
+	l.Close()
 }

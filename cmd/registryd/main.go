@@ -9,9 +9,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/registry"
@@ -30,9 +34,18 @@ func main() {
 	fmt.Printf("registryd listening on %s\n", l.Addr())
 
 	if *statsEvery > 0 {
-		for range time.Tick(*statsEvery) {
-			fmt.Printf("registryd: %d live relays\n", len(s.List()))
-		}
+		ticker := time.NewTicker(*statsEvery)
+		defer ticker.Stop()
+		go func() {
+			for range ticker.C {
+				fmt.Printf("registryd: %d live relays\n", len(s.List()))
+			}
+		}()
 	}
-	select {}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	fmt.Println("registryd: shutting down")
+	l.Close()
 }

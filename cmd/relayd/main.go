@@ -8,9 +8,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/registry"
@@ -25,6 +29,9 @@ func main() {
 	ttl := flag.Duration("ttl", time.Minute, "registration TTL")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	r := &relay.Relay{}
 	l, err := r.ServeAddr(*listen)
 	if err != nil {
@@ -33,19 +40,27 @@ func main() {
 	fmt.Printf("relayd listening on %s\n", l.Addr())
 
 	if *regAddr != "" {
-		stop := make(chan struct{})
-		defer close(stop)
-		if err := registry.Heartbeat(*regAddr, *name, l.Addr().String(), *ttl, stop); err != nil {
+		hbStop := make(chan struct{})
+		defer close(hbStop)
+		if err := registry.Heartbeat(*regAddr, *name, l.Addr().String(), *ttl, hbStop); err != nil {
 			log.Fatalf("registration failed: %v", err)
 		}
 		fmt.Printf("registered as %q with %s (ttl %v)\n", *name, *regAddr, *ttl)
 	}
 
 	if *statsEvery > 0 {
-		for range time.Tick(*statsEvery) {
-			fmt.Printf("relayd: %d requests, %d bytes relayed\n",
-				r.Requests.Load(), r.BytesRelayed.Load())
-		}
+		ticker := time.NewTicker(*statsEvery)
+		defer ticker.Stop()
+		go func() {
+			for range ticker.C {
+				fmt.Printf("relayd: %d requests, %d bytes relayed\n",
+					r.Requests.Load(), r.BytesRelayed.Load())
+			}
+		}()
 	}
-	select {}
+
+	<-ctx.Done()
+	fmt.Printf("relayd: shutting down (%d requests, %d bytes relayed)\n",
+		r.Requests.Load(), r.BytesRelayed.Load())
+	l.Close()
 }

@@ -1,17 +1,21 @@
 // Quickstart: one simulated client selecting between the direct path and
-// two indirect paths for a single 4 MB download.
+// two indirect paths for a single 4 MB download, driven through the
+// repro.Client facade.
 //
 // It builds a PlanetLab-like scenario, instantiates the client's network,
 // probes all three paths with the paper's 100 KB range request, fetches
-// the remainder over the winner, and prints what happened.
+// the remainder over the winner, and prints what happened. The same
+// Client API drives real TCP: swap the simulated world for a
+// repro.RealTransport and add repro.WithTimeout / repro.WithRetry.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/core"
+	"repro"
 	"repro/internal/httpsim"
 	"repro/internal/randx"
 	"repro/internal/simnet"
@@ -38,8 +42,14 @@ func main() {
 	world.Put("eBay", "large.bin", 4_000_000)
 	inst.Warmup(300) // let link conditions decorrelate from their means
 
-	obj := core.Object{Server: "eBay", Name: "large.bin", Size: 4_000_000}
-	out := core.SelectAndFetch(world, obj, []string{"Berkeley", "Princeton"}, core.Config{})
+	// The facade binds the transport to a probe/selection configuration.
+	// The simulator runs in virtual time, so wall-clock options like
+	// WithTimeout are omitted here; on a RealTransport they bound the
+	// transfer and cancel its connections.
+	c := repro.New(world, repro.WithProbeBytes(repro.DefaultProbeBytes))
+
+	obj := repro.Object{Server: "eBay", Name: "large.bin", Size: 4_000_000}
+	out := c.SelectAndFetch(context.Background(), obj, []string{"Berkeley", "Princeton"})
 	if out.Err != nil {
 		panic(out.Err)
 	}

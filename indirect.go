@@ -20,15 +20,23 @@
 //	    Servers: map[string]string{"origin": "10.0.0.1:8080"},
 //	    Relays:  map[string]string{"campus": "10.0.0.2:8081"},
 //	}
+//	c := repro.New(tr,
+//	    repro.WithTimeout(30*time.Second),
+//	    repro.WithRetry(2, 200*time.Millisecond))
 //	obj := repro.Object{Server: "origin", Name: "large.bin", Size: 4_000_000}
-//	out := repro.SelectAndFetch(tr, obj, []string{"campus"}, repro.Config{})
+//	out := c.SelectAndFetch(ctx, obj, []string{"campus"})
 //	fmt.Println(out.Selected, out.Throughput())
+//
+// Failures carry typed sentinels: errors.Is(out.Err, repro.ErrProbeTimeout),
+// repro.ErrCanceled, repro.ErrAllPathsFailed.
 //
 // See the examples directory for simulated and loopback-TCP walkthroughs,
 // and cmd/indirectlab for the paper's full evaluation.
 package repro
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/realnet"
 )
@@ -102,19 +110,29 @@ const DefaultProbeBytes = core.DefaultProbeBytes
 
 // SelectAndFetch probes the direct path and all candidates, selects the
 // winner, and fetches the remainder of obj over it.
+//
+// Deprecated: use [New] and [Client.SelectAndFetch], which take a
+// context and support per-operation timeouts and retry. This wrapper
+// runs a one-off Client under context.Background.
 func SelectAndFetch(t Transport, obj Object, candidates []string, cfg Config) Outcome {
-	return core.SelectAndFetch(t, obj, candidates, cfg)
+	return New(t, WithConfig(cfg)).SelectAndFetch(context.Background(), obj, candidates)
 }
 
 // Probe races an x-byte range request on the direct path and every
 // candidate concurrently.
+//
+// Deprecated: use [Client.Probe], which takes a context and carries the
+// probe size in the client's configuration.
 func Probe(t Transport, obj Object, x int64, candidates []string) []ProbeResult {
-	return core.Probe(t, obj, x, candidates)
+	return New(t, WithProbeBytes(x)).Probe(context.Background(), obj, candidates)
 }
 
 // ProbeSequential probes candidates one at a time (contention-free).
+//
+// Deprecated: use [Client.ProbeSequential], which takes a context and
+// carries the probe size in the client's configuration.
 func ProbeSequential(t Transport, obj Object, x int64, candidates []string) []ProbeResult {
-	return core.ProbeSequential(t, obj, x, candidates)
+	return New(t, WithProbeBytes(x)).ProbeSequential(context.Background(), obj, candidates)
 }
 
 // Choose applies the selection rule to probe results.
@@ -140,6 +158,8 @@ func NewMonitor() *Monitor { return core.NewMonitor() }
 
 // SelectMonitored performs a probe-free transfer using the monitor's
 // table, feeding the outcome back into it.
+//
+// Deprecated: use [Client.SelectMonitored], which takes a context.
 func SelectMonitored(t Transport, obj Object, candidates []string, m *Monitor) Outcome {
-	return core.SelectMonitored(t, obj, candidates, m)
+	return New(t).SelectMonitored(context.Background(), obj, candidates, m)
 }

@@ -1,0 +1,302 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// ctxTransport is a fake context-aware transport: per-path rates over a
+// fake clock, with every handle remembering its context so tests can
+// observe which transfers the engine canceled.
+type ctxTransport struct {
+	now    float64
+	rate   map[string]float64
+	starts int
+
+	// onWait runs after each Wait/WaitAny completes (e.g. to cancel a
+	// context between sequential probes).
+	onWait func()
+
+	handles []*ctxHandle
+}
+
+type ctxHandle struct {
+	ctx  context.Context
+	res  FetchResult
+	done bool
+}
+
+func (h *ctxHandle) Done() bool          { return h.done }
+func (h *ctxHandle) Result() FetchResult { return h.res }
+
+func newCtxTransport(direct float64) *ctxTransport {
+	return &ctxTransport{rate: map[string]float64{Direct: direct}}
+}
+
+func (t *ctxTransport) Now() float64 { return t.now }
+
+func (t *ctxTransport) Start(obj Object, path Path, off, n int64) Handle {
+	return t.StartCtx(context.Background(), obj, path, off, n)
+}
+
+func (t *ctxTransport) StartCtx(ctx context.Context, obj Object, path Path, off, n int64) Handle {
+	t.starts++
+	h := &ctxHandle{ctx: ctx, res: FetchResult{Path: path, Offset: off, Bytes: n, Start: t.now}}
+	t.handles = append(t.handles, h)
+	if err := CtxErr(ctx); err != nil {
+		h.res.Err, h.res.End, h.done = err, t.now, true
+		return h
+	}
+	rate := t.rate[path.Via]
+	if rate <= 0 {
+		h.res.Err, h.res.End, h.done = errors.New("no such path"), t.now, true
+		return h
+	}
+	h.res.End = t.now + float64(n)*8/rate
+	return h
+}
+
+// finish completes one handle: canceled contexts fail it with the typed
+// error at the current fake time, live ones let it run to its End.
+func (t *ctxTransport) finish(h *ctxHandle) {
+	if h.done {
+		return
+	}
+	if err := CtxErr(h.ctx); err != nil {
+		h.res.Err, h.res.End = err, t.now
+	} else if h.res.End > t.now {
+		t.now = h.res.End
+	}
+	h.done = true
+}
+
+func (t *ctxTransport) Wait(hs ...Handle) {
+	for _, h := range hs {
+		t.finish(h.(*ctxHandle))
+	}
+	if t.onWait != nil {
+		t.onWait()
+	}
+}
+
+func (t *ctxTransport) WaitAny(hs ...Handle) int {
+	best, bestEnd := -1, 0.0
+	for i, h := range hs {
+		ch := h.(*ctxHandle)
+		if ch.done {
+			return i
+		}
+		if CtxErr(ch.ctx) != nil {
+			t.finish(ch)
+			return i
+		}
+		if best < 0 || ch.res.End < bestEnd {
+			best, bestEnd = i, ch.res.End
+		}
+	}
+	t.finish(hs[best].(*ctxHandle))
+	if t.onWait != nil {
+		t.onWait()
+	}
+	return best
+}
+
+var (
+	_ Transport      = (*ctxTransport)(nil)
+	_ AnyWaiter      = (*ctxTransport)(nil)
+	_ ContextStarter = (*ctxTransport)(nil)
+)
+
+func TestSelectAndFetchCtxCancelsLosers(t *testing.T) {
+	tr := newCtxTransport(1e6)
+	tr.rate["fast"] = 8e6
+	tr.rate["slow"] = 0.5e6
+	obj := Object{Server: "s", Name: "o", Size: 1_000_000}
+
+	out := SelectAndFetchCtx(context.Background(), tr, obj, []string{"fast", "slow"},
+		Config{ProbeBytes: 100_000})
+	if out.Err != nil {
+		t.Fatalf("outcome error despite delivered object: %v", out.Err)
+	}
+	if out.Selected.Via != "fast" {
+		t.Fatalf("selected %v, want via fast", out.Selected)
+	}
+
+	// The two losing probes (direct, slow) must have had their contexts
+	// canceled the moment the winner committed, and their results must
+	// carry the typed cancellation error without polluting the outcome.
+	canceled := 0
+	for i, p := range out.Probes {
+		if p.Path.Via == "fast" {
+			if p.Err != nil {
+				t.Fatalf("winning probe failed: %v", p.Err)
+			}
+			continue
+		}
+		if !errors.Is(p.Err, ErrCanceled) {
+			t.Fatalf("loser probe %d err = %v, want ErrCanceled", i, p.Err)
+		}
+		canceled++
+	}
+	if canceled != 2 {
+		t.Fatalf("%d losers canceled, want 2", canceled)
+	}
+	// The probe handles' contexts really were canceled (not just results
+	// marked): index 0..2 are the probes in start order.
+	for _, h := range tr.handles[:3] {
+		if h.res.Path.Via == "fast" {
+			continue
+		}
+		if h.ctx.Err() == nil {
+			t.Fatalf("loser %v context not canceled", h.res.Path)
+		}
+	}
+}
+
+func TestSelectAndFetchCtxCanceledUpFront(t *testing.T) {
+	tr := newCtxTransport(1e6)
+	tr.rate["r"] = 2e6
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out := SelectAndFetchCtx(ctx, tr, Object{Server: "s", Name: "o", Size: 500_000},
+		[]string{"r"}, Config{ProbeBytes: 100_000})
+	if !errors.Is(out.Err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", out.Err)
+	}
+	if !errors.Is(out.Err, ErrAllPathsFailed) {
+		t.Fatalf("err = %v, want ErrAllPathsFailed (nothing delivered)", out.Err)
+	}
+}
+
+func TestSelectAndFetchCtxDeadline(t *testing.T) {
+	tr := newCtxTransport(1e6)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	<-ctx.Done() // let the deadline expire
+	out := SelectAndFetchCtx(ctx, tr, Object{Server: "s", Name: "o", Size: 500_000},
+		nil, Config{ProbeBytes: 100_000})
+	if !errors.Is(out.Err, ErrProbeTimeout) {
+		t.Fatalf("err = %v, want ErrProbeTimeout", out.Err)
+	}
+	if !errors.Is(out.Err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, should wrap context.DeadlineExceeded", out.Err)
+	}
+}
+
+func TestProbeSequentialCtxStopsOnCancel(t *testing.T) {
+	tr := newCtxTransport(1e6)
+	tr.rate["a"] = 1e6
+	tr.rate["b"] = 1e6
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	tr.onWait = cancel // dies after the first probe completes
+
+	probes := ProbeSequentialCtx(ctx, tr, Object{Server: "s", Name: "o", Size: 500_000},
+		100_000, []string{"a", "b"})
+	if len(probes) != 3 {
+		t.Fatalf("%d probe results, want 3 (one per path)", len(probes))
+	}
+	if probes[0].Err != nil {
+		t.Fatalf("first probe failed: %v", probes[0].Err)
+	}
+	for i, p := range probes[1:] {
+		if !errors.Is(p.Err, ErrCanceled) {
+			t.Fatalf("probe %d after cancel: err = %v, want ErrCanceled", i+1, p.Err)
+		}
+	}
+	// Only the first probe was actually issued.
+	if tr.starts != 1 {
+		t.Fatalf("%d transfers started after cancellation, want 1", tr.starts)
+	}
+}
+
+func TestDownloaderCtxCanceled(t *testing.T) {
+	tr := newCtxTransport(1e6)
+	tr.rate["r"] = 2e6
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	d := &Downloader{Transport: tr, ProbeBytes: 100_000, SegmentBytes: 250_000}
+	_, err := d.DownloadCtx(ctx, Object{Server: "s", Name: "o", Size: 1_000_000}, []string{"r"})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+func TestMultipathCtxCanceled(t *testing.T) {
+	tr := newCtxTransport(1e6)
+	tr.rate["r"] = 2e6
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	mp := &MultipathDownloader{Transport: tr, ChunkBytes: 250_000}
+	_, err := mp.DownloadCtx(ctx, Object{Server: "s", Name: "o", Size: 1_000_000}, []string{"r"})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+func TestCtxErrMapping(t *testing.T) {
+	if err := CtxErr(context.Background()); err != nil {
+		t.Fatalf("live context: %v", err)
+	}
+	c1, cancel1 := context.WithCancel(context.Background())
+	cancel1()
+	if err := CtxErr(c1); !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled: %v", err)
+	}
+	c2, cancel2 := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel2()
+	<-c2.Done()
+	if err := CtxErr(c2); !errors.Is(err, ErrProbeTimeout) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline: %v", err)
+	}
+}
+
+// neverTransport returns handles that only complete via cancellation —
+// the misbehaving-transport case: without context support the engine
+// would hang forever.
+type neverTransport struct {
+	ctxTransport
+}
+
+func (t *neverTransport) StartCtx(ctx context.Context, obj Object, path Path, off, n int64) Handle {
+	h := t.ctxTransport.StartCtx(ctx, obj, path, off, n).(*ctxHandle)
+	if !h.done {
+		h.res.End = 1e18 // never reached except via ctx death
+	}
+	return h
+}
+
+func (t *neverTransport) Wait(hs ...Handle) {
+	for _, h := range hs {
+		ch := h.(*ctxHandle)
+		if ch.done {
+			continue
+		}
+		// Block (in wall time) until the transfer's context dies, as
+		// realnet's watcher does, then surface the typed error.
+		<-ch.ctx.Done()
+		ch.res.Err, ch.res.End, ch.done = CtxErr(ch.ctx), t.now, true
+	}
+}
+
+func TestProbeDeadlineOnStuckTransport(t *testing.T) {
+	tr := &neverTransport{}
+	tr.rate = map[string]float64{Direct: 1e6}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+
+	done := make(chan []ProbeResult, 1)
+	go func() {
+		done <- ProbeCtx(ctx, tr, Object{Server: "s", Name: "o", Size: 500_000}, 100_000, nil)
+	}()
+	select {
+	case probes := <-done:
+		if !errors.Is(probes[0].Err, ErrProbeTimeout) {
+			t.Fatalf("stuck probe err = %v, want ErrProbeTimeout", probes[0].Err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("probe hung despite context deadline")
+	}
+}

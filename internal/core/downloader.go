@@ -1,13 +1,9 @@
 package core
 
 import (
-	"errors"
+	"context"
 	"fmt"
 )
-
-// ErrAllPathsFailed reports that every candidate path (including direct)
-// failed during a download.
-var ErrAllPathsFailed = errors.New("core: all paths failed")
 
 // Downloader is the adaptive extension the paper's conclusion sketches:
 // instead of committing to the probe winner for the whole remainder, the
@@ -113,6 +109,13 @@ func (d *Downloader) maxFailovers() int {
 // indirect paths. It returns a result describing every segment even when
 // the download ultimately fails.
 func (d *Downloader) Download(obj Object, candidates []string) (DownloadResult, error) {
+	return d.DownloadCtx(context.Background(), obj, candidates)
+}
+
+// DownloadCtx is Download under a context: cancellation or deadline
+// expiry stops issuing segments and returns the typed error (wrapping
+// ErrCanceled or ErrProbeTimeout) alongside the partial result.
+func (d *Downloader) DownloadCtx(ctx context.Context, obj Object, candidates []string) (DownloadResult, error) {
 	t := d.Transport
 	res := DownloadResult{Object: obj, Start: t.Now()}
 
@@ -131,7 +134,7 @@ func (d *Downloader) Download(obj Object, candidates []string) (DownloadResult, 
 
 	// Initial race doubles as the first x bytes of payload.
 	offset := int64(0)
-	current, raced, err := d.race(obj, offset, x, paths, alive, &res)
+	current, raced, err := d.race(ctx, obj, offset, x, paths, alive, &res)
 	if err != nil {
 		res.End = t.Now()
 		return res, err
@@ -141,6 +144,10 @@ func (d *Downloader) Download(obj Object, candidates []string) (DownloadResult, 
 	sinceRace := 0
 
 	for offset < obj.Size {
+		if err := CtxErr(ctx); err != nil {
+			res.End = t.Now()
+			return res, err
+		}
 		if sinceRace >= d.refreshEvery() {
 			// Re-race the live paths over the next x bytes; the winner
 			// becomes the current path and the bytes count as progress.
@@ -149,7 +156,7 @@ func (d *Downloader) Download(obj Object, candidates []string) (DownloadResult, 
 				n = rest
 			}
 			prev := current
-			next, raced, err := d.race(obj, offset, n, paths, alive, &res)
+			next, raced, err := d.race(ctx, obj, offset, n, paths, alive, &res)
 			if err != nil {
 				res.End = t.Now()
 				return res, err
@@ -168,10 +175,14 @@ func (d *Downloader) Download(obj Object, candidates []string) (DownloadResult, 
 			n = rest
 		}
 		// Segments continue the current path's established connection.
-		h := startOn(t, true, obj, current, offset, n)
+		h := startOnCtx(ctx, t, true, obj, current, offset, n)
 		t.Wait(h)
 		r := h.Result()
 		if r.Err != nil {
+			if err := CtxErr(ctx); err != nil {
+				res.End = t.Now()
+				return res, err
+			}
 			alive[current] = false
 			failovers++
 			res.Failovers++
@@ -181,7 +192,7 @@ func (d *Downloader) Download(obj Object, candidates []string) (DownloadResult, 
 				return res, fmt.Errorf("%w: too many failovers (last: %v)", ErrAllPathsFailed, r.Err)
 			}
 			// Re-race the survivors to pick a replacement.
-			next, raced, err := d.race(obj, offset, minI64(x, obj.Size-offset), paths, alive, &res)
+			next, raced, err := d.race(ctx, obj, offset, minI64(x, obj.Size-offset), paths, alive, &res)
 			if err != nil {
 				res.End = t.Now()
 				return res, err
@@ -205,7 +216,7 @@ func (d *Downloader) Download(obj Object, candidates []string) (DownloadResult, 
 // the winning path. The winner's fetch is recorded as a raced segment; the
 // losers' duplicate bytes are measurement overhead, exactly like the
 // paper's probes. Paths whose race fetch fails are marked dead.
-func (d *Downloader) race(obj Object, off, n int64, paths []Path, alive map[Path]bool, res *DownloadResult) (Path, int64, error) {
+func (d *Downloader) race(ctx context.Context, obj Object, off, n int64, paths []Path, alive map[Path]bool, res *DownloadResult) (Path, int64, error) {
 	t := d.Transport
 	var racers []Path
 	for _, p := range paths {
@@ -221,7 +232,7 @@ func (d *Downloader) race(obj Object, off, n int64, paths []Path, alive map[Path
 	}
 	handles := make([]Handle, len(racers))
 	for i, p := range racers {
-		handles[i] = t.Start(obj, p, off, n)
+		handles[i] = startCtx(ctx, t, obj, p, off, n)
 	}
 	t.Wait(handles...)
 
@@ -236,6 +247,9 @@ func (d *Downloader) race(obj Object, off, n int64, paths []Path, alive map[Path
 		}
 	}
 	if okCount == 0 {
+		if err := CtxErr(ctx); err != nil {
+			return Path{}, 0, err
+		}
 		return Path{}, 0, fmt.Errorf("%w: race at offset %d", ErrAllPathsFailed, off)
 	}
 	winner := Choose(probes, d.Rule)

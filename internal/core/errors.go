@@ -1,0 +1,46 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors for the failure modes a selecting client must tell
+// apart: a path that was slow enough to blow a deadline (penalty), an
+// operation the caller abandoned (cancellation), and an outage where no
+// path could deliver at all. All errors returned by the engine and by the
+// real transport wrap one of these, so callers use errors.Is rather than
+// string matching.
+var (
+	// ErrAllPathsFailed reports that every candidate path (including
+	// direct) failed during an operation.
+	ErrAllPathsFailed = errors.New("core: all paths failed")
+
+	// ErrCanceled reports that a transfer was abandoned because its
+	// context was canceled — either by the caller or by the engine
+	// reaping a losing probe.
+	ErrCanceled = errors.New("core: transfer canceled")
+
+	// ErrProbeTimeout reports that a transfer's deadline expired before
+	// it completed. Probes are the common case (a path too slow to probe
+	// within budget is treated as failed, not waited out), but any
+	// deadline-bearing transfer maps its expiry here.
+	ErrProbeTimeout = errors.New("core: transfer deadline exceeded")
+)
+
+// CtxErr translates a context's termination into the package's typed
+// errors: DeadlineExceeded becomes ErrProbeTimeout, Canceled becomes
+// ErrCanceled. It returns nil while the context is live. Both the typed
+// sentinel and the underlying context error are in the wrap chain, so
+// errors.Is works against either.
+func CtxErr(ctx context.Context) error {
+	switch err := ctx.Err(); {
+	case err == nil:
+		return nil
+	case errors.Is(err, context.DeadlineExceeded):
+		return fmt.Errorf("%w: %w", ErrProbeTimeout, err)
+	default:
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+}

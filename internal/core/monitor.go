@@ -1,6 +1,9 @@
 package core
 
-import "sort"
+import (
+	"context"
+	"sort"
+)
 
 // Monitor maintains exponentially-weighted throughput estimates per path
 // from any observations the client makes (probes, transfers, background
@@ -116,7 +119,13 @@ func (m *Monitor) Ranked(candidates []string) []Path {
 // This is the background maintenance a monitored client runs between
 // transfers.
 func (m *Monitor) Refresh(t Transport, obj Object, x int64, candidates []string) {
-	probes := Probe(t, obj, x, candidates)
+	m.RefreshCtx(context.Background(), t, obj, x, candidates)
+}
+
+// RefreshCtx is Refresh under a context: an abandoned refresh simply
+// contributes no samples for the probes that did not complete.
+func (m *Monitor) RefreshCtx(ctx context.Context, t Transport, obj Object, x int64, candidates []string) {
+	probes := ProbeCtx(ctx, t, obj, x, candidates)
 	for _, p := range probes {
 		if p.Err == nil {
 			m.Observe(p.Path, p.Throughput())
@@ -130,12 +139,18 @@ func (m *Monitor) Refresh(t Transport, obj Object, x int64, candidates []string)
 // throughput back into the monitor. Compare with SelectAndFetch, which
 // pays an in-band probe race per transfer for fresh information.
 func SelectMonitored(t Transport, obj Object, candidates []string, m *Monitor) Outcome {
+	return SelectMonitoredCtx(context.Background(), t, obj, candidates, m)
+}
+
+// SelectMonitoredCtx is SelectMonitored under a context: the single
+// fetch observes ctx on context-aware transports.
+func SelectMonitoredCtx(ctx context.Context, t Transport, obj Object, candidates []string, m *Monitor) Outcome {
 	o := Outcome{Object: obj, Candidates: candidates, Start: t.Now()}
 	sel, _ := m.Best(candidates)
 	o.Selected = sel
 	o.ProbeEnd = o.Start // no probing phase
 
-	h := t.Start(obj, sel, 0, obj.Size)
+	h := startCtx(ctx, t, obj, sel, 0, obj.Size)
 	t.Wait(h)
 	o.Remainder = h.Result()
 	o.Err = o.Remainder.Err

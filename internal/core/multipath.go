@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // MultipathDownloader stripes one object across several paths at once:
 // the direct path and every candidate relay each pull chunks from a
@@ -71,6 +74,14 @@ type chunk struct {
 // Download stripes obj across the direct path and the candidates. It
 // requires len(candidates) >= 1 (with none, use a plain fetch).
 func (d *MultipathDownloader) Download(obj Object, candidates []string) (MultipathResult, error) {
+	return d.DownloadCtx(context.Background(), obj, candidates)
+}
+
+// DownloadCtx is Download under a context: once ctx dies, no further
+// chunks are issued, outstanding chunks are reaped, and the typed error
+// (wrapping ErrCanceled or ErrProbeTimeout) is returned with the partial
+// result.
+func (d *MultipathDownloader) DownloadCtx(ctx context.Context, obj Object, candidates []string) (MultipathResult, error) {
 	t := d.Transport
 	res := MultipathResult{Object: obj, Start: t.Now()}
 
@@ -104,12 +115,12 @@ func (d *MultipathDownloader) Download(obj Object, candidates []string) (Multipa
 	dead := map[Path]bool{}
 
 	issue := func(p Path, warm bool) bool {
-		if len(queue) == 0 {
+		if len(queue) == 0 || ctx.Err() != nil {
 			return false
 		}
 		c := queue[0]
 		queue = queue[1:]
-		active = append(active, inflight{p, c, startOn(t, warm, obj, p, c.off, c.n), warm})
+		active = append(active, inflight{p, c, startOnCtx(ctx, t, warm, obj, p, c.off, c.n), warm})
 		return true
 	}
 	for _, p := range paths {
@@ -144,6 +155,15 @@ func (d *MultipathDownloader) Download(obj Object, candidates []string) (Multipa
 
 		r := done.h.Result()
 		if r.Err != nil {
+			if err := CtxErr(ctx); err != nil {
+				// The operation was abandoned: reap what is still in
+				// flight and report the cancellation, not a path outage.
+				for _, a := range active {
+					t.Wait(a.h)
+				}
+				res.End = t.Now()
+				return res, err
+			}
 			res.Failures++
 			if res.Failures > d.maxFailures() {
 				res.End = t.Now()
@@ -199,6 +219,9 @@ func (d *MultipathDownloader) Download(obj Object, candidates []string) (Multipa
 		got += s.Bytes
 	}
 	if got != obj.Size {
+		if err := CtxErr(ctx); err != nil {
+			return res, err
+		}
 		return res, fmt.Errorf("core: multipath delivered %d of %d bytes", got, obj.Size)
 	}
 	return res, nil

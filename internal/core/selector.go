@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"context"
+	"errors"
+	"fmt"
+)
 
 // Rule is the probe-comparison rule used to select a path.
 type Rule int
@@ -92,30 +96,65 @@ func (o Outcome) Throughput() float64 {
 // SelectedIndirect reports whether an indirect path won the probe race.
 func (o Outcome) SelectedIndirect() bool { return !o.Selected.IsDirect() }
 
-// StartProbes launches an x-byte probe on the direct path and on every
-// candidate indirect path concurrently, returning the paths (index 0 is
-// direct) and their in-flight handles.
-func StartProbes(t Transport, obj Object, x int64, candidates []string) ([]Path, []Handle) {
-	if x > obj.Size {
-		x = obj.Size
-	}
+// probePaths expands the candidate set into the raced path list (index 0
+// is always the direct path).
+func probePaths(candidates []string) []Path {
 	paths := make([]Path, 0, len(candidates)+1)
 	paths = append(paths, Path{Via: Direct})
 	for _, c := range candidates {
 		paths = append(paths, Path{Via: c})
 	}
-	handles := make([]Handle, len(paths))
-	for i, p := range paths {
-		handles[i] = t.Start(obj, p, 0, x)
-	}
+	return paths
+}
+
+// StartProbes launches an x-byte probe on the direct path and on every
+// candidate indirect path concurrently, returning the paths (index 0 is
+// direct) and their in-flight handles.
+func StartProbes(t Transport, obj Object, x int64, candidates []string) ([]Path, []Handle) {
+	paths, handles, _ := StartProbesCtx(context.Background(), t, obj, x, candidates)
 	return paths, handles
+}
+
+// StartProbesCtx is StartProbes with per-probe cancellation: every probe
+// runs under its own child context of ctx, and the returned cancel
+// functions (one per handle) let the caller abandon individual probes —
+// the engine cancels the losers the moment a winner commits. On
+// transports without the ContextStarter extension the cancel functions
+// are inert and probes drain to completion.
+func StartProbesCtx(ctx context.Context, t Transport, obj Object, x int64, candidates []string) ([]Path, []Handle, []context.CancelFunc) {
+	if x > obj.Size {
+		x = obj.Size
+	}
+	paths := probePaths(candidates)
+	handles := make([]Handle, len(paths))
+	cancels := make([]context.CancelFunc, len(paths))
+	for i, p := range paths {
+		pctx, cancel := context.WithCancel(ctx)
+		handles[i] = startCtx(pctx, t, obj, p, 0, x)
+		cancels[i] = cancel
+	}
+	return paths, handles, cancels
 }
 
 // Probe fetches the first x bytes of obj concurrently over the direct path
 // and over each candidate indirect path, returning the per-path results.
 // Order: index 0 is the direct probe, then one entry per candidate.
 func Probe(t Transport, obj Object, x int64, candidates []string) []ProbeResult {
-	_, handles := StartProbes(t, obj, x, candidates)
+	return ProbeCtx(context.Background(), t, obj, x, candidates)
+}
+
+// ProbeCtx is Probe under a context: cancellation or deadline expiry
+// fails the outstanding probes (on context-aware transports) instead of
+// waiting them out.
+func ProbeCtx(ctx context.Context, t Transport, obj Object, x int64, candidates []string) []ProbeResult {
+	paths := probePaths(candidates)
+	if x > obj.Size {
+		x = obj.Size
+	}
+	handles := make([]Handle, len(paths))
+	for i, p := range paths {
+		handles[i] = startCtx(ctx, t, obj, p, 0, x)
+	}
 	t.Wait(handles...)
 	probes := make([]ProbeResult, len(handles))
 	for i, h := range handles {
@@ -229,17 +268,25 @@ func Choose(probes []ProbeResult, rule Rule) Path {
 // gets the path to itself, so measurements do not contend with each other.
 // Result order matches Probe: direct first, then candidates.
 func ProbeSequential(t Transport, obj Object, x int64, candidates []string) []ProbeResult {
+	return ProbeSequentialCtx(context.Background(), t, obj, x, candidates)
+}
+
+// ProbeSequentialCtx is ProbeSequential under a context. Once ctx dies,
+// the remaining probes are not issued: their results carry the typed
+// cancellation error instead, so the slice still has one entry per path.
+func ProbeSequentialCtx(ctx context.Context, t Transport, obj Object, x int64, candidates []string) []ProbeResult {
 	if x > obj.Size {
 		x = obj.Size
 	}
-	paths := make([]Path, 0, len(candidates)+1)
-	paths = append(paths, Path{Via: Direct})
-	for _, c := range candidates {
-		paths = append(paths, Path{Via: c})
-	}
+	paths := probePaths(candidates)
 	probes := make([]ProbeResult, len(paths))
 	for i, p := range paths {
-		h := t.Start(obj, p, 0, x)
+		if err := CtxErr(ctx); err != nil {
+			now := t.Now()
+			probes[i] = ProbeResult{FetchResult{Path: p, Bytes: x, Start: now, End: now, Err: err}}
+			continue
+		}
+		h := startCtx(ctx, t, obj, p, 0, x)
 		t.Wait(h)
 		probes[i] = ProbeResult{h.Result()}
 	}
@@ -257,6 +304,18 @@ func ProbeSequential(t Transport, obj Object, x int64, candidates []string) []Pr
 // paper's client behaves. Under MaxThroughput (and sequential probing)
 // all probes are measured before the decision.
 func SelectAndFetch(t Transport, obj Object, candidates []string, cfg Config) Outcome {
+	return SelectAndFetchCtx(context.Background(), t, obj, candidates, cfg)
+}
+
+// SelectAndFetchCtx is SelectAndFetch under a context. On context-aware
+// transports the losing probes are canceled the moment the winner
+// commits (their connections close within a round trip instead of
+// draining), and cancellation or deadline expiry of ctx itself abandons
+// the whole operation with a typed error (ErrCanceled, ErrProbeTimeout).
+// On transports without the extension — notably the virtual-time
+// simulator — losers drain to completion, contending for bandwidth
+// exactly as the paper's real probes did.
+func SelectAndFetchCtx(ctx context.Context, t Transport, obj Object, candidates []string, cfg Config) Outcome {
 	x := cfg.probeBytes()
 	if x > obj.Size {
 		x = obj.Size
@@ -265,7 +324,12 @@ func SelectAndFetch(t Transport, obj Object, candidates []string, cfg Config) Ou
 	rest := obj.Size - x
 
 	if !cfg.Sequential && cfg.Rule == FirstFinished {
-		paths, handles := StartProbes(t, obj, x, candidates)
+		paths, handles, cancels := StartProbesCtx(ctx, t, obj, x, candidates)
+		defer func() {
+			for _, c := range cancels {
+				c()
+			}
+		}()
 		win, pending := AwaitFirstSuccess(t, handles)
 		o.ProbeEnd = t.Now()
 		if win >= 0 {
@@ -274,12 +338,20 @@ func SelectAndFetch(t Transport, obj Object, candidates []string, cfg Config) Ou
 			o.Selected = Path{Via: Direct} // every probe failed
 		}
 
+		// Cancel the losers immediately: the winner is committed, so the
+		// losing transfers are pure overhead. Context-aware transports
+		// tear them down within a round trip; others drain them below.
+		for _, i := range pending {
+			cancels[i]()
+		}
+
 		var rem Handle
 		if rest > 0 && win >= 0 {
-			rem = startOn(t, true, obj, o.Selected, x, rest)
+			rem = startOnCtx(ctx, t, true, obj, o.Selected, x, rest)
 		}
-		// Drain the losers alongside the remainder; they contend for
-		// bandwidth just as the paper's real probes did.
+		// Reap the losers alongside the remainder. On transports that
+		// ignored the cancellation they still contend for bandwidth, as
+		// the paper's real probes did.
 		wait := make([]Handle, 0, len(pending)+1)
 		for _, i := range pending {
 			wait = append(wait, handles[i])
@@ -299,10 +371,10 @@ func SelectAndFetch(t Transport, obj Object, candidates []string, cfg Config) Ou
 		}
 	} else {
 		if cfg.Sequential {
-			o.Probes = ProbeSequential(t, obj, x, candidates)
+			o.Probes = ProbeSequentialCtx(ctx, t, obj, x, candidates)
 			cfg.Rule = MaxThroughput
 		} else {
-			o.Probes = Probe(t, obj, x, candidates)
+			o.Probes = ProbeCtx(ctx, t, obj, x, candidates)
 		}
 		o.ProbeEnd = t.Now()
 		o.Selected = Choose(o.Probes, cfg.Rule)
@@ -310,7 +382,7 @@ func SelectAndFetch(t Transport, obj Object, candidates []string, cfg Config) Ou
 			// The remainder continues on the winning probe's connection
 			// (same path, same socket): warm when the transport supports
 			// it.
-			h := startOn(t, true, obj, o.Selected, x, rest)
+			h := startOnCtx(ctx, t, true, obj, o.Selected, x, rest)
 			t.Wait(h)
 			o.Remainder = h.Result()
 		}
@@ -318,11 +390,25 @@ func SelectAndFetch(t Transport, obj Object, candidates []string, cfg Config) Ou
 
 	for _, p := range o.Probes {
 		if p.Err != nil && o.Err == nil {
+			// A loser the engine itself canceled is bookkeeping, not a
+			// path failure; it only surfaces when the caller's own ctx
+			// died.
+			if errors.Is(p.Err, ErrCanceled) && ctx.Err() == nil {
+				continue
+			}
 			o.Err = p.Err
 		}
 	}
 	if o.Remainder.Err != nil && o.Err == nil {
 		o.Err = o.Remainder.Err
+	}
+	if o.Err == nil {
+		if err := CtxErr(ctx); err != nil {
+			o.Err = err
+		}
+	}
+	if allFailed(o.Probes) && o.Err != nil && !errors.Is(o.Err, ErrAllPathsFailed) {
+		o.Err = fmt.Errorf("%w: every probe failed (first: %w)", ErrAllPathsFailed, o.Err)
 	}
 	// The operation ends when the last object byte arrives — losing
 	// probes may still be draining after that and do not count.
@@ -333,6 +419,17 @@ func SelectAndFetch(t Transport, obj Object, candidates []string, cfg Config) Ou
 		o.End = o.ProbeEnd
 	}
 	return o
+}
+
+// allFailed reports whether every probe in the race carried an error
+// (the no-path-delivered outage case).
+func allFailed(probes []ProbeResult) bool {
+	for _, p := range probes {
+		if p.Err == nil {
+			return false
+		}
+	}
+	return len(probes) > 0
 }
 
 // Improvement returns the paper's improvement metric in percent: the ratio

@@ -10,6 +10,8 @@
 // the empty string denoting the direct path.
 package core
 
+import "context"
+
 // Direct is the Path.Via value denoting the default (non-relayed) route.
 const Direct = ""
 
@@ -95,6 +97,27 @@ type AnyWaiter interface {
 	WaitAny(hs ...Handle) int
 }
 
+// ContextStarter is an optional Transport extension for transports whose
+// transfers can be abandoned: StartCtx behaves like Start, but the
+// transfer observes ctx — cancellation or deadline expiry fails the
+// handle promptly (wrapping ErrCanceled / ErrProbeTimeout) and releases
+// whatever the transfer holds (on the real stack, the TCP connection).
+//
+// The extension is optional so the virtual-time simulator can stay
+// virtual-time-correct: wall-clock cancellation has no meaning in
+// simulated seconds, so the simulator only honours contexts that are
+// already dead when the transfer starts, and losing probes drain exactly
+// as the paper's real probes did.
+type ContextStarter interface {
+	StartCtx(ctx context.Context, obj Object, path Path, off, n int64) Handle
+}
+
+// WarmContextStarter combines ContextStarter with warm continuation: the
+// transfer reuses the path's established connection and observes ctx.
+type WarmContextStarter interface {
+	StartWarmCtx(ctx context.Context, obj Object, path Path, off, n int64) Handle
+}
+
 // WarmStarter is an optional Transport extension for transfers that
 // continue on an already-established connection: after a probe wins, the
 // client requests the remainder over the same connection, paying neither
@@ -108,10 +131,28 @@ type WarmStarter interface {
 // startOn begins a transfer on t, warm if the transport supports it and
 // warm continuation was requested.
 func startOn(t Transport, warm bool, obj Object, path Path, off, n int64) Handle {
+	return startOnCtx(context.Background(), t, warm, obj, path, off, n)
+}
+
+// startCtx begins a cold transfer, context-aware when the transport
+// supports it.
+func startCtx(ctx context.Context, t Transport, obj Object, path Path, off, n int64) Handle {
+	if cs, ok := t.(ContextStarter); ok {
+		return cs.StartCtx(ctx, obj, path, off, n)
+	}
+	return t.Start(obj, path, off, n)
+}
+
+// startOnCtx begins a transfer on t, preferring the richest extension the
+// transport offers: warm+ctx, then warm, then ctx, then plain Start.
+func startOnCtx(ctx context.Context, t Transport, warm bool, obj Object, path Path, off, n int64) Handle {
 	if warm {
+		if ws, ok := t.(WarmContextStarter); ok {
+			return ws.StartWarmCtx(ctx, obj, path, off, n)
+		}
 		if ws, ok := t.(WarmStarter); ok {
 			return ws.StartWarm(obj, path, off, n)
 		}
 	}
-	return t.Start(obj, path, off, n)
+	return startCtx(ctx, t, obj, path, off, n)
 }

@@ -7,6 +7,7 @@
 package httpsim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -134,6 +135,30 @@ func (w *World) StartWarm(obj core.Object, path core.Path, off, n int64) core.Ha
 	return w.start(obj, path, off, n, true)
 }
 
+// StartCtx implements core.ContextStarter as a shim: a context that is
+// already dead yields a born-failed handle with the typed error, and a
+// live one starts a normal transfer that then IGNORES later
+// cancellation. Mid-flight cancellation is deliberately not modelled —
+// contexts die in wall-clock time, transfers progress in virtual
+// seconds, and coupling the two would make results depend on host
+// scheduling. Losing probes therefore drain and contend for bandwidth,
+// exactly as the paper's real probes did.
+func (w *World) StartCtx(ctx context.Context, obj core.Object, path core.Path, off, n int64) core.Handle {
+	if err := core.CtxErr(ctx); err != nil {
+		return w.failed(obj, path, off, n, err)
+	}
+	return w.start(obj, path, off, n, false)
+}
+
+// StartWarmCtx is StartWarm with the same start-time-only context check
+// as StartCtx. It implements core.WarmContextStarter.
+func (w *World) StartWarmCtx(ctx context.Context, obj core.Object, path core.Path, off, n int64) core.Handle {
+	if err := core.CtxErr(ctx); err != nil {
+		return w.failed(obj, path, off, n, err)
+	}
+	return w.start(obj, path, off, n, true)
+}
+
 func (w *World) start(obj core.Object, path core.Path, off, n int64, warm bool) core.Handle {
 	srv := w.servers[obj.Server]
 	if srv == nil {
@@ -235,6 +260,8 @@ func (w *World) WaitAny(hs ...core.Handle) int {
 }
 
 var (
-	_ core.Transport = (*World)(nil)
-	_ core.AnyWaiter = (*World)(nil)
+	_ core.Transport          = (*World)(nil)
+	_ core.AnyWaiter          = (*World)(nil)
+	_ core.ContextStarter     = (*World)(nil)
+	_ core.WarmContextStarter = (*World)(nil)
 )

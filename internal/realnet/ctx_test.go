@@ -1,0 +1,411 @@
+package realnet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/relay"
+	"repro/internal/shaper"
+)
+
+func TestCancelClosesTransferPromptly(t *testing.T) {
+	origin := relay.NewOrigin()
+	origin.Put("big.bin", 8_000_000)
+	ol, err := origin.ServeAddr("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ol.Close()
+
+	d := shaper.NewDialer()
+	d.SetProfile(ol.Addr().String(), shaper.PathProfile{DownloadBps: 1e6}) // 8 MB would take ~64s
+	tr := &Transport{
+		Servers: map[string]string{"origin": ol.Addr().String()},
+		Dial:    d.Dial,
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	obj := core.Object{Server: "origin", Name: "big.bin", Size: 8_000_000}
+	h := tr.StartCtx(ctx, obj, core.Path{}, 0, 8_000_000)
+	time.AfterFunc(100*time.Millisecond, cancel)
+
+	start := time.Now()
+	tr.Wait(h)
+	elapsed := time.Since(start)
+
+	res := h.Result()
+	if !errors.Is(res.Err, core.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", res.Err)
+	}
+	if elapsed > 3*time.Second {
+		t.Fatalf("Wait took %v after cancellation; conn not closed?", elapsed)
+	}
+	if tr.Canceled.Load() == 0 {
+		t.Fatal("cancellation not accounted")
+	}
+}
+
+func TestProbeRaceCancelsLosingConnections(t *testing.T) {
+	origin := relay.NewOrigin()
+	origin.Put("big.bin", 400_000)
+	ol, err := origin.ServeAddr("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ol.Close()
+	fast := &relay.Relay{}
+	fl, err := fast.ServeAddr("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+	slow := &relay.Relay{}
+	sl, err := slow.ServeAddr("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sl.Close()
+
+	d := shaper.NewDialer()
+	d.SetProfile(ol.Addr().String(), shaper.PathProfile{DownloadBps: 4e6})
+	d.SetProfile(fl.Addr().String(), shaper.PathProfile{DownloadBps: 16e6})
+	// The slow loser's 200 KB probe would take ~6.4s to drain; if losers
+	// are canceled when the winner commits, the whole operation finishes
+	// long before that.
+	d.SetProfile(sl.Addr().String(), shaper.PathProfile{DownloadBps: 0.25e6})
+	tr := &Transport{
+		Servers: map[string]string{"origin": ol.Addr().String()},
+		Relays: map[string]string{
+			"fast": fl.Addr().String(),
+			"slow": sl.Addr().String(),
+		},
+		Dial:   d.Dial,
+		Verify: true,
+	}
+
+	obj := core.Object{Server: "origin", Name: "big.bin", Size: 400_000}
+	start := time.Now()
+	out := core.SelectAndFetchCtx(context.Background(), tr, obj, []string{"slow", "fast"},
+		core.Config{ProbeBytes: 200_000})
+	elapsed := time.Since(start)
+
+	if out.Err != nil {
+		t.Fatalf("outcome error: %v", out.Err)
+	}
+	if out.Selected.Via != "fast" {
+		t.Fatalf("selected %v, want via fast", out.Selected)
+	}
+	if elapsed > 4*time.Second {
+		t.Fatalf("operation took %v; losing probes drained instead of being canceled", elapsed)
+	}
+	if tr.Canceled.Load() == 0 {
+		t.Fatal("no loser cancellation accounted")
+	}
+}
+
+func TestColdDialRetryWithBackoff(t *testing.T) {
+	origin := relay.NewOrigin()
+	origin.Put("big.bin", 100_000)
+	ol, err := origin.ServeAddr("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ol.Close()
+
+	var dials atomic.Int64
+	flaky := func(network, addr string) (net.Conn, error) {
+		if dials.Add(1) <= 2 {
+			return nil, fmt.Errorf("transient dial failure")
+		}
+		return net.Dial(network, addr)
+	}
+	tr := &Transport{
+		Servers:      map[string]string{"origin": ol.Addr().String()},
+		Dial:         flaky,
+		MaxRetries:   2,
+		RetryBackoff: time.Millisecond,
+	}
+
+	obj := core.Object{Server: "origin", Name: "big.bin", Size: 100_000}
+	h := tr.Start(obj, core.Path{}, 0, 100_000)
+	tr.Wait(h)
+	if err := h.Result().Err; err != nil {
+		t.Fatalf("transfer failed despite retries: %v", err)
+	}
+	if got := tr.Retries.Load(); got != 2 {
+		t.Fatalf("Retries = %d, want 2", got)
+	}
+	if got := dials.Load(); got != 3 {
+		t.Fatalf("%d dial attempts, want 3", got)
+	}
+}
+
+func TestRetriesExhausted(t *testing.T) {
+	tr := &Transport{
+		Servers:      map[string]string{"origin": "127.0.0.1:1"},
+		Dial:         func(string, string) (net.Conn, error) { return nil, fmt.Errorf("down") },
+		MaxRetries:   1,
+		RetryBackoff: time.Millisecond,
+	}
+	h := tr.Start(core.Object{Server: "origin", Name: "x", Size: 10}, core.Path{}, 0, 10)
+	tr.Wait(h)
+	if h.Result().Err == nil {
+		t.Fatal("expected error once retries are exhausted")
+	}
+	if got := tr.Retries.Load(); got != 1 {
+		t.Fatalf("Retries = %d, want 1", got)
+	}
+}
+
+func TestTransferTimeoutOnStalledServer(t *testing.T) {
+	// A server that accepts and then never responds: the per-transfer
+	// deadline must fail the fetch with the typed error, promptly.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) { io.Copy(io.Discard, c) }(c) // read, never reply
+		}
+	}()
+
+	tr := &Transport{
+		Servers:         map[string]string{"origin": l.Addr().String()},
+		TransferTimeout: 150 * time.Millisecond,
+		MaxRetries:      -1,
+	}
+	start := time.Now()
+	h := tr.Start(core.Object{Server: "origin", Name: "x", Size: 1000}, core.Path{}, 0, 1000)
+	tr.Wait(h)
+	elapsed := time.Since(start)
+
+	if !errors.Is(h.Result().Err, core.ErrProbeTimeout) {
+		t.Fatalf("err = %v, want ErrProbeTimeout", h.Result().Err)
+	}
+	if elapsed > 3*time.Second {
+		t.Fatalf("stalled transfer took %v to fail a 150ms deadline", elapsed)
+	}
+}
+
+func TestDeadPathsReturnTypedErrorWithinDeadline(t *testing.T) {
+	// Every path refers to a dead address: the operation must come back
+	// quickly with ErrAllPathsFailed, not hang or return something vague.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := dead.Addr().String()
+	dead.Close()
+
+	tr := &Transport{
+		Servers:    map[string]string{"origin": addr},
+		Relays:     map[string]string{"r": addr},
+		MaxRetries: -1,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	start := time.Now()
+	out := core.SelectAndFetchCtx(ctx, tr, core.Object{Server: "origin", Name: "x", Size: 1000},
+		[]string{"r"}, core.Config{ProbeBytes: 500})
+	if !errors.Is(out.Err, core.ErrAllPathsFailed) {
+		t.Fatalf("err = %v, want ErrAllPathsFailed", out.Err)
+	}
+	if elapsed := time.Since(start); elapsed > 4*time.Second {
+		t.Fatalf("dead-path operation took %v", elapsed)
+	}
+}
+
+// killableProxy forwards TCP to a target and can be killed mid-flight:
+// the listener closes and every spliced connection is severed.
+type killableProxy struct {
+	l      net.Listener
+	target string
+	bytes  atomic.Int64
+
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+func newKillableProxy(t *testing.T, target string) *killableProxy {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &killableProxy{l: l, target: target}
+	go p.serve()
+	return p
+}
+
+func (p *killableProxy) addr() string { return p.l.Addr().String() }
+
+func (p *killableProxy) track(c net.Conn) {
+	p.mu.Lock()
+	p.conns = append(p.conns, c)
+	p.mu.Unlock()
+}
+
+func (p *killableProxy) serve() {
+	for {
+		client, err := p.l.Accept()
+		if err != nil {
+			return
+		}
+		upstream, err := net.Dial("tcp", p.target)
+		if err != nil {
+			client.Close()
+			continue
+		}
+		p.track(client)
+		p.track(upstream)
+		go func() { io.Copy(upstream, client); upstream.Close() }()
+		go func() {
+			// Count downstream bytes as they flow (the conns are parked
+			// for reuse, so waiting for EOF would count nothing).
+			io.Copy(countWriter{client, &p.bytes}, upstream)
+			client.Close()
+		}()
+	}
+}
+
+type countWriter struct {
+	w io.Writer
+	n *atomic.Int64
+}
+
+func (c countWriter) Write(b []byte) (int, error) {
+	n, err := c.w.Write(b)
+	c.n.Add(int64(n))
+	return n, err
+}
+
+// kill severs the proxy: no new connections, all spliced ones closed.
+func (p *killableProxy) kill() {
+	p.l.Close()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range p.conns {
+		c.Close()
+	}
+}
+
+func TestDownloaderFailsOverWhenRelayKilledMidFetch(t *testing.T) {
+	origin := relay.NewOrigin()
+	origin.Put("big.bin", 2_000_000)
+	ol, err := origin.ServeAddr("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ol.Close()
+	r := &relay.Relay{}
+	rl, err := r.ServeAddr("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rl.Close()
+	proxy := newKillableProxy(t, rl.Addr().String())
+	defer proxy.kill()
+
+	d := shaper.NewDialer()
+	d.SetProfile(ol.Addr().String(), shaper.PathProfile{DownloadBps: 4e6})
+	d.SetProfile(proxy.addr(), shaper.PathProfile{DownloadBps: 16e6})
+	tr := &Transport{
+		Servers:      map[string]string{"origin": ol.Addr().String()},
+		Relays:       map[string]string{"r": proxy.addr()},
+		Dial:         d.Dial,
+		Verify:       true,
+		RetryBackoff: time.Millisecond,
+	}
+
+	// Kill the relay once it has delivered the probe and the first
+	// segment (~600 KB), i.e. mid-download with the relay selected.
+	killed := make(chan struct{})
+	go func() {
+		defer close(killed)
+		deadline := time.Now().Add(20 * time.Second)
+		for proxy.bytes.Load() < 550_000 {
+			if time.Now().After(deadline) {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		proxy.kill()
+	}()
+
+	dl := &core.Downloader{
+		Transport:    tr,
+		ProbeBytes:   100_000,
+		SegmentBytes: 500_000,
+		RefreshEvery: -1, // no voluntary re-races; only failure forces a switch
+	}
+	obj := core.Object{Server: "origin", Name: "big.bin", Size: 2_000_000}
+	res, err := dl.DownloadCtx(context.Background(), obj, []string{"r"})
+	<-killed
+	if err != nil {
+		t.Fatalf("download did not survive the relay dying: %v", err)
+	}
+	if res.Failovers == 0 {
+		t.Fatal("relay was killed mid-fetch but no failover recorded")
+	}
+	if res.FinalPath().Via != core.Direct {
+		t.Fatalf("final path %v, want direct after relay death", res.FinalPath())
+	}
+	var total int64
+	for _, s := range res.Segments {
+		total += s.Bytes
+	}
+	if total != obj.Size {
+		t.Fatalf("segments cover %d bytes, want %d", total, obj.Size)
+	}
+}
+
+func TestWaitAnyReturnsOnCancellation(t *testing.T) {
+	origin := relay.NewOrigin()
+	origin.Put("big.bin", 8_000_000)
+	ol, err := origin.ServeAddr("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ol.Close()
+	d := shaper.NewDialer()
+	d.SetProfile(ol.Addr().String(), shaper.PathProfile{DownloadBps: 1e6})
+	tr := &Transport{
+		Servers: map[string]string{"origin": ol.Addr().String()},
+		Dial:    d.Dial,
+	}
+	obj := core.Object{Server: "origin", Name: "big.bin", Size: 8_000_000}
+	ctx, cancel := context.WithCancel(context.Background())
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	h1 := tr.StartCtx(ctx, obj, core.Path{}, 0, 8_000_000)
+	h2 := tr.StartCtx(ctx2, obj, core.Path{}, 0, 8_000_000)
+	time.AfterFunc(100*time.Millisecond, cancel)
+
+	start := time.Now()
+	idx := tr.WaitAny(h1, h2)
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("WaitAny took %v after cancellation", elapsed)
+	}
+	if idx != 0 {
+		t.Fatalf("WaitAny returned %d, want 0 (the canceled handle)", idx)
+	}
+	if !errors.Is(h1.Result().Err, core.ErrCanceled) {
+		t.Fatalf("h1 err = %v, want ErrCanceled", h1.Result().Err)
+	}
+	// Reap the other transfer rather than letting it run to completion.
+	cancel2()
+	tr.Wait(h2)
+}

@@ -4,21 +4,44 @@
 // wall-clock time on live sockets — the same engine code drives both,
 // which is the point: the library a downstream user deploys is the one
 // the experiments exercised.
+//
+// The transport is fully context-aware (core.ContextStarter and
+// core.WarmContextStarter): cancelling a transfer's context closes the
+// underlying connection, so a raced probe that lost is torn down within
+// a round trip, and a transfer against a stalled relay fails at its
+// deadline instead of hanging. Cold-connection failures are retried with
+// exponential backoff and jitter, bounded by MaxRetries.
 package realnet
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/httpx"
 	"repro/internal/relay"
 )
+
+// DefaultDialTimeout bounds connection establishment when the transport
+// does not specify one.
+const DefaultDialTimeout = 10 * time.Second
+
+// DefaultMaxRetries is how many extra cold attempts a transfer makes
+// after a transient failure when MaxRetries is unset.
+const DefaultMaxRetries = 2
+
+// DefaultRetryBackoff is the base backoff before the first retry; it
+// doubles per attempt, with jitter, when RetryBackoff is unset.
+const DefaultRetryBackoff = 50 * time.Millisecond
 
 // Transport fetches object ranges directly from origin servers or through
 // relay daemons.
@@ -28,12 +51,36 @@ type Transport struct {
 	Servers map[string]string
 	// Relays maps intermediate names (core.Path.Via) to relay addresses.
 	Relays map[string]string
-	// Dial opens client-side connections; nil means net.Dial. Inject a
-	// shaper.Dialer to emulate heterogeneous paths on loopback.
+	// Dial opens client-side connections; nil means a net.Dialer. Inject
+	// a shaper.Dialer to emulate heterogeneous paths on loopback.
 	Dial func(network, addr string) (net.Conn, error)
 	// Verify checks received bytes against the canonical synthetic
 	// content and fails transfers on corruption.
 	Verify bool
+
+	// DialTimeout bounds each connection attempt (DefaultDialTimeout
+	// when 0; negative disables the bound).
+	DialTimeout time.Duration
+	// TransferTimeout is the per-transfer deadline applied to every
+	// Start whose context does not already carry an earlier one (0 = no
+	// deadline). Expiry fails the transfer with core.ErrProbeTimeout and
+	// closes its connection.
+	TransferTimeout time.Duration
+	// MaxRetries is how many extra cold attempts a transfer makes after
+	// a transient dial or I/O failure (DefaultMaxRetries when 0;
+	// negative disables retry). HTTP status errors are never retried —
+	// the server answered, repeating the question won't change it.
+	MaxRetries int
+	// RetryBackoff is the base delay before the first retry
+	// (DefaultRetryBackoff when 0); it doubles per attempt with ±50%
+	// jitter so synchronized clients do not stampede a recovering node.
+	RetryBackoff time.Duration
+
+	// Retries counts retry attempts performed across all transfers,
+	// exposed for tests and operational visibility.
+	Retries atomic.Int64
+	// Canceled counts transfers that ended by cancellation or deadline.
+	Canceled atomic.Int64
 
 	startOnce sync.Once
 	start     time.Time
@@ -59,10 +106,60 @@ func (t *Transport) init() {
 	t.startOnce.Do(func() { t.start = time.Now() })
 }
 
+func (t *Transport) dialTimeout() time.Duration {
+	switch {
+	case t.DialTimeout > 0:
+		return t.DialTimeout
+	case t.DialTimeout < 0:
+		return 0
+	}
+	return DefaultDialTimeout
+}
+
+func (t *Transport) maxRetries() int {
+	switch {
+	case t.MaxRetries > 0:
+		return t.MaxRetries
+	case t.MaxRetries < 0:
+		return 0
+	}
+	return DefaultMaxRetries
+}
+
+func (t *Transport) retryBackoff() time.Duration {
+	if t.RetryBackoff > 0 {
+		return t.RetryBackoff
+	}
+	return DefaultRetryBackoff
+}
+
+// StatusError reports a non-success HTTP response. It is permanent from
+// the transport's point of view: the server answered, so the request is
+// not retried.
+type StatusError struct {
+	Status int
+	Reason string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("realnet: status %d %s", e.Status, e.Reason)
+}
+
+// handle is an in-flight transfer. Its result is published exactly once
+// (through finish), by whichever comes first: the fetch goroutine
+// completing, or the context watcher observing cancellation. The watcher
+// also closes the transfer's active connection so blocked reads unwind
+// promptly — that close IS the cancellation on a real socket.
 type handle struct {
 	done chan struct{}
-	mu   sync.Mutex
-	res  core.FetchResult
+	once sync.Once
+
+	mu  sync.Mutex
+	res core.FetchResult
+
+	connMu   sync.Mutex
+	conn     net.Conn
+	canceled bool
 }
 
 func (h *handle) Done() bool {
@@ -80,36 +177,114 @@ func (h *handle) Result() core.FetchResult {
 	return h.res
 }
 
+// finish publishes the transfer outcome; only the first caller wins.
+func (h *handle) finish(end float64, err error) {
+	h.once.Do(func() {
+		h.mu.Lock()
+		h.res.End = end
+		h.res.Err = err
+		h.mu.Unlock()
+		close(h.done)
+	})
+}
+
+// setConn registers the transfer's active connection for cancellation;
+// pass nil to deregister. If cancellation already fired, the connection
+// is closed immediately.
+func (h *handle) setConn(c net.Conn) {
+	h.connMu.Lock()
+	canceled := h.canceled
+	h.conn = c
+	h.connMu.Unlock()
+	if canceled && c != nil {
+		c.Close()
+	}
+}
+
+// cancel marks the handle canceled and closes whatever connection the
+// transfer currently holds.
+func (h *handle) cancel() {
+	h.connMu.Lock()
+	h.canceled = true
+	c := h.conn
+	h.connMu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+}
+
 // Start launches the range transfer on its own goroutine over a fresh
 // connection (the cold path: TCP handshake + slow start included).
 func (t *Transport) Start(obj core.Object, path core.Path, off, n int64) core.Handle {
-	return t.startFetch(obj, path, off, n, false)
+	return t.startFetch(context.Background(), obj, path, off, n, false)
 }
 
-func (t *Transport) startFetch(obj core.Object, path core.Path, off, n int64, warm bool) core.Handle {
+// StartCtx is Start observing ctx: cancellation or deadline expiry
+// closes the transfer's connection and fails the handle promptly with
+// core.ErrCanceled / core.ErrProbeTimeout. It implements
+// core.ContextStarter.
+func (t *Transport) StartCtx(ctx context.Context, obj core.Object, path core.Path, off, n int64) core.Handle {
+	return t.startFetch(ctx, obj, path, off, n, false)
+}
+
+// StartWarm continues on the path's parked keep-alive connection when one
+// is available: no TCP handshake, and the kernel's congestion window is
+// already open — the real counterpart of the simulator's warm start. It
+// implements core.WarmStarter.
+func (t *Transport) StartWarm(obj core.Object, path core.Path, off, n int64) core.Handle {
+	return t.startFetch(context.Background(), obj, path, off, n, true)
+}
+
+// StartWarmCtx is StartWarm observing ctx. It implements
+// core.WarmContextStarter.
+func (t *Transport) StartWarmCtx(ctx context.Context, obj core.Object, path core.Path, off, n int64) core.Handle {
+	return t.startFetch(ctx, obj, path, off, n, true)
+}
+
+func (t *Transport) startFetch(ctx context.Context, obj core.Object, path core.Path, off, n int64, warm bool) core.Handle {
 	t.init()
 	h := &handle{done: make(chan struct{})}
 	h.res = core.FetchResult{Path: path, Offset: off, Bytes: n, Start: t.Now()}
 
+	ctx, cancelCtx := t.transferContext(ctx)
 	go func() {
-		defer close(h.done)
-		body, err := t.fetch(obj, path, off, n, warm)
-		h.mu.Lock()
-		defer h.mu.Unlock()
-		h.res.End = t.Now()
-		if err != nil {
-			h.res.Err = err
-			return
+		defer cancelCtx()
+		body, err := t.fetch(ctx, h, obj, path, off, n, warm)
+		if err == nil {
+			switch {
+			case int64(len(body)) != n:
+				err = fmt.Errorf("realnet: short read %d of %d bytes", len(body), n)
+			case t.Verify && !relay.VerifyRange(obj.Name, off, body):
+				err = fmt.Errorf("realnet: content mismatch for %s at %d", obj.Name, off)
+			}
 		}
-		if int64(len(body)) != n {
-			h.res.Err = fmt.Errorf("realnet: short read %d of %d bytes", len(body), n)
-			return
-		}
-		if t.Verify && !relay.VerifyRange(obj.Name, off, body) {
-			h.res.Err = fmt.Errorf("realnet: content mismatch for %s at %d", obj.Name, off)
+		h.finish(t.Now(), err)
+	}()
+	// The watcher makes cancellation prompt: the instant ctx dies it
+	// closes the transfer's connection and publishes the typed error, so
+	// Wait/WaitAny return without spinning until the socket unwinds.
+	go func() {
+		select {
+		case <-ctx.Done():
+			h.cancel()
+			t.Canceled.Add(1)
+			h.finish(t.Now(), core.CtxErr(ctx))
+		case <-h.done:
 		}
 	}()
 	return h
+}
+
+// transferContext applies the transport's per-transfer deadline unless
+// the caller's context already expires sooner.
+func (t *Transport) transferContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	if t.TransferTimeout <= 0 {
+		return context.WithCancel(ctx)
+	}
+	if dl, ok := ctx.Deadline(); ok && time.Until(dl) <= t.TransferTimeout {
+		return context.WithCancel(ctx)
+	}
+	return context.WithTimeout(ctx, t.TransferTimeout)
 }
 
 // pathKey identifies a path's connection-pool slot.
@@ -151,11 +326,66 @@ func (t *Transport) Close() {
 	}
 }
 
-// fetch moves one range. Cold fetches always dial; warm fetches reuse the
+// dialConn opens one connection, honouring ctx and the dial timeout.
+// Custom dialers (which predate contexts) run on their own goroutine so
+// a dead ctx still returns promptly; a connection that arrives after
+// abandonment is closed, not leaked.
+func (t *Transport) dialConn(ctx context.Context, addr string) (net.Conn, error) {
+	if to := t.dialTimeout(); to > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, to)
+		defer cancel()
+	}
+	if t.Dial == nil {
+		var d net.Dialer
+		return d.DialContext(ctx, "tcp", addr)
+	}
+	type dialed struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan dialed, 1)
+	go func() {
+		c, err := t.Dial("tcp", addr)
+		ch <- dialed{c, err}
+	}()
+	select {
+	case d := <-ch:
+		return d.c, d.err
+	case <-ctx.Done():
+		go func() {
+			if d := <-ch; d.c != nil {
+				d.c.Close()
+			}
+		}()
+		return nil, ctx.Err()
+	}
+}
+
+// backoff sleeps before retry attempt (1-based), doubling the base per
+// attempt with ±50% jitter, and returns early with the typed error if
+// ctx dies first.
+func (t *Transport) backoff(ctx context.Context, attempt int) error {
+	d := t.retryBackoff() << (attempt - 1)
+	d = d/2 + time.Duration(rand.Int63n(int64(d)))
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return core.CtxErr(ctx)
+	}
+}
+
+// fetch moves one range. Cold fetches dial; warm fetches reuse the
 // path's parked keep-alive connection when one exists (falling back to a
-// fresh dial if the parked connection has gone stale). Successful fetches
-// park their connection for the next warm continuation.
-func (t *Transport) fetch(obj core.Object, path core.Path, off, n int64, warm bool) ([]byte, error) {
+// fresh dial if the parked connection has gone stale — that fallback is
+// free and does not count against the retry budget). Transient dial and
+// I/O failures are retried cold with exponential backoff; HTTP status
+// errors and context death are not. Successful fetches park their
+// connection for the next warm continuation.
+func (t *Transport) fetch(ctx context.Context, h *handle, obj core.Object, path core.Path, off, n int64, warm bool) ([]byte, error) {
 	originAddr, ok := t.Servers[obj.Server]
 	if !ok {
 		return nil, fmt.Errorf("realnet: unknown server %q", obj.Server)
@@ -179,29 +409,67 @@ func (t *Transport) fetch(obj core.Object, path core.Path, off, n int64, warm bo
 			reused = true
 		}
 	}
-	for attempt := 0; ; attempt++ {
+	retries := 0
+	for {
+		if err := core.CtxErr(ctx); err != nil {
+			return nil, err
+		}
 		if pc == nil {
-			dial := t.Dial
-			if dial == nil {
-				dial = net.Dial
-			}
-			conn, err := dial("tcp", dialAddr)
+			conn, err := t.dialConn(ctx, dialAddr)
 			if err != nil {
-				return nil, err
+				if cerr := core.CtxErr(ctx); cerr != nil {
+					return nil, cerr
+				}
+				if retries >= t.maxRetries() {
+					return nil, fmt.Errorf("realnet: dial %s: %w", dialAddr, err)
+				}
+				retries++
+				t.Retries.Add(1)
+				if berr := t.backoff(ctx, retries); berr != nil {
+					return nil, berr
+				}
+				continue
 			}
 			pc = &pooledConn{conn: conn, br: bufio.NewReader(conn)}
 		}
+		h.setConn(pc.conn)
+		if dl, ok := ctx.Deadline(); ok {
+			pc.conn.SetDeadline(dl)
+		}
 		body, reusable, err := doRange(pc, target, host, off, n)
+		h.setConn(nil)
 		if err != nil {
 			pc.conn.Close()
-			if reused && attempt == 0 {
-				// The parked connection went stale; retry cold once.
-				pc = nil
+			pc = nil
+			if cerr := core.CtxErr(ctx); cerr != nil {
+				return nil, cerr
+			}
+			var se *StatusError
+			if errors.As(err, &se) {
+				return nil, err
+			}
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				// A connection deadline fired without the ctx (cold
+				// standalone timeout): surface it as the typed expiry.
+				return nil, fmt.Errorf("%w: %w", core.ErrProbeTimeout, err)
+			}
+			if reused {
+				// The parked connection went stale; a fresh dial is the
+				// normal keep-alive fallback, not a retry.
 				reused = false
 				continue
 			}
-			return nil, err
+			if retries >= t.maxRetries() {
+				return nil, err
+			}
+			retries++
+			t.Retries.Add(1)
+			if berr := t.backoff(ctx, retries); berr != nil {
+				return nil, berr
+			}
+			continue
 		}
+		pc.conn.SetDeadline(time.Time{})
 		if reusable {
 			t.parkConn(key, pc)
 		} else {
@@ -230,7 +498,7 @@ func doRange(pc *pooledConn, target, host string, off, n int64) (body []byte, re
 		if resp.ContentLength >= 0 {
 			io.Copy(io.Discard, resp.Body)
 		}
-		return nil, false, fmt.Errorf("realnet: status %d %s", resp.Status, resp.Reason)
+		return nil, false, &StatusError{Status: resp.Status, Reason: resp.Reason}
 	}
 	if resp.ContentLength < 0 {
 		b, err := io.ReadAll(resp.Body)
@@ -243,7 +511,9 @@ func doRange(pc *pooledConn, target, host string, off, n int64) (body []byte, re
 	return b, resp.Header["connection"] != "close", nil
 }
 
-// Wait blocks until all handles complete.
+// Wait blocks until all handles complete. A handle whose context is
+// canceled completes promptly (the watcher publishes the typed error and
+// closes the connection), so Wait never spins out a dead transfer.
 func (t *Transport) Wait(hs ...core.Handle) {
 	for _, h := range hs {
 		<-h.(*handle).done
@@ -251,7 +521,8 @@ func (t *Transport) Wait(hs ...core.Handle) {
 }
 
 // WaitAny blocks until at least one handle completes and returns its
-// index, implementing core.AnyWaiter.
+// index, implementing core.AnyWaiter. Like Wait, it returns promptly for
+// canceled handles.
 func (t *Transport) WaitAny(hs ...core.Handle) int {
 	cases := make([]reflect.SelectCase, len(hs))
 	for i, h := range hs {
@@ -264,22 +535,34 @@ func (t *Transport) WaitAny(hs ...core.Handle) int {
 	return chosen
 }
 
-// StartWarm continues on the path's parked keep-alive connection when one
-// is available: no TCP handshake, and the kernel's congestion window is
-// already open — the real counterpart of the simulator's warm start. It
-// implements core.WarmStarter.
-func (t *Transport) StartWarm(obj core.Object, path core.Path, off, n int64) core.Handle {
-	return t.startFetch(obj, path, off, n, true)
-}
-
 // Stat discovers an object's size with a HEAD request to its origin, so
 // clients need not know sizes out of band.
 func (t *Transport) Stat(server, name string) (int64, error) {
+	return t.StatCtx(context.Background(), server, name)
+}
+
+// StatCtx is Stat observing ctx for the dial and the request.
+func (t *Transport) StatCtx(ctx context.Context, server, name string) (int64, error) {
 	addr, ok := t.Servers[server]
 	if !ok {
 		return 0, fmt.Errorf("realnet: unknown server %q", server)
 	}
-	return relay.Head(t.Dial, addr, name)
+	return relay.Head(func(network, a string) (net.Conn, error) {
+		conn, err := t.dialConn(ctx, a)
+		if err != nil {
+			return nil, err
+		}
+		if dl, ok := ctx.Deadline(); ok {
+			conn.SetDeadline(dl)
+		}
+		return conn, nil
+	}, addr, name)
 }
 
-var _ core.Transport = (*Transport)(nil)
+var (
+	_ core.Transport          = (*Transport)(nil)
+	_ core.AnyWaiter          = (*Transport)(nil)
+	_ core.ContextStarter     = (*Transport)(nil)
+	_ core.WarmStarter        = (*Transport)(nil)
+	_ core.WarmContextStarter = (*Transport)(nil)
+)
