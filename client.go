@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Sentinel errors, re-exported so downstream callers can classify
@@ -44,6 +45,8 @@ type Client struct {
 	timeout   time.Duration
 	retries   int
 	backoff   time.Duration
+	metrics   *obs.Metrics
+	observers []obs.Observer
 }
 
 // Option configures a Client.
@@ -52,11 +55,18 @@ type Option func(*Client)
 // New returns a Client over the given transport. Without options it
 // reproduces the paper's defaults: 100 KB probes, first-finished rule,
 // no timeout, no retry.
+//
+// Every Client carries a built-in Metrics collector — Metrics and
+// Snapshot read it — and WithObserver attaches further sinks alongside
+// it.
 func New(t Transport, opts ...Option) *Client {
-	c := &Client{transport: t}
+	c := &Client{transport: t, metrics: obs.NewMetrics()}
 	for _, o := range opts {
 		o(c)
 	}
+	// Fan out to the built-in collector, anything WithConfig installed,
+	// and every WithObserver sink, in that order.
+	c.cfg.Observer = obs.Multi(append([]obs.Observer{c.metrics, c.cfg.Observer}, c.observers...)...)
 	return c
 }
 
@@ -82,6 +92,19 @@ func WithSequentialProbes() Option {
 // options still apply on top.
 func WithConfig(cfg Config) Option {
 	return func(c *Client) { c.cfg = cfg }
+}
+
+// WithObserver attaches an observer to the client: it receives every
+// selection-lifecycle event (probe start/finish, loser cancellation,
+// selection, transfers) from every operation, alongside the client's
+// built-in Metrics collector. May be given multiple times; observers are
+// invoked in registration order and must be safe for concurrent use.
+func WithObserver(o Observer) Option {
+	return func(c *Client) {
+		if o != nil {
+			c.observers = append(c.observers, o)
+		}
+	}
 }
 
 // WithTimeout bounds each operation attempt: the attempt's context gets
@@ -168,13 +191,13 @@ func (c *Client) SelectAndFetch(ctx context.Context, obj Object, candidates []st
 // Probe races an x-sized range request (the client's configured probe
 // size) on the direct path and every candidate concurrently.
 func (c *Client) Probe(ctx context.Context, obj Object, candidates []string) []ProbeResult {
-	return core.ProbeCtx(ctx, c.transport, obj, c.probeBytes(), candidates)
+	return core.ProbeCtx(ctx, c.transport, obj, candidates, c.cfg)
 }
 
 // ProbeSequential probes the direct path and each candidate one at a
 // time, contention-free.
 func (c *Client) ProbeSequential(ctx context.Context, obj Object, candidates []string) []ProbeResult {
-	return core.ProbeSequentialCtx(ctx, c.transport, obj, c.probeBytes(), candidates)
+	return core.ProbeSequentialCtx(ctx, c.transport, obj, candidates, c.cfg)
 }
 
 // Download fetches obj adaptively (segmented fetches, periodic re-races,
@@ -185,6 +208,7 @@ func (c *Client) Download(ctx context.Context, obj Object, candidates []string) 
 		Transport:  c.transport,
 		ProbeBytes: c.cfg.ProbeBytes,
 		Rule:       c.cfg.Rule,
+		Observer:   c.cfg.Observer,
 	}
 	for attempt := 0; ; attempt++ {
 		actx, cancel := c.attemptCtx(ctx)
@@ -202,7 +226,7 @@ func (c *Client) Download(ctx context.Context, obj Object, candidates []string) 
 // Multipath stripes obj across the direct path and all candidates
 // concurrently (Bullet-style work stealing) under ctx.
 func (c *Client) Multipath(ctx context.Context, obj Object, candidates []string) (MultipathResult, error) {
-	mp := &core.MultipathDownloader{Transport: c.transport}
+	mp := &core.MultipathDownloader{Transport: c.transport, Observer: c.cfg.Observer}
 	actx, cancel := c.attemptCtx(ctx)
 	defer cancel()
 	return mp.DownloadCtx(actx, obj, candidates)
@@ -213,8 +237,23 @@ func (c *Client) Multipath(ctx context.Context, obj Object, candidates []string)
 func (c *Client) SelectMonitored(ctx context.Context, obj Object, candidates []string, m *Monitor) Outcome {
 	actx, cancel := c.attemptCtx(ctx)
 	defer cancel()
-	return core.SelectMonitoredCtx(actx, c.transport, obj, candidates, m)
+	return core.SelectMonitoredCtx(actx, c.transport, obj, candidates, m, c.cfg)
 }
 
 // Transport returns the transport the client is bound to.
 func (c *Client) Transport() Transport { return c.transport }
+
+// Metrics returns the client's built-in metrics collector, live: it keeps
+// accumulating as the client runs.
+func (c *Client) Metrics() *Metrics { return c.metrics }
+
+// Observer returns the client's composed observer — the built-in
+// metrics collector plus every WithObserver sink — for wiring into
+// transports (RealTransport.Observer) or downloaders constructed
+// outside the client, so they feed the same event stream.
+func (c *Client) Observer() Observer { return c.cfg.Observer }
+
+// Snapshot captures the client's metrics at this instant — selection and
+// cancellation counts, per-path utilization tallies (the paper's §V
+// metric), latency/throughput histograms — ready for JSON rendering.
+func (c *Client) Snapshot() MetricsSnapshot { return c.metrics.Snapshot() }

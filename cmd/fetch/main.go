@@ -24,6 +24,7 @@ import (
 
 	"repro"
 	"repro/internal/registry"
+	"repro/internal/traceio"
 )
 
 type relayList []string
@@ -43,6 +44,8 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "overall transfer deadline (0 = none)")
 	retries := flag.Int("retries", 0, "retry a transfer that delivered nothing up to N times")
 	regAddr := flag.String("registry", "", "discover relays from this registry (in addition to -relay flags)")
+	showStats := flag.Bool("stats", false, "print the metrics snapshot (JSON) after the transfer")
+	traceFile := flag.String("trace", "", "write the observer event trace as JSONL to this file")
 	flag.Var(&relays, "relay", "relay spec name=addr (repeatable)")
 	flag.Parse()
 
@@ -95,13 +98,43 @@ func main() {
 	if *retries > 0 {
 		opts = append(opts, repro.WithRetry(*retries, 200*time.Millisecond))
 	}
+	var trace *repro.Tracer
+	if *traceFile != "" {
+		trace = repro.NewTracer(4096)
+		opts = append(opts, repro.WithObserver(trace))
+	}
 	client := repro.New(tr, opts...)
+	// The transport reports retries and aborts into the same stream the
+	// engine feeds, so the snapshot covers the whole pipeline.
+	tr.Observer = client.Observer()
+
+	// reportObs emits the observability artifacts the flags asked for.
+	reportObs := func() {
+		if *showStats {
+			fmt.Printf("metrics snapshot:\n%s\n", client.Snapshot().JSON())
+		}
+		if trace != nil {
+			f, err := os.Create(*traceFile)
+			if err != nil {
+				log.Fatalf("trace file: %v", err)
+			}
+			werr := traceio.WriteEvents(f, "fetch "+*object, trace.Events())
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				log.Fatalf("writing trace: %v", werr)
+			}
+			fmt.Printf("wrote %d events to %s\n", len(trace.Events()), *traceFile)
+		}
+	}
 
 	if *adaptive {
 		dl := &repro.Downloader{
 			Transport:    tr,
 			ProbeBytes:   *probe,
 			SegmentBytes: *segment,
+			Observer:     client.Observer(),
 		}
 		res, err := dl.DownloadCtx(ctx, obj, candidates)
 		if err != nil {
@@ -120,6 +153,7 @@ func main() {
 			res.Switches, res.Failovers, res.FinalPath())
 		fmt.Printf("downloaded %d bytes in %.3fs -> %.2f Mb/s overall\n",
 			obj.Size, res.Duration(), res.Throughput()/1e6)
+		reportObs()
 		return
 	}
 
@@ -144,4 +178,5 @@ func main() {
 	fmt.Printf("selected: %s\n", out.Selected)
 	fmt.Printf("downloaded %d bytes in %.3fs -> %.2f Mb/s overall\n",
 		obj.Size, out.Duration(), out.Throughput()/1e6)
+	reportObs()
 }

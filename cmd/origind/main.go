@@ -5,6 +5,9 @@
 // Usage:
 //
 //	origind -listen 127.0.0.1:8080 -object large.bin=4000000 -object small.bin=200000
+//
+// With -metrics set, live counters (bytes served, connections handled)
+// are served as JSON on /debug/vars, with /healthz for liveness.
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"strings"
 	"syscall"
 
+	"repro/internal/httpx"
 	"repro/internal/relay"
 )
 
@@ -29,8 +33,12 @@ func (o *objectList) Set(v string) error { *o = append(*o, v); return nil }
 func main() {
 	var objects objectList
 	listen := flag.String("listen", "127.0.0.1:8080", "listen address")
+	metrics := flag.String("metrics", "", "metrics endpoint address (empty = off)")
 	flag.Var(&objects, "object", "object spec name=size (repeatable)")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	origin := relay.NewOrigin()
 	if len(objects) == 0 {
@@ -55,8 +63,21 @@ func main() {
 	}
 	fmt.Printf("origind listening on %s\n", l.Addr())
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	if *metrics != "" {
+		mux := httpx.NewVarsMux(func() any {
+			return map[string]any{
+				"bytes_served": origin.BytesServed.Load(),
+				"conns":        origin.Conns.Load(),
+			}
+		})
+		go func() {
+			if err := httpx.Serve(ctx, mux, *metrics); err != nil {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+		fmt.Printf("metrics on http://%s/debug/vars\n", *metrics)
+	}
+
 	<-ctx.Done()
 	fmt.Println("origind: shutting down")
 	l.Close()

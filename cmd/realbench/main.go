@@ -6,17 +6,25 @@
 // rounds, printing the same improvement statistics as the simulator
 // experiments — a wall-clock cross-check of the whole stack.
 //
+// A metrics collector observes every round (engine and transport both
+// feed it), so the closing report includes the paper's §V per-path
+// utilization straight from the event stream; -metrics additionally
+// serves the live snapshot on /debug/vars while the study runs.
+//
 // Usage:
 //
-//	realbench -rounds 20 -size 500000
+//	realbench -rounds 20 -size 500000 [-metrics 127.0.0.1:9090]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 
 	"repro/internal/core"
+	"repro/internal/httpx"
+	"repro/internal/obs"
 	"repro/internal/randx"
 	"repro/internal/realnet"
 	"repro/internal/relay"
@@ -29,6 +37,7 @@ func main() {
 	size := flag.Int64("size", 500_000, "object size in bytes")
 	probe := flag.Int64("probe", 100_000, "probe size x in bytes")
 	seed := flag.Uint64("seed", 1, "rng seed for per-round path rates")
+	metricsAddr := flag.String("metrics", "", "serve live metrics on this address (empty = off)")
 	flag.Parse()
 
 	origin := relay.NewOrigin()
@@ -50,14 +59,28 @@ func main() {
 		relays[name] = l.Addr().String()
 	}
 
+	m := obs.NewMetrics()
 	d := shaper.NewDialer()
 	tr := &realnet.Transport{
-		Servers: map[string]string{"origin": ol.Addr().String()},
-		Relays:  relays,
-		Dial:    d.Dial,
-		Verify:  true,
+		Servers:  map[string]string{"origin": ol.Addr().String()},
+		Relays:   relays,
+		Dial:     d.Dial,
+		Verify:   true,
+		Observer: m,
 	}
 	defer tr.Close()
+
+	ctx, stopMetrics := context.WithCancel(context.Background())
+	defer stopMetrics()
+	if *metricsAddr != "" {
+		mux := httpx.NewVarsMux(func() any { return m.Snapshot() })
+		go func() {
+			if err := httpx.Serve(ctx, mux, *metricsAddr); err != nil {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+		fmt.Printf("live metrics on http://%s/debug/vars\n", *metricsAddr)
+	}
 
 	// Per-round path rates: direct wanders log-normally around 6 Mb/s;
 	// each relay has its own stable level.
@@ -83,7 +106,7 @@ func main() {
 		// Control process: the whole object on the direct path.
 		ctrl := tr.Start(obj, core.Path{}, 0, obj.Size)
 		// Selecting process: probe, commit, fetch remainder.
-		out := core.SelectAndFetch(tr, obj, cands, core.Config{ProbeBytes: *probe})
+		out := core.SelectAndFetch(tr, obj, cands, core.Config{ProbeBytes: *probe, Observer: m})
 		tr.Wait(ctrl)
 		if out.Err != nil || ctrl.Result().Err != nil {
 			log.Fatalf("round %d failed: sel=%v ctrl=%v", i, out.Err, ctrl.Result().Err)
@@ -104,5 +127,16 @@ func main() {
 	for _, name := range cands {
 		fmt.Printf("  %s: offered %d, chosen %d (%.0f%%)\n",
 			name, tracker.InSet(name), tracker.Chosen(name), 100*tracker.Utilization(name))
+	}
+
+	// The same story retold by the observability layer (paper §V): one
+	// event stream covering engine selections and transport retries.
+	snap := m.Snapshot()
+	fmt.Printf("\nobserved: %d selections (%d indirect), %d probes, %d retries, %d aborts\n",
+		snap.Selections, snap.SelectionsIndirect, snap.ProbesStarted, snap.Retries, snap.Aborts)
+	for _, label := range snap.PathLabels() {
+		ps := snap.Paths[label]
+		fmt.Printf("  %-8s probed %3d  selected %3d  utilization %.0f%%\n",
+			label, ps.Probed, ps.Selected, 100*ps.Utilization)
 	}
 }

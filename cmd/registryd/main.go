@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	registryd -listen 127.0.0.1:8070
+//	registryd -listen 127.0.0.1:8070 -metrics 127.0.0.1:9070
+//
+// With -metrics set, live counters (registrations, list queries, live
+// relay count) are served as JSON on /debug/vars, with /healthz for
+// liveness.
 package main
 
 import (
@@ -18,13 +22,18 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/httpx"
 	"repro/internal/registry"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:8070", "listen address")
+	metrics := flag.String("metrics", "", "metrics endpoint address (empty = off)")
 	statsEvery := flag.Duration("stats", 30*time.Second, "stats print interval (0 = off)")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var s registry.Server
 	l, err := s.ServeAddr(*listen)
@@ -32,6 +41,22 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("registryd listening on %s\n", l.Addr())
+
+	if *metrics != "" {
+		mux := httpx.NewVarsMux(func() any {
+			return map[string]any{
+				"registrations": s.Registrations.Load(),
+				"lists":         s.Lists.Load(),
+				"live_relays":   len(s.List()),
+			}
+		})
+		go func() {
+			if err := httpx.Serve(ctx, mux, *metrics); err != nil {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+		fmt.Printf("metrics on http://%s/debug/vars\n", *metrics)
+	}
 
 	if *statsEvery > 0 {
 		ticker := time.NewTicker(*statsEvery)
@@ -43,8 +68,6 @@ func main() {
 		}()
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	<-ctx.Done()
 	fmt.Println("registryd: shutting down")
 	l.Close()

@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	relayd -listen 127.0.0.1:8081
+//	relayd -listen 127.0.0.1:8081 -metrics 127.0.0.1:9081
+//
+// With -metrics set, live counters (requests handled, bytes relayed —
+// the raw material of the paper's §V utilization analysis) are served
+// as JSON on /debug/vars, with /healthz for liveness.
 package main
 
 import (
@@ -17,12 +21,14 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/httpx"
 	"repro/internal/registry"
 	"repro/internal/relay"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:8081", "listen address")
+	metrics := flag.String("metrics", "", "metrics endpoint address (empty = off)")
 	statsEvery := flag.Duration("stats", 30*time.Second, "stats print interval (0 = off)")
 	regAddr := flag.String("registry", "", "registry address to self-register with (optional)")
 	name := flag.String("name", "relay", "relay name used when registering")
@@ -38,6 +44,21 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("relayd listening on %s\n", l.Addr())
+
+	if *metrics != "" {
+		mux := httpx.NewVarsMux(func() any {
+			return map[string]any{
+				"requests":      r.Requests.Load(),
+				"bytes_relayed": r.BytesRelayed.Load(),
+			}
+		})
+		go func() {
+			if err := httpx.Serve(ctx, mux, *metrics); err != nil {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+		fmt.Printf("metrics on http://%s/debug/vars\n", *metrics)
+	}
 
 	if *regAddr != "" {
 		hbStop := make(chan struct{})

@@ -45,8 +45,13 @@ func main() {
 	// The facade binds the transport to a probe/selection configuration.
 	// The simulator runs in virtual time, so wall-clock options like
 	// WithTimeout are omitted here; on a RealTransport they bound the
-	// transfer and cancel its connections.
-	c := repro.New(world, repro.WithProbeBytes(repro.DefaultProbeBytes))
+	// transfer and cancel its connections. A Tracer attached with
+	// WithObserver records the selection lifecycle event by event (the
+	// client's built-in Metrics collector aggregates regardless).
+	trace := repro.NewTracer(64)
+	c := repro.New(world,
+		repro.WithProbeBytes(repro.DefaultProbeBytes),
+		repro.WithObserver(trace))
 
 	obj := repro.Object{Server: "eBay", Name: "large.bin", Size: 4_000_000}
 	out := c.SelectAndFetch(context.Background(), obj, []string{"Berkeley", "Princeton"})
@@ -64,4 +69,18 @@ func main() {
 	fmt.Printf("total transfer:   %.1fs end to end -> %.2f Mb/s\n",
 		out.Duration(), out.Throughput()/1e6)
 	fmt.Printf("probing overhead: %.2fs of the total\n", out.ProbeEnd-out.Start)
+
+	// What the observability layer saw: the traced lifecycle and the
+	// aggregated per-path counters (utilization = selected/probed).
+	fmt.Println("\nevent trace:")
+	for _, e := range trace.Events() {
+		fmt.Printf("  t=%6.2fs %-14s %s\n", e.Time, e.Kind, e.Path.Label())
+	}
+	snap := c.Snapshot()
+	fmt.Println("metrics:")
+	for _, label := range snap.PathLabels() {
+		ps := snap.Paths[label]
+		fmt.Printf("  %-16s probed %d, selected %d (utilization %.0f%%)\n",
+			label, ps.Probed, ps.Selected, 100*ps.Utilization)
+	}
 }

@@ -38,6 +38,7 @@ import (
 	"context"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/realnet"
 )
 
@@ -94,7 +95,77 @@ type (
 
 	// RealTransport implements Transport over live TCP via relay daemons.
 	RealTransport = realnet.Transport
+
+	// Observer receives selection-lifecycle events (attach with
+	// WithObserver or Config.Observer).
+	Observer = obs.Observer
+	// BaseObserver is a no-op Observer for embedding.
+	BaseObserver = obs.Base
+	// Metrics aggregates events into counters, per-path utilization
+	// tallies, and histograms.
+	Metrics = obs.Metrics
+	// MetricsSnapshot is a point-in-time view of a Metrics collector.
+	MetricsSnapshot = obs.Snapshot
+	// PathMetrics is one route's aggregated counters in a snapshot.
+	PathMetrics = obs.PathSnapshot
+	// Tracer retains the most recent events in a bounded ring buffer.
+	Tracer = obs.Tracer
+	// TraceEvent is the normalized, JSON-ready form of any event.
+	TraceEvent = obs.Event
+	// EventKind names a trace event's type.
+	EventKind = obs.Kind
+	// PathID identifies what an event was about (server, object, route).
+	PathID = obs.PathID
+	// ErrClass buckets transfer errors for observability.
+	ErrClass = obs.ErrClass
+
+	// Typed observer-callback payloads.
+	ProbeStartEvent    = obs.ProbeStart
+	ProbeEndEvent      = obs.ProbeEnd
+	ProbeCancelEvent   = obs.ProbeCancel
+	SelectionEvent     = obs.Selection
+	TransferStartEvent = obs.TransferStart
+	TransferEndEvent   = obs.TransferEnd
+	RetryEvent         = obs.Retry
+	AbortEvent         = obs.Abort
 )
+
+// Observability error classes.
+const (
+	ClassOK       = obs.ClassOK
+	ClassCanceled = obs.ClassCanceled
+	ClassTimeout  = obs.ClassTimeout
+	ClassStatus   = obs.ClassStatus
+	ClassFailed   = obs.ClassFailed
+)
+
+// Trace event kinds, one per Observer callback.
+const (
+	KindProbeStart    = obs.KindProbeStart
+	KindProbeEnd      = obs.KindProbeEnd
+	KindProbeCancel   = obs.KindProbeCancel
+	KindSelection     = obs.KindSelection
+	KindTransferStart = obs.KindTransferStart
+	KindTransferEnd   = obs.KindTransferEnd
+	KindRetry         = obs.KindRetry
+	KindAbort         = obs.KindAbort
+)
+
+// NewMetrics returns an empty standalone metrics collector (every Client
+// already carries one; this is for wiring into Config.Observer or core
+// downloaders directly).
+func NewMetrics() *Metrics { return obs.NewMetrics() }
+
+// NewTracer returns a tracer retaining the last capacity events
+// (a default of 1024 when capacity <= 0).
+func NewTracer(capacity int) *Tracer { return obs.NewTracer(capacity) }
+
+// MultiObserver fans events out to several observers; nil entries are
+// skipped.
+func MultiObserver(observers ...Observer) Observer { return obs.Multi(observers...) }
+
+// ErrClassOf buckets an error into the observability taxonomy.
+func ErrClassOf(err error) ErrClass { return core.ErrClassOf(err) }
 
 // Selection rules.
 const (

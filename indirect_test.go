@@ -118,11 +118,11 @@ func TestFacadeMultipath(t *testing.T) {
 
 func TestFacadeMonitor(t *testing.T) {
 	m := repro.NewMonitor()
-	m.Observe(repro.Path{Via: "A"}, 5e6)
-	if v, ok := m.Estimate(repro.Path{Via: "A"}); !ok || v != 5e6 {
+	m.Observe("origin", repro.Path{Via: "A"}, 5e6)
+	if v, ok := m.Estimate("origin", repro.Path{Via: "A"}); !ok || v != 5e6 {
 		t.Fatalf("monitor facade: %v %v", v, ok)
 	}
-	best, ok := m.Best([]string{"A"})
+	best, ok := m.Best("origin", []string{"A"})
 	if !ok || best.Via != "A" {
 		t.Fatalf("best = %v", best)
 	}

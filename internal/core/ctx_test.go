@@ -194,7 +194,7 @@ func TestProbeSequentialCtxStopsOnCancel(t *testing.T) {
 	tr.onWait = cancel // dies after the first probe completes
 
 	probes := ProbeSequentialCtx(ctx, tr, Object{Server: "s", Name: "o", Size: 500_000},
-		100_000, []string{"a", "b"})
+		[]string{"a", "b"}, Config{ProbeBytes: 100_000})
 	if len(probes) != 3 {
 		t.Fatalf("%d probe results, want 3 (one per path)", len(probes))
 	}
@@ -289,7 +289,7 @@ func TestProbeDeadlineOnStuckTransport(t *testing.T) {
 
 	done := make(chan []ProbeResult, 1)
 	go func() {
-		done <- ProbeCtx(ctx, tr, Object{Server: "s", Name: "o", Size: 500_000}, 100_000, nil)
+		done <- ProbeCtx(ctx, tr, Object{Server: "s", Name: "o", Size: 500_000}, nil, Config{ProbeBytes: 100_000})
 	}()
 	select {
 	case probes := <-done:

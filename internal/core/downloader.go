@@ -3,6 +3,8 @@ package core
 import (
 	"context"
 	"fmt"
+
+	"repro/internal/obs"
 )
 
 // Downloader is the adaptive extension the paper's conclusion sketches:
@@ -33,6 +35,11 @@ type Downloader struct {
 	// MaxFailovers bounds how many path failures a download survives
 	// (default 3).
 	MaxFailovers int
+
+	// Observer receives the download's lifecycle events: every re-race's
+	// probes and selection, and every segment as a transfer. Nil disables
+	// emission.
+	Observer obs.Observer
 }
 
 // Segment records one contiguous fetch within a download.
@@ -175,9 +182,11 @@ func (d *Downloader) DownloadCtx(ctx context.Context, obj Object, candidates []s
 			n = rest
 		}
 		// Segments continue the current path's established connection.
+		emitTransferStart(d.Observer, t, obj, current, offset, n, true)
 		h := startOnCtx(ctx, t, true, obj, current, offset, n)
 		t.Wait(h)
 		r := h.Result()
+		emitTransferEnd(d.Observer, obj, r, true)
 		if r.Err != nil {
 			if err := CtxErr(ctx); err != nil {
 				res.End = t.Now()
@@ -230,8 +239,10 @@ func (d *Downloader) race(ctx context.Context, obj Object, off, n int64, paths [
 	if n <= 0 {
 		return racers[0], 0, nil
 	}
+	raceStart := t.Now()
 	handles := make([]Handle, len(racers))
 	for i, p := range racers {
+		emitProbeStart(d.Observer, t, obj, p, off, n)
 		handles[i] = startCtx(ctx, t, obj, p, off, n)
 	}
 	t.Wait(handles...)
@@ -240,6 +251,7 @@ func (d *Downloader) race(ctx context.Context, obj Object, off, n int64, paths [
 	okCount := 0
 	for i, h := range handles {
 		probes[i] = ProbeResult{h.Result()}
+		emitProbeEnd(d.Observer, obj, probes[i].FetchResult)
 		if probes[i].Err != nil {
 			alive[racers[i]] = false
 		} else {
@@ -253,6 +265,7 @@ func (d *Downloader) race(ctx context.Context, obj Object, off, n int64, paths [
 		return Path{}, 0, fmt.Errorf("%w: race at offset %d", ErrAllPathsFailed, off)
 	}
 	winner := Choose(probes, d.Rule)
+	emitSelection(d.Observer, t, obj, winner, d.Rule.String(), len(racers), t.Now()-raceStart)
 	for _, p := range probes {
 		if p.Path == winner && p.Err == nil {
 			res.Segments = append(res.Segments, Segment{

@@ -7,46 +7,76 @@ import (
 
 func TestMonitorObserveAndEstimate(t *testing.T) {
 	m := NewMonitor()
-	if _, ok := m.Estimate(Path{Via: "A"}); ok {
+	if _, ok := m.Estimate("s", Path{Via: "A"}); ok {
 		t.Fatal("empty monitor reported an estimate")
 	}
-	m.Observe(Path{Via: "A"}, 2e6)
-	if v, ok := m.Estimate(Path{Via: "A"}); !ok || v != 2e6 {
+	m.Observe("s", Path{Via: "A"}, 2e6)
+	if v, ok := m.Estimate("s", Path{Via: "A"}); !ok || v != 2e6 {
 		t.Fatalf("first sample: %v %v", v, ok)
 	}
-	m.Observe(Path{Via: "A"}, 4e6)
-	v, _ := m.Estimate(Path{Via: "A"})
+	m.Observe("s", Path{Via: "A"}, 4e6)
+	v, _ := m.Estimate("s", Path{Via: "A"})
 	want := 0.7*2e6 + 0.3*4e6
 	if math.Abs(v-want) > 1 {
 		t.Fatalf("EWMA = %v, want %v", v, want)
 	}
-	if m.Samples(Path{Via: "A"}) != 2 {
-		t.Fatalf("samples = %d", m.Samples(Path{Via: "A"}))
+	if m.Samples("s", Path{Via: "A"}) != 2 {
+		t.Fatalf("samples = %d", m.Samples("s", Path{Via: "A"}))
 	}
 }
 
 func TestMonitorIgnoresBadSamples(t *testing.T) {
 	m := NewMonitor()
-	m.Observe(Path{Via: "A"}, 0)
-	m.Observe(Path{Via: "A"}, -5)
-	if _, ok := m.Estimate(Path{Via: "A"}); ok {
+	m.Observe("s", Path{Via: "A"}, 0)
+	m.Observe("s", Path{Via: "A"}, -5)
+	if _, ok := m.Estimate("s", Path{Via: "A"}); ok {
 		t.Fatal("non-positive samples recorded")
+	}
+}
+
+// TestMonitorKeysByFullPath is the regression test for the estimate map
+// being keyed only by Via: observations of the direct path to two
+// different origins must not collide, and a relay's estimate toward one
+// origin must not leak into selections toward another.
+func TestMonitorKeysByFullPath(t *testing.T) {
+	m := NewMonitor()
+	m.Observe("alpha", Path{Via: Direct}, 8e6)
+	m.Observe("beta", Path{Via: Direct}, 1e6)
+
+	if v, ok := m.Estimate("alpha", Path{Via: Direct}); !ok || v != 8e6 {
+		t.Fatalf("alpha direct estimate = %v %v, want 8e6 (collided with beta?)", v, ok)
+	}
+	if v, ok := m.Estimate("beta", Path{Via: Direct}); !ok || v != 1e6 {
+		t.Fatalf("beta direct estimate = %v %v, want 1e6 (collided with alpha?)", v, ok)
+	}
+	if m.Samples("alpha", Path{Via: Direct}) != 1 || m.Samples("beta", Path{Via: Direct}) != 1 {
+		t.Fatal("cross-origin observations folded into one EWMA")
+	}
+
+	// A relay known fast toward alpha says nothing about beta: toward
+	// beta only the direct path is known, so it must win.
+	m.Observe("alpha", Path{Via: "R"}, 9e6)
+	if best, ok := m.Best("beta", []string{"R"}); !ok || best.Via != Direct {
+		t.Fatalf("beta best = %v %v, want direct (alpha's relay estimate leaked)", best, ok)
+	}
+	if got := m.Unknown("beta", []string{"R"}); len(got) != 1 || got[0] != "R" {
+		t.Fatalf("beta unknown = %v, want [R]", got)
 	}
 }
 
 func TestMonitorBestAndRanked(t *testing.T) {
 	m := NewMonitor()
-	if best, ok := m.Best([]string{"A", "B"}); ok || !best.IsDirect() {
+	if best, ok := m.Best("s", []string{"A", "B"}); ok || !best.IsDirect() {
 		t.Fatalf("empty monitor best = %v, %v", best, ok)
 	}
-	m.Observe(Path{Via: Direct}, 1e6)
-	m.Observe(Path{Via: "A"}, 3e6)
-	m.Observe(Path{Via: "B"}, 2e6)
-	best, ok := m.Best([]string{"A", "B"})
+	m.Observe("s", Path{Via: Direct}, 1e6)
+	m.Observe("s", Path{Via: "A"}, 3e6)
+	m.Observe("s", Path{Via: "B"}, 2e6)
+	best, ok := m.Best("s", []string{"A", "B"})
 	if !ok || best.Via != "A" {
 		t.Fatalf("best = %v", best)
 	}
-	ranked := m.Ranked([]string{"A", "B"})
+	ranked := m.Ranked("s", []string{"A", "B"})
 	if len(ranked) != 3 || ranked[0].Via != "A" || ranked[2].Via != Direct {
 		t.Fatalf("ranked = %v", ranked)
 	}
@@ -54,8 +84,8 @@ func TestMonitorBestAndRanked(t *testing.T) {
 
 func TestMonitorUnknown(t *testing.T) {
 	m := NewMonitor()
-	m.Observe(Path{Via: "A"}, 1e6)
-	unknown := m.Unknown([]string{"A", "B", "C"})
+	m.Observe("s", Path{Via: "A"}, 1e6)
+	unknown := m.Unknown("s", []string{"A", "B", "C"})
 	if len(unknown) != 2 || unknown[0] != "B" || unknown[1] != "C" {
 		t.Fatalf("unknown = %v", unknown)
 	}
@@ -67,10 +97,10 @@ func TestMonitorRefresh(t *testing.T) {
 	m := NewMonitor()
 	obj := Object{Server: "s", Name: "o", Size: 4_000_000}
 	m.Refresh(tr, obj, 100_000, []string{"A"})
-	if v, ok := m.Estimate(Path{Via: "A"}); !ok || math.Abs(v-4e6) > 1 {
+	if v, ok := m.Estimate("s", Path{Via: "A"}); !ok || math.Abs(v-4e6) > 1 {
 		t.Fatalf("refresh estimate = %v %v", v, ok)
 	}
-	if v, ok := m.Estimate(Path{Via: Direct}); !ok || math.Abs(v-1e6) > 1 {
+	if v, ok := m.Estimate("s", Path{Via: Direct}); !ok || math.Abs(v-1e6) > 1 {
 		t.Fatalf("direct estimate = %v %v", v, ok)
 	}
 }
@@ -86,7 +116,7 @@ func TestSelectMonitoredUsesTableAndLearns(t *testing.T) {
 	if !out.Selected.IsDirect() || out.Err != nil {
 		t.Fatalf("cold start outcome: %+v", out)
 	}
-	if _, ok := m.Estimate(Path{Via: Direct}); !ok {
+	if _, ok := m.Estimate("s", Path{Via: Direct}); !ok {
 		t.Fatal("cold-start transfer not observed")
 	}
 
@@ -106,7 +136,7 @@ func TestSelectMonitoredPropagatesError(t *testing.T) {
 	tr := newFake(1e6)
 	tr.fail["A"] = errTestMon
 	m := NewMonitor()
-	m.Observe(Path{Via: "A"}, 9e6) // stale belief in a dead path
+	m.Observe("s", Path{Via: "A"}, 9e6) // stale belief in a dead path
 	obj := Object{Server: "s", Name: "o", Size: 1_000_000}
 	out := SelectMonitored(tr, obj, []string{"A"}, m)
 	if out.Err == nil {

@@ -3,6 +3,8 @@ package core
 import (
 	"context"
 	"fmt"
+
+	"repro/internal/obs"
 )
 
 // MultipathDownloader stripes one object across several paths at once:
@@ -23,6 +25,10 @@ type MultipathDownloader struct {
 	// before giving up (default 8). A path whose chunk fails is retired;
 	// its chunk is requeued for the surviving paths.
 	MaxFailures int
+
+	// Observer receives one TransferStarted/TransferFinished pair per
+	// chunk. Nil disables emission.
+	Observer obs.Observer
 }
 
 // PathShare reports one path's contribution to a multipath download.
@@ -120,6 +126,7 @@ func (d *MultipathDownloader) DownloadCtx(ctx context.Context, obj Object, candi
 		}
 		c := queue[0]
 		queue = queue[1:]
+		emitTransferStart(d.Observer, t, obj, p, c.off, c.n, warm)
 		active = append(active, inflight{p, c, startOnCtx(ctx, t, warm, obj, p, c.off, c.n), warm})
 		return true
 	}
@@ -154,12 +161,14 @@ func (d *MultipathDownloader) DownloadCtx(ctx context.Context, obj Object, candi
 		}
 
 		r := done.h.Result()
+		emitTransferEnd(d.Observer, obj, r, done.warm)
 		if r.Err != nil {
 			if err := CtxErr(ctx); err != nil {
 				// The operation was abandoned: reap what is still in
 				// flight and report the cancellation, not a path outage.
 				for _, a := range active {
 					t.Wait(a.h)
+					emitTransferEnd(d.Observer, obj, a.h.Result(), a.warm)
 				}
 				res.End = t.Now()
 				return res, err

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/obs"
+)
+
+// obsID converts an engine-level (object, path) pair into the plain-string
+// path identity observability events carry.
+func obsID(obj Object, p Path) obs.PathID {
+	return obs.PathID{Server: obj.Server, Object: obj.Name, Via: p.Via}
+}
+
+// Classer is implemented by error types that know their own observability
+// class — e.g. the real transport's status-line error reports
+// obs.ClassStatus. It lets lower layers refine classification without this
+// package importing them.
+type Classer interface {
+	ObsClass() obs.ErrClass
+}
+
+// ErrClassOf buckets an engine or transport error into the observability
+// error taxonomy: the typed sentinels map to their classes, errors
+// implementing Classer speak for themselves, and anything else is a plain
+// failure.
+func ErrClassOf(err error) obs.ErrClass {
+	if err == nil {
+		return obs.ClassOK
+	}
+	switch {
+	case errors.Is(err, ErrCanceled):
+		return obs.ClassCanceled
+	case errors.Is(err, ErrProbeTimeout):
+		return obs.ClassTimeout
+	}
+	var c Classer
+	if errors.As(err, &c) {
+		return c.ObsClass()
+	}
+	return obs.ClassFailed
+}
+
+func errText(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// The emit helpers below centralize the nil check so an unobserved run
+// pays one pointer comparison per event site and builds no event structs.
+
+func emitProbeStart(o obs.Observer, t Transport, obj Object, p Path, off, n int64) {
+	if o == nil {
+		return
+	}
+	o.ProbeStarted(obs.ProbeStart{Path: obsID(obj, p), Time: t.Now(), Offset: off, Bytes: n})
+}
+
+func emitProbeEnd(o obs.Observer, obj Object, r FetchResult) {
+	if o == nil {
+		return
+	}
+	o.ProbeFinished(obs.ProbeEnd{
+		Path: obsID(obj, r.Path), Time: r.End, Offset: r.Offset, Bytes: r.Bytes,
+		Duration: r.Duration(), Class: ErrClassOf(r.Err), Err: errText(r.Err),
+	})
+}
+
+func emitProbeCancel(o obs.Observer, t Transport, obj Object, p Path) {
+	if o == nil {
+		return
+	}
+	o.ProbeCanceled(obs.ProbeCancel{Path: obsID(obj, p), Time: t.Now()})
+}
+
+func emitSelection(o obs.Observer, t Transport, obj Object, sel Path, rule string, candidates int, probeDur float64) {
+	if o == nil {
+		return
+	}
+	o.PathSelected(obs.Selection{
+		Path: obsID(obj, sel), Time: t.Now(), Rule: rule,
+		Candidates: candidates, Indirect: !sel.IsDirect(), ProbeDuration: probeDur,
+	})
+}
+
+func emitTransferStart(o obs.Observer, t Transport, obj Object, p Path, off, n int64, warm bool) {
+	if o == nil {
+		return
+	}
+	o.TransferStarted(obs.TransferStart{Path: obsID(obj, p), Time: t.Now(), Offset: off, Bytes: n, Warm: warm})
+}
+
+func emitTransferEnd(o obs.Observer, obj Object, r FetchResult, warm bool) {
+	if o == nil {
+		return
+	}
+	o.TransferFinished(obs.TransferEnd{
+		Path: obsID(obj, r.Path), Time: r.End, Offset: r.Offset, Bytes: r.Bytes,
+		Duration: r.Duration(), Warm: warm, Class: ErrClassOf(r.Err), Err: errText(r.Err),
+	})
+}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+
+	"repro/internal/obs"
 )
 
 // Rule is the probe-comparison rule used to select a path.
@@ -48,6 +50,15 @@ type Config struct {
 	// longer probing phase. Sequential probing implies the MaxThroughput
 	// rule, since finish order is meaningless for staggered starts.
 	Sequential bool
+
+	// Observer receives the operation's lifecycle events (probe
+	// start/finish, loser cancellation, selection, remainder transfer).
+	// Nil disables emission entirely; the engine then builds no event
+	// values, so the unobserved hot path pays only nil checks.
+	// Observation is passive — the observer sees transport timestamps but
+	// never advances any clock — so the virtual-time simulator produces
+	// identical results with or without one attached.
+	Observer obs.Observer
 }
 
 func (c Config) probeBytes() int64 {
@@ -111,7 +122,7 @@ func probePaths(candidates []string) []Path {
 // candidate indirect path concurrently, returning the paths (index 0 is
 // direct) and their in-flight handles.
 func StartProbes(t Transport, obj Object, x int64, candidates []string) ([]Path, []Handle) {
-	paths, handles, _ := StartProbesCtx(context.Background(), t, obj, x, candidates)
+	paths, handles, _ := StartProbesCtx(context.Background(), t, obj, candidates, Config{ProbeBytes: x})
 	return paths, handles
 }
 
@@ -120,8 +131,10 @@ func StartProbes(t Transport, obj Object, x int64, candidates []string) ([]Path,
 // functions (one per handle) let the caller abandon individual probes —
 // the engine cancels the losers the moment a winner commits. On
 // transports without the ContextStarter extension the cancel functions
-// are inert and probes drain to completion.
-func StartProbesCtx(ctx context.Context, t Transport, obj Object, x int64, candidates []string) ([]Path, []Handle, []context.CancelFunc) {
+// are inert and probes drain to completion. The probe size and observer
+// come from cfg; a ProbeStarted event is emitted per launched probe.
+func StartProbesCtx(ctx context.Context, t Transport, obj Object, candidates []string, cfg Config) ([]Path, []Handle, []context.CancelFunc) {
+	x := cfg.probeBytes()
 	if x > obj.Size {
 		x = obj.Size
 	}
@@ -130,6 +143,7 @@ func StartProbesCtx(ctx context.Context, t Transport, obj Object, x int64, candi
 	cancels := make([]context.CancelFunc, len(paths))
 	for i, p := range paths {
 		pctx, cancel := context.WithCancel(ctx)
+		emitProbeStart(cfg.Observer, t, obj, p, 0, x)
 		handles[i] = startCtx(pctx, t, obj, p, 0, x)
 		cancels[i] = cancel
 	}
@@ -140,25 +154,29 @@ func StartProbesCtx(ctx context.Context, t Transport, obj Object, x int64, candi
 // and over each candidate indirect path, returning the per-path results.
 // Order: index 0 is the direct probe, then one entry per candidate.
 func Probe(t Transport, obj Object, x int64, candidates []string) []ProbeResult {
-	return ProbeCtx(context.Background(), t, obj, x, candidates)
+	return ProbeCtx(context.Background(), t, obj, candidates, Config{ProbeBytes: x})
 }
 
 // ProbeCtx is Probe under a context: cancellation or deadline expiry
 // fails the outstanding probes (on context-aware transports) instead of
-// waiting them out.
-func ProbeCtx(ctx context.Context, t Transport, obj Object, x int64, candidates []string) []ProbeResult {
+// waiting them out. The probe size and observer come from cfg; each probe
+// emits a ProbeStarted/ProbeFinished pair.
+func ProbeCtx(ctx context.Context, t Transport, obj Object, candidates []string, cfg Config) []ProbeResult {
 	paths := probePaths(candidates)
+	x := cfg.probeBytes()
 	if x > obj.Size {
 		x = obj.Size
 	}
 	handles := make([]Handle, len(paths))
 	for i, p := range paths {
+		emitProbeStart(cfg.Observer, t, obj, p, 0, x)
 		handles[i] = startCtx(ctx, t, obj, p, 0, x)
 	}
 	t.Wait(handles...)
 	probes := make([]ProbeResult, len(handles))
 	for i, h := range handles {
 		probes[i] = ProbeResult{h.Result()}
+		emitProbeEnd(cfg.Observer, obj, probes[i].FetchResult)
 	}
 	return probes
 }
@@ -268,13 +286,15 @@ func Choose(probes []ProbeResult, rule Rule) Path {
 // gets the path to itself, so measurements do not contend with each other.
 // Result order matches Probe: direct first, then candidates.
 func ProbeSequential(t Transport, obj Object, x int64, candidates []string) []ProbeResult {
-	return ProbeSequentialCtx(context.Background(), t, obj, x, candidates)
+	return ProbeSequentialCtx(context.Background(), t, obj, candidates, Config{ProbeBytes: x})
 }
 
 // ProbeSequentialCtx is ProbeSequential under a context. Once ctx dies,
 // the remaining probes are not issued: their results carry the typed
 // cancellation error instead, so the slice still has one entry per path.
-func ProbeSequentialCtx(ctx context.Context, t Transport, obj Object, x int64, candidates []string) []ProbeResult {
+// Probes that were never issued emit no events.
+func ProbeSequentialCtx(ctx context.Context, t Transport, obj Object, candidates []string, cfg Config) []ProbeResult {
+	x := cfg.probeBytes()
 	if x > obj.Size {
 		x = obj.Size
 	}
@@ -286,9 +306,11 @@ func ProbeSequentialCtx(ctx context.Context, t Transport, obj Object, x int64, c
 			probes[i] = ProbeResult{FetchResult{Path: p, Bytes: x, Start: now, End: now, Err: err}}
 			continue
 		}
+		emitProbeStart(cfg.Observer, t, obj, p, 0, x)
 		h := startCtx(ctx, t, obj, p, 0, x)
 		t.Wait(h)
 		probes[i] = ProbeResult{h.Result()}
+		emitProbeEnd(cfg.Observer, obj, probes[i].FetchResult)
 	}
 	return probes
 }
@@ -324,7 +346,7 @@ func SelectAndFetchCtx(ctx context.Context, t Transport, obj Object, candidates 
 	rest := obj.Size - x
 
 	if !cfg.Sequential && cfg.Rule == FirstFinished {
-		paths, handles, cancels := StartProbesCtx(ctx, t, obj, x, candidates)
+		paths, handles, cancels := StartProbesCtx(ctx, t, obj, candidates, cfg)
 		defer func() {
 			for _, c := range cancels {
 				c()
@@ -337,16 +359,19 @@ func SelectAndFetchCtx(ctx context.Context, t Transport, obj Object, candidates 
 		} else {
 			o.Selected = Path{Via: Direct} // every probe failed
 		}
+		emitSelection(cfg.Observer, t, obj, o.Selected, cfg.Rule.String(), len(paths), o.ProbeEnd-o.Start)
 
 		// Cancel the losers immediately: the winner is committed, so the
 		// losing transfers are pure overhead. Context-aware transports
 		// tear them down within a round trip; others drain them below.
 		for _, i := range pending {
 			cancels[i]()
+			emitProbeCancel(cfg.Observer, t, obj, paths[i])
 		}
 
 		var rem Handle
 		if rest > 0 && win >= 0 {
+			emitTransferStart(cfg.Observer, t, obj, o.Selected, x, rest, true)
 			rem = startOnCtx(ctx, t, true, obj, o.Selected, x, rest)
 		}
 		// Reap the losers alongside the remainder. On transports that
@@ -365,26 +390,31 @@ func SelectAndFetchCtx(ctx context.Context, t Transport, obj Object, candidates 
 		o.Probes = make([]ProbeResult, len(handles))
 		for i, h := range handles {
 			o.Probes[i] = ProbeResult{h.Result()}
+			emitProbeEnd(cfg.Observer, obj, o.Probes[i].FetchResult)
 		}
 		if rem != nil {
 			o.Remainder = rem.Result()
+			emitTransferEnd(cfg.Observer, obj, o.Remainder, true)
 		}
 	} else {
 		if cfg.Sequential {
-			o.Probes = ProbeSequentialCtx(ctx, t, obj, x, candidates)
+			o.Probes = ProbeSequentialCtx(ctx, t, obj, candidates, cfg)
 			cfg.Rule = MaxThroughput
 		} else {
-			o.Probes = ProbeCtx(ctx, t, obj, x, candidates)
+			o.Probes = ProbeCtx(ctx, t, obj, candidates, cfg)
 		}
 		o.ProbeEnd = t.Now()
 		o.Selected = Choose(o.Probes, cfg.Rule)
+		emitSelection(cfg.Observer, t, obj, o.Selected, cfg.Rule.String(), len(o.Probes), o.ProbeEnd-o.Start)
 		if rest > 0 {
 			// The remainder continues on the winning probe's connection
 			// (same path, same socket): warm when the transport supports
 			// it.
+			emitTransferStart(cfg.Observer, t, obj, o.Selected, x, rest, true)
 			h := startOnCtx(ctx, t, true, obj, o.Selected, x, rest)
 			t.Wait(h)
 			o.Remainder = h.Result()
+			emitTransferEnd(cfg.Observer, obj, o.Remainder, true)
 		}
 	}
 

@@ -1,0 +1,293 @@
+package obs
+
+import (
+	"encoding/json"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/stats"
+)
+
+// Histogram geometry. Fixed buckets keep snapshots mergeable across
+// clients and runs (stats.Histogram.Merge requires identical geometry);
+// the explicit under/overflow counters mean nothing is silently dropped.
+const (
+	// Probe latencies land in [0s, 20s) at 0.1 s resolution — wide enough
+	// for the simulator's Low-category clients probing 100 KB at dial-up
+	// rates, fine enough for loopback TCP.
+	probeLatencyLo, probeLatencyHi = 0.0, 20.0
+	probeLatencyBins               = 200
+
+	// Transfer throughputs land in [0, 100) Mb/s at 0.5 Mb/s resolution,
+	// covering the paper's access-link range with room above it.
+	transferMbpsLo, transferMbpsHi = 0.0, 100.0
+	transferMbpsBins               = 200
+)
+
+// Metrics aggregates events into atomic counters, per-path utilization
+// tallies, and fixed-bucket histograms. All counter updates are
+// lock-free; the per-path map takes a read lock on the hot path (a write
+// lock only the first time a path is seen) and the two histograms share
+// one short-lived mutex. Snapshot may be called concurrently with
+// observation.
+type Metrics struct {
+	probesStarted  atomic.Int64
+	probesFinished atomic.Int64
+	probesFailed   atomic.Int64 // finished with a non-cancellation error
+	probesCanceled atomic.Int64 // reaped by the engine after the race was decided
+
+	selections         atomic.Int64
+	selectionsIndirect atomic.Int64
+
+	transfersStarted  atomic.Int64
+	transfersFinished atomic.Int64
+	transfersFailed   atomic.Int64
+
+	retries atomic.Int64
+	aborts  atomic.Int64
+
+	bytesDelivered atomic.Int64 // payload bytes of successful probes + transfers
+
+	pathMu sync.RWMutex
+	paths  map[string]*pathTally
+
+	histMu       sync.Mutex
+	probeLatency *stats.Histogram // successful probe durations, seconds
+	transferTput *stats.Histogram // successful transfer throughputs, Mb/s
+}
+
+// pathTally is one route's counters (keyed by PathID.Label()).
+type pathTally struct {
+	probed   atomic.Int64 // appeared in a race or refresh
+	selected atomic.Int64 // won the commit
+	canceled atomic.Int64 // reaped as a loser
+	failed   atomic.Int64 // probe or transfer failed outright
+	bytes    atomic.Int64 // payload bytes delivered over this route
+}
+
+// NewMetrics returns an empty collector.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		paths:        make(map[string]*pathTally),
+		probeLatency: stats.NewHistogram(probeLatencyLo, probeLatencyHi, probeLatencyBins),
+		transferTput: stats.NewHistogram(transferMbpsLo, transferMbpsHi, transferMbpsBins),
+	}
+}
+
+func (m *Metrics) tally(label string) *pathTally {
+	m.pathMu.RLock()
+	t := m.paths[label]
+	m.pathMu.RUnlock()
+	if t != nil {
+		return t
+	}
+	m.pathMu.Lock()
+	defer m.pathMu.Unlock()
+	if t = m.paths[label]; t == nil {
+		t = &pathTally{}
+		m.paths[label] = t
+	}
+	return t
+}
+
+// ProbeStarted counts the probe toward its route's appearance tally — the
+// denominator of the paper's Section V utilization ratio.
+func (m *Metrics) ProbeStarted(e ProbeStart) {
+	m.probesStarted.Add(1)
+	m.tally(e.Path.Label()).probed.Add(1)
+}
+
+// ProbeFinished records the outcome: successful probes feed the latency
+// histogram and the delivered-byte count; failures (other than engine
+// cancellations, which ProbeCanceled already counted) feed the failure
+// tallies.
+func (m *Metrics) ProbeFinished(e ProbeEnd) {
+	m.probesFinished.Add(1)
+	switch e.Class {
+	case ClassOK:
+		m.bytesDelivered.Add(e.Bytes)
+		m.histMu.Lock()
+		m.probeLatency.Add(e.Duration)
+		m.histMu.Unlock()
+	case ClassCanceled:
+		// The reap decision was counted by ProbeCanceled; nothing more.
+	default:
+		m.probesFailed.Add(1)
+		m.tally(e.Path.Label()).failed.Add(1)
+	}
+}
+
+// ProbeCanceled counts a loser reaped by the engine.
+func (m *Metrics) ProbeCanceled(e ProbeCancel) {
+	m.probesCanceled.Add(1)
+	m.tally(e.Path.Label()).canceled.Add(1)
+}
+
+// PathSelected counts the commit — the numerator of the utilization
+// ratio for the winning route.
+func (m *Metrics) PathSelected(e Selection) {
+	m.selections.Add(1)
+	if e.Indirect {
+		m.selectionsIndirect.Add(1)
+	}
+	m.tally(e.Path.Label()).selected.Add(1)
+}
+
+// TransferStarted counts a payload transfer being issued.
+func (m *Metrics) TransferStarted(e TransferStart) {
+	m.transfersStarted.Add(1)
+}
+
+// TransferFinished records the payload outcome; successes feed the
+// throughput histogram.
+func (m *Metrics) TransferFinished(e TransferEnd) {
+	m.transfersFinished.Add(1)
+	if e.Class != ClassOK {
+		m.transfersFailed.Add(1)
+		m.tally(e.Path.Label()).failed.Add(1)
+		return
+	}
+	m.bytesDelivered.Add(e.Bytes)
+	m.tally(e.Path.Label()).bytes.Add(e.Bytes)
+	if e.Duration > 0 {
+		m.histMu.Lock()
+		m.transferTput.Add(float64(e.Bytes) * 8 / e.Duration / 1e6)
+		m.histMu.Unlock()
+	}
+}
+
+// RetryScheduled counts a transport-level retry.
+func (m *Metrics) RetryScheduled(e Retry) { m.retries.Add(1) }
+
+// TransferAborted counts a transport-level teardown by context death.
+func (m *Metrics) TransferAborted(e Abort) { m.aborts.Add(1) }
+
+var _ Observer = (*Metrics)(nil)
+
+// PathSnapshot is one route's aggregated counters. Utilization is the
+// paper's Section V metric: times selected over times offered (raced).
+type PathSnapshot struct {
+	Probed      int64   `json:"probed"`
+	Selected    int64   `json:"selected"`
+	Canceled    int64   `json:"canceled"`
+	Failed      int64   `json:"failed"`
+	Bytes       int64   `json:"bytes"`
+	Utilization float64 `json:"utilization"`
+}
+
+// HistogramSnapshot is a point-in-time copy of a fixed-bucket histogram.
+type HistogramSnapshot struct {
+	Lo        float64 `json:"lo"`
+	Hi        float64 `json:"hi"`
+	Bins      []int64 `json:"bins"`
+	Underflow int64   `json:"underflow"`
+	Overflow  int64   `json:"overflow"`
+	Total     int64   `json:"total"`
+}
+
+// Snapshot is a consistent-enough point-in-time view of a Metrics
+// collector, ready for JSON serving (the daemons' /debug/vars endpoints)
+// or test assertions. Counters are read atomically; histograms are copied
+// under their lock.
+type Snapshot struct {
+	ProbesStarted  int64 `json:"probes_started"`
+	ProbesFinished int64 `json:"probes_finished"`
+	ProbesFailed   int64 `json:"probes_failed"`
+	ProbesCanceled int64 `json:"probes_canceled"`
+
+	Selections         int64 `json:"selections"`
+	SelectionsIndirect int64 `json:"selections_indirect"`
+
+	TransfersStarted  int64 `json:"transfers_started"`
+	TransfersFinished int64 `json:"transfers_finished"`
+	TransfersFailed   int64 `json:"transfers_failed"`
+
+	Retries int64 `json:"retries"`
+	Aborts  int64 `json:"aborts"`
+
+	BytesDelivered int64 `json:"bytes_delivered"`
+
+	// Paths maps the route label ("direct" or the relay name) to its
+	// tallies, the per-relay utilization table of the paper's Section V.
+	Paths map[string]PathSnapshot `json:"paths"`
+
+	ProbeLatencySeconds HistogramSnapshot `json:"probe_latency_seconds"`
+	TransferMbps        HistogramSnapshot `json:"transfer_mbps"`
+}
+
+func histSnapshot(h *stats.Histogram) HistogramSnapshot {
+	s := HistogramSnapshot{
+		Lo: h.Lo, Hi: h.Hi,
+		Bins:      make([]int64, len(h.Bins)),
+		Underflow: h.Underflow, Overflow: h.Overflow,
+		Total: h.Total(),
+	}
+	copy(s.Bins, h.Bins)
+	return s
+}
+
+// Snapshot captures the collector's current state.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		ProbesStarted:      m.probesStarted.Load(),
+		ProbesFinished:     m.probesFinished.Load(),
+		ProbesFailed:       m.probesFailed.Load(),
+		ProbesCanceled:     m.probesCanceled.Load(),
+		Selections:         m.selections.Load(),
+		SelectionsIndirect: m.selectionsIndirect.Load(),
+		TransfersStarted:   m.transfersStarted.Load(),
+		TransfersFinished:  m.transfersFinished.Load(),
+		TransfersFailed:    m.transfersFailed.Load(),
+		Retries:            m.retries.Load(),
+		Aborts:             m.aborts.Load(),
+		BytesDelivered:     m.bytesDelivered.Load(),
+		Paths:              make(map[string]PathSnapshot),
+	}
+	m.pathMu.RLock()
+	for label, t := range m.paths {
+		ps := PathSnapshot{
+			Probed:   t.probed.Load(),
+			Selected: t.selected.Load(),
+			Canceled: t.canceled.Load(),
+			Failed:   t.failed.Load(),
+			Bytes:    t.bytes.Load(),
+		}
+		if ps.Probed > 0 {
+			ps.Utilization = float64(ps.Selected) / float64(ps.Probed)
+		}
+		s.Paths[label] = ps
+	}
+	m.pathMu.RUnlock()
+	m.histMu.Lock()
+	s.ProbeLatencySeconds = histSnapshot(m.probeLatency)
+	s.TransferMbps = histSnapshot(m.transferTput)
+	m.histMu.Unlock()
+	return s
+}
+
+// PathLabels returns the snapshot's route labels, sorted, direct first —
+// a stable iteration order for reports.
+func (s Snapshot) PathLabels() []string {
+	labels := make([]string, 0, len(s.Paths))
+	for l := range s.Paths {
+		if l != "direct" {
+			labels = append(labels, l)
+		}
+	}
+	sort.Strings(labels)
+	if _, ok := s.Paths["direct"]; ok {
+		labels = append([]string{"direct"}, labels...)
+	}
+	return labels
+}
+
+// JSON renders the snapshot as indented JSON. The snapshot is built from
+// plain fields and maps, so marshaling cannot fail.
+func (s Snapshot) JSON() []byte {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		panic("obs: snapshot marshal: " + err.Error())
+	}
+	return b
+}

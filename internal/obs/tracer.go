@@ -1,0 +1,167 @@
+package obs
+
+import "sync"
+
+// Kind names an event's type in the normalized trace form.
+type Kind string
+
+// Trace event kinds, one per Observer callback.
+const (
+	KindProbeStart    Kind = "probe-start"
+	KindProbeEnd      Kind = "probe-end"
+	KindProbeCancel   Kind = "probe-cancel"
+	KindSelection     Kind = "selection"
+	KindTransferStart Kind = "transfer-start"
+	KindTransferEnd   Kind = "transfer-end"
+	KindRetry         Kind = "retry"
+	KindAbort         Kind = "abort"
+)
+
+// Event is the normalized, JSON-ready form of any observer callback; the
+// Tracer stores these and package traceio archives them. Fields not
+// meaningful for a kind are zero and omitted from JSON.
+type Event struct {
+	Seq        uint64  `json:"seq"`
+	Kind       Kind    `json:"kind"`
+	Time       float64 `json:"t"`
+	Path       PathID  `json:"path"`
+	Offset     int64   `json:"off,omitempty"`
+	Bytes      int64   `json:"bytes,omitempty"`
+	Duration   float64 `json:"dur,omitempty"`
+	Warm       bool    `json:"warm,omitempty"`
+	Rule       string  `json:"rule,omitempty"`
+	Candidates int     `json:"candidates,omitempty"`
+	Indirect   bool    `json:"indirect,omitempty"`
+	Attempt    int     `json:"attempt,omitempty"`
+	Backoff    float64 `json:"backoff,omitempty"`
+	Class      string  `json:"class,omitempty"`
+	Err        string  `json:"err,omitempty"`
+}
+
+// Event converts the typed callback payload to its normalized form.
+func (e ProbeStart) Event() Event {
+	return Event{Kind: KindProbeStart, Time: e.Time, Path: e.Path, Offset: e.Offset, Bytes: e.Bytes}
+}
+
+// Event converts the typed callback payload to its normalized form.
+func (e ProbeEnd) Event() Event {
+	return Event{Kind: KindProbeEnd, Time: e.Time, Path: e.Path, Offset: e.Offset,
+		Bytes: e.Bytes, Duration: e.Duration, Class: e.Class.String(), Err: e.Err}
+}
+
+// Event converts the typed callback payload to its normalized form.
+func (e ProbeCancel) Event() Event {
+	return Event{Kind: KindProbeCancel, Time: e.Time, Path: e.Path}
+}
+
+// Event converts the typed callback payload to its normalized form.
+func (e Selection) Event() Event {
+	return Event{Kind: KindSelection, Time: e.Time, Path: e.Path, Rule: e.Rule,
+		Candidates: e.Candidates, Indirect: e.Indirect, Duration: e.ProbeDuration}
+}
+
+// Event converts the typed callback payload to its normalized form.
+func (e TransferStart) Event() Event {
+	return Event{Kind: KindTransferStart, Time: e.Time, Path: e.Path,
+		Offset: e.Offset, Bytes: e.Bytes, Warm: e.Warm}
+}
+
+// Event converts the typed callback payload to its normalized form.
+func (e TransferEnd) Event() Event {
+	return Event{Kind: KindTransferEnd, Time: e.Time, Path: e.Path, Offset: e.Offset,
+		Bytes: e.Bytes, Duration: e.Duration, Warm: e.Warm, Class: e.Class.String(), Err: e.Err}
+}
+
+// Event converts the typed callback payload to its normalized form.
+func (e Retry) Event() Event {
+	return Event{Kind: KindRetry, Time: e.Time, Path: e.Path,
+		Attempt: e.Attempt, Backoff: e.Backoff, Err: e.Err}
+}
+
+// Event converts the typed callback payload to its normalized form.
+func (e Abort) Event() Event {
+	return Event{Kind: KindAbort, Time: e.Time, Path: e.Path, Class: e.Class.String()}
+}
+
+// DefaultTraceCap is the Tracer ring size when none is given: enough for
+// a few hundred selection operations without unbounded growth.
+const DefaultTraceCap = 1024
+
+// Tracer keeps the most recent events in a fixed-size ring buffer — the
+// flight recorder of the stack. Old events are overwritten, never
+// allocated past the cap, so a Tracer can stay attached to a production
+// client indefinitely. Safe for concurrent use.
+type Tracer struct {
+	mu   sync.Mutex
+	ring []Event
+	next int    // ring slot the next event lands in
+	seq  uint64 // events ever seen (assigns Event.Seq, 1-based)
+	full bool
+}
+
+// NewTracer returns a tracer retaining the last capacity events
+// (DefaultTraceCap when capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &Tracer{ring: make([]Event, capacity)}
+}
+
+func (t *Tracer) add(e Event) {
+	t.mu.Lock()
+	t.seq++
+	e.Seq = t.seq
+	t.ring[t.next] = e
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.full = true
+	}
+	t.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func (t *Tracer) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.full {
+		out := make([]Event, t.next)
+		copy(out, t.ring[:t.next])
+		return out
+	}
+	out := make([]Event, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Seen returns how many events the tracer has ever received.
+func (t *Tracer) Seen() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seq
+}
+
+// Dropped returns how many events have been overwritten by newer ones.
+func (t *Tracer) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.full {
+		return 0
+	}
+	return t.seq - uint64(len(t.ring))
+}
+
+// Observer callbacks: each normalizes and records.
+
+func (t *Tracer) ProbeStarted(e ProbeStart)       { t.add(e.Event()) }
+func (t *Tracer) ProbeFinished(e ProbeEnd)        { t.add(e.Event()) }
+func (t *Tracer) ProbeCanceled(e ProbeCancel)     { t.add(e.Event()) }
+func (t *Tracer) PathSelected(e Selection)        { t.add(e.Event()) }
+func (t *Tracer) TransferStarted(e TransferStart) { t.add(e.Event()) }
+func (t *Tracer) TransferFinished(e TransferEnd)  { t.add(e.Event()) }
+func (t *Tracer) RetryScheduled(e Retry)          { t.add(e.Event()) }
+func (t *Tracer) TransferAborted(e Abort)         { t.add(e.Event()) }
+
+var _ Observer = (*Tracer)(nil)

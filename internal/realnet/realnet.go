@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/httpx"
+	"repro/internal/obs"
 	"repro/internal/relay"
 )
 
@@ -76,10 +77,19 @@ type Transport struct {
 	// jitter so synchronized clients do not stampede a recovering node.
 	RetryBackoff time.Duration
 
-	// Retries counts retry attempts performed across all transfers,
-	// exposed for tests and operational visibility.
+	// Observer receives transport-level events: RetryScheduled for every
+	// cold re-attempt (with the chosen backoff) and TransferAborted for
+	// every context-death teardown. Nil disables emission. The engine's
+	// probe/selection events are configured separately (core.Config);
+	// pointing both at the same Metrics collector gives one unified view.
+	Observer obs.Observer
+
+	// Retries counts retry attempts performed across all transfers.
+	// It is kept in lockstep with the RetryScheduled events for callers
+	// that only want the number, not the stream.
 	Retries atomic.Int64
-	// Canceled counts transfers that ended by cancellation or deadline.
+	// Canceled counts transfers that ended by cancellation or deadline,
+	// in lockstep with the TransferAborted events.
 	Canceled atomic.Int64
 
 	startOnce sync.Once
@@ -144,6 +154,10 @@ type StatusError struct {
 func (e *StatusError) Error() string {
 	return fmt.Sprintf("realnet: status %d %s", e.Status, e.Reason)
 }
+
+// ObsClass classifies the error for observability (core.Classer): the
+// server answered, just not with the bytes.
+func (e *StatusError) ObsClass() obs.ErrClass { return obs.ClassStatus }
 
 // handle is an in-flight transfer. Its result is published exactly once
 // (through finish), by whichever comes first: the fetch goroutine
@@ -268,11 +282,22 @@ func (t *Transport) startFetch(ctx context.Context, obj core.Object, path core.P
 		case <-ctx.Done():
 			h.cancel()
 			t.Canceled.Add(1)
-			h.finish(t.Now(), core.CtxErr(ctx))
+			err := core.CtxErr(ctx)
+			if o := t.Observer; o != nil {
+				o.TransferAborted(obs.Abort{
+					Path: obsPathID(obj, path), Time: t.Now(), Class: core.ErrClassOf(err),
+				})
+			}
+			h.finish(t.Now(), err)
 		case <-h.done:
 		}
 	}()
 	return h
+}
+
+// obsPathID is the event identity of a transfer on this transport.
+func obsPathID(obj core.Object, p core.Path) obs.PathID {
+	return obs.PathID{Server: obj.Server, Object: obj.Name, Via: p.Via}
 }
 
 // transferContext applies the transport's per-transfer deadline unless
@@ -362,12 +387,26 @@ func (t *Transport) dialConn(ctx context.Context, addr string) (net.Conn, error)
 	}
 }
 
-// backoff sleeps before retry attempt (1-based), doubling the base per
-// attempt with ±50% jitter, and returns early with the typed error if
-// ctx dies first.
-func (t *Transport) backoff(ctx context.Context, attempt int) error {
+// retryDelay picks the backoff before retry attempt (1-based): the base
+// doubles per attempt, with ±50% jitter so synchronized clients do not
+// stampede a recovering node.
+func (t *Transport) retryDelay(attempt int) time.Duration {
 	d := t.retryBackoff() << (attempt - 1)
-	d = d/2 + time.Duration(rand.Int63n(int64(d)))
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
+
+// scheduleRetry counts a retry, announces it (with the chosen backoff)
+// to the observer, and sleeps the backoff out — returning early with the
+// typed error if ctx dies first.
+func (t *Transport) scheduleRetry(ctx context.Context, obj core.Object, path core.Path, attempt int, cause error) error {
+	t.Retries.Add(1)
+	d := t.retryDelay(attempt)
+	if o := t.Observer; o != nil {
+		o.RetryScheduled(obs.Retry{
+			Path: obsPathID(obj, path), Time: t.Now(),
+			Attempt: attempt, Backoff: d.Seconds(), Err: cause.Error(),
+		})
+	}
 	timer := time.NewTimer(d)
 	defer timer.Stop()
 	select {
@@ -424,8 +463,7 @@ func (t *Transport) fetch(ctx context.Context, h *handle, obj core.Object, path 
 					return nil, fmt.Errorf("realnet: dial %s: %w", dialAddr, err)
 				}
 				retries++
-				t.Retries.Add(1)
-				if berr := t.backoff(ctx, retries); berr != nil {
+				if berr := t.scheduleRetry(ctx, obj, path, retries, err); berr != nil {
 					return nil, berr
 				}
 				continue
@@ -463,8 +501,7 @@ func (t *Transport) fetch(ctx context.Context, h *handle, obj core.Object, path 
 				return nil, err
 			}
 			retries++
-			t.Retries.Add(1)
-			if berr := t.backoff(ctx, retries); berr != nil {
+			if berr := t.scheduleRetry(ctx, obj, path, retries, err); berr != nil {
 				return nil, berr
 			}
 			continue

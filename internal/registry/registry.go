@@ -21,6 +21,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -47,6 +48,12 @@ type Server struct {
 	// Clock returns the current time (nil means time.Now); injectable
 	// for expiry tests.
 	Clock func() time.Time
+
+	// Registrations counts accepted REGISTER commands received over the
+	// wire (in-process Register calls are not counted).
+	Registrations atomic.Int64
+	// Lists counts LIST commands served over the wire.
+	Lists atomic.Int64
 
 	mu      sync.Mutex
 	entries map[string]Entry
@@ -152,8 +159,10 @@ func (s *Server) handle(conn net.Conn) {
 			fmt.Fprintf(conn, "ERR %v\n", err)
 			return
 		}
+		s.Registrations.Add(1)
 		fmt.Fprintf(conn, "OK\n")
 	case "LIST":
+		s.Lists.Add(1)
 		for _, e := range s.List() {
 			fmt.Fprintf(conn, "%s %s\n", e.Name, e.Addr)
 		}

@@ -1,0 +1,56 @@
+// Observer-event persistence: the normalized obs.Event stream (what a
+// Tracer retains in memory) written in the same JSONL-with-header
+// format as measurement records, so event traces archive and reload
+// with the tooling already used for campaign logs.
+
+package traceio
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/obs"
+)
+
+// WriteEvents streams events to w as JSONL under an "events" header.
+// comment is free-form provenance (run id, seed, date).
+func WriteEvents(w io.Writer, comment string, events []obs.Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(header{Schema: SchemaVersion, Kind: "events", Comment: comment}); err != nil {
+		return err
+	}
+	for _, e := range events {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEvents loads a JSONL event trace written by WriteEvents,
+// returning the events and the header comment.
+func ReadEvents(r io.Reader) ([]obs.Event, string, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var h header
+	if err := dec.Decode(&h); err != nil {
+		return nil, "", fmt.Errorf("%w: %v", ErrBadHeader, err)
+	}
+	if h.Schema != SchemaVersion || h.Kind != "events" {
+		return nil, "", fmt.Errorf("%w: schema=%d kind=%q", ErrBadSchema, h.Schema, h.Kind)
+	}
+	var out []obs.Event
+	for {
+		var e obs.Event
+		if err := dec.Decode(&e); err != nil {
+			if errors.Is(err, io.EOF) {
+				return out, h.Comment, nil
+			}
+			return nil, "", err
+		}
+		out = append(out, e)
+	}
+}

@@ -1,0 +1,82 @@
+package traceio
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func sampleEvents() []obs.Event {
+	pid := obs.PathID{Server: "origin", Object: "large.bin", Via: "r1"}
+	return []obs.Event{
+		{Seq: 1, Kind: obs.KindProbeStart, Time: 0.5, Path: pid, Bytes: 100_000},
+		{Seq: 2, Kind: obs.KindSelection, Time: 0.9, Path: pid, Rule: "first-finished",
+			Candidates: 3, Indirect: true, Duration: 0.4},
+		{Seq: 3, Kind: obs.KindRetry, Time: 1.1, Path: obs.PathID{Server: "origin", Object: "large.bin"},
+			Attempt: 2, Backoff: 0.2, Err: "dial refused"},
+		{Seq: 4, Kind: obs.KindTransferEnd, Time: 2.0, Path: pid, Offset: 100_000,
+			Bytes: 900_000, Duration: 1.1, Warm: true, Class: "ok"},
+	}
+}
+
+func TestEventsRoundTrip(t *testing.T) {
+	in := sampleEvents()
+	var buf bytes.Buffer
+	if err := WriteEvents(&buf, "unit trace", in); err != nil {
+		t.Fatal(err)
+	}
+	out, comment, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comment != "unit trace" {
+		t.Fatalf("comment = %q", comment)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip diverged:\n in=%+v\nout=%+v", in, out)
+	}
+}
+
+// TestEventsFromTracer archives exactly what a live Tracer retained.
+func TestEventsFromTracer(t *testing.T) {
+	tr := obs.NewTracer(8)
+	tr.ProbeStarted(obs.ProbeStart{Path: obs.PathID{Server: "s", Object: "o"}, Bytes: 100})
+	tr.TransferAborted(obs.Abort{Path: obs.PathID{Server: "s", Object: "o", Via: "r"}, Class: obs.ClassCanceled})
+	var buf bytes.Buffer
+	if err := WriteEvents(&buf, "", tr.Events()); err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr.Events(), out) {
+		t.Fatalf("tracer trace diverged: %+v vs %+v", tr.Events(), out)
+	}
+}
+
+func TestReadEventsRejectsWrongKind(t *testing.T) {
+	// A records-trace must not decode as an event trace.
+	var buf bytes.Buffer
+	if err := Write(&buf, "records, not events", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadEvents(&buf); !errors.Is(err, ErrBadSchema) {
+		t.Fatalf("err = %v, want ErrBadSchema", err)
+	}
+	if _, _, err := ReadEvents(strings.NewReader("not json\n")); !errors.Is(err, ErrBadHeader) {
+		t.Fatalf("err = %v, want ErrBadHeader", err)
+	}
+	// And the reverse: an event trace is not a records trace.
+	buf.Reset()
+	if err := WriteEvents(&buf, "", sampleEvents()); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Read(&buf); !errors.Is(err, ErrBadSchema) {
+		t.Fatalf("Read(events) err = %v, want ErrBadSchema", err)
+	}
+}
