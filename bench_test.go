@@ -8,9 +8,12 @@
 package repro_test
 
 import (
+	"context"
 	"testing"
 
+	"repro"
 	"repro/internal/experiment"
+	"repro/internal/relay"
 )
 
 // benchSeed keeps all benchmarks on one deterministic scenario.
@@ -266,4 +269,37 @@ func BenchmarkExtensionMultipathStriping(b *testing.B) {
 		}
 	}
 	b.ReportMetric(delta, "striping-minus-selection-%")
+}
+
+// BenchmarkClientLoopbackStream times a full facade-level operation
+// (probe, select, stream the remainder) against a real loopback origin,
+// with content verification on. Its allocation figure is the streaming
+// pipeline's end-to-end contract: per-operation allocations must not
+// scale with object size, because every body flows through a recycled
+// fixed-size buffer rather than being materialized.
+func BenchmarkClientLoopbackStream(b *testing.B) {
+	origin := relay.NewOrigin()
+	origin.Put("bench.bin", 8<<20)
+	ol, err := origin.ServeAddr("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ol.Close()
+
+	tr := &repro.RealTransport{
+		Servers: map[string]string{"origin": ol.Addr().String()},
+		Verify:  true,
+	}
+	c := repro.New(tr, repro.WithProbeBytes(100_000))
+	defer tr.Close()
+	obj := repro.Object{Server: "origin", Name: "bench.bin", Size: 8 << 20}
+
+	b.SetBytes(obj.Size)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := c.SelectAndFetch(context.Background(), obj, nil); out.Err != nil {
+			b.Fatal(out.Err)
+		}
+	}
 }

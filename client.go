@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/realnet"
 )
 
 // Sentinel errors, re-exported so downstream callers can classify
@@ -45,6 +46,8 @@ type Client struct {
 	timeout   time.Duration
 	retries   int
 	backoff   time.Duration
+	poolSize  int
+	idleTTL   time.Duration
 	metrics   *obs.Metrics
 	observers []obs.Observer
 }
@@ -67,6 +70,16 @@ func New(t Transport, opts ...Option) *Client {
 	// Fan out to the built-in collector, anything WithConfig installed,
 	// and every WithObserver sink, in that order.
 	c.cfg.Observer = obs.Multi(append([]obs.Observer{c.metrics, c.cfg.Observer}, c.observers...)...)
+	// The pool knobs configure the real transport; other transports have
+	// no connection pool and ignore them.
+	if rt, ok := t.(*realnet.Transport); ok {
+		if c.poolSize != 0 {
+			rt.MaxIdlePerPath = c.poolSize
+		}
+		if c.idleTTL != 0 {
+			rt.IdleTTL = c.idleTTL
+		}
+	}
 	return c
 }
 
@@ -105,6 +118,20 @@ func WithObserver(o Observer) Option {
 			c.observers = append(c.observers, o)
 		}
 	}
+}
+
+// WithPoolSize bounds the idle keep-alive connections a RealTransport
+// parks per path (negative disables pooling). Only meaningful when the
+// client wraps a *RealTransport; other transports ignore it.
+func WithPoolSize(n int) Option {
+	return func(c *Client) { c.poolSize = n }
+}
+
+// WithIdleTTL sets how long a RealTransport keeps an idle pooled
+// connection before evicting it (negative disables expiry). Only
+// meaningful when the client wraps a *RealTransport.
+func WithIdleTTL(d time.Duration) Option {
+	return func(c *Client) { c.idleTTL = d }
 }
 
 // WithTimeout bounds each operation attempt: the attempt's context gets

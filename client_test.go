@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro"
+	"repro/internal/relay"
 )
 
 // fakeTransport is a minimal in-memory transport over a fake clock whose
@@ -175,5 +177,94 @@ func TestDeprecatedFreeFunctionsStillWork(t *testing.T) {
 	seq := repro.ProbeSequential(&fakeTransport{rate: 1e6}, obj, 50_000, []string{"r"})
 	if len(seq) != 2 {
 		t.Fatalf("%d sequential probe results, want 2", len(seq))
+	}
+}
+
+// TestClientPoolOptions checks WithPoolSize/WithIdleTTL reach the real
+// transport and that the pool reports reuse through the facade — a
+// second fetch on the same path must ride the first one's connection.
+func TestClientPoolOptions(t *testing.T) {
+	origin := relay.NewOrigin()
+	origin.Put("big.bin", 1_000_000)
+	ol, err := origin.ServeAddr("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ol.Close()
+
+	tr := &repro.RealTransport{
+		Servers: map[string]string{"origin": ol.Addr().String()},
+		Verify:  true,
+	}
+	c := repro.New(tr,
+		repro.WithPoolSize(3),
+		repro.WithIdleTTL(10*time.Second),
+		repro.WithProbeBytes(50_000))
+	defer tr.Close()
+	if tr.MaxIdlePerPath != 3 || tr.IdleTTL != 10*time.Second {
+		t.Fatalf("options not applied: MaxIdlePerPath=%d IdleTTL=%v",
+			tr.MaxIdlePerPath, tr.IdleTTL)
+	}
+
+	obj := repro.Object{Server: "origin", Name: "big.bin", Size: 300_000}
+	for i := 0; i < 2; i++ {
+		out := c.SelectAndFetch(context.Background(), obj, nil)
+		if out.Err != nil {
+			t.Fatalf("fetch %d: %v", i, out.Err)
+		}
+	}
+	// Each operation's remainder continues warm on the probe's connection,
+	// and the second operation's probe can reuse the first's parked conn.
+	if st := tr.PoolStats(); st.Reuses == 0 {
+		t.Fatalf("no pool reuse across fetches: %+v", st)
+	}
+}
+
+// progressRecorder is a facade-level ProgressObserver.
+type progressRecorder struct {
+	repro.BaseObserver
+	chunks atomic.Int64
+	bytes  atomic.Int64
+}
+
+func (p *progressRecorder) TransferProgress(e repro.ProgressEvent) {
+	p.chunks.Add(1)
+	p.bytes.Add(e.Chunk)
+}
+
+// TestClientStreamsProgressEvents checks the optional observer interface
+// end to end: a client-attached ProgressObserver sees the streamed bytes,
+// and the built-in metrics snapshot counts them.
+func TestClientStreamsProgressEvents(t *testing.T) {
+	origin := relay.NewOrigin()
+	origin.Put("big.bin", 2_000_000)
+	ol, err := origin.ServeAddr("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ol.Close()
+
+	rec := &progressRecorder{}
+	tr := &repro.RealTransport{
+		Servers: map[string]string{"origin": ol.Addr().String()},
+		Verify:  true,
+	}
+	c := repro.New(tr, repro.WithObserver(rec), repro.WithProbeBytes(50_000))
+	defer tr.Close()
+	tr.Observer = c.Observer()
+
+	obj := repro.Object{Server: "origin", Name: "big.bin", Size: 2_000_000}
+	out := c.SelectAndFetch(context.Background(), obj, nil)
+	if out.Err != nil {
+		t.Fatal(out.Err)
+	}
+	if got := rec.bytes.Load(); got != obj.Size {
+		t.Fatalf("observer saw %d streamed bytes, want %d", got, obj.Size)
+	}
+	if rec.chunks.Load() < 2 {
+		t.Fatalf("only %d progress events for a 2 MB object", rec.chunks.Load())
+	}
+	if snap := c.Snapshot(); snap.BytesStreamed != obj.Size {
+		t.Fatalf("metrics streamed %d bytes, want %d", snap.BytesStreamed, obj.Size)
 	}
 }

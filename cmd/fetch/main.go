@@ -19,6 +19,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -31,6 +32,36 @@ type relayList []string
 
 func (r *relayList) String() string     { return strings.Join(*r, ",") }
 func (r *relayList) Set(v string) error { *r = append(*r, v); return nil }
+
+// progressPrinter renders a live progress line from the streaming
+// transport's per-chunk events. Probes are over in well under a refresh
+// interval, so only transfers larger than minTotal (the remainder) are
+// shown, throttled to one repaint per 200 ms plus a final 100% line.
+type progressPrinter struct {
+	repro.BaseObserver
+	minTotal int64
+	mu       sync.Mutex
+	last     time.Time
+}
+
+func (p *progressPrinter) TransferProgress(e repro.ProgressEvent) {
+	if e.Total < p.minTotal {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	done := e.Delivered >= e.Total
+	now := time.Now()
+	if !done && now.Sub(p.last) < 200*time.Millisecond {
+		return
+	}
+	p.last = now
+	fmt.Printf("\r  %-12s %6.1f%%  %12d / %d bytes",
+		e.Path.Label(), 100*float64(e.Delivered)/float64(e.Total), e.Delivered, e.Total)
+	if done {
+		fmt.Println()
+	}
+}
 
 func main() {
 	var relays relayList
@@ -45,6 +76,7 @@ func main() {
 	retries := flag.Int("retries", 0, "retry a transfer that delivered nothing up to N times")
 	regAddr := flag.String("registry", "", "discover relays from this registry (in addition to -relay flags)")
 	showStats := flag.Bool("stats", false, "print the metrics snapshot (JSON) after the transfer")
+	showProgress := flag.Bool("progress", false, "print live transfer progress for the remainder")
 	traceFile := flag.String("trace", "", "write the observer event trace as JSONL to this file")
 	flag.Var(&relays, "relay", "relay spec name=addr (repeatable)")
 	flag.Parse()
@@ -102,6 +134,9 @@ func main() {
 	if *traceFile != "" {
 		trace = repro.NewTracer(4096)
 		opts = append(opts, repro.WithObserver(trace))
+	}
+	if *showProgress {
+		opts = append(opts, repro.WithObserver(&progressPrinter{minTotal: *probe + 1}))
 	}
 	client := repro.New(tr, opts...)
 	// The transport reports retries and aborts into the same stream the

@@ -139,4 +139,12 @@ func main() {
 		fmt.Printf("  %-8s probed %3d  selected %3d  utilization %.0f%%\n",
 			label, ps.Probed, ps.Selected, 100*ps.Utilization)
 	}
+
+	// Connection economics: with the per-path idle pool, every warm
+	// remainder and every repeat probe should ride an existing conn.
+	pool := tr.PoolStats()
+	fmt.Printf("pool: %d reuses, %d misses, %d parked, %d evicted, %d discarded, %d idle\n",
+		pool.Reuses, pool.Misses, pool.Parked, pool.Evicted, pool.Discarded, pool.Idle)
+	fmt.Printf("streamed %d bytes through the transport in %d-byte chunks or smaller\n",
+		snap.BytesStreamed, 64<<10)
 }

@@ -69,18 +69,32 @@ func main() {
 		fmt.Printf("registered as %q with %s (ttl %v)\n", *name, *regAddr, *ttl)
 	}
 
+	// The stats printer stops with the signal context rather than ranging
+	// over the ticker forever, so it can't interleave a periodic line with
+	// (or outlive) the shutdown summary below.
+	var statsDone chan struct{}
 	if *statsEvery > 0 {
 		ticker := time.NewTicker(*statsEvery)
-		defer ticker.Stop()
+		statsDone = make(chan struct{})
 		go func() {
-			for range ticker.C {
-				fmt.Printf("relayd: %d requests, %d bytes relayed\n",
-					r.Requests.Load(), r.BytesRelayed.Load())
+			defer close(statsDone)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					fmt.Printf("relayd: %d requests, %d bytes relayed\n",
+						r.Requests.Load(), r.BytesRelayed.Load())
+				case <-ctx.Done():
+					return
+				}
 			}
 		}()
 	}
 
 	<-ctx.Done()
+	if statsDone != nil {
+		<-statsDone
+	}
 	fmt.Printf("relayd: shutting down (%d requests, %d bytes relayed)\n",
 		r.Requests.Load(), r.BytesRelayed.Load())
 	l.Close()

@@ -95,6 +95,9 @@ type (
 
 	// RealTransport implements Transport over live TCP via relay daemons.
 	RealTransport = realnet.Transport
+	// RealPoolStats is a point-in-time view of a RealTransport's
+	// connection-pool counters (RealTransport.PoolStats).
+	RealPoolStats = realnet.PoolStats
 
 	// Observer receives selection-lifecycle events (attach with
 	// WithObserver or Config.Observer).
@@ -128,6 +131,22 @@ type (
 	TransferEndEvent   = obs.TransferEnd
 	RetryEvent         = obs.Retry
 	AbortEvent         = obs.Abort
+
+	// ProgressEvent reports payload bytes flowing through a streaming
+	// transfer, one event per buffer chunk.
+	ProgressEvent = obs.Progress
+	// PoolEvent reports a connection-pool transition on one route.
+	PoolEvent = obs.Pool
+	// PoolOp names a connection-pool transition.
+	PoolOp = obs.PoolOp
+
+	// ProgressObserver is the optional Observer extension for
+	// byte-level transfer progress; implement it alongside Observer
+	// (embed BaseObserver for the rest) to receive ProgressEvents.
+	ProgressObserver = obs.ProgressObserver
+	// PoolObserver is the optional Observer extension for
+	// connection-pool lifecycle events.
+	PoolObserver = obs.PoolObserver
 )
 
 // Observability error classes.
@@ -137,6 +156,15 @@ const (
 	ClassTimeout  = obs.ClassTimeout
 	ClassStatus   = obs.ClassStatus
 	ClassFailed   = obs.ClassFailed
+)
+
+// Connection-pool transitions carried by PoolEvent.
+const (
+	PoolReuse   = obs.PoolReuse
+	PoolMiss    = obs.PoolMiss
+	PoolPark    = obs.PoolPark
+	PoolEvict   = obs.PoolEvict
+	PoolDiscard = obs.PoolDiscard
 )
 
 // Trace event kinds, one per Observer callback.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/obs"
 )
@@ -92,16 +93,35 @@ type Outcome struct {
 // Duration returns the total wall (or virtual) time of the operation.
 func (o Outcome) Duration() float64 { return o.End - o.Start }
 
-// Throughput returns the client-observed throughput of the whole object:
-// all Object.Size bytes over the full duration including the probing
-// phase. Probing overhead therefore counts against indirect routing,
-// exactly as it did in the paper's deployment.
+// DeliveredBytes returns the payload bytes the client actually received:
+// the whole object on success, and on failure the winning probe's bytes
+// plus whatever the remainder delivered before dying. Failed operations
+// used to be credited with the full Object.Size, inflating their
+// throughput.
+func (o Outcome) DeliveredBytes() int64 {
+	if o.Err == nil {
+		return o.Object.Size
+	}
+	var got int64
+	for _, p := range o.Probes {
+		if p.Err == nil && p.Path == o.Selected {
+			got += p.DeliveredBytes()
+		}
+	}
+	return got + o.Remainder.DeliveredBytes()
+}
+
+// Throughput returns the client-observed throughput of the operation:
+// delivered bytes over the full duration including the probing phase.
+// Probing overhead therefore counts against indirect routing, exactly as
+// it did in the paper's deployment; failed operations count only the
+// bytes that actually arrived, not the requested object size.
 func (o Outcome) Throughput() float64 {
 	d := o.Duration()
 	if d <= 0 {
 		return 0
 	}
-	return float64(o.Object.Size) * 8 / d
+	return float64(o.DeliveredBytes()) * 8 / d
 }
 
 // SelectedIndirect reports whether an indirect path won the probe race.
@@ -243,6 +263,9 @@ func AwaitFirstSuccess(t Transport, hs []Handle) (winner int, pending []int) {
 			for i := range outstanding {
 				pending = append(pending, i)
 			}
+			// Map iteration order is random; losers must be reaped (and
+			// their cancellations observed) in probe order.
+			sort.Ints(pending)
 			return doneIdx, pending
 		}
 	}

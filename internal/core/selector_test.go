@@ -267,6 +267,51 @@ func TestFetchResultThroughput(t *testing.T) {
 	}
 }
 
+func TestFetchResultDeliveredBytes(t *testing.T) {
+	ok := FetchResult{Bytes: 1000}
+	if got := ok.DeliveredBytes(); got != 1000 {
+		t.Fatalf("success delivered = %d, want 1000", got)
+	}
+	partial := FetchResult{Bytes: 1000, Delivered: 300, Err: errors.New("reset")}
+	if got := partial.DeliveredBytes(); got != 300 {
+		t.Fatalf("failed delivered = %d, want 300", got)
+	}
+}
+
+// TestOutcomeThroughputFailedRemainder is the regression test for the
+// accounting bug where a failed operation was credited with the full
+// object size: a 10 MB fetch whose remainder dies after 300 KB must
+// report throughput from the ~400 KB that arrived, not all 10 MB.
+func TestOutcomeThroughputFailedRemainder(t *testing.T) {
+	obj := Object{Server: "origin", Name: "big.bin", Size: 10 << 20}
+	sel := Path{Via: "relay1"}
+	o := Outcome{
+		Object:   obj,
+		Selected: sel,
+		Probes: []ProbeResult{
+			{FetchResult{Path: Path{Via: Direct}, Bytes: 100_000, Start: 0, End: 0.3, Err: errors.New("lost race")}},
+			{FetchResult{Path: sel, Bytes: 100_000, Start: 0, End: 0.2}},
+		},
+		Start: 0, End: 4,
+		Remainder: FetchResult{Path: sel, Offset: 100_000, Bytes: obj.Size - 100_000,
+			Delivered: 300_000, Start: 0.2, End: 4, Err: errors.New("connection reset")},
+		Err: errors.New("connection reset"),
+	}
+	if got, want := o.DeliveredBytes(), int64(400_000); got != want {
+		t.Fatalf("delivered = %d, want %d (probe 100k + partial 300k)", got, want)
+	}
+	if got, want := o.Throughput(), float64(400_000)*8/4; got != want {
+		t.Fatalf("failed throughput = %v, want %v (was crediting full size: %v)",
+			got, want, float64(obj.Size)*8/4)
+	}
+
+	// Success path unchanged: full object size over the duration.
+	o.Err, o.Remainder.Err = nil, nil
+	if got, want := o.Throughput(), float64(obj.Size)*8/4; got != want {
+		t.Fatalf("success throughput = %v, want %v", got, want)
+	}
+}
+
 // anyWaiterFake wraps fakeTransport with a WaitAny that completes the
 // earliest-ending pending handle, advancing the clock only to that point —
 // mimicking the simulator's behavior.

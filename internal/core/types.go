@@ -40,15 +40,29 @@ type Object struct {
 
 // FetchResult describes one completed (or failed) range transfer.
 type FetchResult struct {
-	Path       Path
-	Offset     int64
-	Bytes      int64   // bytes requested
+	Path   Path
+	Offset int64
+	Bytes  int64 // bytes requested
+	// Delivered is how many payload bytes actually arrived before a
+	// failure. Streaming transports fill it in on error; it is 0 on
+	// success (Bytes is authoritative then) and for transports that don't
+	// track partial delivery.
+	Delivered  int64
 	Start, End float64 // transport timestamps, seconds
 	Err        error
 }
 
 // Duration returns the transfer duration in seconds.
 func (r FetchResult) Duration() float64 { return r.End - r.Start }
+
+// DeliveredBytes returns the payload bytes that actually reached the
+// client: everything requested on success, the partial count on failure.
+func (r FetchResult) DeliveredBytes() int64 {
+	if r.Err == nil {
+		return r.Bytes
+	}
+	return r.Delivered
+}
 
 // Throughput returns the transfer's average throughput in bits/sec, or 0
 // for failed or instantaneous transfers.

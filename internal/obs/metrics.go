@@ -48,6 +48,13 @@ type Metrics struct {
 	aborts  atomic.Int64
 
 	bytesDelivered atomic.Int64 // payload bytes of successful probes + transfers
+	bytesStreamed  atomic.Int64 // payload bytes observed in-flight, including attempts that later fail
+
+	poolReuses    atomic.Int64
+	poolMisses    atomic.Int64
+	poolParked    atomic.Int64
+	poolEvicted   atomic.Int64
+	poolDiscarded atomic.Int64
 
 	pathMu sync.RWMutex
 	paths  map[string]*pathTally
@@ -163,7 +170,32 @@ func (m *Metrics) RetryScheduled(e Retry) { m.retries.Add(1) }
 // TransferAborted counts a transport-level teardown by context death.
 func (m *Metrics) TransferAborted(e Abort) { m.aborts.Add(1) }
 
-var _ Observer = (*Metrics)(nil)
+// TransferProgress accumulates in-flight bytes. Unlike bytesDelivered
+// (credited only on success), bytesStreamed counts every byte that
+// arrived, so the gap between the two measures wasted transfer work.
+func (m *Metrics) TransferProgress(e Progress) { m.bytesStreamed.Add(e.Chunk) }
+
+// PoolEvent tallies connection-pool transitions.
+func (m *Metrics) PoolEvent(e Pool) {
+	switch e.Op {
+	case PoolReuse:
+		m.poolReuses.Add(1)
+	case PoolMiss:
+		m.poolMisses.Add(1)
+	case PoolPark:
+		m.poolParked.Add(1)
+	case PoolEvict:
+		m.poolEvicted.Add(1)
+	case PoolDiscard:
+		m.poolDiscarded.Add(1)
+	}
+}
+
+var (
+	_ Observer         = (*Metrics)(nil)
+	_ ProgressObserver = (*Metrics)(nil)
+	_ PoolObserver     = (*Metrics)(nil)
+)
 
 // PathSnapshot is one route's aggregated counters. Utilization is the
 // paper's Section V metric: times selected over times offered (raced).
@@ -207,6 +239,13 @@ type Snapshot struct {
 	Aborts  int64 `json:"aborts"`
 
 	BytesDelivered int64 `json:"bytes_delivered"`
+	BytesStreamed  int64 `json:"bytes_streamed"`
+
+	PoolReuses    int64 `json:"pool_reuses"`
+	PoolMisses    int64 `json:"pool_misses"`
+	PoolParked    int64 `json:"pool_parked"`
+	PoolEvicted   int64 `json:"pool_evicted"`
+	PoolDiscarded int64 `json:"pool_discarded"`
 
 	// Paths maps the route label ("direct" or the relay name) to its
 	// tallies, the per-relay utilization table of the paper's Section V.
@@ -242,6 +281,12 @@ func (m *Metrics) Snapshot() Snapshot {
 		Retries:            m.retries.Load(),
 		Aborts:             m.aborts.Load(),
 		BytesDelivered:     m.bytesDelivered.Load(),
+		BytesStreamed:      m.bytesStreamed.Load(),
+		PoolReuses:         m.poolReuses.Load(),
+		PoolMisses:         m.poolMisses.Load(),
+		PoolParked:         m.poolParked.Load(),
+		PoolEvicted:        m.poolEvicted.Load(),
+		PoolDiscarded:      m.poolDiscarded.Load(),
 		Paths:              make(map[string]PathSnapshot),
 	}
 	m.pathMu.RLock()

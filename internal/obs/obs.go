@@ -162,6 +162,95 @@ type Abort struct {
 	Class ErrClass
 }
 
+// Progress reports payload bytes flowing through a streaming transfer:
+// Delivered of the Total requested bytes have arrived, the last Chunk of
+// them just now. The real transport emits one per stream-buffer fill
+// (64 KB granularity), so a live consumer can show per-transfer progress
+// without waiting for TransferFinished. A transfer that is retried cold
+// restarts its Delivered count at zero.
+type Progress struct {
+	Path      PathID
+	Time      float64
+	Offset    int64 // range start of the transfer
+	Chunk     int64 // bytes in this increment
+	Delivered int64 // cumulative bytes delivered by this attempt
+	Total     int64 // bytes requested
+}
+
+// ProgressObserver is an optional Observer extension for byte-level
+// progress. It is separate from Observer because progress events fire per
+// buffer chunk — orders of magnitude more often than lifecycle events —
+// and most observers (the Tracer in particular) should not pay for them.
+// Emitters deliver progress only to observers that also implement this
+// interface; use EmitProgress to do the type assertion in one place.
+type ProgressObserver interface {
+	TransferProgress(Progress)
+}
+
+// EmitProgress delivers e to o when o implements ProgressObserver; a nil
+// or progress-blind observer costs one type assertion.
+func EmitProgress(o Observer, e Progress) {
+	if po, ok := o.(ProgressObserver); ok {
+		po.TransferProgress(e)
+	}
+}
+
+// PoolOp names a connection-pool transition.
+type PoolOp uint8
+
+// Pool transitions: a warm fetch taking a parked connection (reuse) or
+// finding none usable (miss), a finished transfer parking its connection,
+// an idle connection dropped by TTL expiry or Close (evict), and a
+// connection turned away because the path's idle slots were full
+// (discard).
+const (
+	PoolReuse PoolOp = iota
+	PoolMiss
+	PoolPark
+	PoolEvict
+	PoolDiscard
+)
+
+func (op PoolOp) String() string {
+	switch op {
+	case PoolReuse:
+		return "reuse"
+	case PoolMiss:
+		return "miss"
+	case PoolPark:
+		return "park"
+	case PoolEvict:
+		return "evict"
+	case PoolDiscard:
+		return "discard"
+	}
+	return "unknown"
+}
+
+// Pool reports a connection-pool transition on one route. Key is the
+// route label ("direct" or the relay name), mirroring PathID.Label();
+// pool slots are per-path, not per-object, so there is no object identity
+// to carry.
+type Pool struct {
+	Key  string
+	Time float64
+	Op   PoolOp
+}
+
+// PoolObserver is an optional Observer extension for connection-pool
+// lifecycle events. Like ProgressObserver, it is separate so observers
+// that only care about selection lifecycle need not implement it.
+type PoolObserver interface {
+	PoolEvent(Pool)
+}
+
+// EmitPool delivers e to o when o implements PoolObserver.
+func EmitPool(o Observer, e Pool) {
+	if po, ok := o.(PoolObserver); ok {
+		po.PoolEvent(e)
+	}
+}
+
 // Observer receives selection-lifecycle events. Implementations must be
 // safe for concurrent use: races probe paths in parallel and the real
 // transport emits from transfer goroutines. Embed Base to implement only
@@ -253,3 +342,22 @@ func (m multi) TransferAborted(e Abort) {
 		o.TransferAborted(e)
 	}
 }
+
+// multi implements the optional extensions too, forwarding to whichever
+// members implement them — so wrapping observers in Multi never hides
+// progress or pool events from a sink that wants them.
+func (m multi) TransferProgress(e Progress) {
+	for _, o := range m {
+		EmitProgress(o, e)
+	}
+}
+func (m multi) PoolEvent(e Pool) {
+	for _, o := range m {
+		EmitPool(o, e)
+	}
+}
+
+var (
+	_ ProgressObserver = multi(nil)
+	_ PoolObserver     = multi(nil)
+)

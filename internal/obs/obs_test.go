@@ -203,6 +203,63 @@ func TestMultiFanoutAndNilCollapse(t *testing.T) {
 func TestBaseIsNoOp(t *testing.T) {
 	var b Base
 	playRace(b) // must not panic
+	// Base doesn't implement the optional extensions; Emit* must be no-ops
+	// against it rather than panic.
+	EmitProgress(b, Progress{Chunk: 1})
+	EmitPool(b, Pool{Op: PoolReuse})
+}
+
+func TestPoolOpStrings(t *testing.T) {
+	want := map[PoolOp]string{
+		PoolReuse: "reuse", PoolMiss: "miss", PoolPark: "park",
+		PoolEvict: "evict", PoolDiscard: "discard", PoolOp(99): "unknown",
+	}
+	for op, s := range want {
+		if op.String() != s {
+			t.Fatalf("%d.String() = %q, want %q", op, op.String(), s)
+		}
+	}
+}
+
+func TestMetricsStreamAndPoolCounters(t *testing.T) {
+	m := NewMetrics()
+	// A transfer that streams 3 chunks but ultimately fails: bytesStreamed
+	// counts all of it, bytesDelivered none.
+	for i, chunk := range []int64{64 << 10, 64 << 10, 10_000} {
+		EmitProgress(m, Progress{Path: pid("fast"), Chunk: chunk,
+			Delivered: int64(i+1) * chunk, Total: 1 << 20})
+	}
+	m.TransferFinished(TransferEnd{Path: pid("fast"), Class: ClassFailed, Err: "reset"})
+	for _, op := range []PoolOp{PoolMiss, PoolPark, PoolReuse, PoolPark, PoolEvict, PoolDiscard} {
+		EmitPool(m, Pool{Key: "fast", Op: op})
+	}
+
+	s := m.Snapshot()
+	if want := int64(64<<10 + 64<<10 + 10_000); s.BytesStreamed != want {
+		t.Fatalf("bytes streamed = %d, want %d", s.BytesStreamed, want)
+	}
+	if s.BytesDelivered != 0 {
+		t.Fatalf("bytes delivered = %d, want 0 for a failed transfer", s.BytesDelivered)
+	}
+	if s.PoolReuses != 1 || s.PoolMisses != 1 || s.PoolParked != 2 ||
+		s.PoolEvicted != 1 || s.PoolDiscarded != 1 {
+		t.Fatalf("pool counters = reuse %d miss %d park %d evict %d discard %d",
+			s.PoolReuses, s.PoolMisses, s.PoolParked, s.PoolEvicted, s.PoolDiscarded)
+	}
+}
+
+// TestMultiForwardsOptionalEvents pins the fan-out contract: wrapping a
+// progress/pool-aware sink in Multi alongside a blind one must still
+// deliver the optional events to the aware sink.
+func TestMultiForwardsOptionalEvents(t *testing.T) {
+	m := NewMetrics()
+	fan := Multi(NewTracer(4), m) // tracer is blind to progress/pool
+	EmitProgress(fan, Progress{Path: pid("fast"), Chunk: 512})
+	EmitPool(fan, Pool{Key: "direct", Op: PoolMiss})
+	s := m.Snapshot()
+	if s.BytesStreamed != 512 || s.PoolMisses != 1 {
+		t.Fatalf("events lost in fan-out: streamed %d, misses %d", s.BytesStreamed, s.PoolMisses)
+	}
 }
 
 // TestMetricsConcurrentSnapshots is the race-detector pass the issue asks

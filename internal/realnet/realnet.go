@@ -11,6 +11,13 @@
 // a round trip, and a transfer against a stalled relay fails at its
 // deadline instead of hanging. Cold-connection failures are retried with
 // exponential backoff and jitter, bounded by MaxRetries.
+//
+// Bodies stream through fixed 64 KB buffers — verified and counted
+// chunk by chunk, never materialized — so a transfer's memory footprint
+// is constant regardless of range size. Warm continuations draw from a
+// bounded per-path pool of idle keep-alive connections (MaxIdlePerPath,
+// IdleTTL); probes always dial cold, preserving the cold-path latency
+// the paper's selection races measure.
 package realnet
 
 import (
@@ -74,8 +81,18 @@ type Transport struct {
 	MaxRetries int
 	// RetryBackoff is the base delay before the first retry
 	// (DefaultRetryBackoff when 0); it doubles per attempt with ±50%
-	// jitter so synchronized clients do not stampede a recovering node.
+	// jitter, capped at maxRetryDelay, so synchronized clients do not
+	// stampede a recovering node.
 	RetryBackoff time.Duration
+
+	// MaxIdlePerPath bounds the idle keep-alive connections parked per
+	// path (DefaultMaxIdlePerPath when 0; negative disables pooling).
+	// Probes always dial cold — the race measures cold-path latency, as
+	// in the paper — so only warm continuations draw from the pool.
+	MaxIdlePerPath int
+	// IdleTTL is how long a parked connection may sit idle before the
+	// pool evicts it (DefaultIdleTTL when 0; negative disables expiry).
+	IdleTTL time.Duration
 
 	// Observer receives transport-level events: RetryScheduled for every
 	// cold re-attempt (with the chosen backoff) and TransferAborted for
@@ -95,10 +112,10 @@ type Transport struct {
 	startOnce sync.Once
 	start     time.Time
 
-	// poolMu guards pool, the per-path parked keep-alive connections
-	// (at most one per path) that warm continuations reuse.
-	poolMu sync.Mutex
-	pool   map[string]*pooledConn
+	// pool holds the per-path parked keep-alive connections that warm
+	// continuations reuse, built lazily from the fields above.
+	poolOnce sync.Once
+	pool     *connPool
 }
 
 type pooledConn struct {
@@ -143,6 +160,50 @@ func (t *Transport) retryBackoff() time.Duration {
 	return DefaultRetryBackoff
 }
 
+func (t *Transport) maxIdlePerPath() int {
+	switch {
+	case t.MaxIdlePerPath > 0:
+		return t.MaxIdlePerPath
+	case t.MaxIdlePerPath < 0:
+		return 0
+	}
+	return DefaultMaxIdlePerPath
+}
+
+func (t *Transport) idleTTL() time.Duration {
+	switch {
+	case t.IdleTTL > 0:
+		return t.IdleTTL
+	case t.IdleTTL < 0:
+		return 0
+	}
+	return DefaultIdleTTL
+}
+
+// idlePool returns the transport's connection pool, building it from the
+// MaxIdlePerPath/IdleTTL fields on first use (so they must be set before
+// the first transfer, like every other Transport field).
+func (t *Transport) idlePool() *connPool {
+	t.poolOnce.Do(func() {
+		t.pool = newConnPool(t.maxIdlePerPath(), t.idleTTL(), t.poolEvent)
+	})
+	return t.pool
+}
+
+// poolEvent relays a pool transition to the observer.
+func (t *Transport) poolEvent(key string, op obs.PoolOp) {
+	if o := t.Observer; o != nil {
+		obs.EmitPool(o, obs.Pool{Key: poolLabel(key), Time: t.Now(), Op: op})
+	}
+}
+
+// PoolStats returns the connection pool's counters: how often warm
+// fetches reused a parked connection, missed, and how connections left
+// the pool.
+func (t *Transport) PoolStats() PoolStats {
+	return t.idlePool().stats()
+}
+
 // StatusError reports a non-success HTTP response. It is permanent from
 // the transport's point of view: the server answered, so the request is
 // not retried.
@@ -171,6 +232,11 @@ type handle struct {
 	mu  sync.Mutex
 	res core.FetchResult
 
+	// progress is the payload bytes delivered by the current attempt,
+	// updated from the stream loop and folded into the result on failure
+	// so callers can account for partial delivery.
+	progress atomic.Int64
+
 	connMu   sync.Mutex
 	conn     net.Conn
 	canceled bool
@@ -191,12 +257,16 @@ func (h *handle) Result() core.FetchResult {
 	return h.res
 }
 
-// finish publishes the transfer outcome; only the first caller wins.
+// finish publishes the transfer outcome; only the first caller wins. A
+// failed transfer records how far the stream got before dying.
 func (h *handle) finish(end float64, err error) {
 	h.once.Do(func() {
 		h.mu.Lock()
 		h.res.End = end
 		h.res.Err = err
+		if err != nil {
+			h.res.Delivered = h.progress.Load()
+		}
 		h.mu.Unlock()
 		close(h.done)
 	})
@@ -263,15 +333,7 @@ func (t *Transport) startFetch(ctx context.Context, obj core.Object, path core.P
 	ctx, cancelCtx := t.transferContext(ctx)
 	go func() {
 		defer cancelCtx()
-		body, err := t.fetch(ctx, h, obj, path, off, n, warm)
-		if err == nil {
-			switch {
-			case int64(len(body)) != n:
-				err = fmt.Errorf("realnet: short read %d of %d bytes", len(body), n)
-			case t.Verify && !relay.VerifyRange(obj.Name, off, body):
-				err = fmt.Errorf("realnet: content mismatch for %s at %d", obj.Name, off)
-			}
-		}
+		err := t.fetch(ctx, h, obj, path, off, n, warm)
 		h.finish(t.Now(), err)
 	}()
 	// The watcher makes cancellation prompt: the instant ctx dies it
@@ -312,7 +374,7 @@ func (t *Transport) transferContext(ctx context.Context) (context.Context, conte
 	return context.WithTimeout(ctx, t.TransferTimeout)
 }
 
-// pathKey identifies a path's connection-pool slot.
+// pathKey identifies a path's connection-pool slots.
 func pathKey(p core.Path) string {
 	if p.IsDirect() {
 		return "\x00direct"
@@ -320,35 +382,19 @@ func pathKey(p core.Path) string {
 	return p.Via
 }
 
-func (t *Transport) takeConn(key string) *pooledConn {
-	t.poolMu.Lock()
-	defer t.poolMu.Unlock()
-	pc := t.pool[key]
-	delete(t.pool, key)
-	return pc
+// poolLabel is pathKey's observable form, matching obs.PathID.Label().
+func poolLabel(key string) string {
+	if key == "\x00direct" {
+		return "direct"
+	}
+	return key
 }
 
-func (t *Transport) parkConn(key string, pc *pooledConn) {
-	t.poolMu.Lock()
-	if t.pool == nil {
-		t.pool = make(map[string]*pooledConn)
-	}
-	prev := t.pool[key]
-	t.pool[key] = pc
-	t.poolMu.Unlock()
-	if prev != nil {
-		prev.conn.Close()
-	}
-}
-
-// Close releases any parked keep-alive connections.
+// Close releases all parked keep-alive connections and stops the pool's
+// idle sweeper. The transport still transfers afterwards, but finished
+// connections are discarded instead of parked.
 func (t *Transport) Close() {
-	t.poolMu.Lock()
-	defer t.poolMu.Unlock()
-	for k, pc := range t.pool {
-		pc.conn.Close()
-		delete(t.pool, k)
-	}
+	t.idlePool().close()
 }
 
 // dialConn opens one connection, honouring ctx and the dial timeout.
@@ -387,11 +433,23 @@ func (t *Transport) dialConn(ctx context.Context, addr string) (net.Conn, error)
 	}
 }
 
+// maxRetryDelay caps the exponential backoff. Beyond keeping retries
+// responsive, the cap is a correctness fix: the old unbounded shift
+// overflowed time.Duration for large attempt numbers and fed a negative
+// argument to rand.Int63n, which panics.
+const maxRetryDelay = 5 * time.Second
+
 // retryDelay picks the backoff before retry attempt (1-based): the base
-// doubles per attempt, with ±50% jitter so synchronized clients do not
-// stampede a recovering node.
+// doubles per attempt up to maxRetryDelay, with ±50% jitter so
+// synchronized clients do not stampede a recovering node.
 func (t *Transport) retryDelay(attempt int) time.Duration {
-	d := t.retryBackoff() << (attempt - 1)
+	d := t.retryBackoff()
+	for i := 1; i < attempt && d < maxRetryDelay; i++ {
+		d *= 2
+	}
+	if d > maxRetryDelay {
+		d = maxRetryDelay
+	}
 	return d/2 + time.Duration(rand.Int63n(int64(d)))
 }
 
@@ -417,17 +475,19 @@ func (t *Transport) scheduleRetry(ctx context.Context, obj core.Object, path cor
 	}
 }
 
-// fetch moves one range. Cold fetches dial; warm fetches reuse the
-// path's parked keep-alive connection when one exists (falling back to a
-// fresh dial if the parked connection has gone stale — that fallback is
-// free and does not count against the retry budget). Transient dial and
-// I/O failures are retried cold with exponential backoff; HTTP status
-// errors and context death are not. Successful fetches park their
-// connection for the next warm continuation.
-func (t *Transport) fetch(ctx context.Context, h *handle, obj core.Object, path core.Path, off, n int64, warm bool) ([]byte, error) {
+// fetch moves one range. Cold fetches dial; warm fetches reuse a parked
+// keep-alive connection from the path's pool when one exists (falling
+// back to a fresh dial if the parked connection has gone stale — that
+// fallback is free and does not count against the retry budget).
+// Transient dial and I/O failures are retried cold with exponential
+// backoff; HTTP status errors and context death are not. Fetches that
+// leave the connection in a known-good state park it for the next warm
+// continuation — including status-error responses whose body was fully
+// drained, since the server answered cleanly.
+func (t *Transport) fetch(ctx context.Context, h *handle, obj core.Object, path core.Path, off, n int64, warm bool) error {
 	originAddr, ok := t.Servers[obj.Server]
 	if !ok {
-		return nil, fmt.Errorf("realnet: unknown server %q", obj.Server)
+		return fmt.Errorf("realnet: unknown server %q", obj.Server)
 	}
 	var dialAddr, target, host string
 	if path.IsDirect() {
@@ -435,7 +495,7 @@ func (t *Transport) fetch(ctx context.Context, h *handle, obj core.Object, path 
 	} else {
 		relayAddr, ok := t.Relays[path.Via]
 		if !ok {
-			return nil, fmt.Errorf("realnet: unknown relay %q", path.Via)
+			return fmt.Errorf("realnet: unknown relay %q", path.Via)
 		}
 		dialAddr, target, host = relayAddr, "http://"+originAddr+"/"+obj.Name, originAddr
 	}
@@ -444,27 +504,27 @@ func (t *Transport) fetch(ctx context.Context, h *handle, obj core.Object, path 
 	var pc *pooledConn
 	reused := false
 	if warm {
-		if pc = t.takeConn(key); pc != nil {
+		if pc = t.idlePool().take(key); pc != nil {
 			reused = true
 		}
 	}
 	retries := 0
 	for {
 		if err := core.CtxErr(ctx); err != nil {
-			return nil, err
+			return err
 		}
 		if pc == nil {
 			conn, err := t.dialConn(ctx, dialAddr)
 			if err != nil {
 				if cerr := core.CtxErr(ctx); cerr != nil {
-					return nil, cerr
+					return cerr
 				}
 				if retries >= t.maxRetries() {
-					return nil, fmt.Errorf("realnet: dial %s: %w", dialAddr, err)
+					return fmt.Errorf("realnet: dial %s: %w", dialAddr, err)
 				}
 				retries++
 				if berr := t.scheduleRetry(ctx, obj, path, retries, err); berr != nil {
-					return nil, berr
+					return berr
 				}
 				continue
 			}
@@ -474,22 +534,32 @@ func (t *Transport) fetch(ctx context.Context, h *handle, obj core.Object, path 
 		if dl, ok := ctx.Deadline(); ok {
 			pc.conn.SetDeadline(dl)
 		}
-		body, reusable, err := doRange(pc, target, host, off, n)
+		h.progress.Store(0)
+		reusable, err := t.doRange(pc, h, obj, path, target, host, off, n)
 		h.setConn(nil)
 		if err != nil {
+			var se *StatusError
+			if errors.As(err, &se) {
+				// The server answered; a reusable connection survives the
+				// failure (the old code closed it here, burning a warm
+				// connection on every 404).
+				if reusable {
+					pc.conn.SetDeadline(time.Time{})
+					t.idlePool().park(key, pc)
+				} else {
+					pc.conn.Close()
+				}
+				return err
+			}
 			pc.conn.Close()
 			pc = nil
 			if cerr := core.CtxErr(ctx); cerr != nil {
-				return nil, cerr
-			}
-			var se *StatusError
-			if errors.As(err, &se) {
-				return nil, err
+				return cerr
 			}
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
 				// A connection deadline fired without the ctx (cold
 				// standalone timeout): surface it as the typed expiry.
-				return nil, fmt.Errorf("%w: %w", core.ErrProbeTimeout, err)
+				return fmt.Errorf("%w: %w", core.ErrProbeTimeout, err)
 			}
 			if reused {
 				// The parked connection went stale; a fresh dial is the
@@ -498,54 +568,114 @@ func (t *Transport) fetch(ctx context.Context, h *handle, obj core.Object, path 
 				continue
 			}
 			if retries >= t.maxRetries() {
-				return nil, err
+				return err
 			}
 			retries++
 			if berr := t.scheduleRetry(ctx, obj, path, retries, err); berr != nil {
-				return nil, berr
+				return berr
 			}
 			continue
 		}
 		pc.conn.SetDeadline(time.Time{})
 		if reusable {
-			t.parkConn(key, pc)
+			t.idlePool().park(key, pc)
 		} else {
 			pc.conn.Close()
 		}
-		return body, nil
+		return nil
 	}
 }
 
+// streamBufSize is the transfer buffer: large enough to keep syscall
+// overhead negligible, small enough that a transfer's memory footprint is
+// constant regardless of range size.
+const streamBufSize = 64 << 10
+
+// maxStatusDrain bounds how large an error-response body the transport
+// drains to keep a connection reusable; anything bigger is cheaper to
+// re-dial than to read.
+const maxStatusDrain = 256 << 10
+
+// streamBufs recycles transfer buffers across fetches, so steady-state
+// transfers allocate nothing proportional to object size.
+var streamBufs = sync.Pool{
+	New: func() any { return make([]byte, streamBufSize) },
+}
+
 // doRange issues one keep-alive range request on an open connection and
-// reads the full body. It reports whether the connection remains usable.
-func doRange(pc *pooledConn, target, host string, off, n int64) (body []byte, reusable bool, err error) {
+// streams the body: each buffer-full is verified (when Verify is set)
+// and counted into the handle's progress as it arrives, so nothing
+// proportional to n is ever held in memory. It reports whether the
+// connection remains usable for another request.
+func (t *Transport) doRange(pc *pooledConn, h *handle, obj core.Object, path core.Path, target, host string, off, n int64) (reusable bool, err error) {
 	req := httpx.NewGet(target, host)
 	delete(req.Header, "connection") // keep-alive
 	req.SetRange(off, n)
 	if err := req.Write(pc.conn); err != nil {
-		return nil, false, err
+		return false, err
 	}
 	resp, err := httpx.ReadResponse(pc.br)
 	if err != nil {
-		return nil, false, err
+		return false, err
 	}
+	keep := resp.Header["connection"] != "close"
 	if resp.Status != 200 && resp.Status != 206 {
-		// Drain the (bounded) body so the connection stays usable, then
+		// Drain a bounded error body so the connection stays usable, then
 		// report the failure.
-		if resp.ContentLength >= 0 {
-			io.Copy(io.Discard, resp.Body)
+		drained := false
+		if resp.ContentLength >= 0 && resp.ContentLength <= maxStatusDrain {
+			_, derr := io.Copy(io.Discard, resp.Body)
+			drained = derr == nil
 		}
-		return nil, false, &StatusError{Status: resp.Status, Reason: resp.Reason}
+		return keep && drained, &StatusError{Status: resp.Status, Reason: resp.Reason}
 	}
-	if resp.ContentLength < 0 {
-		b, err := io.ReadAll(resp.Body)
-		return b, false, err
+	if resp.ContentLength > n {
+		// More content than the range asked for: the framing is wrong, and
+		// reading past n would just bury the protocol error.
+		return false, fmt.Errorf("realnet: oversized body %d for %d-byte range", resp.ContentLength, n)
 	}
-	b := make([]byte, resp.ContentLength)
-	if _, err := io.ReadFull(resp.Body, b); err != nil {
-		return nil, false, err
+
+	var v *relay.Verifier
+	if t.Verify {
+		v = relay.NewVerifier(obj.Name, off)
 	}
-	return b, resp.Header["connection"] != "close", nil
+	buf := streamBufs.Get().([]byte)
+	defer streamBufs.Put(buf)
+	var delivered int64
+	for delivered < n {
+		chunk := int64(len(buf))
+		if rest := n - delivered; rest < chunk {
+			chunk = rest
+		}
+		m, rerr := io.ReadFull(resp.Body, buf[:chunk])
+		if m > 0 {
+			if v != nil && !v.Verify(buf[:m]) {
+				return false, fmt.Errorf("realnet: content mismatch for %s at %d", obj.Name, v.Offset())
+			}
+			delivered += int64(m)
+			h.progress.Store(delivered)
+			t.emitProgress(obj, path, off, int64(m), delivered, n)
+		}
+		if rerr != nil {
+			if rerr == io.EOF || rerr == io.ErrUnexpectedEOF {
+				return false, fmt.Errorf("realnet: short read %d of %d bytes", delivered, n)
+			}
+			return false, rerr
+		}
+	}
+	// Reusable only if the response was exactly the requested range: an
+	// unknown-length body leaves the stream position undefined.
+	return keep && resp.ContentLength == n, nil
+}
+
+// emitProgress reports one stream chunk to the observer.
+func (t *Transport) emitProgress(obj core.Object, path core.Path, off, chunk, delivered, total int64) {
+	if o := t.Observer; o != nil {
+		obs.EmitProgress(o, obs.Progress{
+			Path: obsPathID(obj, path), Time: t.Now(),
+			Offset: off, Chunk: chunk, Delivered: delivered, Total: total,
+		})
+	}
 }
 
 // Wait blocks until all handles complete. A handle whose context is

@@ -344,12 +344,15 @@ func TestWarmFallsBackWhenConnStale(t *testing.T) {
 	if err := h.Result().Err; err != nil {
 		t.Fatal(err)
 	}
-	// Kill the parked connection from under the pool.
-	tr.poolMu.Lock()
-	for _, pc := range tr.pool {
-		pc.conn.Close()
+	// Kill the parked connections from under the pool.
+	p := tr.idlePool()
+	p.mu.Lock()
+	for _, list := range p.idle {
+		for _, e := range list {
+			e.pc.conn.Close()
+		}
 	}
-	tr.poolMu.Unlock()
+	p.mu.Unlock()
 	h2 := tr.StartWarm(obj, core.Path{}, 50_000, 50_000)
 	tr.Wait(h2)
 	if err := h2.Result().Err; err != nil {

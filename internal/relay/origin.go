@@ -168,21 +168,9 @@ func (o *Origin) serveOne(conn net.Conn, req *httpx.Request) bool {
 		return true
 	}
 
-	buf := make([]byte, 32<<10)
-	for sent := int64(0); sent < n; {
-		chunk := int64(len(buf))
-		if rest := n - sent; rest < chunk {
-			chunk = rest
-		}
-		FillRange(name, off+sent, buf[:chunk])
-		w, err := conn.Write(buf[:chunk])
-		o.BytesServed.Add(int64(w))
-		if err != nil {
-			return false
-		}
-		sent += int64(w)
-	}
-	return true
+	sent, werr := WriteRange(conn, name, off, n, nil)
+	o.BytesServed.Add(sent)
+	return werr == nil
 }
 
 // ServeAddr starts the origin on addr (e.g. "127.0.0.1:0") and returns the
