@@ -50,6 +50,7 @@ type Client struct {
 	idleTTL   time.Duration
 	metrics   *obs.Metrics
 	observers []obs.Observer
+	spans     *obs.SpanCollector
 }
 
 // Option configures a Client.
@@ -70,6 +71,9 @@ func New(t Transport, opts ...Option) *Client {
 	// Fan out to the built-in collector, anything WithConfig installed,
 	// and every WithObserver sink, in that order.
 	c.cfg.Observer = obs.Multi(append([]obs.Observer{c.metrics, c.cfg.Observer}, c.observers...)...)
+	// Tracing wires through both layers: the engine opens root spans, the
+	// real transport records per-phase children and the wire header.
+	c.cfg.Spans = c.spans
 	// The pool knobs configure the real transport; other transports have
 	// no connection pool and ignore them.
 	if rt, ok := t.(*realnet.Transport); ok {
@@ -78,6 +82,9 @@ func New(t Transport, opts ...Option) *Client {
 		}
 		if c.idleTTL != 0 {
 			rt.IdleTTL = c.idleTTL
+		}
+		if c.spans != nil {
+			rt.Spans = c.spans
 		}
 	}
 	return c
@@ -132,6 +139,16 @@ func WithPoolSize(n int) Option {
 // meaningful when the client wraps a *RealTransport.
 func WithIdleTTL(d time.Duration) Option {
 	return func(c *Client) { c.idleTTL = d }
+}
+
+// WithSpans enables distributed tracing: the engine opens root spans per
+// operation in the collector and, when the client wraps a *RealTransport,
+// the transport records per-phase child spans and stamps the x-trace
+// header so relays and origins continue the trace. Spans carry wall-clock
+// times; on the virtual-time simulator the option only records engine
+// spans and should generally be left off.
+func WithSpans(sc *SpanCollector) Option {
+	return func(c *Client) { c.spans = sc }
 }
 
 // WithTimeout bounds each operation attempt: the attempt's context gets
@@ -284,3 +301,7 @@ func (c *Client) Observer() Observer { return c.cfg.Observer }
 // cancellation counts, per-path utilization tallies (the paper's §V
 // metric), latency/throughput histograms — ready for JSON rendering.
 func (c *Client) Snapshot() MetricsSnapshot { return c.metrics.Snapshot() }
+
+// Spans returns the span collector installed with WithSpans, or nil when
+// tracing is off.
+func (c *Client) Spans() *SpanCollector { return c.spans }

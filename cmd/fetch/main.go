@@ -33,6 +33,39 @@ type relayList []string
 func (r *relayList) String() string     { return strings.Join(*r, ",") }
 func (r *relayList) Set(v string) error { *r = append(*r, v); return nil }
 
+// mustOpen opens a span archive for merging; the process exits on error
+// and the handle is released at exit.
+func mustOpen(path string) *os.File {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatalf("open %s: %v", path, err)
+	}
+	return f
+}
+
+// mergeSpanFiles loads and concatenates span archives (from fetch -spans
+// or the daemons' -trace flags).
+func mergeSpanFiles(paths []string) []repro.Span {
+	var all []repro.Span
+	for _, path := range paths {
+		merged, comment, err := traceio.ReadSpans(mustOpen(path))
+		if err != nil {
+			log.Fatalf("merging %s: %v", path, err)
+		}
+		fmt.Printf("merged %d spans from %s (%s)\n", len(merged), path, comment)
+		all = append(all, merged...)
+	}
+	return all
+}
+
+// printStitched renders every trace in the span set as an indented
+// cross-process timeline.
+func printStitched(all []repro.Span) {
+	for _, id := range repro.TraceIDs(all) {
+		fmt.Print(repro.FormatTrace(id, repro.StitchTrace(id, all)))
+	}
+}
+
 // progressPrinter renders a live progress line from the streaming
 // transport's per-chunk events. Probes are over in well under a refresh
 // interval, so only transfers larger than minTotal (the remainder) are
@@ -78,8 +111,23 @@ func main() {
 	showStats := flag.Bool("stats", false, "print the metrics snapshot (JSON) after the transfer")
 	showProgress := flag.Bool("progress", false, "print live transfer progress for the remainder")
 	traceFile := flag.String("trace", "", "write the observer event trace as JSONL to this file")
+	spanFile := flag.String("spans", "", "record distributed-tracing spans and write them as JSONL to this file")
+	stitch := flag.Bool("stitch", false, "print the stitched span timeline after the transfer (implies span recording)")
+	var mergeFiles relayList
+	flag.Var(&mergeFiles, "merge", "span archive (from relayd/origind -trace) to merge into the stitched timeline (repeatable)")
 	flag.Var(&relays, "relay", "relay spec name=addr (repeatable)")
 	flag.Parse()
+
+	// Offline stitching: with no object to transfer, merge already-written
+	// span archives (the client's -spans file plus the daemons' shutdown
+	// archives) and print the cross-process timelines. No network touched.
+	if *object == "" {
+		if !*stitch || len(mergeFiles) == 0 {
+			log.Fatal(`-object "" needs -stitch and at least one -merge archive`)
+		}
+		printStitched(mergeSpanFiles(mergeFiles))
+		return
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -135,6 +183,11 @@ func main() {
 		trace = repro.NewTracer(4096)
 		opts = append(opts, repro.WithObserver(trace))
 	}
+	var spans *repro.SpanCollector
+	if *spanFile != "" || *stitch || len(mergeFiles) > 0 {
+		spans = repro.NewSpanCollector(0)
+		opts = append(opts, repro.WithSpans(spans))
+	}
 	if *showProgress {
 		opts = append(opts, repro.WithObserver(&progressPrinter{minTotal: *probe + 1}))
 	}
@@ -161,6 +214,28 @@ func main() {
 				log.Fatalf("writing trace: %v", werr)
 			}
 			fmt.Printf("wrote %d events to %s\n", len(trace.Events()), *traceFile)
+		}
+		if spans == nil {
+			return
+		}
+		if *spanFile != "" {
+			f, err := os.Create(*spanFile)
+			if err != nil {
+				log.Fatalf("span file: %v", err)
+			}
+			werr := traceio.WriteSpans(f, "fetch "+*object, spans.Spans())
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				log.Fatalf("writing spans: %v", werr)
+			}
+			fmt.Printf("wrote %d spans to %s\n", len(spans.Spans()), *spanFile)
+		}
+		if *stitch {
+			// Merge the daemons' archives (if given) with the client's own
+			// spans, then render each trace as one cross-process timeline.
+			printStitched(append(spans.Spans(), mergeSpanFiles(mergeFiles)...))
 		}
 	}
 

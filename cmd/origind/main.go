@@ -7,7 +7,13 @@
 //	origind -listen 127.0.0.1:8080 -object large.bin=4000000 -object small.bin=200000
 //
 // With -metrics set, live counters (bytes served, connections handled)
-// are served as JSON on /debug/vars, with /healthz for liveness.
+// are served as JSON on /debug/vars, Prometheus text format on /metrics
+// (including the request-latency histogram), and /healthz for liveness.
+// With -trace set, the origin records a serve span per request —
+// continuing whatever trace the client or relay stamped in the x-trace
+// header — and archives them as JSONL on shutdown, ready for stitching
+// with the other processes' archives. -pprof serves net/http/pprof on a
+// separate address.
 package main
 
 import (
@@ -22,7 +28,9 @@ import (
 	"syscall"
 
 	"repro/internal/httpx"
+	"repro/internal/obs"
 	"repro/internal/relay"
+	"repro/internal/traceio"
 )
 
 type objectList []string
@@ -34,6 +42,8 @@ func main() {
 	var objects objectList
 	listen := flag.String("listen", "127.0.0.1:8080", "listen address")
 	metrics := flag.String("metrics", "", "metrics endpoint address (empty = off)")
+	tracePath := flag.String("trace", "", "write span archive (JSONL) here on shutdown (empty = tracing off)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = off)")
 	flag.Var(&objects, "object", "object spec name=size (repeatable)")
 	flag.Parse()
 
@@ -41,6 +51,11 @@ func main() {
 	defer stop()
 
 	origin := relay.NewOrigin()
+	var spans *obs.SpanCollector
+	if *tracePath != "" {
+		spans = obs.NewSpanCollector(0)
+		origin.Spans = spans
+	}
 	if len(objects) == 0 {
 		objects = objectList{"large.bin=4000000"}
 	}
@@ -66,19 +81,56 @@ func main() {
 	if *metrics != "" {
 		mux := httpx.NewVarsMux(func() any {
 			return map[string]any{
-				"bytes_served": origin.BytesServed.Load(),
-				"conns":        origin.Conns.Load(),
+				"bytes_served":  origin.BytesServed.Load(),
+				"conns":         origin.Conns.Load(),
+				"spans_seen":    spans.Seen(),
+				"spans_dropped": spans.Dropped(),
 			}
 		})
+		mux.Handle("/metrics", httpx.PromHandler(func() []byte {
+			p := obs.NewProm()
+			p.Counter("origin_bytes_served_total", "Content bytes written to clients.", float64(origin.BytesServed.Load()))
+			p.Counter("origin_conns_total", "Connections accepted.", float64(origin.Conns.Load()))
+			p.Counter("origin_spans_total", "Tracing spans recorded.", float64(spans.Seen()))
+			p.Histogram("origin_request_latency_seconds", "Request serving times.", origin.LatencySnapshot())
+			return p.Bytes()
+		}))
 		go func() {
 			if err := httpx.Serve(ctx, mux, *metrics); err != nil {
 				log.Printf("metrics server: %v", err)
 			}
 		}()
-		fmt.Printf("metrics on http://%s/debug/vars\n", *metrics)
+		fmt.Printf("metrics on http://%s/debug/vars and /metrics\n", *metrics)
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := httpx.ServePprof(ctx, *pprofAddr); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+		fmt.Printf("pprof on http://%s/debug/pprof/\n", *pprofAddr)
 	}
 
 	<-ctx.Done()
 	fmt.Println("origind: shutting down")
 	l.Close()
+	if *tracePath != "" {
+		if err := writeSpans(*tracePath, spans); err != nil {
+			log.Printf("span archive: %v", err)
+		} else {
+			fmt.Printf("origind: %d spans archived to %s\n", len(spans.Spans()), *tracePath)
+		}
+	}
+}
+
+func writeSpans(path string, spans *obs.SpanCollector) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := traceio.WriteSpans(f, "origind", spans.Spans()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/httpx"
@@ -38,9 +39,19 @@ func main() {
 	probe := flag.Int64("probe", 100_000, "probe size x in bytes")
 	seed := flag.Uint64("seed", 1, "rng seed for per-round path rates")
 	metricsAddr := flag.String("metrics", "", "serve live metrics on this address (empty = off)")
+	phases := flag.Bool("phases", false, "record tracing spans and print a per-phase latency breakdown")
 	flag.Parse()
 
+	// With -phases, one collector receives spans from all three roles
+	// (client, relay, origin run in-process here); Span.Service keeps
+	// them apart in the breakdown.
+	var spans *obs.SpanCollector
+	if *phases {
+		spans = obs.NewSpanCollector(0)
+	}
+
 	origin := relay.NewOrigin()
+	origin.Spans = spans
 	origin.Put("large.bin", *size)
 	ol, err := origin.ServeAddr("127.0.0.1:0")
 	if err != nil {
@@ -50,7 +61,7 @@ func main() {
 
 	relays := map[string]string{}
 	for _, name := range []string{"r1", "r2", "r3"} {
-		r := &relay.Relay{}
+		r := &relay.Relay{Spans: spans}
 		l, err := r.ServeAddr("127.0.0.1:0")
 		if err != nil {
 			log.Fatal(err)
@@ -67,6 +78,7 @@ func main() {
 		Dial:     d.Dial,
 		Verify:   true,
 		Observer: m,
+		Spans:    spans,
 	}
 	defer tr.Close()
 
@@ -106,7 +118,7 @@ func main() {
 		// Control process: the whole object on the direct path.
 		ctrl := tr.Start(obj, core.Path{}, 0, obj.Size)
 		// Selecting process: probe, commit, fetch remainder.
-		out := core.SelectAndFetch(tr, obj, cands, core.Config{ProbeBytes: *probe, Observer: m})
+		out := core.SelectAndFetch(tr, obj, cands, core.Config{ProbeBytes: *probe, Observer: m, Spans: spans})
 		tr.Wait(ctrl)
 		if out.Err != nil || ctrl.Result().Err != nil {
 			log.Fatalf("round %d failed: sel=%v ctrl=%v", i, out.Err, ctrl.Result().Err)
@@ -147,4 +159,32 @@ func main() {
 		pool.Reuses, pool.Misses, pool.Parked, pool.Evicted, pool.Discarded, pool.Idle)
 	fmt.Printf("streamed %d bytes through the transport in %d-byte chunks or smaller\n",
 		snap.BytesStreamed, 64<<10)
+
+	if spans != nil {
+		printPhaseBreakdown(spans)
+	}
+}
+
+// printPhaseBreakdown aggregates every recorded span by service/phase and
+// prints where wall-clock time went across the whole study — the
+// cross-process answer to "is selection latency dial, TTFB, or stream?".
+func printPhaseBreakdown(spans *obs.SpanCollector) {
+	all := spans.Spans()
+	byPhase := map[string][]float64{}
+	var keys []string
+	for _, s := range all {
+		k := s.Service + "/" + s.Phase
+		if _, seen := byPhase[k]; !seen {
+			keys = append(keys, k)
+		}
+		byPhase[k] = append(byPhase[k], float64(s.Duration)/1e6) // ms
+	}
+	sort.Strings(keys)
+	fmt.Printf("\nper-phase span breakdown (%d spans, %d dropped):\n",
+		spans.Seen(), spans.Dropped())
+	for _, k := range keys {
+		sum := stats.Summarize(byPhase[k])
+		fmt.Printf("  %-22s n=%4d  median %9.3f ms  p90 %9.3f ms  max %9.3f ms\n",
+			k, sum.N, sum.Median, sum.P90, sum.Max)
+	}
 }

@@ -8,8 +8,9 @@
 //	registryd -listen 127.0.0.1:8070 -metrics 127.0.0.1:9070
 //
 // With -metrics set, live counters (registrations, list queries, live
-// relay count) are served as JSON on /debug/vars, with /healthz for
-// liveness.
+// relay count) are served as JSON on /debug/vars, Prometheus text format
+// on /metrics (including the command-latency histogram), and /healthz
+// for liveness. -pprof serves net/http/pprof on a separate address.
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/httpx"
+	"repro/internal/obs"
 	"repro/internal/registry"
 )
 
@@ -30,6 +32,7 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:8070", "listen address")
 	metrics := flag.String("metrics", "", "metrics endpoint address (empty = off)")
 	statsEvery := flag.Duration("stats", 30*time.Second, "stats print interval (0 = off)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = off)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -50,12 +53,28 @@ func main() {
 				"live_relays":   len(s.List()),
 			}
 		})
+		mux.Handle("/metrics", httpx.PromHandler(func() []byte {
+			p := obs.NewProm()
+			p.Counter("registry_registrations_total", "Accepted REGISTER commands.", float64(s.Registrations.Load()))
+			p.Counter("registry_lists_total", "LIST commands served.", float64(s.Lists.Load()))
+			p.Gauge("registry_live_relays", "Relays currently registered and unexpired.", float64(len(s.List())))
+			p.Histogram("registry_command_latency_seconds", "Wire-command handling times.", s.LatencySnapshot())
+			return p.Bytes()
+		}))
 		go func() {
 			if err := httpx.Serve(ctx, mux, *metrics); err != nil {
 				log.Printf("metrics server: %v", err)
 			}
 		}()
-		fmt.Printf("metrics on http://%s/debug/vars\n", *metrics)
+		fmt.Printf("metrics on http://%s/debug/vars and /metrics\n", *metrics)
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := httpx.ServePprof(ctx, *pprofAddr); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+		fmt.Printf("pprof on http://%s/debug/pprof/\n", *pprofAddr)
 	}
 
 	if *statsEvery > 0 {

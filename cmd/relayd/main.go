@@ -8,7 +8,11 @@
 //
 // With -metrics set, live counters (requests handled, bytes relayed —
 // the raw material of the paper's §V utilization analysis) are served
-// as JSON on /debug/vars, with /healthz for liveness.
+// as JSON on /debug/vars, Prometheus text format on /metrics (including
+// the forward-latency histogram), and /healthz for liveness. With
+// -trace set, the relay records forward/dial/ttfb/stream spans per
+// request — continuing the client's x-trace — and archives them as
+// JSONL on shutdown. -pprof serves net/http/pprof on a separate address.
 package main
 
 import (
@@ -22,8 +26,10 @@ import (
 	"time"
 
 	"repro/internal/httpx"
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/relay"
+	"repro/internal/traceio"
 )
 
 func main() {
@@ -33,12 +39,19 @@ func main() {
 	regAddr := flag.String("registry", "", "registry address to self-register with (optional)")
 	name := flag.String("name", "relay", "relay name used when registering")
 	ttl := flag.Duration("ttl", time.Minute, "registration TTL")
+	tracePath := flag.String("trace", "", "write span archive (JSONL) here on shutdown (empty = tracing off)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = off)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	r := &relay.Relay{}
+	var spans *obs.SpanCollector
+	if *tracePath != "" {
+		spans = obs.NewSpanCollector(0)
+		r.Spans = spans
+	}
 	l, err := r.ServeAddr(*listen)
 	if err != nil {
 		log.Fatal(err)
@@ -50,14 +63,32 @@ func main() {
 			return map[string]any{
 				"requests":      r.Requests.Load(),
 				"bytes_relayed": r.BytesRelayed.Load(),
+				"spans_seen":    spans.Seen(),
+				"spans_dropped": spans.Dropped(),
 			}
 		})
+		mux.Handle("/metrics", httpx.PromHandler(func() []byte {
+			p := obs.NewProm()
+			p.Counter("relay_requests_total", "Requests handled, including failures.", float64(r.Requests.Load()))
+			p.Counter("relay_bytes_relayed_total", "Response-body bytes forwarded to clients.", float64(r.BytesRelayed.Load()))
+			p.Counter("relay_spans_total", "Tracing spans recorded.", float64(spans.Seen()))
+			p.Histogram("relay_forward_latency_seconds", "Request forwarding times.", r.LatencySnapshot())
+			return p.Bytes()
+		}))
 		go func() {
 			if err := httpx.Serve(ctx, mux, *metrics); err != nil {
 				log.Printf("metrics server: %v", err)
 			}
 		}()
-		fmt.Printf("metrics on http://%s/debug/vars\n", *metrics)
+		fmt.Printf("metrics on http://%s/debug/vars and /metrics\n", *metrics)
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := httpx.ServePprof(ctx, *pprofAddr); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+		fmt.Printf("pprof on http://%s/debug/pprof/\n", *pprofAddr)
 	}
 
 	if *regAddr != "" {
@@ -98,4 +129,23 @@ func main() {
 	fmt.Printf("relayd: shutting down (%d requests, %d bytes relayed)\n",
 		r.Requests.Load(), r.BytesRelayed.Load())
 	l.Close()
+	if *tracePath != "" {
+		if err := writeSpans(*tracePath, spans); err != nil {
+			log.Printf("span archive: %v", err)
+		} else {
+			fmt.Printf("relayd: %d spans archived to %s\n", len(spans.Spans()), *tracePath)
+		}
+	}
+}
+
+func writeSpans(path string, spans *obs.SpanCollector) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := traceio.WriteSpans(f, "relayd", spans.Spans()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

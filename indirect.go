@@ -147,6 +147,23 @@ type (
 	// PoolObserver is the optional Observer extension for
 	// connection-pool lifecycle events.
 	PoolObserver = obs.PoolObserver
+
+	// Distributed-tracing types (attach a collector with WithSpans).
+	//
+	// TraceID identifies one end-to-end operation across processes.
+	TraceID = obs.TraceID
+	// SpanID identifies one span within a trace.
+	SpanID = obs.SpanID
+	// SpanContext is the propagated (trace, span) pair.
+	SpanContext = obs.SpanContext
+	// Span is one completed timed phase of one request on one service.
+	Span = obs.Span
+	// SpanCollector buffers completed spans in a bounded ring.
+	SpanCollector = obs.SpanCollector
+	// TraceNode is one span plus its children in a stitched trace tree.
+	TraceNode = obs.TraceNode
+	// HistogramSnapshot is a point-in-time histogram copy with quantiles.
+	HistogramSnapshot = obs.HistogramSnapshot
 )
 
 // Observability error classes.
@@ -191,6 +208,22 @@ func NewTracer(capacity int) *Tracer { return obs.NewTracer(capacity) }
 // MultiObserver fans events out to several observers; nil entries are
 // skipped.
 func MultiObserver(observers ...Observer) Observer { return obs.Multi(observers...) }
+
+// NewSpanCollector returns a span collector retaining the last capacity
+// spans (a default of 4096 when capacity <= 0). Wire it into a client
+// with WithSpans, or into daemons via RelaySpans/OriginSpans fields.
+func NewSpanCollector(capacity int) *SpanCollector { return obs.NewSpanCollector(capacity) }
+
+// TraceIDs returns the distinct trace IDs present in spans, first-seen
+// order.
+func TraceIDs(spans []Span) []TraceID { return obs.TraceIDs(spans) }
+
+// StitchTrace assembles one trace's spans — merged from any number of
+// processes' archives — into parent-child trees.
+func StitchTrace(trace TraceID, spans []Span) []*TraceNode { return obs.StitchTrace(trace, spans) }
+
+// FormatTrace renders stitched trees as an indented timeline.
+func FormatTrace(trace TraceID, roots []*TraceNode) string { return obs.FormatTrace(trace, roots) }
 
 // ErrClassOf buckets an error into the observability taxonomy.
 func ErrClassOf(err error) ErrClass { return core.ErrClassOf(err) }

@@ -60,6 +60,17 @@ type Config struct {
 	// never advances any clock — so the virtual-time simulator produces
 	// identical results with or without one attached.
 	Observer obs.Observer
+
+	// Spans collects distributed-tracing spans. When set, each
+	// SelectAndFetch operation opens a root "select" span covering the
+	// whole operation and a child "race" span covering probe launch to
+	// selection commit; the span context flows to the transport through
+	// the operation's context, so a tracing-aware transport (realnet)
+	// records its per-phase spans under the same trace. Nil — the default,
+	// and always the case on the virtual-time simulator — disables tracing
+	// entirely: spans carry wall-clock times and would be meaningless
+	// there.
+	Spans *obs.SpanCollector
 }
 
 func (c Config) probeBytes() int64 {
@@ -368,8 +379,26 @@ func SelectAndFetchCtx(ctx context.Context, t Transport, obj Object, candidates 
 	o := Outcome{Object: obj, Candidates: candidates, Start: t.Now()}
 	rest := obj.Size - x
 
+	// When tracing, the root "select" span covers the whole operation and
+	// the "race" child covers probe launch through selection commit. Probes
+	// run under the race span's context and the remainder under the root's,
+	// so a tracing transport nests its per-phase spans accordingly — one
+	// trace shows both candidate paths racing, the loser's cancellation,
+	// and the winner's continuation.
+	var root, race *obs.ActiveSpan
+	raceCtx := ctx
+	if cfg.Spans != nil {
+		parent, _ := obs.SpanFromContext(ctx)
+		root = cfg.Spans.StartSpan(parent, "client", "select")
+		root.SetAttr("object", obj.Name)
+		root.SetAttr("server", obj.Server)
+		race = cfg.Spans.StartSpan(root.Context(), "client", "race")
+		ctx = obs.ContextWithSpan(ctx, root.Context())
+		raceCtx = obs.ContextWithSpan(ctx, race.Context())
+	}
+
 	if !cfg.Sequential && cfg.Rule == FirstFinished {
-		paths, handles, cancels := StartProbesCtx(ctx, t, obj, candidates, cfg)
+		paths, handles, cancels := StartProbesCtx(raceCtx, t, obj, candidates, cfg)
 		defer func() {
 			for _, c := range cancels {
 				c()
@@ -383,6 +412,15 @@ func SelectAndFetchCtx(ctx context.Context, t Transport, obj Object, candidates 
 			o.Selected = Path{Via: Direct} // every probe failed
 		}
 		emitSelection(cfg.Observer, t, obj, o.Selected, cfg.Rule.String(), len(paths), o.ProbeEnd-o.Start)
+		if race != nil {
+			race.SetAttr("selected", obsID(obj, o.Selected).Label())
+			race.SetAttr("rule", cfg.Rule.String())
+			if win >= 0 {
+				race.EndOK()
+			} else {
+				race.End(obs.ClassFailed, "every probe failed")
+			}
+		}
 
 		// Cancel the losers immediately: the winner is committed, so the
 		// losing transfers are pure overhead. Context-aware transports
@@ -421,14 +459,19 @@ func SelectAndFetchCtx(ctx context.Context, t Transport, obj Object, candidates 
 		}
 	} else {
 		if cfg.Sequential {
-			o.Probes = ProbeSequentialCtx(ctx, t, obj, candidates, cfg)
+			o.Probes = ProbeSequentialCtx(raceCtx, t, obj, candidates, cfg)
 			cfg.Rule = MaxThroughput
 		} else {
-			o.Probes = ProbeCtx(ctx, t, obj, candidates, cfg)
+			o.Probes = ProbeCtx(raceCtx, t, obj, candidates, cfg)
 		}
 		o.ProbeEnd = t.Now()
 		o.Selected = Choose(o.Probes, cfg.Rule)
 		emitSelection(cfg.Observer, t, obj, o.Selected, cfg.Rule.String(), len(o.Probes), o.ProbeEnd-o.Start)
+		if race != nil {
+			race.SetAttr("selected", obsID(obj, o.Selected).Label())
+			race.SetAttr("rule", cfg.Rule.String())
+			race.EndOK()
+		}
 		if rest > 0 {
 			// The remainder continues on the winning probe's connection
 			// (same path, same socket): warm when the transport supports
@@ -470,6 +513,10 @@ func SelectAndFetchCtx(ctx context.Context, t Transport, obj Object, candidates 
 		o.End = o.Remainder.End
 	default:
 		o.End = o.ProbeEnd
+	}
+	if root != nil {
+		root.SetAttr("selected", obsID(obj, o.Selected).Label())
+		root.End(ErrClassOf(o.Err), errText(o.Err))
 	}
 	return o
 }

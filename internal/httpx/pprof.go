@@ -1,0 +1,44 @@
+// Profiling endpoint for the daemons. This is the one place the repo
+// uses net/http: the pprof handlers (goroutine dumps, heap and CPU
+// profiles) are not worth hand-rolling, and they live on their own
+// listener — opt-in via each daemon's -pprof flag — so the measurement
+// path still speaks only the package codec.
+
+package httpx
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// ServePprof serves the stdlib pprof handlers (/debug/pprof/...) on addr
+// until ctx is canceled, then shuts the listener down. It returns nil
+// after a clean shutdown.
+func ServePprof(ctx context.Context, addr string) error {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Addr: addr, Handler: mux}
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			srv.Shutdown(sctx)
+		case <-done:
+		}
+	}()
+	err := srv.ListenAndServe()
+	close(done)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}

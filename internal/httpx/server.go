@@ -74,6 +74,15 @@ func TextHandler(body string) Handler {
 	}
 }
 
+// PromHandler serves whatever fn returns as Prometheus text exposition
+// format (the /metrics idiom). fn runs per request, so it renders live
+// state.
+func PromHandler(fn func() []byte) Handler {
+	return func(*Request) (int, map[string]string, []byte) {
+		return 200, map[string]string{"content-type": "text/plain; version=0.0.4; charset=utf-8"}, fn()
+	}
+}
+
 // NewVarsMux returns a mux preloaded with the two standard
 // introspection endpoints: /healthz (liveness) and /debug/vars
 // (vars() as JSON).

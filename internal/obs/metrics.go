@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/stats"
 )
@@ -208,7 +209,9 @@ type PathSnapshot struct {
 	Utilization float64 `json:"utilization"`
 }
 
-// HistogramSnapshot is a point-in-time copy of a fixed-bucket histogram.
+// HistogramSnapshot is a point-in-time copy of a fixed-bucket histogram,
+// with p50/p90/p99 precomputed so /debug/vars readers get percentiles
+// without reimplementing the bucket math.
 type HistogramSnapshot struct {
 	Lo        float64 `json:"lo"`
 	Hi        float64 `json:"hi"`
@@ -216,6 +219,44 @@ type HistogramSnapshot struct {
 	Underflow int64   `json:"underflow"`
 	Overflow  int64   `json:"overflow"`
 	Total     int64   `json:"total"`
+
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+}
+
+// Quantile estimates the q-th quantile (0 ≤ q ≤ 1) by linear
+// interpolation within the fixed-width bin holding the target rank.
+// Underflow observations clamp to Lo and overflow to Hi — the histogram
+// only knows they were out of range. An empty histogram reports 0.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Total <= 0 || len(s.Bins) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Total)
+	cum := float64(s.Underflow)
+	if rank <= cum {
+		return s.Lo
+	}
+	width := (s.Hi - s.Lo) / float64(len(s.Bins))
+	for i, n := range s.Bins {
+		if n == 0 {
+			continue
+		}
+		next := cum + float64(n)
+		if rank <= next {
+			frac := (rank - cum) / float64(n)
+			return s.Lo + (float64(i)+frac)*width
+		}
+		cum = next
+	}
+	return s.Hi // rank fell into overflow
 }
 
 // Snapshot is a consistent-enough point-in-time view of a Metrics
@@ -263,7 +304,49 @@ func histSnapshot(h *stats.Histogram) HistogramSnapshot {
 		Total: h.Total(),
 	}
 	copy(s.Bins, h.Bins)
+	s.P50 = s.Quantile(0.50)
+	s.P90 = s.Quantile(0.90)
+	s.P99 = s.Quantile(0.99)
 	return s
+}
+
+// HistogramSnapshotOf copies an arbitrary stats histogram into the
+// snapshot form (quantiles included). The daemons use it to expose their
+// server-side latency histograms through the same /metrics renderer the
+// client metrics use. The caller provides any locking the histogram
+// needs.
+func HistogramSnapshotOf(h *stats.Histogram) HistogramSnapshot {
+	return histSnapshot(h)
+}
+
+// LatencyRecorder is a self-initializing, mutex-guarded request-latency
+// histogram for the daemons' /metrics endpoints: [0, 20) s at 0.1 s
+// resolution, matching the client probe-latency geometry so the two
+// views line up. The zero value is ready to use.
+type LatencyRecorder struct {
+	once sync.Once
+	mu   sync.Mutex
+	h    *stats.Histogram
+}
+
+func (l *LatencyRecorder) init() {
+	l.once.Do(func() { l.h = stats.NewHistogram(probeLatencyLo, probeLatencyHi, probeLatencyBins) })
+}
+
+// Observe records one request duration.
+func (l *LatencyRecorder) Observe(d time.Duration) {
+	l.init()
+	l.mu.Lock()
+	l.h.Add(d.Seconds())
+	l.mu.Unlock()
+}
+
+// Snapshot copies the distribution, quantiles included.
+func (l *LatencyRecorder) Snapshot() HistogramSnapshot {
+	l.init()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return histSnapshot(l.h)
 }
 
 // Snapshot captures the collector's current state.

@@ -1,0 +1,317 @@
+// Prometheus text-format exposition, hand-rolled over the package's own
+// snapshot types: counters, gauges, and cumulative histograms with
+// explicit buckets rendered from the fixed-bucket stats histograms. The
+// daemons serve the result on /metrics so any Prometheus-compatible
+// scraper can watch the relay fleet without this repo taking a client
+// dependency. LintProm is the matching minimal parser, used by the test
+// suite to keep the output well-formed.
+
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromContentType is the content-type of the text exposition format.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promHistMaxBuckets bounds how many explicit buckets a rendered
+// histogram emits: the 200-bin snapshots are coarsened (cumulative
+// counts make merging bins exact) so a scrape stays readable.
+const promHistMaxBuckets = 20
+
+// Prom accumulates metric families and renders the text exposition
+// format. Not safe for concurrent use; build one per scrape.
+type Prom struct {
+	b bytes.Buffer
+}
+
+// NewProm returns an empty exposition builder.
+func NewProm() *Prom { return &Prom{} }
+
+// Bytes returns the accumulated exposition.
+func (p *Prom) Bytes() []byte { return append([]byte(nil), p.b.Bytes()...) }
+
+func (p *Prom) head(name, typ, help string) {
+	help = strings.ReplaceAll(help, "\\", `\\`)
+	help = strings.ReplaceAll(help, "\n", `\n`)
+	fmt.Fprintf(&p.b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func promLabel(v string) string {
+	v = strings.ReplaceAll(v, "\\", `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// Counter emits a single-sample counter family.
+func (p *Prom) Counter(name, help string, v float64) {
+	p.head(name, "counter", help)
+	fmt.Fprintf(&p.b, "%s %s\n", name, promFloat(v))
+}
+
+// Gauge emits a single-sample gauge family.
+func (p *Prom) Gauge(name, help string, v float64) {
+	p.head(name, "gauge", help)
+	fmt.Fprintf(&p.b, "%s %s\n", name, promFloat(v))
+}
+
+// LabeledCounter emits one counter family with one sample per value of a
+// single label, in sorted label order (a stable scrape diff).
+func (p *Prom) LabeledCounter(name, help, label string, samples map[string]float64) {
+	p.head(name, "counter", help)
+	keys := make([]string, 0, len(samples))
+	for k := range samples {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&p.b, "%s{%s=%q} %s\n", name, label, promLabel(k), promFloat(samples[k]))
+	}
+}
+
+// Histogram emits a cumulative-bucket histogram family from a snapshot.
+// Bucket edges are the snapshot's bin edges, coarsened to at most
+// promHistMaxBuckets explicit le bounds plus +Inf; underflow counts into
+// every bucket (an observation below Lo is ≤ any edge) and overflow only
+// into +Inf. The _sum is approximated from bin centers — the snapshots
+// deliberately do not carry exact sums — with under/overflow valued at
+// the histogram edges.
+func (p *Prom) Histogram(name, help string, h HistogramSnapshot) {
+	p.head(name, "histogram", help)
+	nbins := len(h.Bins)
+	width := 0.0
+	if nbins > 0 {
+		width = (h.Hi - h.Lo) / float64(nbins)
+	}
+	step := 1
+	if nbins > promHistMaxBuckets {
+		step = (nbins + promHistMaxBuckets - 1) / promHistMaxBuckets
+	}
+	cum := h.Underflow
+	sum := float64(h.Underflow)*h.Lo + float64(h.Overflow)*h.Hi
+	for i := 0; i < nbins; i++ {
+		cum += h.Bins[i]
+		sum += float64(h.Bins[i]) * (h.Lo + (float64(i)+0.5)*width)
+		if (i+1)%step == 0 || i == nbins-1 {
+			edge := h.Lo + float64(i+1)*width
+			fmt.Fprintf(&p.b, "%s_bucket{le=%q} %d\n", name, promFloat(edge), cum)
+		}
+	}
+	fmt.Fprintf(&p.b, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Total)
+	fmt.Fprintf(&p.b, "%s_sum %s\n", name, promFloat(sum))
+	fmt.Fprintf(&p.b, "%s_count %d\n", name, h.Total)
+}
+
+// WriteProm renders the whole metrics snapshot as Prometheus families
+// under the given prefix (e.g. "indirect"): the counters, the per-path
+// utilization tallies as labeled counters, and both histograms with
+// explicit buckets. The fetch client and realbench expose exactly what
+// the daemons expose, one code path.
+func (s Snapshot) WriteProm(p *Prom, prefix string) {
+	c := func(name, help string, v int64) { p.Counter(prefix+"_"+name, help, float64(v)) }
+	c("probes_started_total", "Probes launched.", s.ProbesStarted)
+	c("probes_finished_total", "Probes completed, any outcome.", s.ProbesFinished)
+	c("probes_failed_total", "Probes failed with a non-cancellation error.", s.ProbesFailed)
+	c("probes_canceled_total", "Losing probes reaped by the engine.", s.ProbesCanceled)
+	c("selections_total", "Selection operations committed.", s.Selections)
+	c("selections_indirect_total", "Selections won by an indirect path.", s.SelectionsIndirect)
+	c("transfers_started_total", "Payload transfers issued.", s.TransfersStarted)
+	c("transfers_finished_total", "Payload transfers completed, any outcome.", s.TransfersFinished)
+	c("transfers_failed_total", "Payload transfers failed.", s.TransfersFailed)
+	c("retries_total", "Transport-level cold retries.", s.Retries)
+	c("aborts_total", "Transfers torn down by context death.", s.Aborts)
+	c("bytes_delivered_total", "Payload bytes of successful probes and transfers.", s.BytesDelivered)
+	c("bytes_streamed_total", "Payload bytes observed in flight, including failed attempts.", s.BytesStreamed)
+	c("pool_reuses_total", "Warm fetches served by a parked connection.", s.PoolReuses)
+	c("pool_misses_total", "Warm fetches that found no usable parked connection.", s.PoolMisses)
+
+	if len(s.Paths) > 0 {
+		probed := make(map[string]float64, len(s.Paths))
+		selected := make(map[string]float64, len(s.Paths))
+		bytes := make(map[string]float64, len(s.Paths))
+		for label, ps := range s.Paths {
+			probed[label] = float64(ps.Probed)
+			selected[label] = float64(ps.Selected)
+			bytes[label] = float64(ps.Bytes)
+		}
+		p.LabeledCounter(prefix+"_path_probed_total", "Times the route appeared in a race.", "route", probed)
+		p.LabeledCounter(prefix+"_path_selected_total", "Times the route won the commit.", "route", selected)
+		p.LabeledCounter(prefix+"_path_bytes_total", "Payload bytes delivered over the route.", "route", bytes)
+	}
+
+	p.Histogram(prefix+"_probe_latency_seconds", "Successful probe durations.", s.ProbeLatencySeconds)
+	p.Histogram(prefix+"_transfer_mbps", "Successful transfer throughputs in Mb/s.", s.TransferMbps)
+}
+
+// LintProm is the test suite's minimal validity check for the text
+// exposition format. It verifies that every line is a well-formed HELP,
+// TYPE, or sample line; that metric names are legal; that sample values
+// parse; that every sample belongs to a family announced by a TYPE line;
+// and that histogram bucket counts are cumulative (non-decreasing, with
+// a closing +Inf bucket). It is a lint, not a full parser: labels are
+// checked structurally, not decoded.
+func LintProm(b []byte) error {
+	typed := make(map[string]string)
+	lastBucket := make(map[string]float64) // family -> last cumulative count
+	sawInf := make(map[string]bool)
+	for ln, line := range strings.Split(string(b), "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, err := promComment(line)
+			if err != nil {
+				return fmt.Errorf("prom lint: line %d: %v", lineNo, err)
+			}
+			if kind == "TYPE" {
+				switch rest {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("prom lint: line %d: bad TYPE %q", lineNo, rest)
+				}
+				typed[name] = rest
+			}
+			continue
+		}
+		name, labels, value, err := promSample(line)
+		if err != nil {
+			return fmt.Errorf("prom lint: line %d: %v", lineNo, err)
+		}
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if t, ok := typed[strings.TrimSuffix(name, suffix)]; ok && t == "histogram" {
+				family = strings.TrimSuffix(name, suffix)
+				break
+			}
+		}
+		if _, ok := typed[family]; !ok {
+			return fmt.Errorf("prom lint: line %d: sample %q has no TYPE line", lineNo, name)
+		}
+		if strings.HasSuffix(name, "_bucket") && typed[family] == "histogram" {
+			le, ok := promLE(labels)
+			if !ok {
+				return fmt.Errorf("prom lint: line %d: bucket without le label", lineNo)
+			}
+			if value < lastBucket[family] {
+				return fmt.Errorf("prom lint: line %d: bucket counts of %s not cumulative", lineNo, family)
+			}
+			lastBucket[family] = value
+			if le == "+Inf" {
+				sawInf[family] = true
+			}
+		}
+	}
+	for family, typ := range typed {
+		if typ == "histogram" && lastBucket[family] >= 0 && !sawInf[family] {
+			return fmt.Errorf("prom lint: histogram %s has no +Inf bucket", family)
+		}
+	}
+	return nil
+}
+
+func promName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func promComment(line string) (kind, name, rest string, err error) {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || fields[0] != "#" {
+		return "", "", "", fmt.Errorf("malformed comment %q", line)
+	}
+	kind = fields[1]
+	if kind != "HELP" && kind != "TYPE" {
+		return "", "", "", fmt.Errorf("unknown comment kind %q", kind)
+	}
+	name = fields[2]
+	if !promName(name) {
+		return "", "", "", fmt.Errorf("bad metric name %q", name)
+	}
+	if len(fields) == 4 {
+		rest = fields[3]
+	}
+	return kind, name, rest, nil
+}
+
+func promSample(line string) (name, labels string, value float64, err error) {
+	body := line
+	if i := strings.IndexByte(body, '{'); i >= 0 {
+		j := strings.LastIndexByte(body, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("unbalanced labels in %q", line)
+		}
+		name, labels = body[:i], body[i+1:j]
+		body = name + body[j+1:]
+		if labels != "" {
+			for _, pair := range splitLabels(labels) {
+				k, v, ok := strings.Cut(pair, "=")
+				if !ok || !promName(k) || len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+					return "", "", 0, fmt.Errorf("bad label %q in %q", pair, line)
+				}
+			}
+		}
+	}
+	fields := strings.Fields(body)
+	if len(fields) != 2 && len(fields) != 3 { // optional timestamp
+		return "", "", 0, fmt.Errorf("malformed sample %q", line)
+	}
+	name = fields[0]
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		name = name[:i]
+	}
+	if !promName(name) {
+		return "", "", 0, fmt.Errorf("bad metric name %q", name)
+	}
+	value, err = strconv.ParseFloat(fields[1], 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("bad value %q", fields[1])
+	}
+	return name, labels, value, nil
+}
+
+// splitLabels splits a label body on commas outside quoted values.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
+}
+
+// promLE extracts the le label value from a bucket's label body.
+func promLE(labels string) (string, bool) {
+	for _, pair := range splitLabels(labels) {
+		if k, v, ok := strings.Cut(pair, "="); ok && k == "le" && len(v) >= 2 {
+			return v[1 : len(v)-1], true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildTrace fabricates the canonical cross-process span set of one
+// operation: client select → transfer → {dial, stream}, with the relay's
+// forward span parented on the client stream and the origin's serve span
+// parented on the forward — exactly what a stitched archive merge yields.
+func buildTrace() (TraceID, []Span) {
+	trace := NewTraceID()
+	mk := func(parent SpanID, svc, phase string, start, dur int64) Span {
+		return Span{Trace: trace, ID: NewSpanID(), Parent: parent,
+			Service: svc, Phase: phase, Start: start, Duration: dur, Class: "ok"}
+	}
+	sel := mk(SpanID{}, "client", "select", 0, 1000)
+	xfer := mk(sel.ID, "client", "transfer", 100, 800)
+	dial := mk(xfer.ID, "client", "dial", 100, 50)
+	stream := mk(xfer.ID, "client", "stream", 200, 700)
+	fwd := mk(stream.ID, "relay", "forward", 250, 600)
+	serve := mk(fwd.ID, "origin", "serve", 300, 100)
+	// Shuffle the archive order: stitching must not depend on it.
+	return trace, []Span{serve, dial, sel, fwd, stream, xfer}
+}
+
+func TestStitchTraceBuildsOneTree(t *testing.T) {
+	trace, spans := buildTrace()
+	roots := StitchTrace(trace, spans)
+	if len(roots) != 1 {
+		t.Fatalf("got %d roots, want 1", len(roots))
+	}
+	var order []string
+	depths := map[string]int{}
+	roots[0].Walk(func(n *TraceNode, depth int) {
+		key := n.Span.Service + "/" + n.Span.Phase
+		order = append(order, key)
+		depths[key] = depth
+	})
+	want := []string{"client/select", "client/transfer", "client/dial",
+		"client/stream", "relay/forward", "origin/serve"}
+	if strings.Join(order, " ") != strings.Join(want, " ") {
+		t.Fatalf("walk order = %v, want %v", order, want)
+	}
+	for key, d := range map[string]int{"client/select": 0, "client/transfer": 1,
+		"client/dial": 2, "relay/forward": 3, "origin/serve": 4} {
+		if depths[key] != d {
+			t.Fatalf("%s at depth %d, want %d", key, depths[key], d)
+		}
+	}
+}
+
+func TestStitchTraceSiblingsSortedByStart(t *testing.T) {
+	trace, spans := buildTrace()
+	roots := StitchTrace(trace, spans)
+	xfer := roots[0].Children[0]
+	if len(xfer.Children) != 2 {
+		t.Fatalf("transfer has %d children, want 2", len(xfer.Children))
+	}
+	if xfer.Children[0].Span.Phase != "dial" || xfer.Children[1].Span.Phase != "stream" {
+		t.Fatal("siblings not sorted by start time")
+	}
+}
+
+func TestStitchTraceOrphansBecomeRoots(t *testing.T) {
+	// A span whose parent was never archived (relay ran without -trace)
+	// must still render instead of vanishing.
+	trace := NewTraceID()
+	orphan := Span{Trace: trace, ID: NewSpanID(), Parent: NewSpanID(),
+		Service: "origin", Phase: "serve", Start: 10, Duration: 5, Class: "ok"}
+	root := Span{Trace: trace, ID: NewSpanID(),
+		Service: "client", Phase: "select", Start: 0, Duration: 100, Class: "ok"}
+	other := Span{Trace: NewTraceID(), ID: NewSpanID(),
+		Service: "client", Phase: "select", Start: 0, Duration: 1, Class: "ok"}
+	roots := StitchTrace(trace, []Span{orphan, root, other})
+	if len(roots) != 2 {
+		t.Fatalf("got %d roots, want 2 (root + orphan)", len(roots))
+	}
+	if roots[0].Span.Phase != "select" || roots[1].Span.Phase != "serve" {
+		t.Fatal("roots not ordered by start")
+	}
+}
+
+func TestTraceIDsFirstSeenOrder(t *testing.T) {
+	a, b := NewTraceID(), NewTraceID()
+	spans := []Span{{Trace: a}, {Trace: b}, {Trace: a}}
+	ids := TraceIDs(spans)
+	if len(ids) != 2 || ids[0] != a || ids[1] != b {
+		t.Fatalf("TraceIDs = %v", ids)
+	}
+}
+
+func TestFormatTraceTimeline(t *testing.T) {
+	trace, spans := buildTrace()
+	out := FormatTrace(trace, StitchTrace(trace, spans))
+	if !strings.HasPrefix(out, "trace "+trace.String()+":") {
+		t.Fatalf("missing trace heading:\n%s", out)
+	}
+	for _, want := range []string{"client/select", "relay/forward", "origin/serve", "ok"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	// Deeper spans are indented further: serve's line carries more
+	// leading space before its label than select's.
+	lines := strings.Split(out, "\n")
+	indent := func(substr string) int {
+		for _, l := range lines {
+			if i := strings.Index(l, substr); i >= 0 {
+				return i
+			}
+		}
+		t.Fatalf("no line contains %q:\n%s", substr, out)
+		return -1
+	}
+	if indent("origin/serve") <= indent("client/select") {
+		t.Fatal("depth indentation missing")
+	}
+}

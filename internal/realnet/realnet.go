@@ -29,6 +29,7 @@ import (
 	"math/rand"
 	"net"
 	"reflect"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -100,6 +101,16 @@ type Transport struct {
 	// probe/selection events are configured separately (core.Config);
 	// pointing both at the same Metrics collector gives one unified view.
 	Observer obs.Observer
+
+	// Spans collects distributed-tracing spans. When set, every transfer
+	// records a "transfer" span (parented on the span context carried by
+	// its context, typically the engine's root or race span) with
+	// per-phase children — dial, request-write, ttfb, stream, verify — and
+	// stamps the transfer span's context into the request's x-trace header
+	// so relay and origin continue the same trace. Nil (the default)
+	// disables tracing; every span site then reduces to a nil check, so
+	// the hot path's allocation profile is unchanged.
+	Spans *obs.SpanCollector
 
 	// Retries counts retry attempts performed across all transfers.
 	// It is kept in lockstep with the RetryScheduled events for callers
@@ -330,10 +341,26 @@ func (t *Transport) startFetch(ctx context.Context, obj core.Object, path core.P
 	h := &handle{done: make(chan struct{})}
 	h.res = core.FetchResult{Path: path, Offset: off, Bytes: n, Start: t.Now()}
 
+	var tspan *obs.ActiveSpan
+	if t.Spans != nil {
+		parent, _ := obs.SpanFromContext(ctx)
+		tspan = t.Spans.StartSpan(parent, "client", "transfer")
+		tspan.SetAttr("path", obsPathID(obj, path).Label())
+		tspan.SetAttr("object", obj.Name)
+		if warm {
+			tspan.SetAttr("warm", "true")
+		}
+	}
+
 	ctx, cancelCtx := t.transferContext(ctx)
 	go func() {
 		defer cancelCtx()
-		err := t.fetch(ctx, h, obj, path, off, n, warm)
+		err := t.fetch(ctx, h, obj, path, off, n, warm, tspan)
+		// The fetch goroutine owns the span: even when the watcher below
+		// publishes a cancellation first, fetch returns the typed error
+		// moments later (the closed socket unwinds its read), so the span
+		// still ends exactly once with the right class.
+		tspan.End(core.ErrClassOf(err), errString(err))
 		h.finish(t.Now(), err)
 	}()
 	// The watcher makes cancellation prompt: the instant ctx dies it
@@ -360,6 +387,22 @@ func (t *Transport) startFetch(ctx context.Context, obj core.Object, path core.P
 // obsPathID is the event identity of a transfer on this transport.
 func obsPathID(obj core.Object, p core.Path) obs.PathID {
 	return obs.PathID{Server: obj.Server, Object: obj.Name, Via: p.Via}
+}
+
+// childSpan opens a per-phase child of a transfer span; nil in, nil out,
+// so phase sites need no enabled-checks of their own.
+func (t *Transport) childSpan(parent *obs.ActiveSpan, phase string) *obs.ActiveSpan {
+	if parent == nil {
+		return nil
+	}
+	return t.Spans.StartSpan(parent.Context(), "client", phase)
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
 }
 
 // transferContext applies the transport's per-transfer deadline unless
@@ -484,7 +527,7 @@ func (t *Transport) scheduleRetry(ctx context.Context, obj core.Object, path cor
 // leave the connection in a known-good state park it for the next warm
 // continuation — including status-error responses whose body was fully
 // drained, since the server answered cleanly.
-func (t *Transport) fetch(ctx context.Context, h *handle, obj core.Object, path core.Path, off, n int64, warm bool) error {
+func (t *Transport) fetch(ctx context.Context, h *handle, obj core.Object, path core.Path, off, n int64, warm bool, tspan *obs.ActiveSpan) error {
 	originAddr, ok := t.Servers[obj.Server]
 	if !ok {
 		return fmt.Errorf("realnet: unknown server %q", obj.Server)
@@ -514,8 +557,11 @@ func (t *Transport) fetch(ctx context.Context, h *handle, obj core.Object, path 
 			return err
 		}
 		if pc == nil {
+			dspan := t.childSpan(tspan, "dial")
+			dspan.SetAttr("addr", dialAddr)
 			conn, err := t.dialConn(ctx, dialAddr)
 			if err != nil {
+				dspan.End(core.ErrClassOf(err), err.Error())
 				if cerr := core.CtxErr(ctx); cerr != nil {
 					return cerr
 				}
@@ -528,6 +574,7 @@ func (t *Transport) fetch(ctx context.Context, h *handle, obj core.Object, path 
 				}
 				continue
 			}
+			dspan.EndOK()
 			pc = &pooledConn{conn: conn, br: bufio.NewReader(conn)}
 		}
 		h.setConn(pc.conn)
@@ -535,7 +582,7 @@ func (t *Transport) fetch(ctx context.Context, h *handle, obj core.Object, path 
 			pc.conn.SetDeadline(dl)
 		}
 		h.progress.Store(0)
-		reusable, err := t.doRange(pc, h, obj, path, target, host, off, n)
+		reusable, err := t.doRange(pc, h, obj, path, target, host, off, n, tspan)
 		h.setConn(nil)
 		if err != nil {
 			var se *StatusError
@@ -607,17 +654,29 @@ var streamBufs = sync.Pool{
 // and counted into the handle's progress as it arrives, so nothing
 // proportional to n is ever held in memory. It reports whether the
 // connection remains usable for another request.
-func (t *Transport) doRange(pc *pooledConn, h *handle, obj core.Object, path core.Path, target, host string, off, n int64) (reusable bool, err error) {
+func (t *Transport) doRange(pc *pooledConn, h *handle, obj core.Object, path core.Path, target, host string, off, n int64, tspan *obs.ActiveSpan) (reusable bool, err error) {
 	req := httpx.NewGet(target, host)
 	delete(req.Header, "connection") // keep-alive
 	req.SetRange(off, n)
+	if tspan != nil {
+		// The transfer span's context goes on the wire, so the relay's
+		// forward span (and through it the origin's serve span) nests under
+		// this transfer in the stitched timeline.
+		req.Header[obs.TraceHeader] = tspan.Context().Header()
+	}
+	wspan := t.childSpan(tspan, "request-write")
 	if err := req.Write(pc.conn); err != nil {
+		wspan.End(obs.ClassFailed, err.Error())
 		return false, err
 	}
+	wspan.EndOK()
+	fspan := t.childSpan(tspan, "ttfb")
 	resp, err := httpx.ReadResponse(pc.br)
 	if err != nil {
+		fspan.End(obs.ClassFailed, err.Error())
 		return false, err
 	}
+	fspan.EndOK()
 	keep := resp.Header["connection"] != "close"
 	if resp.Status != 200 && resp.Status != 206 {
 		// Drain a bounded error body so the connection stays usable, then
@@ -641,6 +700,13 @@ func (t *Transport) doRange(pc *pooledConn, h *handle, obj core.Object, path cor
 	}
 	buf := streamBufs.Get().([]byte)
 	defer streamBufs.Put(buf)
+	sspan := t.childSpan(tspan, "stream")
+	// Verification interleaves with streaming, so its cost is measured as
+	// cumulative busy time and recorded as one after-the-fact span spanning
+	// first check to stream end (with the busy total as an attribute) —
+	// timed only when tracing, so the untraced path makes no clock calls.
+	var verifyStart time.Time
+	var verifyBusy time.Duration
 	var delivered int64
 	for delivered < n {
 		chunk := int64(len(buf))
@@ -649,8 +715,23 @@ func (t *Transport) doRange(pc *pooledConn, h *handle, obj core.Object, path cor
 		}
 		m, rerr := io.ReadFull(resp.Body, buf[:chunk])
 		if m > 0 {
-			if v != nil && !v.Verify(buf[:m]) {
-				return false, fmt.Errorf("realnet: content mismatch for %s at %d", obj.Name, v.Offset())
+			if v != nil {
+				var t0 time.Time
+				if tspan != nil {
+					t0 = time.Now()
+					if verifyStart.IsZero() {
+						verifyStart = t0
+					}
+				}
+				good := v.Verify(buf[:m])
+				if tspan != nil {
+					verifyBusy += time.Since(t0)
+				}
+				if !good {
+					err := fmt.Errorf("realnet: content mismatch for %s at %d", obj.Name, v.Offset())
+					t.endStream(sspan, verifyStart, verifyBusy, delivered, obs.ClassFailed, err.Error())
+					return false, err
+				}
 			}
 			delivered += int64(m)
 			h.progress.Store(delivered)
@@ -658,14 +739,40 @@ func (t *Transport) doRange(pc *pooledConn, h *handle, obj core.Object, path cor
 		}
 		if rerr != nil {
 			if rerr == io.EOF || rerr == io.ErrUnexpectedEOF {
-				return false, fmt.Errorf("realnet: short read %d of %d bytes", delivered, n)
+				err := fmt.Errorf("realnet: short read %d of %d bytes", delivered, n)
+				t.endStream(sspan, verifyStart, verifyBusy, delivered, obs.ClassFailed, err.Error())
+				return false, err
 			}
+			t.endStream(sspan, verifyStart, verifyBusy, delivered, obs.ClassFailed, rerr.Error())
 			return false, rerr
 		}
 	}
+	t.endStream(sspan, verifyStart, verifyBusy, delivered, obs.ClassOK, "")
 	// Reusable only if the response was exactly the requested range: an
 	// unknown-length body leaves the stream position undefined.
 	return keep && resp.ContentLength == n, nil
+}
+
+// endStream closes a stream span and records the companion verify span
+// (first check to stream end, cumulative busy time attached). No-op when
+// the stream span is nil, i.e. tracing is off.
+func (t *Transport) endStream(sspan *obs.ActiveSpan, verifyStart time.Time, verifyBusy time.Duration, delivered int64, class obs.ErrClass, errText string) {
+	if sspan == nil {
+		return
+	}
+	sspan.SetAttr("bytes", strconv.FormatInt(delivered, 10))
+	sc := sspan.Context()
+	sspan.End(class, errText)
+	if !verifyStart.IsZero() {
+		t.Spans.Record(obs.Span{
+			Trace: sc.Trace, Parent: sc.Span,
+			Service: "client", Phase: "verify",
+			Start:    verifyStart.UnixNano(),
+			Duration: int64(time.Since(verifyStart)),
+			Class:    obs.ClassOK.String(),
+			Attrs:    map[string]string{"busy_ns": strconv.FormatInt(int64(verifyBusy), 10)},
+		})
+	}
 }
 
 // emitProgress reports one stream chunk to the observer.

@@ -23,6 +23,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Errors returned by the client helpers.
@@ -57,7 +59,13 @@ type Server struct {
 
 	mu      sync.Mutex
 	entries map[string]Entry
+
+	lat obs.LatencyRecorder
 }
+
+// LatencySnapshot returns the distribution of wire-command handling
+// times, ready for Prometheus exposition.
+func (s *Server) LatencySnapshot() obs.HistogramSnapshot { return s.lat.Snapshot() }
 
 func (s *Server) now() time.Time {
 	if s.Clock != nil {
@@ -133,6 +141,8 @@ func (s *Server) ServeAddr(addr string) (net.Listener, error) {
 
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
+	start := time.Now()
+	defer func() { s.lat.Observe(time.Since(start)) }()
 	conn.SetDeadline(time.Now().Add(10 * time.Second))
 	br := bufio.NewReader(conn)
 	line, err := br.ReadString('\n')

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/httpx"
+	"repro/internal/obs"
 )
 
 // keepAliveIdle is how long a connection may sit idle between requests
@@ -59,12 +60,24 @@ type Origin struct {
 	mu      sync.RWMutex
 	objects map[string]int64
 
+	// Spans collects the origin's tracing spans. When set, every request
+	// records a terminal "serve" span, continuing the trace named by the
+	// x-trace request header (stamped by the client or rewritten by the
+	// relay) or rooting a fresh one. Nil disables tracing.
+	Spans *obs.SpanCollector
+
 	// BytesServed counts content bytes written to clients.
 	BytesServed atomic.Int64
 	// Conns counts accepted connections (keep-alive reuse keeps this
 	// flat across requests).
 	Conns atomic.Int64
+
+	lat obs.LatencyRecorder
 }
+
+// LatencySnapshot returns the distribution of request serving times,
+// ready for Prometheus exposition.
+func (o *Origin) LatencySnapshot() obs.HistogramSnapshot { return o.lat.Snapshot() }
 
 // NewOrigin returns an empty origin server.
 func NewOrigin() *Origin {
@@ -128,8 +141,22 @@ func (o *Origin) handle(conn net.Conn) {
 }
 
 // serveOne answers a single request; it reports whether the connection
-// can serve another.
+// can serve another. When tracing, the exchange records a terminal
+// "serve" span under whatever trace the request's x-trace header names.
 func (o *Origin) serveOne(conn net.Conn, req *httpx.Request) bool {
+	start := time.Now()
+	var span *obs.ActiveSpan
+	if o.Spans != nil {
+		parent, _ := obs.ParseTraceHeader(req.Header[obs.TraceHeader])
+		span = o.Spans.StartSpan(parent, "origin", "serve")
+	}
+	again, class, detail := o.serve(conn, req, span)
+	span.End(class, detail)
+	o.lat.Observe(time.Since(start))
+	return again
+}
+
+func (o *Origin) serve(conn net.Conn, req *httpx.Request, span *obs.ActiveSpan) (again bool, class obs.ErrClass, detail string) {
 	name := req.Target
 	if _, path, ok := req.AbsoluteTarget(); ok {
 		name = path
@@ -137,10 +164,11 @@ func (o *Origin) serveOne(conn net.Conn, req *httpx.Request) bool {
 	if len(name) > 0 && name[0] == '/' {
 		name = name[1:]
 	}
+	span.SetAttr("object", name)
 	size, ok := o.Size(name)
 	if !ok {
 		return httpx.WriteResponseHead(conn, 404, "Not Found",
-			map[string]string{"content-length": "0"}) == nil
+			map[string]string{"content-length": "0"}) == nil, obs.ClassStatus, "not found"
 	}
 	off, n, err := httpx.ParseRange(req.Header["range"], size)
 	if err != nil {
@@ -149,7 +177,7 @@ func (o *Origin) serveOne(conn net.Conn, req *httpx.Request) bool {
 			status, reason = 416, "Range Not Satisfiable"
 		}
 		return httpx.WriteResponseHead(conn, status, reason,
-			map[string]string{"content-length": "0"}) == nil
+			map[string]string{"content-length": "0"}) == nil, obs.ClassStatus, reason
 	}
 
 	header := map[string]string{
@@ -162,15 +190,21 @@ func (o *Origin) serveOne(conn net.Conn, req *httpx.Request) bool {
 		header["content-range"] = httpx.ContentRange(off, n, size)
 	}
 	if err := httpx.WriteResponseHead(conn, status, reason, header); err != nil {
-		return false
+		return false, obs.ClassFailed, err.Error()
 	}
 	if req.Method == "HEAD" {
-		return true
+		return true, obs.ClassOK, ""
 	}
 
 	sent, werr := WriteRange(conn, name, off, n, nil)
 	o.BytesServed.Add(sent)
-	return werr == nil
+	if span != nil { // gate the FormatInt: no formatting on the untraced path
+		span.SetAttr("bytes", strconv.FormatInt(sent, 10))
+	}
+	if werr != nil {
+		return false, obs.ClassFailed, werr.Error()
+	}
+	return true, obs.ClassOK, ""
 }
 
 // ServeAddr starts the origin on addr (e.g. "127.0.0.1:0") and returns the

@@ -5,10 +5,13 @@ import (
 	"errors"
 	"io"
 	"net"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/httpx"
+	"repro/internal/obs"
 )
 
 // Relay is the intermediate-node forwarding service: it accepts
@@ -22,11 +25,25 @@ type Relay struct {
 	// intermediate-to-origin path.
 	Dial func(network, addr string) (net.Conn, error)
 
+	// Spans collects the relay's server-side tracing spans. When set,
+	// every forwarded request records a "forward" span — continuing the
+	// trace named by the client's x-trace header, or rooting a fresh one —
+	// with dial/ttfb/stream children for the upstream leg, and the
+	// forwarded request carries the forward span's context so the origin's
+	// serve span nests beneath it. Nil disables tracing.
+	Spans *obs.SpanCollector
+
 	// BytesRelayed counts response-body bytes forwarded to clients.
 	BytesRelayed atomic.Int64
 	// Requests counts requests handled (including failures).
 	Requests atomic.Int64
+
+	lat obs.LatencyRecorder
 }
+
+// LatencySnapshot returns the distribution of request handling times,
+// ready for Prometheus exposition.
+func (r *Relay) LatencySnapshot() obs.HistogramSnapshot { return r.lat.Snapshot() }
 
 // Serve accepts and forwards until the listener closes.
 func (r *Relay) Serve(l net.Listener) error {
@@ -72,49 +89,99 @@ func (r *Relay) handle(conn net.Conn) {
 }
 
 // forwardOne relays a single request upstream; it reports whether the
-// client connection can carry another request. Upstream connections are
-// per-request; the client-facing connection stays warm.
+// client connection can carry another request. When tracing, the whole
+// exchange is wrapped in a "forward" span continuing the client's trace
+// (a missing or malformed x-trace header simply roots a fresh one).
 func (r *Relay) forwardOne(conn net.Conn, req *httpx.Request) bool {
 	r.Requests.Add(1)
+	start := time.Now()
+	var fspan *obs.ActiveSpan
+	if r.Spans != nil {
+		parent, _ := obs.ParseTraceHeader(req.Header[obs.TraceHeader])
+		fspan = r.Spans.StartSpan(parent, "relay", "forward")
+		fspan.SetAttr("target", req.Target)
+	}
+	again, class, detail := r.forward(conn, req, fspan)
+	fspan.End(class, detail)
+	r.lat.Observe(time.Since(start))
+	return again
+}
+
+// childSpan opens a per-phase child of the forward span; nil in, nil out.
+func (r *Relay) childSpan(parent *obs.ActiveSpan, phase string) *obs.ActiveSpan {
+	if parent == nil {
+		return nil
+	}
+	return r.Spans.StartSpan(parent.Context(), "relay", phase)
+}
+
+// forward does the actual relaying and classifies the outcome for the
+// forward span. Upstream connections are per-request; the client-facing
+// connection stays warm.
+func (r *Relay) forward(conn net.Conn, req *httpx.Request, fspan *obs.ActiveSpan) (again bool, class obs.ErrClass, detail string) {
 	upstreamAddr, path, ok := req.AbsoluteTarget()
 	if !ok {
 		httpx.WriteResponseHead(conn, 400, "Bad Request: relay requires absolute-form target",
 			map[string]string{"content-length": "0"})
-		return true
+		return true, obs.ClassStatus, "non-absolute target"
 	}
 
 	dial := r.Dial
 	if dial == nil {
 		dial = net.Dial
 	}
+	dspan := r.childSpan(fspan, "dial")
+	dspan.SetAttr("addr", upstreamAddr)
 	upstream, err := dial("tcp", upstreamAddr)
 	if err != nil {
+		dspan.End(obs.ClassFailed, err.Error())
 		httpx.WriteResponseHead(conn, 502, "Bad Gateway",
 			map[string]string{"content-length": "0"})
-		return true
+		return true, obs.ClassFailed, err.Error()
 	}
+	dspan.EndOK()
 	defer upstream.Close()
 
-	// Rewrite to origin form, preserving the method (GET/HEAD) and the
-	// Range header — the relay is transparent to the range-probing
-	// mechanism. The upstream leg is one-shot.
+	// Rewrite to origin form, preserving the method (GET/HEAD), the Range
+	// header — the relay is transparent to the range-probing mechanism —
+	// and every extension ("x-*") header generically, so trace propagation
+	// and future extensions survive the hop without the relay naming them
+	// one by one. The upstream leg is one-shot.
 	fwd := httpx.NewGet(path, upstreamAddr)
 	fwd.Method = req.Method
+	for k, v := range req.Header {
+		if strings.HasPrefix(k, "x-") {
+			fwd.Header[k] = v
+		}
+	}
 	if rg := req.Header["range"]; rg != "" {
 		fwd.Header["range"] = rg
 	}
+	if fspan != nil {
+		// With tracing on, the upstream request carries the forward span's
+		// context so the origin's serve span nests under this hop (with it
+		// off, the client's own x-trace passed through unmodified above).
+		fwd.Header[obs.TraceHeader] = fspan.Context().Header()
+	}
+	tspan := r.childSpan(fspan, "ttfb")
 	if err := fwd.Write(upstream); err != nil {
+		tspan.End(obs.ClassFailed, err.Error())
 		httpx.WriteResponseHead(conn, 502, "Bad Gateway",
 			map[string]string{"content-length": "0"})
-		return true
+		return true, obs.ClassFailed, err.Error()
 	}
 
 	ubr := bufio.NewReader(upstream)
 	resp, err := httpx.ReadResponse(ubr)
 	if err != nil {
+		tspan.End(obs.ClassFailed, err.Error())
 		httpx.WriteResponseHead(conn, 502, "Bad Gateway",
 			map[string]string{"content-length": "0"})
-		return true
+		return true, obs.ClassFailed, err.Error()
+	}
+	tspan.EndOK()
+	if fspan != nil { // gate the Itoa: no formatting on the untraced path
+		fspan.SetAttr("status", strconv.Itoa(resp.Status))
 	}
 	if resp.ContentLength < 0 {
 		// Without a length the body is delimited by upstream close; the
@@ -122,11 +189,23 @@ func (r *Relay) forwardOne(conn net.Conn, req *httpx.Request) bool {
 		resp.Header["connection"] = "close"
 	}
 	if err := httpx.WriteResponseHead(conn, resp.Status, resp.Reason, resp.Header); err != nil {
-		return false
+		return false, obs.ClassFailed, err.Error()
 	}
+	sspan := r.childSpan(fspan, "stream")
 	n, err := io.Copy(conn, resp.Body)
 	r.BytesRelayed.Add(n)
-	return err == nil && resp.ContentLength >= 0
+	if sspan != nil {
+		sspan.SetAttr("bytes", strconv.FormatInt(n, 10))
+	}
+	if err != nil {
+		sspan.End(obs.ClassFailed, err.Error())
+		return false, obs.ClassFailed, err.Error()
+	}
+	sspan.EndOK()
+	if resp.Status != 200 && resp.Status != 206 {
+		return resp.ContentLength >= 0, obs.ClassStatus, resp.Reason
+	}
+	return resp.ContentLength >= 0, obs.ClassOK, ""
 }
 
 // FetchVia downloads [off, off+n) of object name from originAddr through
