@@ -1,6 +1,7 @@
 GO ?= go
+BENCHTIME ?= 1s
 
-.PHONY: build vet test race bench verify
+.PHONY: build vet test race bench bench-json verify
 
 build:
 	$(GO) build ./...
@@ -16,6 +17,13 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Machine-readable benchmark artifact: the warm-fetch streaming contract
+# (flat allocs/op from 64 KB to 16 MB) and the health-fold hot path, as
+# JSON for CI archiving and cross-run comparison.
+bench-json:
+	$(GO) test -run '^$$' -bench 'WarmFetch|HealthFold' -benchmem -benchtime $(BENCHTIME) \
+		./internal/realnet ./internal/obs | $(GO) run ./cmd/benchjson -out BENCH_5.json
 
 # The CI tier: static checks plus the full suite under the race detector.
 verify: vet race

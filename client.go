@@ -51,6 +51,7 @@ type Client struct {
 	metrics   *obs.Metrics
 	observers []obs.Observer
 	spans     *obs.SpanCollector
+	health    *obs.HealthMonitor
 }
 
 // Option configures a Client.
@@ -139,6 +140,24 @@ func WithPoolSize(n int) Option {
 // meaningful when the client wraps a *RealTransport.
 func WithIdleTTL(d time.Duration) Option {
 	return func(c *Client) { c.idleTTL = d }
+}
+
+// WithHealthMonitor attaches a path-health monitor to the client: every
+// selection-lifecycle event folds into the monitor's per-path rolling
+// windows, and Client.PathHealth/HealthMonitor read the damped health
+// view. A nil monitor is ignored (the hot path stays free of health
+// bookkeeping — the 62-alloc warm-fetch contract is pinned by
+// BenchmarkWarmFetch64K with no monitor attached).
+func WithHealthMonitor(h *HealthMonitor) Option {
+	return func(c *Client) {
+		// The nil check must happen on the concrete pointer: appending a
+		// typed-nil *HealthMonitor as an Observer would defeat obs.Multi's
+		// interface nil-skip and panic on the first event.
+		if h != nil {
+			c.health = h
+			c.observers = append(c.observers, h)
+		}
+	}
 }
 
 // WithSpans enables distributed tracing: the engine opens root spans per
@@ -305,3 +324,17 @@ func (c *Client) Snapshot() MetricsSnapshot { return c.metrics.Snapshot() }
 // Spans returns the span collector installed with WithSpans, or nil when
 // tracing is off.
 func (c *Client) Spans() *SpanCollector { return c.spans }
+
+// HealthMonitor returns the monitor installed with WithHealthMonitor,
+// or nil when health tracking is off.
+func (c *Client) HealthMonitor() *HealthMonitor { return c.health }
+
+// PathHealth captures the damped per-path health view — rolling-window
+// success/latency/throughput aggregates, score, and state — for every
+// path the client has exercised. Empty when no monitor is attached.
+func (c *Client) PathHealth() HealthSnapshot {
+	if c.health == nil {
+		return HealthSnapshot{}
+	}
+	return c.health.Snapshot()
+}

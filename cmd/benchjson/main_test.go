@@ -1,0 +1,42 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkWarmFetch64K-8   \t   21614\t     55110 ns/op\t1189.26 MB/s\t    4327 B/op\t      62 allocs/op")
+	if !ok {
+		t.Fatal("line not recognized")
+	}
+	if r.Name != "BenchmarkWarmFetch64K" {
+		t.Fatalf("name = %q, want GOMAXPROCS suffix stripped", r.Name)
+	}
+	if r.Iterations != 21614 || r.NsPerOp != 55110 || r.MBPerS != 1189.26 ||
+		r.BytesPerOp != 4327 || r.AllocsPerOp != 62 {
+		t.Fatalf("decoded %+v", r)
+	}
+}
+
+func TestParseLineNoSetBytes(t *testing.T) {
+	r, ok := parseLine("BenchmarkHealthFold-4 \t 8379126\t       143.1 ns/op\t       0 B/op\t       0 allocs/op")
+	if !ok {
+		t.Fatal("line not recognized")
+	}
+	if r.MBPerS != 0 || r.NsPerOp != 143.1 || r.AllocsPerOp != 0 {
+		t.Fatalf("decoded %+v", r)
+	}
+}
+
+func TestParseLineRejectsNonBench(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"pkg: repro/internal/realnet",
+		"PASS",
+		"ok  \trepro/internal/realnet\t2.01s",
+		"BenchmarkBroken-8 not-a-number ns/op",
+		"",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Fatalf("line %q wrongly parsed as a benchmark", line)
+		}
+	}
+}

@@ -8,6 +8,14 @@
 //
 //	fetch -origin 127.0.0.1:8080 -object large.bin -size 4000000 \
 //	      -relay campus=127.0.0.1:8081 -relay isp=127.0.0.1:8082
+//
+// With -registry the relay set is discovered instead of listed by hand;
+// -top K narrows discovery to the K relays the registry ranks healthiest
+// (the paper's result: ~10 of 35 candidates capture nearly all gain).
+// -paths attaches a health monitor to the client and prints the per-path
+// health snapshot (state, score, throughput EWMA) after the transfer.
+// Result tables go to stdout; operational logging is structured (slog)
+// on stderr — see -log-format, -log-level, and -log-components.
 package main
 
 import (
@@ -15,7 +23,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -24,9 +32,20 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/daemon"
 	"repro/internal/registry"
 	"repro/internal/traceio"
 )
+
+// logger is the process-wide structured logger, set in main once the
+// logging flags are parsed.
+var logger *slog.Logger
+
+// fatal logs an error and exits.
+func fatal(msg string, args ...any) {
+	logger.Error(msg, args...)
+	os.Exit(1)
+}
 
 type relayList []string
 
@@ -38,7 +57,7 @@ func (r *relayList) Set(v string) error { *r = append(*r, v); return nil }
 func mustOpen(path string) *os.File {
 	f, err := os.Open(path)
 	if err != nil {
-		log.Fatalf("open %s: %v", path, err)
+		fatal("opening span archive", "path", path, "err", err)
 	}
 	return f
 }
@@ -50,9 +69,9 @@ func mergeSpanFiles(paths []string) []repro.Span {
 	for _, path := range paths {
 		merged, comment, err := traceio.ReadSpans(mustOpen(path))
 		if err != nil {
-			log.Fatalf("merging %s: %v", path, err)
+			fatal("merging span archive", "path", path, "err", err)
 		}
-		fmt.Printf("merged %d spans from %s (%s)\n", len(merged), path, comment)
+		logger.Info("merged spans", "count", len(merged), "path", path, "comment", comment)
 		all = append(all, merged...)
 	}
 	return all
@@ -108,7 +127,9 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "overall transfer deadline (0 = none)")
 	retries := flag.Int("retries", 0, "retry a transfer that delivered nothing up to N times")
 	regAddr := flag.String("registry", "", "discover relays from this registry (in addition to -relay flags)")
+	topK := flag.Int("top", 0, "discover only the K healthiest relays, ranked by the registry (0 = all)")
 	showStats := flag.Bool("stats", false, "print the metrics snapshot (JSON) after the transfer")
+	showPaths := flag.Bool("paths", false, "track path health during the transfer and print the snapshot (JSON) after")
 	showProgress := flag.Bool("progress", false, "print live transfer progress for the remainder")
 	traceFile := flag.String("trace", "", "write the observer event trace as JSONL to this file")
 	spanFile := flag.String("spans", "", "record distributed-tracing spans and write them as JSONL to this file")
@@ -116,14 +137,16 @@ func main() {
 	var mergeFiles relayList
 	flag.Var(&mergeFiles, "merge", "span archive (from relayd/origind -trace) to merge into the stitched timeline (repeatable)")
 	flag.Var(&relays, "relay", "relay spec name=addr (repeatable)")
+	mkLog := daemon.LogFlags()
 	flag.Parse()
+	logger = mkLog("fetch")
 
 	// Offline stitching: with no object to transfer, merge already-written
 	// span archives (the client's -spans file plus the daemons' shutdown
 	// archives) and print the cross-process timelines. No network touched.
 	if *object == "" {
 		if !*stitch || len(mergeFiles) == 0 {
-			log.Fatal(`-object "" needs -stitch and at least one -merge archive`)
+			fatal(`-object "" needs -stitch and at least one -merge archive`)
 		}
 		printStitched(mergeSpanFiles(mergeFiles))
 		return
@@ -141,15 +164,23 @@ func main() {
 	for _, spec := range relays {
 		name, addr, ok := strings.Cut(spec, "=")
 		if !ok {
-			log.Fatalf("bad -relay %q (want name=addr)", spec)
+			fatal("bad -relay spec (want name=addr)", "spec", spec)
 		}
 		tr.Relays[name] = addr
 		candidates = append(candidates, name)
 	}
 	if *regAddr != "" {
-		entries, err := registry.List(*regAddr)
+		// Health-ranked discovery narrows the probe race to the relays the
+		// registry believes are healthiest; plain discovery takes them all.
+		var entries []registry.Entry
+		var err error
+		if *topK > 0 {
+			entries, err = registry.ListRanked(*regAddr, *topK)
+		} else {
+			entries, err = registry.List(*regAddr)
+		}
 		if err != nil {
-			log.Fatalf("registry discovery failed: %v", err)
+			fatal("registry discovery failed", "registry", *regAddr, "err", err)
 		}
 		for _, e := range entries {
 			if _, dup := tr.Relays[e.Name]; dup {
@@ -158,16 +189,17 @@ func main() {
 			tr.Relays[e.Name] = e.Addr
 			candidates = append(candidates, e.Name)
 		}
-		fmt.Printf("discovered %d relays from %s\n", len(entries), *regAddr)
+		logger.Info("discovered relays", "count", len(entries), "registry", *regAddr,
+			"ranked", *topK > 0)
 	}
 
 	if *size == 0 {
 		discovered, err := tr.StatCtx(ctx, "origin", *object)
 		if err != nil {
-			log.Fatalf("size discovery failed: %v", err)
+			fatal("size discovery failed", "object", *object, "err", err)
 		}
 		*size = discovered
-		fmt.Printf("discovered size of %s: %d bytes\n", *object, *size)
+		logger.Info("discovered object size", "object", *object, "bytes", *size)
 	}
 	obj := repro.Object{Server: "origin", Name: *object, Size: *size}
 
@@ -188,6 +220,10 @@ func main() {
 		spans = repro.NewSpanCollector(0)
 		opts = append(opts, repro.WithSpans(spans))
 	}
+	if *showPaths {
+		opts = append(opts, repro.WithHealthMonitor(
+			repro.NewHealthMonitor(repro.HealthConfig{Clock: repro.HealthWallClock()})))
+	}
 	if *showProgress {
 		opts = append(opts, repro.WithObserver(&progressPrinter{minTotal: *probe + 1}))
 	}
@@ -201,19 +237,22 @@ func main() {
 		if *showStats {
 			fmt.Printf("metrics snapshot:\n%s\n", client.Snapshot().JSON())
 		}
+		if *showPaths {
+			fmt.Printf("path health:\n%s\n", client.PathHealth().JSON())
+		}
 		if trace != nil {
 			f, err := os.Create(*traceFile)
 			if err != nil {
-				log.Fatalf("trace file: %v", err)
+				fatal("creating trace file", "path", *traceFile, "err", err)
 			}
 			werr := traceio.WriteEvents(f, "fetch "+*object, trace.Events())
 			if cerr := f.Close(); werr == nil {
 				werr = cerr
 			}
 			if werr != nil {
-				log.Fatalf("writing trace: %v", werr)
+				fatal("writing trace", "path", *traceFile, "err", werr)
 			}
-			fmt.Printf("wrote %d events to %s\n", len(trace.Events()), *traceFile)
+			logger.Info("wrote event trace", "count", len(trace.Events()), "path", *traceFile)
 		}
 		if spans == nil {
 			return
@@ -221,16 +260,16 @@ func main() {
 		if *spanFile != "" {
 			f, err := os.Create(*spanFile)
 			if err != nil {
-				log.Fatalf("span file: %v", err)
+				fatal("creating span file", "path", *spanFile, "err", err)
 			}
 			werr := traceio.WriteSpans(f, "fetch "+*object, spans.Spans())
 			if cerr := f.Close(); werr == nil {
 				werr = cerr
 			}
 			if werr != nil {
-				log.Fatalf("writing spans: %v", werr)
+				fatal("writing spans", "path", *spanFile, "err", werr)
 			}
-			fmt.Printf("wrote %d spans to %s\n", len(spans.Spans()), *spanFile)
+			logger.Info("wrote spans", "count", len(spans.Spans()), "path", *spanFile)
 		}
 		if *stitch {
 			// Merge the daemons' archives (if given) with the client's own
@@ -248,7 +287,7 @@ func main() {
 		}
 		res, err := dl.DownloadCtx(ctx, obj, candidates)
 		if err != nil {
-			log.Fatalf("adaptive download failed: %v", err)
+			fatal("adaptive download failed", "err", err)
 		}
 		fmt.Printf("segments:\n")
 		for _, s := range res.Segments {
@@ -271,13 +310,13 @@ func main() {
 	if out.Err != nil {
 		switch {
 		case errors.Is(out.Err, repro.ErrCanceled):
-			log.Fatalf("transfer canceled: %v", out.Err)
+			fatal("transfer canceled", "err", out.Err)
 		case errors.Is(out.Err, repro.ErrProbeTimeout):
-			log.Fatalf("transfer deadline exceeded: %v", out.Err)
+			fatal("transfer deadline exceeded", "err", out.Err)
 		case errors.Is(out.Err, repro.ErrAllPathsFailed):
-			log.Fatalf("every path failed: %v", out.Err)
+			fatal("every path failed", "err", out.Err)
 		default:
-			log.Fatalf("transfer failed: %v", out.Err)
+			fatal("transfer failed", "err", out.Err)
 		}
 	}
 

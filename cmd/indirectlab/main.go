@@ -65,7 +65,7 @@ var scales = map[string]scale{
 
 func main() {
 	var (
-		expFlag      = flag.String("exp", "all", "experiment id: fig1,fig2,table1,table2,fig3,fig4,fig5,fig6,table3,ablate,adaptive,monitor,multipath,seeds,validate,topo,all")
+		expFlag      = flag.String("exp", "all", "experiment id: fig1,fig2,table1,table2,fig3,fig4,fig5,fig6,table3,ablate,adaptive,monitor,healthrank,multipath,seeds,validate,topo,all")
 		seed         = flag.Uint64("seed", 42, "study seed (scenario + workloads)")
 		scaleFlag    = flag.String("scale", "default", "workload scale: quick, default, paper")
 		workers      = flag.Int("workers", 0, "parallel campaign workers (0 = GOMAXPROCS)")
@@ -234,6 +234,18 @@ func main() {
 			})
 		})
 		report.Monitored(w, results)
+		fmt.Fprintln(w)
+	}
+	if all || want["healthrank"] {
+		var hr experiment.HealthRankResult
+		run("health-ranked candidate comparison", func() {
+			hr = experiment.RunHealthRank(experiment.HealthRankParams{
+				Seed:          *seed,
+				EvalTransfers: sc.fig6Transfers,
+				Workers:       *workers,
+			})
+		})
+		report.HealthRank(w, hr)
 		fmt.Fprintln(w)
 	}
 	if want["validate"] {

@@ -8,25 +8,30 @@
 //
 // With -metrics set, live counters (bytes served, connections handled)
 // are served as JSON on /debug/vars, Prometheus text format on /metrics
-// (including the request-latency histogram), and /healthz for liveness.
-// With -trace set, the origin records a serve span per request —
-// continuing whatever trace the client or relay stamped in the x-trace
-// header — and archives them as JSONL on shutdown, ready for stitching
-// with the other processes' archives. -pprof serves net/http/pprof on a
-// separate address.
+// (including the request-latency histogram and per-object serving-health
+// gauges), per-object health as JSON on /debug/paths, liveness on
+// /healthz, and readiness on /readyz (the listener must be up). With
+// -trace set, the origin records a serve span per request — continuing
+// whatever trace the client or relay stamped in the x-trace header — and
+// archives them as JSONL on shutdown, ready for stitching with the other
+// processes' archives. -pprof serves net/http/pprof on a separate
+// address. Logging is structured (slog); see -log-format, -log-level,
+// and -log-components.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
-	"fmt"
-	"log"
+	"net"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 
+	"repro/internal/daemon"
 	"repro/internal/httpx"
 	"repro/internal/obs"
 	"repro/internal/relay"
@@ -45,12 +50,15 @@ func main() {
 	tracePath := flag.String("trace", "", "write span archive (JSONL) here on shutdown (empty = tracing off)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = off)")
 	flag.Var(&objects, "object", "object spec name=size (repeatable)")
+	mkLog := daemon.LogFlags()
 	flag.Parse()
+	logger := mkLog("origind")
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	origin := relay.NewOrigin()
+	origin.Health = obs.NewHealthMonitor(obs.HealthConfig{Clock: obs.WallClock()})
 	var spans *obs.SpanCollector
 	if *tracePath != "" {
 		spans = obs.NewSpanCollector(0)
@@ -62,63 +70,78 @@ func main() {
 	for _, spec := range objects {
 		name, sizeStr, ok := strings.Cut(spec, "=")
 		if !ok {
-			log.Fatalf("bad -object %q (want name=size)", spec)
+			logger.Error("bad -object spec (want name=size)", "spec", spec)
+			os.Exit(2)
 		}
 		size, err := strconv.ParseInt(sizeStr, 10, 64)
 		if err != nil || size < 0 {
-			log.Fatalf("bad size in -object %q", spec)
+			logger.Error("bad size in -object spec", "spec", spec)
+			os.Exit(2)
 		}
 		origin.Put(name, size)
-		fmt.Printf("serving /%s (%d bytes)\n", name, size)
+		logger.Info("serving object", "name", name, "bytes", size)
 	}
 
-	l, err := origin.ServeAddr(*listen)
+	l, err := net.Listen("tcp", *listen)
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("listen failed", "addr", *listen, "err", err)
+		os.Exit(1)
 	}
-	fmt.Printf("origind listening on %s\n", l.Addr())
+	var listenerUp atomic.Bool
+	listenerUp.Store(true)
+	go func() {
+		defer listenerUp.Store(false)
+		if err := origin.Serve(l); err != nil {
+			logger.Error("serve failed", "err", err)
+		}
+	}()
+	logger.Info("listening", "addr", l.Addr().String())
 
-	if *metrics != "" {
-		mux := httpx.NewVarsMux(func() any {
+	ready := httpx.NewReady()
+	ready.AddLive("listener", func() error {
+		if !listenerUp.Load() {
+			return errors.New("listener closed")
+		}
+		return nil
+	})
+
+	d := &daemon.Daemon{
+		Prefix: "origin",
+		Vars: func() any {
 			return map[string]any{
 				"bytes_served":  origin.BytesServed.Load(),
 				"conns":         origin.Conns.Load(),
 				"spans_seen":    spans.Seen(),
 				"spans_dropped": spans.Dropped(),
 			}
-		})
-		mux.Handle("/metrics", httpx.PromHandler(func() []byte {
-			p := obs.NewProm()
+		},
+		Prom: func(p *obs.Prom) {
 			p.Counter("origin_bytes_served_total", "Content bytes written to clients.", float64(origin.BytesServed.Load()))
 			p.Counter("origin_conns_total", "Connections accepted.", float64(origin.Conns.Load()))
 			p.Counter("origin_spans_total", "Tracing spans recorded.", float64(spans.Seen()))
 			p.Histogram("origin_request_latency_seconds", "Request serving times.", origin.LatencySnapshot())
-			return p.Bytes()
-		}))
-		go func() {
-			if err := httpx.Serve(ctx, mux, *metrics); err != nil {
-				log.Printf("metrics server: %v", err)
-			}
-		}()
-		fmt.Printf("metrics on http://%s/debug/vars and /metrics\n", *metrics)
+		},
+		Health: origin.Health,
+		Ready:  ready,
 	}
+	d.ServeMetrics(ctx, *metrics, logger)
 	if *pprofAddr != "" {
 		go func() {
 			if err := httpx.ServePprof(ctx, *pprofAddr); err != nil {
-				log.Printf("pprof server: %v", err)
+				logger.Error("pprof server failed", "err", err)
 			}
 		}()
-		fmt.Printf("pprof on http://%s/debug/pprof/\n", *pprofAddr)
+		logger.Info("pprof serving", "addr", *pprofAddr)
 	}
 
 	<-ctx.Done()
-	fmt.Println("origind: shutting down")
+	logger.Info("shutting down", "bytes_served", origin.BytesServed.Load())
 	l.Close()
 	if *tracePath != "" {
 		if err := writeSpans(*tracePath, spans); err != nil {
-			log.Printf("span archive: %v", err)
+			logger.Error("span archive failed", "path", *tracePath, "err", err)
 		} else {
-			fmt.Printf("origind: %d spans archived to %s\n", len(spans.Spans()), *tracePath)
+			logger.Info("spans archived", "path", *tracePath, "count", len(spans.Spans()))
 		}
 	}
 }

@@ -20,11 +20,11 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"os"
 	"sort"
 
 	"repro/internal/core"
-	"repro/internal/httpx"
+	"repro/internal/daemon"
 	"repro/internal/obs"
 	"repro/internal/randx"
 	"repro/internal/realnet"
@@ -40,7 +40,9 @@ func main() {
 	seed := flag.Uint64("seed", 1, "rng seed for per-round path rates")
 	metricsAddr := flag.String("metrics", "", "serve live metrics on this address (empty = off)")
 	phases := flag.Bool("phases", false, "record tracing spans and print a per-phase latency breakdown")
+	mkLog := daemon.LogFlags()
 	flag.Parse()
+	logger := mkLog("realbench")
 
 	// With -phases, one collector receives spans from all three roles
 	// (client, relay, origin run in-process here); Span.Service keeps
@@ -55,7 +57,8 @@ func main() {
 	origin.Put("large.bin", *size)
 	ol, err := origin.ServeAddr("127.0.0.1:0")
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("origin listen failed", "err", err)
+		os.Exit(1)
 	}
 	defer ol.Close()
 
@@ -64,35 +67,38 @@ func main() {
 		r := &relay.Relay{Spans: spans}
 		l, err := r.ServeAddr("127.0.0.1:0")
 		if err != nil {
-			log.Fatal(err)
+			logger.Error("relay listen failed", "err", err)
+			os.Exit(1)
 		}
 		defer l.Close()
 		relays[name] = l.Addr().String()
 	}
 
 	m := obs.NewMetrics()
+	// A health monitor rides the same event stream as the metrics
+	// collector (event-time clock: transport timestamps), so the closing
+	// report can show each path's damped state next to its utilization.
+	health := obs.NewHealthMonitor(obs.HealthConfig{})
+	observer := obs.Multi(m, health)
 	d := shaper.NewDialer()
 	tr := &realnet.Transport{
 		Servers:  map[string]string{"origin": ol.Addr().String()},
 		Relays:   relays,
 		Dial:     d.Dial,
 		Verify:   true,
-		Observer: m,
+		Observer: observer,
 		Spans:    spans,
 	}
 	defer tr.Close()
 
 	ctx, stopMetrics := context.WithCancel(context.Background())
 	defer stopMetrics()
-	if *metricsAddr != "" {
-		mux := httpx.NewVarsMux(func() any { return m.Snapshot() })
-		go func() {
-			if err := httpx.Serve(ctx, mux, *metricsAddr); err != nil {
-				log.Printf("metrics server: %v", err)
-			}
-		}()
-		fmt.Printf("live metrics on http://%s/debug/vars\n", *metricsAddr)
+	dm := &daemon.Daemon{
+		Prefix: "realbench",
+		Vars:   func() any { return m.Snapshot() },
+		Health: health,
 	}
+	dm.ServeMetrics(ctx, *metricsAddr, logger)
 
 	// Per-round path rates: direct wanders log-normally around 6 Mb/s;
 	// each relay has its own stable level.
@@ -118,10 +124,11 @@ func main() {
 		// Control process: the whole object on the direct path.
 		ctrl := tr.Start(obj, core.Path{}, 0, obj.Size)
 		// Selecting process: probe, commit, fetch remainder.
-		out := core.SelectAndFetch(tr, obj, cands, core.Config{ProbeBytes: *probe, Observer: m, Spans: spans})
+		out := core.SelectAndFetch(tr, obj, cands, core.Config{ProbeBytes: *probe, Observer: observer, Spans: spans})
 		tr.Wait(ctrl)
 		if out.Err != nil || ctrl.Result().Err != nil {
-			log.Fatalf("round %d failed: sel=%v ctrl=%v", i, out.Err, ctrl.Result().Err)
+			logger.Error("round failed", "round", i, "sel_err", out.Err, "ctrl_err", ctrl.Result().Err)
+			os.Exit(1)
 		}
 		tracker.Observe(cands, out.Selected)
 		imp := core.Improvement(out.Throughput(), ctrl.Result().Throughput())
@@ -159,6 +166,15 @@ func main() {
 		pool.Reuses, pool.Misses, pool.Parked, pool.Evicted, pool.Discarded, pool.Idle)
 	fmt.Printf("streamed %d bytes through the transport in %d-byte chunks or smaller\n",
 		snap.BytesStreamed, 64<<10)
+
+	// Damped path health from the same stream: the telemetry view an
+	// operator would see on /debug/paths after this workload.
+	hs := health.Snapshot()
+	fmt.Printf("\npath health (window %.0fs):\n", health.Config().Window)
+	for _, ph := range hs.Paths {
+		fmt.Printf("  %-28s %-8s score %.2f  ewma %6.2f Mb/s  ok %d fail %d\n",
+			ph.Path, ph.State, ph.Score, ph.ThroughputEWMA, ph.Ok, ph.Failed)
+	}
 
 	if spans != nil {
 		printPhaseBreakdown(spans)

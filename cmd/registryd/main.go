@@ -1,28 +1,34 @@
 // Command registryd runs the relay registry: relays register themselves
-// with TTL heartbeats, and clients discover the live relay set from it —
-// the operational realization of the paper's "set of nodes available to a
-// client".
+// with TTL heartbeats (optionally carrying a self-reported health score),
+// and clients discover the live relay set from it — the operational
+// realization of the paper's "set of nodes available to a client". The
+// LISTH command returns the set ranked healthiest-first, so clients can
+// probe only the healthiest K (the paper's knee is ~10 of 35).
 //
 // Usage:
 //
 //	registryd -listen 127.0.0.1:8070 -metrics 127.0.0.1:9070
 //
-// With -metrics set, live counters (registrations, list queries, live
-// relay count) are served as JSON on /debug/vars, Prometheus text format
-// on /metrics (including the command-latency histogram), and /healthz
-// for liveness. -pprof serves net/http/pprof on a separate address.
+// With -metrics set, live counters (registrations, list queries, live and
+// down relay counts) are served as JSON on /debug/vars, Prometheus text
+// format on /metrics (including the command-latency histogram), liveness
+// on /healthz, and readiness on /readyz (the listener must be up).
+// -pprof serves net/http/pprof on a separate address. Logging is
+// structured (slog); see -log-format, -log-level, and -log-components.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
-	"fmt"
-	"log"
+	"net"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"repro/internal/daemon"
 	"repro/internal/httpx"
 	"repro/internal/obs"
 	"repro/internal/registry"
@@ -31,63 +37,95 @@ import (
 func main() {
 	listen := flag.String("listen", "127.0.0.1:8070", "listen address")
 	metrics := flag.String("metrics", "", "metrics endpoint address (empty = off)")
-	statsEvery := flag.Duration("stats", 30*time.Second, "stats print interval (0 = off)")
+	statsEvery := flag.Duration("stats", 30*time.Second, "stats log interval (0 = off)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = off)")
+	mkLog := daemon.LogFlags()
 	flag.Parse()
+	logger := mkLog("registryd")
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	var s registry.Server
-	l, err := s.ServeAddr(*listen)
+	l, err := net.Listen("tcp", *listen)
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("listen failed", "addr", *listen, "err", err)
+		os.Exit(1)
 	}
-	fmt.Printf("registryd listening on %s\n", l.Addr())
+	var listenerUp atomic.Bool
+	listenerUp.Store(true)
+	go func() {
+		defer listenerUp.Store(false)
+		if err := s.Serve(l); err != nil {
+			logger.Error("serve failed", "err", err)
+		}
+	}()
+	logger.Info("listening", "addr", l.Addr().String())
 
-	if *metrics != "" {
-		mux := httpx.NewVarsMux(func() any {
+	ready := httpx.NewReady()
+	ready.AddLive("listener", func() error {
+		if !listenerUp.Load() {
+			return errors.New("listener closed")
+		}
+		return nil
+	})
+
+	d := &daemon.Daemon{
+		Prefix: "registry",
+		Vars: func() any {
+			all := s.ListAll()
+			down := 0
+			for _, e := range all {
+				if e.Down {
+					down++
+				}
+			}
 			return map[string]any{
 				"registrations": s.Registrations.Load(),
 				"lists":         s.Lists.Load(),
-				"live_relays":   len(s.List()),
+				"downs":         s.Downs.Load(),
+				"live_relays":   len(all) - down,
+				"down_relays":   down,
 			}
-		})
-		mux.Handle("/metrics", httpx.PromHandler(func() []byte {
-			p := obs.NewProm()
+		},
+		Prom: func(p *obs.Prom) {
 			p.Counter("registry_registrations_total", "Accepted REGISTER commands.", float64(s.Registrations.Load()))
 			p.Counter("registry_lists_total", "LIST commands served.", float64(s.Lists.Load()))
+			p.Counter("registry_downs_total", "Relays marked down after TTL lapse.", float64(s.Downs.Load()))
 			p.Gauge("registry_live_relays", "Relays currently registered and unexpired.", float64(len(s.List())))
 			p.Histogram("registry_command_latency_seconds", "Wire-command handling times.", s.LatencySnapshot())
-			return p.Bytes()
-		}))
-		go func() {
-			if err := httpx.Serve(ctx, mux, *metrics); err != nil {
-				log.Printf("metrics server: %v", err)
-			}
-		}()
-		fmt.Printf("metrics on http://%s/debug/vars and /metrics\n", *metrics)
+		},
+		Ready: ready,
 	}
+	d.ServeMetrics(ctx, *metrics, logger)
 	if *pprofAddr != "" {
 		go func() {
 			if err := httpx.ServePprof(ctx, *pprofAddr); err != nil {
-				log.Printf("pprof server: %v", err)
+				logger.Error("pprof server failed", "err", err)
 			}
 		}()
-		fmt.Printf("pprof on http://%s/debug/pprof/\n", *pprofAddr)
+		logger.Info("pprof serving", "addr", *pprofAddr)
 	}
 
+	// The stats logger stops with the signal context (ranging over the
+	// ticker would leak the goroutine past shutdown).
 	if *statsEvery > 0 {
 		ticker := time.NewTicker(*statsEvery)
-		defer ticker.Stop()
 		go func() {
-			for range ticker.C {
-				fmt.Printf("registryd: %d live relays\n", len(s.List()))
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					logger.Info("stats", "live_relays", len(s.List()),
+						"registrations", s.Registrations.Load())
+				case <-ctx.Done():
+					return
+				}
 			}
 		}()
 	}
 
 	<-ctx.Done()
-	fmt.Println("registryd: shutting down")
+	logger.Info("shutting down", "registrations", s.Registrations.Load())
 	l.Close()
 }

@@ -9,22 +9,30 @@
 // With -metrics set, live counters (requests handled, bytes relayed —
 // the raw material of the paper's §V utilization analysis) are served
 // as JSON on /debug/vars, Prometheus text format on /metrics (including
-// the forward-latency histogram), and /healthz for liveness. With
-// -trace set, the relay records forward/dial/ttfb/stream spans per
-// request — continuing the client's x-trace — and archives them as
-// JSONL on shutdown. -pprof serves net/http/pprof on a separate address.
+// the forward-latency histogram and per-origin path-health gauges),
+// per-path health as JSON on /debug/paths, SLO burn windows on
+// /debug/slo, liveness on /healthz, and readiness on /readyz (the
+// listener must be up and — when -registry is set — the registry still
+// accepting heartbeats). With -trace set, the relay records
+// forward/dial/ttfb/stream spans per request — continuing the client's
+// x-trace — and archives them as JSONL on shutdown. -pprof serves
+// net/http/pprof on a separate address. Logging is structured (slog);
+// see -log-format, -log-level, and -log-components.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"net"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"repro/internal/daemon"
 	"repro/internal/httpx"
 	"repro/internal/obs"
 	"repro/internal/registry"
@@ -35,72 +43,108 @@ import (
 func main() {
 	listen := flag.String("listen", "127.0.0.1:8081", "listen address")
 	metrics := flag.String("metrics", "", "metrics endpoint address (empty = off)")
-	statsEvery := flag.Duration("stats", 30*time.Second, "stats print interval (0 = off)")
+	statsEvery := flag.Duration("stats", 30*time.Second, "stats log interval (0 = off)")
 	regAddr := flag.String("registry", "", "registry address to self-register with (optional)")
 	name := flag.String("name", "relay", "relay name used when registering")
 	ttl := flag.Duration("ttl", time.Minute, "registration TTL")
 	tracePath := flag.String("trace", "", "write span archive (JSONL) here on shutdown (empty = tracing off)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = off)")
+	mkLog := daemon.LogFlags()
 	flag.Parse()
+	logger := mkLog("relayd")
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	r := &relay.Relay{}
+	slo := obs.NewSLOTracker(obs.SLOConfig{})
+	r := &relay.Relay{
+		Health: obs.NewHealthMonitor(obs.HealthConfig{Clock: obs.WallClock(), SLO: slo}),
+	}
 	var spans *obs.SpanCollector
 	if *tracePath != "" {
 		spans = obs.NewSpanCollector(0)
 		r.Spans = spans
 	}
-	l, err := r.ServeAddr(*listen)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("relayd listening on %s\n", l.Addr())
 
-	if *metrics != "" {
-		mux := httpx.NewVarsMux(func() any {
-			return map[string]any{
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		logger.Error("listen failed", "addr", *listen, "err", err)
+		os.Exit(1)
+	}
+	var listenerUp atomic.Bool
+	listenerUp.Store(true)
+	go func() {
+		defer listenerUp.Store(false)
+		if err := r.Serve(l); err != nil {
+			logger.Error("serve failed", "err", err)
+		}
+	}()
+	logger.Info("listening", "addr", l.Addr().String())
+
+	ready := httpx.NewReady()
+	ready.AddLive("listener", func() error {
+		if !listenerUp.Load() {
+			return errors.New("listener closed")
+		}
+		return nil
+	})
+
+	var hb *registry.HeartbeatState
+	if *regAddr != "" {
+		hbStop := make(chan struct{})
+		defer close(hbStop)
+		hb, err = registry.StartHeartbeat(*regAddr, *name, l.Addr().String(), *ttl,
+			aggregateHealth(r.Health), hbStop)
+		if err != nil {
+			logger.Error("registration failed", "registry", *regAddr, "err", err)
+			os.Exit(1)
+		}
+		ready.AddReady("registry", func() error {
+			if hb.OK() {
+				return nil
+			}
+			return fmt.Errorf("heartbeat failing: %v (last ok %s)", hb.Err(),
+				hb.LastOK().Format(time.RFC3339))
+		})
+		logger.Info("registered", "name", *name, "registry", *regAddr, "ttl", *ttl)
+	}
+
+	d := &daemon.Daemon{
+		Prefix: "relay",
+		Vars: func() any {
+			v := map[string]any{
 				"requests":      r.Requests.Load(),
 				"bytes_relayed": r.BytesRelayed.Load(),
 				"spans_seen":    spans.Seen(),
 				"spans_dropped": spans.Dropped(),
 			}
-		})
-		mux.Handle("/metrics", httpx.PromHandler(func() []byte {
-			p := obs.NewProm()
+			if hb != nil {
+				v["registry_ok"] = hb.OK()
+				v["registry_last_ok"] = hb.LastOK().Format(time.RFC3339)
+			}
+			return v
+		},
+		Prom: func(p *obs.Prom) {
 			p.Counter("relay_requests_total", "Requests handled, including failures.", float64(r.Requests.Load()))
 			p.Counter("relay_bytes_relayed_total", "Response-body bytes forwarded to clients.", float64(r.BytesRelayed.Load()))
 			p.Counter("relay_spans_total", "Tracing spans recorded.", float64(spans.Seen()))
 			p.Histogram("relay_forward_latency_seconds", "Request forwarding times.", r.LatencySnapshot())
-			return p.Bytes()
-		}))
-		go func() {
-			if err := httpx.Serve(ctx, mux, *metrics); err != nil {
-				log.Printf("metrics server: %v", err)
-			}
-		}()
-		fmt.Printf("metrics on http://%s/debug/vars and /metrics\n", *metrics)
+		},
+		Health: r.Health,
+		SLO:    slo,
+		Ready:  ready,
 	}
+	d.ServeMetrics(ctx, *metrics, logger)
 	if *pprofAddr != "" {
 		go func() {
 			if err := httpx.ServePprof(ctx, *pprofAddr); err != nil {
-				log.Printf("pprof server: %v", err)
+				logger.Error("pprof server failed", "err", err)
 			}
 		}()
-		fmt.Printf("pprof on http://%s/debug/pprof/\n", *pprofAddr)
+		logger.Info("pprof serving", "addr", *pprofAddr)
 	}
 
-	if *regAddr != "" {
-		hbStop := make(chan struct{})
-		defer close(hbStop)
-		if err := registry.Heartbeat(*regAddr, *name, l.Addr().String(), *ttl, hbStop); err != nil {
-			log.Fatalf("registration failed: %v", err)
-		}
-		fmt.Printf("registered as %q with %s (ttl %v)\n", *name, *regAddr, *ttl)
-	}
-
-	// The stats printer stops with the signal context rather than ranging
+	// The stats logger stops with the signal context rather than ranging
 	// over the ticker forever, so it can't interleave a periodic line with
 	// (or outlive) the shutdown summary below.
 	var statsDone chan struct{}
@@ -113,8 +157,8 @@ func main() {
 			for {
 				select {
 				case <-ticker.C:
-					fmt.Printf("relayd: %d requests, %d bytes relayed\n",
-						r.Requests.Load(), r.BytesRelayed.Load())
+					logger.Info("stats", "requests", r.Requests.Load(),
+						"bytes_relayed", r.BytesRelayed.Load())
 				case <-ctx.Done():
 					return
 				}
@@ -126,15 +170,33 @@ func main() {
 	if statsDone != nil {
 		<-statsDone
 	}
-	fmt.Printf("relayd: shutting down (%d requests, %d bytes relayed)\n",
-		r.Requests.Load(), r.BytesRelayed.Load())
+	logger.Info("shutting down", "requests", r.Requests.Load(),
+		"bytes_relayed", r.BytesRelayed.Load())
 	l.Close()
 	if *tracePath != "" {
 		if err := writeSpans(*tracePath, spans); err != nil {
-			log.Printf("span archive: %v", err)
+			logger.Error("span archive failed", "path", *tracePath, "err", err)
 		} else {
-			fmt.Printf("relayd: %d spans archived to %s\n", len(spans.Spans()), *tracePath)
+			logger.Info("spans archived", "path", *tracePath, "count", len(spans.Spans()))
 		}
+	}
+}
+
+// aggregateHealth folds the per-origin path scores into the single
+// scalar the relay self-reports to the registry: the mean score, or
+// unreported before any traffic (ranking a silent relay last is the
+// conservative choice).
+func aggregateHealth(m *obs.HealthMonitor) func() float64 {
+	return func() float64 {
+		snap := m.Snapshot()
+		if len(snap.Paths) == 0 {
+			return registry.HealthUnreported
+		}
+		sum := 0.0
+		for _, p := range snap.Paths {
+			sum += p.Score
+		}
+		return sum / float64(len(snap.Paths))
 	}
 }
 

@@ -164,6 +164,34 @@ type (
 	TraceNode = obs.TraceNode
 	// HistogramSnapshot is a point-in-time histogram copy with quantiles.
 	HistogramSnapshot = obs.HistogramSnapshot
+
+	// Path-health telemetry types (attach a monitor with
+	// WithHealthMonitor).
+	//
+	// HealthMonitor folds transfer outcomes into per-path rolling windows
+	// and keeps a damped health state per path.
+	HealthMonitor = obs.HealthMonitor
+	// HealthConfig parameterizes a HealthMonitor (zero value = defaults).
+	HealthConfig = obs.HealthConfig
+	// HealthState is a path's damped condition.
+	HealthState = obs.HealthState
+	// HealthSnapshot is a monitor's full per-path view at one instant.
+	HealthSnapshot = obs.HealthSnapshot
+	// PathHealthInfo is one path's point-in-time health view in a
+	// snapshot.
+	PathHealthInfo = obs.PathHealth
+	// HealthTransition is one committed health-state change.
+	HealthTransition = obs.HealthTransition
+
+	// SLO burn-window types.
+	//
+	// SLOTracker accumulates request outcomes against availability and
+	// latency objectives over fast/slow burn windows.
+	SLOTracker = obs.SLOTracker
+	// SLOConfig declares the objectives (zero value = defaults).
+	SLOConfig = obs.SLOConfig
+	// SLOSnapshot is a tracker's full state at one instant.
+	SLOSnapshot = obs.SLOSnapshot
 )
 
 // Observability error classes.
@@ -182,6 +210,14 @@ const (
 	PoolPark    = obs.PoolPark
 	PoolEvict   = obs.PoolEvict
 	PoolDiscard = obs.PoolDiscard
+)
+
+// Damped path-health states, best to worst.
+const (
+	HealthUnknown  = obs.HealthUnknown
+	HealthHealthy  = obs.HealthHealthy
+	HealthDegraded = obs.HealthDegraded
+	HealthDown     = obs.HealthDown
 )
 
 // Trace event kinds, one per Observer callback.
@@ -213,6 +249,22 @@ func MultiObserver(observers ...Observer) Observer { return obs.Multi(observers.
 // spans (a default of 4096 when capacity <= 0). Wire it into a client
 // with WithSpans, or into daemons via RelaySpans/OriginSpans fields.
 func NewSpanCollector(capacity int) *SpanCollector { return obs.NewSpanCollector(capacity) }
+
+// NewHealthMonitor returns a path-health monitor with cfg's gaps filled
+// by defaults (60 s window, 12 buckets, 2-evaluation hysteresis). Wire
+// it into a client with WithHealthMonitor, or feed daemons through the
+// Relay/Origin Health fields.
+func NewHealthMonitor(cfg HealthConfig) *HealthMonitor { return obs.NewHealthMonitor(cfg) }
+
+// NewSLOTracker returns an SLO burn-window tracker with cfg's gaps
+// filled by defaults (99.5% availability, 95% under 1 s, 5 m/1 h
+// windows). Set it as a HealthConfig.SLO so health folds feed it.
+func NewSLOTracker(cfg SLOConfig) *SLOTracker { return obs.NewSLOTracker(cfg) }
+
+// HealthWallClock returns a wall clock (seconds since now) for
+// HealthConfig.Clock in long-running processes; leave Clock nil to run
+// on event time (deterministic with the simulator).
+func HealthWallClock() func() float64 { return obs.WallClock() }
 
 // TraceIDs returns the distinct trace IDs present in spans, first-seen
 // order.

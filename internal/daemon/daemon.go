@@ -1,0 +1,128 @@
+// Package daemon is the shared introspection scaffolding for origind,
+// relayd, and registryd: one place that assembles the debug mux
+// (/healthz, /readyz, /debug/vars, /metrics, and — when the subsystems
+// are wired — /debug/paths and /debug/slo), and the common logging
+// flag plumbing around internal/obs/slogx. The daemons declaring their
+// endpoints through this package means the e2e metrics test exercises
+// exactly the pages the binaries serve, not a parallel reimplementation.
+package daemon
+
+import (
+	"context"
+	"flag"
+	"log/slog"
+	"os"
+
+	"repro/internal/httpx"
+	"repro/internal/obs"
+	"repro/internal/obs/slogx"
+)
+
+// Daemon describes one process's introspection surface.
+type Daemon struct {
+	// Prefix namespaces the Prometheus families ("origin", "relay",
+	// "registry").
+	Prefix string
+	// Vars builds the /debug/vars payload; nil serves an empty object.
+	Vars func() any
+	// Prom appends the daemon's own metric families to a scrape; the
+	// health and SLO families are appended automatically when those
+	// subsystems are set.
+	Prom func(p *obs.Prom)
+	// Health, when set, adds /debug/paths and the per-path health
+	// gauges to /metrics.
+	Health *obs.HealthMonitor
+	// SLO, when set, adds /debug/slo and the burn-rate families to
+	// /metrics.
+	SLO *obs.SLOTracker
+	// Ready backs /healthz and /readyz; nil means unconditionally
+	// healthy (a daemon with no checks yet).
+	Ready *httpx.Ready
+}
+
+// sloNow returns the wall-window time for SLO snapshots: the health
+// monitor's clock when both subsystems share one, else the tracker's
+// own event high-water (-1).
+func (d *Daemon) sloNow() float64 {
+	if d.Health != nil && d.Health.Config().Clock != nil && d.Health.SLO() == d.SLO {
+		return d.Health.Config().Clock()
+	}
+	return -1
+}
+
+// Mux assembles the debug mux.
+func (d *Daemon) Mux() *httpx.Mux {
+	vars := d.Vars
+	if vars == nil {
+		vars = func() any { return map[string]any{} }
+	}
+	mux := httpx.NewReadyMux(vars, d.Ready)
+	mux.Handle("/metrics", httpx.PromHandler(func() []byte {
+		p := obs.NewProm()
+		if d.Prom != nil {
+			d.Prom(p)
+		}
+		if d.Health != nil {
+			d.Health.Snapshot().WriteProm(p, d.Prefix)
+		}
+		if d.SLO != nil {
+			d.SLO.Snapshot(d.sloNow()).WriteProm(p, d.Prefix)
+		}
+		return p.Bytes()
+	}))
+	if d.Health != nil {
+		mux.Handle("/debug/paths", httpx.JSONHandler(func() any {
+			return d.Health.Snapshot()
+		}))
+	}
+	if d.SLO != nil {
+		mux.Handle("/debug/slo", httpx.JSONHandler(func() any {
+			return d.SLO.Snapshot(d.sloNow())
+		}))
+	}
+	return mux
+}
+
+// ServeMetrics starts the debug server on addr in the background,
+// logging the terminal error (if any) through logger. No-op when addr
+// is empty.
+func (d *Daemon) ServeMetrics(ctx context.Context, addr string, logger *slog.Logger) {
+	if addr == "" {
+		return
+	}
+	mux := d.Mux()
+	go func() {
+		if err := httpx.Serve(ctx, mux, addr); err != nil {
+			logger.Error("metrics server failed", "addr", addr, "err", err)
+		}
+	}()
+	logger.Info("metrics serving", "addr", addr,
+		"endpoints", "/debug/vars /metrics /healthz /readyz")
+}
+
+// LogFlags registers the shared logging flags (-log-format, -log-level,
+// -log-components) on the default flag set and returns a constructor to
+// call after flag.Parse: it builds the component-labeled root logger
+// (writing to stderr) or exits with a usage error on a bad flag value.
+func LogFlags() func(component string) *slog.Logger {
+	format := flag.String("log-format", "text", "log encoding: text or json")
+	level := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+	components := flag.String("log-components", "", "per-component level overrides, e.g. registry=debug,relay=warn")
+	return func(component string) *slog.Logger {
+		lvl, err := slogx.ParseLevel(*level)
+		if err != nil {
+			slog.Error(err.Error())
+			os.Exit(2)
+		}
+		perComp, err := slogx.ParseComponentLevels(*components)
+		if err != nil {
+			slog.Error(err.Error())
+			os.Exit(2)
+		}
+		return slogx.New(os.Stderr, component, slogx.Config{
+			Format:          *format,
+			Level:           lvl,
+			ComponentLevels: perComp,
+		})
+	}
+}

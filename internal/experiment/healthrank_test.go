@@ -1,0 +1,51 @@
+package experiment
+
+import "testing"
+
+// TestHealthRankedBeatsRandom asserts the telemetry payoff claim: the
+// registry's health-ranked K=10 candidate set delivers mean improvement
+// at least matching uniform random K=10 sets (small tolerance for
+// sampling noise — "matches or beats", not "dominates").
+func TestHealthRankedBeatsRandom(t *testing.T) {
+	r := RunHealthRank(HealthRankParams{Seed: 42})
+	if len(r.Ranked) != 10 {
+		t.Fatalf("ranked set has %d entries, want 10: %v", len(r.Ranked), r.Ranked)
+	}
+	if len(r.RandomAvgs) != 3 {
+		t.Fatalf("random baseline has %d draws, want 3", len(r.RandomAvgs))
+	}
+
+	// The published health values must actually discriminate: the ranked
+	// set's mean health strictly above the full-population mean.
+	rankedHealth, allHealth := 0.0, 0.0
+	for _, name := range r.Ranked {
+		rankedHealth += r.Health[name]
+	}
+	rankedHealth /= float64(len(r.Ranked))
+	for _, v := range r.Health {
+		allHealth += v
+	}
+	allHealth /= float64(len(r.Health))
+	if rankedHealth <= allHealth {
+		t.Errorf("ranked mean health %.3f not above population mean %.3f", rankedHealth, allHealth)
+	}
+
+	if r.RankedAvg < r.RandomAvg-1.0 {
+		t.Errorf("health-ranked K=%d mean improvement %.1f%% below random baseline %.1f%% (draws %v)",
+			r.K, r.RankedAvg, r.RandomAvg, r.RandomAvgs)
+	}
+	t.Logf("ranked %.1f%% vs random %.1f%% (draws %v)", r.RankedAvg, r.RandomAvg, r.RandomAvgs)
+}
+
+func TestHealthRankDefaults(t *testing.T) {
+	p := HealthRankParams{Seed: 1}.withDefaults()
+	if p.K != 10 || p.Scenario.NumIntermediates != 35 {
+		t.Errorf("defaults K=%d inters=%d, want 10 of 35", p.K, p.Scenario.NumIntermediates)
+	}
+	if p.Client != "Duke (client)" {
+		t.Errorf("default client %q", p.Client)
+	}
+	if !p.Config.SequentialProbes || !p.Config.ExcludeProbePhase {
+		t.Error("healthrank must use Section 4 methodology flags")
+	}
+}

@@ -83,14 +83,11 @@ func PromHandler(fn func() []byte) Handler {
 	}
 }
 
-// NewVarsMux returns a mux preloaded with the two standard
-// introspection endpoints: /healthz (liveness) and /debug/vars
-// (vars() as JSON).
+// NewVarsMux returns a mux preloaded with the standard introspection
+// endpoints and no checks (unconditionally healthy). Daemons with real
+// readiness state should use NewReadyMux instead.
 func NewVarsMux(vars func() any) *Mux {
-	m := NewMux()
-	m.Handle("/healthz", TextHandler("ok\n"))
-	m.Handle("/debug/vars", JSONHandler(vars))
-	return m
+	return NewReadyMux(vars, nil)
 }
 
 // StatusText returns the reason phrase for the status codes the server
@@ -107,6 +104,8 @@ func StatusText(code int) string {
 		return "Method Not Allowed"
 	case 500:
 		return "Internal Server Error"
+	case 503:
+		return "Service Unavailable"
 	default:
 		return "Status"
 	}

@@ -76,6 +76,20 @@ func (p *Prom) LabeledCounter(name, help, label string, samples map[string]float
 	}
 }
 
+// LabeledGauge emits one gauge family with one sample per value of a
+// single label, in sorted label order.
+func (p *Prom) LabeledGauge(name, help, label string, samples map[string]float64) {
+	p.head(name, "gauge", help)
+	keys := make([]string, 0, len(samples))
+	for k := range samples {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&p.b, "%s{%s=%q} %s\n", name, label, promLabel(k), promFloat(samples[k]))
+	}
+}
+
 // Histogram emits a cumulative-bucket histogram family from a snapshot.
 // Bucket edges are the snapshot's bin edges, coarsened to at most
 // promHistMaxBuckets explicit le bounds plus +Inf; underflow counts into

@@ -1,0 +1,256 @@
+// SLO burn windows: rolling availability and latency objectives over the
+// same bucket-ring machinery the health monitor uses, with fast/slow
+// burn-rate counters in the style of multiwindow SLO alerting. A burn
+// rate of 1.0 means the error budget is being consumed exactly as fast
+// as the objective allows; sustained rates above ~2 on the fast window
+// are the classic page condition.
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// SLOConfig declares the objectives. The zero value gets defaults
+// (99.5% availability, 95% of requests under 1 s, 5 m / 1 h windows).
+type SLOConfig struct {
+	// AvailabilityObjective is the target success fraction (default
+	// 0.995).
+	AvailabilityObjective float64
+	// LatencyObjective is the target fraction of successes faster than
+	// LatencyThreshold (default 0.95).
+	LatencyObjective float64
+	// LatencyThreshold in seconds (default 1.0).
+	LatencyThreshold float64
+
+	// FastWindow and SlowWindow are the burn-rate windows in seconds
+	// (defaults 300 and 3600). FastBuckets/SlowBuckets set each ring's
+	// granularity (defaults 30 and 60).
+	FastWindow  float64
+	SlowWindow  float64
+	FastBuckets int
+	SlowBuckets int
+}
+
+func (c SLOConfig) withDefaults() SLOConfig {
+	if c.AvailabilityObjective <= 0 || c.AvailabilityObjective >= 1 {
+		c.AvailabilityObjective = 0.995
+	}
+	if c.LatencyObjective <= 0 || c.LatencyObjective >= 1 {
+		c.LatencyObjective = 0.95
+	}
+	if c.LatencyThreshold <= 0 {
+		c.LatencyThreshold = 1.0
+	}
+	if c.FastWindow <= 0 {
+		c.FastWindow = 300
+	}
+	if c.SlowWindow <= 0 {
+		c.SlowWindow = 3600
+	}
+	if c.FastBuckets <= 0 {
+		c.FastBuckets = 30
+	}
+	if c.SlowBuckets <= 0 {
+		c.SlowBuckets = 60
+	}
+	return c
+}
+
+// sloBucket is one time slice of good/bad counts for both objectives.
+type sloBucket struct {
+	num     int64
+	total   int64
+	failed  int64 // availability violations
+	slow    int64 // latency violations (successes over threshold)
+	latencN int64 // successes with a usable latency sample
+}
+
+// sloRing is one window's bucket ring.
+type sloRing struct {
+	width   float64
+	buckets []sloBucket
+}
+
+func newSLORing(window float64, n int) sloRing {
+	return sloRing{width: window / float64(n), buckets: make([]sloBucket, n)}
+}
+
+func (r *sloRing) bucket(t float64) *sloBucket {
+	if t < 0 {
+		t = 0
+	}
+	num := int64(t / r.width)
+	b := &r.buckets[num%int64(len(r.buckets))]
+	if b.num != num {
+		*b = sloBucket{num: num}
+	}
+	return b
+}
+
+func (r *sloRing) sum(now float64) (total, failed, slow, latencN int64) {
+	oldest := int64(now/r.width) - int64(len(r.buckets)) + 1
+	for i := range r.buckets {
+		b := &r.buckets[i]
+		if b.num < oldest || b.total == 0 {
+			continue
+		}
+		total += b.total
+		failed += b.failed
+		slow += b.slow
+		latencN += b.latencN
+	}
+	return
+}
+
+// SLOTracker accumulates request outcomes against the configured
+// objectives. Safe for concurrent use. Feed it directly with ObserveAt,
+// or set it as a HealthMonitor's SLO so every health fold also lands
+// here.
+type SLOTracker struct {
+	cfg SLOConfig
+
+	mu      sync.Mutex
+	fast    sloRing
+	slow    sloRing
+	hiwater float64
+
+	// lifetime counters (never rotate out)
+	total  int64
+	failed int64
+	slowN  int64
+}
+
+// NewSLOTracker returns a tracker with cfg's gaps filled by defaults.
+func NewSLOTracker(cfg SLOConfig) *SLOTracker {
+	cfg = cfg.withDefaults()
+	return &SLOTracker{
+		cfg:  cfg,
+		fast: newSLORing(cfg.FastWindow, cfg.FastBuckets),
+		slow: newSLORing(cfg.SlowWindow, cfg.SlowBuckets),
+	}
+}
+
+// Config returns the tracker's effective configuration.
+func (t *SLOTracker) Config() SLOConfig { return t.cfg }
+
+// ObserveAt records one request outcome at time ts (seconds): ok is
+// availability; latency (seconds, successes only; <= 0 means no sample)
+// is checked against the threshold.
+func (t *SLOTracker) ObserveAt(ts float64, ok bool, latency float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ts > t.hiwater {
+		t.hiwater = ts
+	}
+	for _, r := range []*sloRing{&t.fast, &t.slow} {
+		b := r.bucket(ts)
+		b.total++
+		if !ok {
+			b.failed++
+		} else if latency > 0 {
+			b.latencN++
+			if latency > t.cfg.LatencyThreshold {
+				b.slow++
+			}
+		}
+	}
+	t.total++
+	if !ok {
+		t.failed++
+	} else if latency > 0 && latency > t.cfg.LatencyThreshold {
+		t.slowN++
+	}
+}
+
+// SLOWindow is one window's compliance view for one objective.
+type SLOWindow struct {
+	Window float64 `json:"window_s"`
+	Total  int64   `json:"total"`
+	Bad    int64   `json:"bad"`
+	// Compliance is the good fraction (1 with no samples).
+	Compliance float64 `json:"compliance"`
+	// BurnRate is badFraction / (1 − objective): 1.0 burns the error
+	// budget exactly at the allowed rate, 0 means no burn.
+	BurnRate float64 `json:"burn_rate"`
+}
+
+// SLOSnapshot is the tracker's full state at one instant, the
+// /debug/slo payload.
+type SLOSnapshot struct {
+	Time float64 `json:"time"`
+
+	AvailabilityObjective float64 `json:"availability_objective"`
+	LatencyObjective      float64 `json:"latency_objective"`
+	LatencyThreshold      float64 `json:"latency_threshold_s"`
+
+	AvailabilityFast SLOWindow `json:"availability_fast"`
+	AvailabilitySlow SLOWindow `json:"availability_slow"`
+	LatencyFast      SLOWindow `json:"latency_fast"`
+	LatencySlow      SLOWindow `json:"latency_slow"`
+
+	// Lifetime counters, for burn accounting across window rotation.
+	Total       int64 `json:"total"`
+	FailedTotal int64 `json:"failed_total"`
+	SlowTotal   int64 `json:"slow_total"`
+}
+
+// JSON renders the snapshot as indented JSON. Built from plain fields,
+// so marshaling cannot fail.
+func (s SLOSnapshot) JSON() []byte {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		panic("obs: slo snapshot marshal: " + err.Error())
+	}
+	return b
+}
+
+func sloWindow(window float64, total, bad int64, objective float64) SLOWindow {
+	w := SLOWindow{Window: window, Total: total, Bad: bad, Compliance: 1}
+	if total > 0 {
+		w.Compliance = 1 - float64(bad)/float64(total)
+		w.BurnRate = (float64(bad) / float64(total)) / (1 - objective)
+	}
+	return w
+}
+
+// Snapshot captures both objectives over both windows at time now
+// (pass a negative now to use the tracker's high-water event time).
+func (t *SLOTracker) Snapshot(now float64) SLOSnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if now < 0 {
+		now = t.hiwater
+	}
+	s := SLOSnapshot{
+		Time:                  now,
+		AvailabilityObjective: t.cfg.AvailabilityObjective,
+		LatencyObjective:      t.cfg.LatencyObjective,
+		LatencyThreshold:      t.cfg.LatencyThreshold,
+		Total:                 t.total,
+		FailedTotal:           t.failed,
+		SlowTotal:             t.slowN,
+	}
+	ftot, ffail, fslow, flat := t.fast.sum(now)
+	stot, sfail, sslow, slat := t.slow.sum(now)
+	s.AvailabilityFast = sloWindow(t.cfg.FastWindow, ftot, ffail, t.cfg.AvailabilityObjective)
+	s.AvailabilitySlow = sloWindow(t.cfg.SlowWindow, stot, sfail, t.cfg.AvailabilityObjective)
+	s.LatencyFast = sloWindow(t.cfg.FastWindow, flat, fslow, t.cfg.LatencyObjective)
+	s.LatencySlow = sloWindow(t.cfg.SlowWindow, slat, sslow, t.cfg.LatencyObjective)
+	return s
+}
+
+// WriteProm renders the SLO view as Prometheus families under prefix:
+// burn-rate and compliance gauges per objective/window plus the
+// lifetime counters.
+func (s SLOSnapshot) WriteProm(p *Prom, prefix string) {
+	p.Gauge(prefix+"_slo_availability_burn_fast", "Availability burn rate over the fast window.", s.AvailabilityFast.BurnRate)
+	p.Gauge(prefix+"_slo_availability_burn_slow", "Availability burn rate over the slow window.", s.AvailabilitySlow.BurnRate)
+	p.Gauge(prefix+"_slo_latency_burn_fast", "Latency burn rate over the fast window.", s.LatencyFast.BurnRate)
+	p.Gauge(prefix+"_slo_latency_burn_slow", "Latency burn rate over the slow window.", s.LatencySlow.BurnRate)
+	p.Gauge(prefix+"_slo_availability_compliance_fast", "Availability compliance over the fast window.", s.AvailabilityFast.Compliance)
+	p.Gauge(prefix+"_slo_latency_compliance_fast", "Latency compliance over the fast window.", s.LatencyFast.Compliance)
+	p.Counter(prefix+"_slo_requests_total", "Requests folded into the SLO tracker.", float64(s.Total))
+	p.Counter(prefix+"_slo_failed_total", "Availability violations (failed requests).", float64(s.FailedTotal))
+	p.Counter(prefix+"_slo_slow_total", "Latency violations (successes over threshold).", float64(s.SlowTotal))
+}

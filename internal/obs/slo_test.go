@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestSLODefaultsAndBurnMath(t *testing.T) {
+	tr := NewSLOTracker(SLOConfig{})
+	cfg := tr.Config()
+	if cfg.AvailabilityObjective != 0.995 || cfg.LatencyThreshold != 1.0 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+	// 99 ok + 1 failure = 1% bad against a 0.5% budget: burn rate 2.
+	for i := 0; i < 99; i++ {
+		tr.ObserveAt(float64(i)*0.1, true, 0.01)
+	}
+	tr.ObserveAt(9.9, false, 0)
+	s := tr.Snapshot(-1)
+	if s.AvailabilityFast.Total != 100 || s.AvailabilityFast.Bad != 1 {
+		t.Fatalf("fast window = %+v, want 100 total / 1 bad", s.AvailabilityFast)
+	}
+	if got, want := s.AvailabilityFast.BurnRate, 2.0; got < want-0.01 || got > want+0.01 {
+		t.Fatalf("availability burn = %v, want ~%v", got, want)
+	}
+	// No latency violations: zero burn, full compliance.
+	if s.LatencyFast.BurnRate != 0 || s.LatencyFast.Compliance != 1 {
+		t.Fatalf("latency window = %+v, want no burn", s.LatencyFast)
+	}
+}
+
+func TestSLOLatencyViolations(t *testing.T) {
+	tr := NewSLOTracker(SLOConfig{LatencyThreshold: 0.1, LatencyObjective: 0.9})
+	for i := 0; i < 8; i++ {
+		tr.ObserveAt(float64(i), true, 0.01)
+	}
+	tr.ObserveAt(8, true, 5.0) // slow success: latency violation only
+	tr.ObserveAt(9, false, 0)  // failure: availability violation only
+	s := tr.Snapshot(-1)
+	if s.LatencyFast.Bad != 1 || s.LatencyFast.Total != 9 {
+		t.Fatalf("latency window = %+v, want 9 total / 1 bad", s.LatencyFast)
+	}
+	if s.AvailabilityFast.Bad != 1 {
+		t.Fatalf("availability bad = %d, want 1", s.AvailabilityFast.Bad)
+	}
+	if s.SlowTotal != 1 || s.FailedTotal != 1 {
+		t.Fatalf("lifetime counters slow=%d failed=%d, want 1/1", s.SlowTotal, s.FailedTotal)
+	}
+}
+
+func TestSLOWindowRotation(t *testing.T) {
+	tr := NewSLOTracker(SLOConfig{FastWindow: 10, FastBuckets: 10, SlowWindow: 100, SlowBuckets: 10})
+	tr.ObserveAt(0, false, 0)
+	tr.ObserveAt(50, true, 0.01)
+	s := tr.Snapshot(50)
+	// The failure at t=0 has rotated out of the 10 s fast window but is
+	// still inside the 100 s slow window.
+	if s.AvailabilityFast.Bad != 0 {
+		t.Fatalf("fast window still holds rotated failure: %+v", s.AvailabilityFast)
+	}
+	if s.AvailabilitySlow.Bad != 1 {
+		t.Fatalf("slow window lost live failure: %+v", s.AvailabilitySlow)
+	}
+	// Lifetime counters never rotate.
+	if s.FailedTotal != 1 {
+		t.Fatalf("lifetime failed = %d, want 1", s.FailedTotal)
+	}
+}
+
+func TestSLOSnapshotJSONAndProm(t *testing.T) {
+	tr := NewSLOTracker(SLOConfig{})
+	tr.ObserveAt(1, true, 0.05)
+	s := tr.Snapshot(-1)
+	var decoded SLOSnapshot
+	if err := json.Unmarshal(s.JSON(), &decoded); err != nil {
+		t.Fatalf("JSON round-trip: %v", err)
+	}
+	if decoded.Total != 1 {
+		t.Fatalf("decoded total = %d, want 1", decoded.Total)
+	}
+	p := NewProm()
+	s.WriteProm(p, "x")
+	if err := LintProm(p.Bytes()); err != nil {
+		t.Fatalf("prom lint: %v\n%s", err, p.Bytes())
+	}
+}

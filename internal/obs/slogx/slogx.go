@@ -1,0 +1,154 @@
+// Package slogx is the repo's structured-logging setup: log/slog
+// handlers configured by the daemons' -log-format/-log-level flags,
+// per-component level overrides, and a handler wrapper that injects
+// trace/span fields from the active tracing span so every log line can
+// be joined against the stitched cross-process timeline by trace ID.
+//
+// The wrapper reads the same SpanContext that obs.ContextWithSpan
+// stores, so any code already threading a context for tracing gets
+// correlated logs for free; lines logged outside a span carry no
+// trace/span keys at all (absent, not empty-valued), keeping
+// field-existence queries meaningful.
+package slogx
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// Field names the trace handler injects.
+const (
+	TraceKey = "trace"
+	SpanKey  = "span"
+	// ComponentKey labels a logger with its subsystem name.
+	ComponentKey = "component"
+)
+
+// Config selects the output encoding and severity floor. Typically
+// built straight from flag values; see ParseLevel and the daemons'
+// -log-format/-log-level flags.
+type Config struct {
+	// Format is "text" (default) or "json".
+	Format string
+	// Level is the minimum severity (default slog.LevelInfo).
+	Level slog.Level
+	// ComponentLevels overrides the floor per component name, e.g.
+	// {"registry": slog.LevelDebug}; matched against the logger's
+	// ComponentKey attribute as set by New/With.
+	ComponentLevels map[string]slog.Level
+}
+
+// ParseLevel maps a flag string to a slog level. Empty means info.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "debug":
+		return slog.LevelDebug, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("slogx: unknown level %q (want debug|info|warn|error)", s)
+}
+
+// ParseComponentLevels parses a "comp=level,comp=level" flag value.
+func ParseComponentLevels(s string) (map[string]slog.Level, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	out := make(map[string]slog.Level)
+	for _, pair := range strings.Split(s, ",") {
+		name, lvl, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("slogx: bad component level %q (want comp=level)", pair)
+		}
+		parsed, err := ParseLevel(lvl)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = parsed
+	}
+	return out, nil
+}
+
+// NewHandler builds the configured base handler writing to w, wrapped
+// with trace injection and per-component levels.
+func NewHandler(w io.Writer, cfg Config) slog.Handler {
+	opts := &slog.HandlerOptions{Level: cfg.Level}
+	var base slog.Handler
+	switch strings.ToLower(cfg.Format) {
+	case "json":
+		base = slog.NewJSONHandler(w, opts)
+	default:
+		base = slog.NewTextHandler(w, opts)
+	}
+	return &traceHandler{
+		base:            base,
+		floor:           cfg.Level,
+		componentLevels: cfg.ComponentLevels,
+	}
+}
+
+// New builds a component-labeled logger writing to w.
+func New(w io.Writer, component string, cfg Config) *slog.Logger {
+	return slog.New(NewHandler(w, cfg)).With(slog.String(ComponentKey, component))
+}
+
+// With returns a child of logger labeled with a (sub)component name.
+func With(logger *slog.Logger, component string) *slog.Logger {
+	return logger.With(slog.String(ComponentKey, component))
+}
+
+// traceHandler wraps a base handler, injecting trace/span attributes
+// from the context's active SpanContext and applying per-component
+// level overrides. It tracks the component attribute through
+// WithAttrs so the override applies no matter where in the chain the
+// label was attached.
+type traceHandler struct {
+	base            slog.Handler
+	floor           slog.Level
+	componentLevels map[string]slog.Level
+	component       string
+}
+
+func (h *traceHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	if lvl, ok := h.componentLevels[h.component]; ok {
+		return level >= lvl
+	}
+	return level >= h.floor
+}
+
+func (h *traceHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if sc, ok := obs.SpanFromContext(ctx); ok {
+		rec = rec.Clone()
+		rec.AddAttrs(
+			slog.String(TraceKey, sc.Trace.String()),
+			slog.String(SpanKey, sc.Span.String()),
+		)
+	}
+	return h.base.Handle(ctx, rec)
+}
+
+func (h *traceHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	next := *h
+	next.base = h.base.WithAttrs(attrs)
+	for _, a := range attrs {
+		if a.Key == ComponentKey && a.Value.Kind() == slog.KindString {
+			next.component = a.Value.String()
+		}
+	}
+	return &next
+}
+
+func (h *traceHandler) WithGroup(name string) slog.Handler {
+	next := *h
+	next.base = h.base.WithGroup(name)
+	return &next
+}

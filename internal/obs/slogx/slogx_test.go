@@ -1,0 +1,127 @@
+package slogx
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// logLine logs one info message through a JSON handler and decodes the
+// emitted line.
+func logLine(t *testing.T, ctx context.Context, cfg Config, component, msg string) map[string]any {
+	t.Helper()
+	var buf bytes.Buffer
+	logger := New(&buf, component, cfg)
+	logger.InfoContext(ctx, msg, "k", "v")
+	if buf.Len() == 0 {
+		return nil
+	}
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("log line not JSON: %v\n%s", err, buf.Bytes())
+	}
+	return m
+}
+
+func TestTraceFieldsInsideSpan(t *testing.T) {
+	col := obs.NewSpanCollector(8)
+	span := col.StartSpan(obs.SpanContext{}, "test", "work")
+	ctx := obs.ContextWithSpan(context.Background(), span.Context())
+
+	m := logLine(t, ctx, Config{Format: "json"}, "client", "hello")
+	trace, ok := m[TraceKey].(string)
+	if !ok || trace != span.Context().Trace.String() {
+		t.Fatalf("trace field = %v, want %s", m[TraceKey], span.Context().Trace)
+	}
+	sp, ok := m[SpanKey].(string)
+	if !ok || sp != span.Context().Span.String() {
+		t.Fatalf("span field = %v, want %s", m[SpanKey], span.Context().Span)
+	}
+	if m[ComponentKey] != "client" || m["k"] != "v" {
+		t.Fatalf("attrs lost: %v", m)
+	}
+	span.EndOK()
+}
+
+func TestTraceFieldsAbsentOutsideSpan(t *testing.T) {
+	m := logLine(t, context.Background(), Config{Format: "json"}, "client", "hello")
+	// The keys must be absent, not present with empty values.
+	if _, present := m[TraceKey]; present {
+		t.Fatalf("trace key present outside span: %v", m)
+	}
+	if _, present := m[SpanKey]; present {
+		t.Fatalf("span key present outside span: %v", m)
+	}
+}
+
+func TestTextFormatAndLevels(t *testing.T) {
+	var buf bytes.Buffer
+	logger := New(&buf, "relay", Config{Format: "text", Level: slog.LevelWarn})
+	logger.Info("suppressed")
+	logger.Warn("visible", "addr", "127.0.0.1:0")
+	out := buf.String()
+	if strings.Contains(out, "suppressed") {
+		t.Fatalf("info line leaked past warn floor:\n%s", out)
+	}
+	if !strings.Contains(out, "visible") || !strings.Contains(out, "component=relay") {
+		t.Fatalf("warn line malformed:\n%s", out)
+	}
+}
+
+func TestComponentLevelOverride(t *testing.T) {
+	cfg := Config{
+		Format:          "json",
+		Level:           slog.LevelWarn,
+		ComponentLevels: map[string]slog.Level{"registry": slog.LevelDebug},
+	}
+	var buf bytes.Buffer
+	handler := NewHandler(&buf, cfg)
+	noisy := slog.New(handler).With(slog.String(ComponentKey, "registry"))
+	quiet := slog.New(handler).With(slog.String(ComponentKey, "relay"))
+	noisy.Debug("registry-debug")
+	quiet.Info("relay-info")
+	out := buf.String()
+	if !strings.Contains(out, "registry-debug") {
+		t.Fatalf("component override did not lower the floor:\n%s", out)
+	}
+	if strings.Contains(out, "relay-info") {
+		t.Fatalf("non-overridden component leaked past the floor:\n%s", out)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"": slog.LevelInfo, "info": slog.LevelInfo, "debug": slog.LevelDebug,
+		"warn": slog.LevelWarn, "warning": slog.LevelWarn, "error": slog.LevelError,
+		"ERROR": slog.LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("ParseLevel accepted garbage")
+	}
+}
+
+func TestParseComponentLevels(t *testing.T) {
+	m, err := ParseComponentLevels("registry=debug, relay=error")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["registry"] != slog.LevelDebug || m["relay"] != slog.LevelError {
+		t.Fatalf("parsed %v", m)
+	}
+	if m2, err := ParseComponentLevels(""); err != nil || m2 != nil {
+		t.Fatalf("empty spec = %v, %v; want nil, nil", m2, err)
+	}
+	if _, err := ParseComponentLevels("nolevel"); err == nil {
+		t.Fatal("accepted pair without =")
+	}
+}

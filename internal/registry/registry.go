@@ -4,12 +4,24 @@
 // "the set of nodes available to a client" from which candidate policies
 // draw — turned into a small service.
 //
+// Registration doubles as a health report: each heartbeat may carry the
+// relay's self-measured health score (its HealthMonitor's view of its
+// upstream paths), the registry records last-seen times, marks entries
+// whose TTL lapses as down (holding them for a grace period before
+// forgetting them), and LISTH serves the candidate set ranked
+// healthiest-first — so a client probing only the top K exercises the
+// paper's §V observation that a small, well-chosen candidate subset
+// captures nearly all the attainable improvement.
+//
 // The wire protocol is line-based over TCP, one session per command:
 //
-//	REGISTER <name> <addr> <ttl-seconds>\n   ->  OK\n
-//	LIST\n                                   ->  <name> <addr>\n ... .\n
+//	REGISTER <name> <addr> <ttl-seconds> [<health 0..1>]\n  ->  OK\n
+//	LIST\n                                  ->  <name> <addr>\n ... .\n
+//	LISTH [<k>]\n                           ->  <name> <addr> <health> <state>\n ... .\n
 //
-// Names and addresses must be token-shaped (no whitespace).
+// Names and addresses must be token-shaped (no whitespace). LISTH
+// returns live entries ranked by health (best first, unreported health
+// ranks below any reported score), truncated to k when given.
 package registry
 
 import (
@@ -36,12 +48,33 @@ var (
 	errShortRead = errors.New("registry: short response")
 )
 
+// HealthUnreported marks an entry whose registrant never sent a health
+// score; it ranks below any reported score.
+const HealthUnreported = -1
+
+// downGraceFactor scales the TTL into the post-expiry grace period: an
+// entry whose TTL lapses is marked down and held for TTL×downGraceFactor
+// so operators (and /debug/vars) can see the outage before the registry
+// forgets the relay existed.
+const downGraceFactor = 2
+
 // Entry is one registered relay.
 type Entry struct {
 	Name string
 	Addr string
 	// Expires is when the entry lapses unless refreshed.
 	Expires time.Time
+	// LastSeen is when the last REGISTER for this name arrived.
+	LastSeen time.Time
+	// TTL is the registration's lifetime, as most recently reported.
+	TTL time.Duration
+	// Health is the registrant's self-reported health score in [0, 1],
+	// or HealthUnreported.
+	Health float64
+	// Down marks an entry whose TTL lapsed without a refresh; down
+	// entries are excluded from LIST/ListRanked and dropped entirely
+	// once the grace period passes.
+	Down bool
 }
 
 // Server is the registry service. The zero value is ready to use; set
@@ -54,8 +87,10 @@ type Server struct {
 	// Registrations counts accepted REGISTER commands received over the
 	// wire (in-process Register calls are not counted).
 	Registrations atomic.Int64
-	// Lists counts LIST commands served over the wire.
+	// Lists counts LIST and LISTH commands served over the wire.
 	Lists atomic.Int64
+	// Downs counts entries marked down by TTL expiry.
+	Downs atomic.Int64
 
 	mu      sync.Mutex
 	entries map[string]Entry
@@ -74,37 +109,107 @@ func (s *Server) now() time.Time {
 	return time.Now()
 }
 
-// Register inserts or refreshes an entry.
+// Register inserts or refreshes an entry with no health report.
 func (s *Server) Register(name, addr string, ttl time.Duration) error {
+	return s.RegisterHealth(name, addr, ttl, HealthUnreported)
+}
+
+// RegisterHealth inserts or refreshes an entry carrying the
+// registrant's self-reported health score. A refresh clears any down
+// mark — the relay is back.
+func (s *Server) RegisterHealth(name, addr string, ttl time.Duration, health float64) error {
 	if name == "" || addr == "" || strings.ContainsAny(name+addr, " \t\r\n") {
 		return ErrBadName
 	}
 	if ttl <= 0 {
 		return ErrBadTTL
 	}
+	if health != HealthUnreported {
+		if health < 0 {
+			health = 0
+		}
+		if health > 1 {
+			health = 1
+		}
+	}
+	now := s.now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.entries == nil {
 		s.entries = make(map[string]Entry)
 	}
-	s.entries[name] = Entry{Name: name, Addr: addr, Expires: s.now().Add(ttl)}
+	s.entries[name] = Entry{
+		Name: name, Addr: addr,
+		Expires: now.Add(ttl), LastSeen: now, TTL: ttl,
+		Health: health,
+	}
 	return nil
 }
 
-// List returns the live entries sorted by name, dropping lapsed ones.
+// sweep applies TTL expiry under s.mu: lapsed entries are marked down;
+// down entries past their grace are deleted.
+func (s *Server) sweep(now time.Time) {
+	for name, e := range s.entries {
+		if e.Down {
+			if now.After(e.Expires.Add(downGraceFactor * e.TTL)) {
+				delete(s.entries, name)
+			}
+			continue
+		}
+		if e.Expires.Before(now) {
+			e.Down = true
+			s.entries[name] = e
+			s.Downs.Add(1)
+		}
+	}
+}
+
+// List returns the live entries sorted by name. Entries whose TTL
+// lapsed are excluded (marked down, then forgotten after the grace).
 func (s *Server) List() []Entry {
 	now := s.now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.sweep(now)
 	var out []Entry
-	for name, e := range s.entries {
-		if e.Expires.Before(now) {
-			delete(s.entries, name)
-			continue
+	for _, e := range s.entries {
+		if !e.Down {
+			out = append(out, e)
 		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ListAll returns every tracked entry — live and down — sorted by name,
+// for the /debug/vars view.
+func (s *Server) ListAll() []Entry {
+	now := s.now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweep(now)
+	out := make([]Entry, 0, len(s.entries))
+	for _, e := range s.entries {
 		out = append(out, e)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ListRanked returns up to k live entries ranked healthiest-first:
+// reported health descending (unreported ranks last), ties by name.
+// k <= 0 means all.
+func (s *Server) ListRanked(k int) []Entry {
+	out := s.List()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Health != out[j].Health {
+			return out[i].Health > out[j].Health
+		}
+		return out[i].Name < out[j].Name
+	})
+	if k > 0 && k < len(out) {
+		out = out[:k]
+	}
 	return out
 }
 
@@ -156,8 +261,8 @@ func (s *Server) handle(conn net.Conn) {
 	}
 	switch fields[0] {
 	case "REGISTER":
-		if len(fields) != 4 {
-			fmt.Fprintf(conn, "ERR usage: REGISTER name addr ttl\n")
+		if len(fields) != 4 && len(fields) != 5 {
+			fmt.Fprintf(conn, "ERR usage: REGISTER name addr ttl [health]\n")
 			return
 		}
 		ttlSec, err := strconv.Atoi(fields[3])
@@ -165,7 +270,15 @@ func (s *Server) handle(conn net.Conn) {
 			fmt.Fprintf(conn, "ERR bad ttl\n")
 			return
 		}
-		if err := s.Register(fields[1], fields[2], time.Duration(ttlSec)*time.Second); err != nil {
+		health := float64(HealthUnreported)
+		if len(fields) == 5 {
+			health, err = strconv.ParseFloat(fields[4], 64)
+			if err != nil || health < 0 || health > 1 {
+				fmt.Fprintf(conn, "ERR bad health\n")
+				return
+			}
+		}
+		if err := s.RegisterHealth(fields[1], fields[2], time.Duration(ttlSec)*time.Second, health); err != nil {
 			fmt.Fprintf(conn, "ERR %v\n", err)
 			return
 		}
@@ -177,6 +290,25 @@ func (s *Server) handle(conn net.Conn) {
 			fmt.Fprintf(conn, "%s %s\n", e.Name, e.Addr)
 		}
 		fmt.Fprintf(conn, ".\n")
+	case "LISTH":
+		if len(fields) > 2 {
+			fmt.Fprintf(conn, "ERR usage: LISTH [k]\n")
+			return
+		}
+		k := 0
+		if len(fields) == 2 {
+			k, err = strconv.Atoi(fields[1])
+			if err != nil || k < 0 {
+				fmt.Fprintf(conn, "ERR bad k\n")
+				return
+			}
+		}
+		s.Lists.Add(1)
+		for _, e := range s.ListRanked(k) {
+			fmt.Fprintf(conn, "%s %s %s up\n", e.Name, e.Addr,
+				strconv.FormatFloat(e.Health, 'g', 6, 64))
+		}
+		fmt.Fprintf(conn, ".\n")
 	default:
 		fmt.Fprintf(conn, "ERR unknown command %q\n", fields[0])
 	}
@@ -184,13 +316,24 @@ func (s *Server) handle(conn net.Conn) {
 
 // Register performs one REGISTER call against the registry at regAddr.
 func Register(regAddr, name, relayAddr string, ttl time.Duration) error {
+	return RegisterHealth(regAddr, name, relayAddr, ttl, HealthUnreported)
+}
+
+// RegisterHealth performs one REGISTER call carrying a health score
+// (HealthUnreported omits it).
+func RegisterHealth(regAddr, name, relayAddr string, ttl time.Duration, health float64) error {
 	conn, err := net.Dial("tcp", regAddr)
 	if err != nil {
 		return err
 	}
 	defer conn.Close()
 	conn.SetDeadline(time.Now().Add(10 * time.Second))
-	fmt.Fprintf(conn, "REGISTER %s %s %d\n", name, relayAddr, int(ttl.Seconds()))
+	if health == HealthUnreported {
+		fmt.Fprintf(conn, "REGISTER %s %s %d\n", name, relayAddr, int(ttl.Seconds()))
+	} else {
+		fmt.Fprintf(conn, "REGISTER %s %s %d %s\n", name, relayAddr, int(ttl.Seconds()),
+			strconv.FormatFloat(health, 'g', 6, 64))
+	}
 	line, err := bufio.NewReader(conn).ReadString('\n')
 	if err != nil {
 		return fmt.Errorf("%w: %v", errShortRead, err)
@@ -203,13 +346,27 @@ func Register(regAddr, name, relayAddr string, ttl time.Duration) error {
 
 // List fetches the live relay set from the registry at regAddr.
 func List(regAddr string) ([]Entry, error) {
+	return listWire(regAddr, "LIST\n", false)
+}
+
+// ListRanked fetches up to k live relays ranked healthiest-first from
+// the registry at regAddr (k <= 0 means all).
+func ListRanked(regAddr string, k int) ([]Entry, error) {
+	cmd := "LISTH\n"
+	if k > 0 {
+		cmd = fmt.Sprintf("LISTH %d\n", k)
+	}
+	return listWire(regAddr, cmd, true)
+}
+
+func listWire(regAddr, cmd string, ranked bool) ([]Entry, error) {
 	conn, err := net.Dial("tcp", regAddr)
 	if err != nil {
 		return nil, err
 	}
 	defer conn.Close()
 	conn.SetDeadline(time.Now().Add(10 * time.Second))
-	fmt.Fprintf(conn, "LIST\n")
+	fmt.Fprint(conn, cmd)
 	br := bufio.NewReader(conn)
 	var out []Entry
 	for {
@@ -221,12 +378,64 @@ func List(regAddr string) ([]Entry, error) {
 		if line == "." {
 			return out, nil
 		}
-		name, addr, ok := strings.Cut(line, " ")
-		if !ok {
+		fields := strings.Fields(line)
+		e := Entry{Health: HealthUnreported}
+		switch {
+		case !ranked && len(fields) == 2:
+			e.Name, e.Addr = fields[0], fields[1]
+		case ranked && len(fields) == 4:
+			e.Name, e.Addr = fields[0], fields[1]
+			h, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %q", ErrBadEntry, line)
+			}
+			e.Health = h
+		default:
 			return nil, fmt.Errorf("%w: %q", ErrBadEntry, line)
 		}
-		out = append(out, Entry{Name: name, Addr: addr})
+		out = append(out, e)
 	}
+}
+
+// HeartbeatState is the observable status of a background heartbeat,
+// feeding the relay daemon's readiness check.
+type HeartbeatState struct {
+	mu     sync.Mutex
+	lastOK time.Time
+	err    error
+	ok     bool
+}
+
+func (h *HeartbeatState) set(err error, now time.Time) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.err = err
+	h.ok = err == nil
+	if err == nil {
+		h.lastOK = now
+	}
+}
+
+// OK reports whether the most recent registration attempt succeeded.
+func (h *HeartbeatState) OK() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.ok
+}
+
+// LastOK returns when the registry last accepted a registration (zero
+// if never).
+func (h *HeartbeatState) LastOK() time.Time {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.lastOK
+}
+
+// Err returns the most recent registration error, nil after a success.
+func (h *HeartbeatState) Err() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.err
 }
 
 // Heartbeat keeps name registered at regAddr until stop is closed,
@@ -234,8 +443,29 @@ func List(regAddr string) ([]Entry, error) {
 // tick; the first registration happens immediately and its error is
 // returned so callers can fail fast on misconfiguration.
 func Heartbeat(regAddr, name, relayAddr string, ttl time.Duration, stop <-chan struct{}) error {
-	if err := Register(regAddr, name, relayAddr, ttl); err != nil {
-		return err
+	_, err := StartHeartbeat(regAddr, name, relayAddr, ttl, nil, stop)
+	return err
+}
+
+// StartHeartbeat is Heartbeat with two additions: each registration
+// carries the current value of health (nil means unreported), and the
+// returned HeartbeatState tracks whether the registry is still
+// accepting refreshes — the relay daemon's registry-reachability
+// readiness signal. The first registration happens synchronously and
+// its error is returned.
+func StartHeartbeat(regAddr, name, relayAddr string, ttl time.Duration, health func() float64, stop <-chan struct{}) (*HeartbeatState, error) {
+	report := func() error {
+		h := float64(HealthUnreported)
+		if health != nil {
+			h = health()
+		}
+		return RegisterHealth(regAddr, name, relayAddr, ttl, h)
+	}
+	state := &HeartbeatState{}
+	err := report()
+	state.set(err, time.Now())
+	if err != nil {
+		return state, err
 	}
 	go func() {
 		t := time.NewTicker(ttl / 3)
@@ -245,9 +475,9 @@ func Heartbeat(regAddr, name, relayAddr string, ttl time.Duration, stop <-chan s
 			case <-stop:
 				return
 			case <-t.C:
-				_ = Register(regAddr, name, relayAddr, ttl) // retried next tick
+				state.set(report(), time.Now()) // retried next tick on error
 			}
 		}
 	}()
-	return nil
+	return state, nil
 }

@@ -1,0 +1,178 @@
+package registry
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// clockServer returns a server on a controllable clock.
+func clockServer(start time.Time) (*Server, *time.Time) {
+	now := start
+	s := &Server{Clock: func() time.Time { return now }}
+	return s, &now
+}
+
+func TestExpiredEntryMarkedDownThenForgotten(t *testing.T) {
+	s, now := clockServer(time.Unix(1000, 0))
+	if err := s.Register("r1", "127.0.0.1:9000", 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Live inside the TTL.
+	if got := s.List(); len(got) != 1 {
+		t.Fatalf("live list = %v", got)
+	}
+	// TTL lapses: excluded from List but visible as down in ListAll.
+	*now = now.Add(11 * time.Second)
+	if got := s.List(); len(got) != 0 {
+		t.Fatalf("lapsed entry still listed: %v", got)
+	}
+	all := s.ListAll()
+	if len(all) != 1 || !all[0].Down {
+		t.Fatalf("ListAll after lapse = %+v, want one down entry", all)
+	}
+	if s.Downs.Load() != 1 {
+		t.Fatalf("Downs = %d, want 1", s.Downs.Load())
+	}
+	// A refresh resurrects it.
+	if err := s.Register("r1", "127.0.0.1:9000", 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.List(); len(got) != 1 || got[0].Down {
+		t.Fatalf("refreshed entry not live: %v", got)
+	}
+	// Lapse again and outlast the grace: forgotten entirely.
+	*now = now.Add(11 * time.Second)
+	s.List() // marks down
+	*now = now.Add(downGraceFactor*10*time.Second + time.Second)
+	if all := s.ListAll(); len(all) != 0 {
+		t.Fatalf("entry survived the grace period: %+v", all)
+	}
+}
+
+func TestListRankedOrdersByHealth(t *testing.T) {
+	s, _ := clockServer(time.Unix(1000, 0))
+	check := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	check(s.RegisterHealth("mid", "a:1", time.Minute, 0.5))
+	check(s.RegisterHealth("best", "a:2", time.Minute, 0.9))
+	check(s.RegisterHealth("worst", "a:3", time.Minute, 0.1))
+	check(s.Register("silent", "a:4", time.Minute)) // unreported ranks last
+
+	got := s.ListRanked(0)
+	want := []string{"best", "mid", "worst", "silent"}
+	if len(got) != len(want) {
+		t.Fatalf("ranked %d entries, want %d", len(got), len(want))
+	}
+	for i, e := range got {
+		if e.Name != want[i] {
+			t.Fatalf("rank %d = %s, want %s (full: %+v)", i, e.Name, want[i], got)
+		}
+	}
+	if top := s.ListRanked(2); len(top) != 2 || top[0].Name != "best" || top[1].Name != "mid" {
+		t.Fatalf("ListRanked(2) = %+v", top)
+	}
+	// LastSeen is recorded.
+	if got[0].LastSeen.IsZero() {
+		t.Fatal("LastSeen not recorded")
+	}
+}
+
+func TestHealthClampAndValidation(t *testing.T) {
+	s, _ := clockServer(time.Unix(1000, 0))
+	if err := s.RegisterHealth("r", "a:1", time.Minute, 7.0); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.List()[0].Health; got != 1 {
+		t.Fatalf("health clamped to %v, want 1", got)
+	}
+	if err := s.Register("", "a:1", time.Minute); !errors.Is(err, ErrBadName) {
+		t.Fatalf("empty name accepted: %v", err)
+	}
+}
+
+func TestWireRegisterHealthAndListRanked(t *testing.T) {
+	s := &Server{}
+	l, err := s.ServeAddr("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	addr := l.Addr().String()
+
+	if err := RegisterHealth(addr, "good", "127.0.0.1:1", time.Minute, 0.95); err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterHealth(addr, "bad", "127.0.0.1:2", time.Minute, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	if err := Register(addr, "plain", "127.0.0.1:3", time.Minute); err != nil {
+		t.Fatal(err)
+	}
+
+	// Plain LIST is unchanged: name-sorted, no health on the wire.
+	plain, err := List(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != 3 || plain[0].Name != "bad" {
+		t.Fatalf("LIST = %+v", plain)
+	}
+
+	ranked, err := ListRanked(addr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 2 || ranked[0].Name != "good" || ranked[1].Name != "bad" {
+		t.Fatalf("LISTH 2 = %+v", ranked)
+	}
+	if ranked[0].Health < 0.94 || ranked[0].Health > 0.96 {
+		t.Fatalf("health lost on the wire: %+v", ranked[0])
+	}
+
+	if s.Lists.Load() != 2 || s.Registrations.Load() != 3 {
+		t.Fatalf("wire counters lists=%d regs=%d, want 2/3", s.Lists.Load(), s.Registrations.Load())
+	}
+}
+
+func TestStartHeartbeatReportsHealthAndState(t *testing.T) {
+	s := &Server{}
+	l, err := s.ServeAddr("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	stop := make(chan struct{})
+	defer close(stop)
+	score := 0.77
+	hb, err := StartHeartbeat(l.Addr().String(), "r1", "127.0.0.1:9", 30*time.Second,
+		func() float64 { return score }, stop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hb.OK() || hb.LastOK().IsZero() || hb.Err() != nil {
+		t.Fatalf("heartbeat state after first register: ok=%v lastOK=%v err=%v",
+			hb.OK(), hb.LastOK(), hb.Err())
+	}
+	got := s.ListRanked(0)
+	if len(got) != 1 || got[0].Health != 0.77 {
+		t.Fatalf("registered health = %+v, want 0.77", got)
+	}
+}
+
+func TestStartHeartbeatFailsFastOnBadRegistry(t *testing.T) {
+	stop := make(chan struct{})
+	defer close(stop)
+	hb, err := StartHeartbeat("127.0.0.1:1", "r1", "127.0.0.1:9", time.Minute, nil, stop)
+	if err == nil {
+		t.Fatal("expected connection error")
+	}
+	if hb.OK() || hb.Err() == nil {
+		t.Fatalf("state after failure: ok=%v err=%v", hb.OK(), hb.Err())
+	}
+}

@@ -1,0 +1,100 @@
+package relay
+
+import (
+	"bufio"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/httpx"
+	"repro/internal/obs"
+)
+
+// waitForFold polls until the relay's monitor shows the predicate true
+// for the upstream path (the health fold happens after the response is
+// written, so the test must not race it).
+func waitForFold(t *testing.T, m *obs.HealthMonitor, key string, pred func(obs.PathHealth) bool) obs.PathHealth {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if ph, ok := m.PathHealth(key); ok && pred(ph) {
+			return ph
+		}
+		if time.Now().After(deadline) {
+			ph, _ := m.PathHealth(key)
+			t.Fatalf("condition never held for %q: %+v", key, ph)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestClientDisconnectIsNotPathFailure pins the health-feed
+// classification: a downstream client hanging up mid-response — which
+// happens on every reaped losing probe — must not count as a failure of
+// the upstream path. Only upstream trouble (e.g. a dead origin) may.
+func TestClientDisconnectIsNotPathFailure(t *testing.T) {
+	origin := NewOrigin()
+	origin.Put("big.bin", 8<<20)
+	ol, err := origin.ServeAddr("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ol.Close()
+	up := ol.Addr().String()
+
+	r := &Relay{Health: obs.NewHealthMonitor(obs.HealthConfig{Clock: obs.WallClock()})}
+	rl, err := r.ServeAddr("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rl.Close()
+
+	// A client that requests the whole object, reads the head plus a
+	// little body, then slams the connection — a reaped loser.
+	conn, err := net.Dial("tcp", rl.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httpx.NewGet("http://"+up+"/big.bin", up)
+	if err := req.Write(conn); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := httpx.ReadResponse(bufio.NewReader(conn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(resp.Body, make([]byte, 16<<10)); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+
+	// The disconnect folds as canceled: not a sample, so the path stays
+	// unknown with no failures on the books.
+	ph := waitForFold(t, r.Health, up, func(ph obs.PathHealth) bool { return true })
+	if ph.Failed != 0 {
+		t.Fatalf("client disconnect counted as upstream failure: %+v", ph)
+	}
+	if ph.State != obs.HealthUnknown {
+		t.Fatalf("state = %v after only a client disconnect, want unknown", ph.State)
+	}
+
+	// A complete fetch is a real (successful) sample.
+	if _, err := FetchVia(nil, rl.Addr().String(), up, "big.bin", 0, 4096); err != nil {
+		t.Fatal(err)
+	}
+	ph = waitForFold(t, r.Health, up, func(ph obs.PathHealth) bool { return ph.Ok >= 1 })
+	if ph.Failed != 0 || ph.State != obs.HealthHealthy {
+		t.Fatalf("successful fetch: %+v, want 1 ok / healthy", ph)
+	}
+
+	// Upstream death, by contrast, is the path's fault.
+	ol.Close()
+	if _, err := FetchVia(nil, rl.Addr().String(), up, "big.bin", 0, 4096); err == nil {
+		t.Fatal("fetch through dead origin succeeded")
+	}
+	ph = waitForFold(t, r.Health, up, func(ph obs.PathHealth) bool { return ph.Failed >= 1 })
+	if ph.Ok != 1 {
+		t.Fatalf("after upstream death: %+v, want the earlier ok preserved", ph)
+	}
+}

@@ -66,6 +66,11 @@ type Origin struct {
 	// relay) or rooting a fresh one. Nil disables tracing.
 	Spans *obs.SpanCollector
 
+	// Health, when set, receives one outcome per request keyed by object
+	// name — the origin's serving-quality view, feeding /debug/paths.
+	// Nil costs nothing.
+	Health *obs.HealthMonitor
+
 	// BytesServed counts content bytes written to clients.
 	BytesServed atomic.Int64
 	// Conns counts accepted connections (keep-alive reuse keeps this
@@ -150,13 +155,17 @@ func (o *Origin) serveOne(conn net.Conn, req *httpx.Request) bool {
 		parent, _ := obs.ParseTraceHeader(req.Header[obs.TraceHeader])
 		span = o.Spans.StartSpan(parent, "origin", "serve")
 	}
-	again, class, detail := o.serve(conn, req, span)
+	again, class, detail, object, sent := o.serve(conn, req, span)
 	span.End(class, detail)
-	o.lat.Observe(time.Since(start))
+	elapsed := time.Since(start)
+	o.lat.Observe(elapsed)
+	if o.Health != nil {
+		o.Health.Observe(object, class, elapsed.Seconds(), sent)
+	}
 	return again
 }
 
-func (o *Origin) serve(conn net.Conn, req *httpx.Request, span *obs.ActiveSpan) (again bool, class obs.ErrClass, detail string) {
+func (o *Origin) serve(conn net.Conn, req *httpx.Request, span *obs.ActiveSpan) (again bool, class obs.ErrClass, detail, object string, sent int64) {
 	name := req.Target
 	if _, path, ok := req.AbsoluteTarget(); ok {
 		name = path
@@ -168,7 +177,7 @@ func (o *Origin) serve(conn net.Conn, req *httpx.Request, span *obs.ActiveSpan) 
 	size, ok := o.Size(name)
 	if !ok {
 		return httpx.WriteResponseHead(conn, 404, "Not Found",
-			map[string]string{"content-length": "0"}) == nil, obs.ClassStatus, "not found"
+			map[string]string{"content-length": "0"}) == nil, obs.ClassStatus, "not found", name, 0
 	}
 	off, n, err := httpx.ParseRange(req.Header["range"], size)
 	if err != nil {
@@ -177,7 +186,7 @@ func (o *Origin) serve(conn net.Conn, req *httpx.Request, span *obs.ActiveSpan) 
 			status, reason = 416, "Range Not Satisfiable"
 		}
 		return httpx.WriteResponseHead(conn, status, reason,
-			map[string]string{"content-length": "0"}) == nil, obs.ClassStatus, reason
+			map[string]string{"content-length": "0"}) == nil, obs.ClassStatus, reason, name, 0
 	}
 
 	header := map[string]string{
@@ -190,10 +199,10 @@ func (o *Origin) serve(conn net.Conn, req *httpx.Request, span *obs.ActiveSpan) 
 		header["content-range"] = httpx.ContentRange(off, n, size)
 	}
 	if err := httpx.WriteResponseHead(conn, status, reason, header); err != nil {
-		return false, obs.ClassFailed, err.Error()
+		return false, obs.ClassFailed, err.Error(), name, 0
 	}
 	if req.Method == "HEAD" {
-		return true, obs.ClassOK, ""
+		return true, obs.ClassOK, "", name, 0
 	}
 
 	sent, werr := WriteRange(conn, name, off, n, nil)
@@ -202,9 +211,9 @@ func (o *Origin) serve(conn net.Conn, req *httpx.Request, span *obs.ActiveSpan) 
 		span.SetAttr("bytes", strconv.FormatInt(sent, 10))
 	}
 	if werr != nil {
-		return false, obs.ClassFailed, werr.Error()
+		return false, obs.ClassFailed, werr.Error(), name, sent
 	}
-	return true, obs.ClassOK, ""
+	return true, obs.ClassOK, "", name, sent
 }
 
 // ServeAddr starts the origin on addr (e.g. "127.0.0.1:0") and returns the

@@ -7,6 +7,7 @@ import (
 	"net"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -32,6 +33,12 @@ type Relay struct {
 	// forwarded request carries the forward span's context so the origin's
 	// serve span nests beneath it. Nil disables tracing.
 	Spans *obs.SpanCollector
+
+	// Health, when set, receives one outcome per forwarded request keyed
+	// by the upstream address — the relay's view of its origin paths,
+	// feeding /debug/paths and the health score it self-reports to the
+	// registry. Nil costs nothing.
+	Health *obs.HealthMonitor
 
 	// BytesRelayed counts response-body bytes forwarded to clients.
 	BytesRelayed atomic.Int64
@@ -101,9 +108,15 @@ func (r *Relay) forwardOne(conn net.Conn, req *httpx.Request) bool {
 		fspan = r.Spans.StartSpan(parent, "relay", "forward")
 		fspan.SetAttr("target", req.Target)
 	}
-	again, class, detail := r.forward(conn, req, fspan)
+	again, class, detail, upstream, n := r.forward(conn, req, fspan)
 	fspan.End(class, detail)
-	r.lat.Observe(time.Since(start))
+	elapsed := time.Since(start)
+	r.lat.Observe(elapsed)
+	if r.Health != nil && upstream != "" {
+		// Malformed requests never name an upstream; they say nothing
+		// about any path and are not folded.
+		r.Health.Observe(upstream, class, elapsed.Seconds(), n)
+	}
 	return again
 }
 
@@ -116,14 +129,15 @@ func (r *Relay) childSpan(parent *obs.ActiveSpan, phase string) *obs.ActiveSpan 
 }
 
 // forward does the actual relaying and classifies the outcome for the
-// forward span. Upstream connections are per-request; the client-facing
-// connection stays warm.
-func (r *Relay) forward(conn net.Conn, req *httpx.Request, fspan *obs.ActiveSpan) (again bool, class obs.ErrClass, detail string) {
+// forward span and the health monitor (addr is the upstream the request
+// named, "" when malformed; n the body bytes forwarded). Upstream
+// connections are per-request; the client-facing connection stays warm.
+func (r *Relay) forward(conn net.Conn, req *httpx.Request, fspan *obs.ActiveSpan) (again bool, class obs.ErrClass, detail, addr string, n int64) {
 	upstreamAddr, path, ok := req.AbsoluteTarget()
 	if !ok {
 		httpx.WriteResponseHead(conn, 400, "Bad Request: relay requires absolute-form target",
 			map[string]string{"content-length": "0"})
-		return true, obs.ClassStatus, "non-absolute target"
+		return true, obs.ClassStatus, "non-absolute target", "", 0
 	}
 
 	dial := r.Dial
@@ -137,7 +151,7 @@ func (r *Relay) forward(conn net.Conn, req *httpx.Request, fspan *obs.ActiveSpan
 		dspan.End(obs.ClassFailed, err.Error())
 		httpx.WriteResponseHead(conn, 502, "Bad Gateway",
 			map[string]string{"content-length": "0"})
-		return true, obs.ClassFailed, err.Error()
+		return true, obs.ClassFailed, err.Error(), upstreamAddr, 0
 	}
 	dspan.EndOK()
 	defer upstream.Close()
@@ -168,7 +182,7 @@ func (r *Relay) forward(conn net.Conn, req *httpx.Request, fspan *obs.ActiveSpan
 		tspan.End(obs.ClassFailed, err.Error())
 		httpx.WriteResponseHead(conn, 502, "Bad Gateway",
 			map[string]string{"content-length": "0"})
-		return true, obs.ClassFailed, err.Error()
+		return true, obs.ClassFailed, err.Error(), upstreamAddr, 0
 	}
 
 	ubr := bufio.NewReader(upstream)
@@ -177,7 +191,7 @@ func (r *Relay) forward(conn net.Conn, req *httpx.Request, fspan *obs.ActiveSpan
 		tspan.End(obs.ClassFailed, err.Error())
 		httpx.WriteResponseHead(conn, 502, "Bad Gateway",
 			map[string]string{"content-length": "0"})
-		return true, obs.ClassFailed, err.Error()
+		return true, obs.ClassFailed, err.Error(), upstreamAddr, 0
 	}
 	tspan.EndOK()
 	if fspan != nil { // gate the Itoa: no formatting on the untraced path
@@ -189,23 +203,61 @@ func (r *Relay) forward(conn net.Conn, req *httpx.Request, fspan *obs.ActiveSpan
 		resp.Header["connection"] = "close"
 	}
 	if err := httpx.WriteResponseHead(conn, resp.Status, resp.Reason, resp.Header); err != nil {
-		return false, obs.ClassFailed, err.Error()
+		// Downstream write failure: the client went away (e.g. a losing
+		// probe reaped mid-response). That says nothing about the
+		// upstream path, so it folds as canceled, not failed.
+		return false, obs.ClassCanceled, "client: " + err.Error(), upstreamAddr, 0
 	}
 	sspan := r.childSpan(fspan, "stream")
-	n, err := io.Copy(conn, resp.Body)
+	var werr, rerr error
+	n, werr, rerr = copyStream(conn, resp.Body)
 	r.BytesRelayed.Add(n)
 	if sspan != nil {
 		sspan.SetAttr("bytes", strconv.FormatInt(n, 10))
 	}
-	if err != nil {
-		sspan.End(obs.ClassFailed, err.Error())
-		return false, obs.ClassFailed, err.Error()
+	if werr != nil {
+		sspan.End(obs.ClassCanceled, "client: "+werr.Error())
+		return false, obs.ClassCanceled, "client: " + werr.Error(), upstreamAddr, n
+	}
+	if rerr != nil {
+		sspan.End(obs.ClassFailed, rerr.Error())
+		return false, obs.ClassFailed, rerr.Error(), upstreamAddr, n
 	}
 	sspan.EndOK()
 	if resp.Status != 200 && resp.Status != 206 {
-		return resp.ContentLength >= 0, obs.ClassStatus, resp.Reason
+		return resp.ContentLength >= 0, obs.ClassStatus, resp.Reason, upstreamAddr, n
 	}
-	return resp.ContentLength >= 0, obs.ClassOK, ""
+	return resp.ContentLength >= 0, obs.ClassOK, "", upstreamAddr, n
+}
+
+// relayBufs recycles forward-stream buffers across requests.
+var relayBufs = sync.Pool{
+	New: func() any { return make([]byte, 32<<10) },
+}
+
+// copyStream pumps src to dst like io.Copy but reports read (upstream)
+// and write (downstream) failures separately: the relay's health
+// telemetry must not blame the upstream path when the downstream client
+// hung up.
+func copyStream(dst io.Writer, src io.Reader) (n int64, werr, rerr error) {
+	buf := relayBufs.Get().([]byte)
+	defer relayBufs.Put(buf)
+	for {
+		nr, err := src.Read(buf)
+		if nr > 0 {
+			nw, err := dst.Write(buf[:nr])
+			n += int64(nw)
+			if err != nil {
+				return n, err, nil
+			}
+		}
+		if err == io.EOF {
+			return n, nil, nil
+		}
+		if err != nil {
+			return n, nil, err
+		}
+	}
 }
 
 // FetchVia downloads [off, off+n) of object name from originAddr through

@@ -415,3 +415,17 @@ func Validate(w io.Writer, r experiment.ValidateResult) {
 		r.RatioMin, r.RatioMax, r.Fairness2, r.Fairness4)
 	fmt.Fprintln(w, "  (the evaluation's fluid simulator assumes these hold)")
 }
+
+// HealthRank renders the health-ranked vs random candidate-set
+// comparison.
+func HealthRank(w io.Writer, r experiment.HealthRankResult) {
+	fmt.Fprintf(w, "Extension — registry health-ranked K=%d vs uniform random K=%d (%s)\n", r.K, r.K, r.Client)
+	rows := [][]string{{"health-ranked", fmt.Sprintf("%.1f", r.RankedAvg)}}
+	for i, avg := range r.RandomAvgs {
+		rows = append(rows, []string{fmt.Sprintf("random draw %d", i+1), fmt.Sprintf("%.1f", avg)})
+	}
+	rows = append(rows, []string{"random mean", fmt.Sprintf("%.1f", r.RandomAvg)})
+	Table(w, []string{"Candidate set", "Improvement %"}, rows)
+	fmt.Fprintf(w, "  ranked set: %v\n", r.Ranked)
+	fmt.Fprintln(w, "  telemetry concentrates the probe budget on recently-delivering paths")
+}
