@@ -19,11 +19,12 @@ bench:
 	$(GO) test -bench=. -benchmem
 
 # Machine-readable benchmark artifact: the warm-fetch streaming contract
-# (flat allocs/op from 64 KB to 16 MB) and the health-fold hot path, as
-# JSON for CI archiving and cross-run comparison.
+# (flat allocs/op from 64 KB to 16 MB), the health-fold hot path, and the
+# cache hit/miss paths (in-memory and relayed end to end), as JSON for CI
+# archiving and cross-run comparison.
 bench-json:
-	$(GO) test -run '^$$' -bench 'WarmFetch|HealthFold' -benchmem -benchtime $(BENCHTIME) \
-		./internal/realnet ./internal/obs | $(GO) run ./cmd/benchjson -out BENCH_5.json
+	$(GO) test -run '^$$' -bench 'WarmFetch|HealthFold|Cache' -benchmem -benchtime $(BENCHTIME) \
+		./internal/realnet ./internal/obs ./internal/objcache ./internal/relay | $(GO) run ./cmd/benchjson -out BENCH_6.json
 
 # The CI tier: static checks plus the full suite under the race detector.
 verify: vet race

@@ -48,6 +48,8 @@ type Client struct {
 	backoff   time.Duration
 	poolSize  int
 	idleTTL   time.Duration
+	cacheSize int64
+	cacheTTL  time.Duration
 	metrics   *obs.Metrics
 	observers []obs.Observer
 	spans     *obs.SpanCollector
@@ -83,6 +85,12 @@ func New(t Transport, opts ...Option) *Client {
 		}
 		if c.idleTTL != 0 {
 			rt.IdleTTL = c.idleTTL
+		}
+		if c.cacheSize > 0 {
+			rt.CacheBytes = c.cacheSize
+		}
+		if c.cacheTTL != 0 {
+			rt.CacheTTL = c.cacheTTL
 		}
 		if c.spans != nil {
 			rt.Spans = c.spans
@@ -140,6 +148,23 @@ func WithPoolSize(n int) Option {
 // meaningful when the client wraps a *RealTransport.
 func WithIdleTTL(d time.Duration) Option {
 	return func(c *Client) { c.idleTTL = d }
+}
+
+// WithCacheSize gives a RealTransport a bounded client-side object
+// cache of the given byte capacity: every streamed range also fills
+// the cache, and a later fetch fully covered by cached spans completes
+// without touching the network. Zero (the default) disables caching —
+// the transfer path, including its allocation profile, is then
+// untouched. Only meaningful when the client wraps a *RealTransport.
+func WithCacheSize(bytes int64) Option {
+	return func(c *Client) { c.cacheSize = bytes }
+}
+
+// WithCacheTTL expires a RealTransport's cached spans this long after
+// their fill; 0 keeps them until evicted by capacity pressure. Only
+// meaningful together with WithCacheSize.
+func WithCacheTTL(d time.Duration) Option {
+	return func(c *Client) { c.cacheTTL = d }
 }
 
 // WithHealthMonitor attaches a path-health monitor to the client: every
@@ -337,4 +362,15 @@ func (c *Client) PathHealth() HealthSnapshot {
 		return HealthSnapshot{}
 	}
 	return c.health.Snapshot()
+}
+
+// CacheStats captures the client-side object cache's counters — hits,
+// misses, fills, evictions, byte gauges, and the derived warmth score —
+// when the client wraps a *RealTransport built with WithCacheSize. The
+// zero CacheStats (capacity 0) otherwise.
+func (c *Client) CacheStats() CacheStats {
+	if rt, ok := c.transport.(*realnet.Transport); ok {
+		return rt.CacheStats()
+	}
+	return CacheStats{}
 }

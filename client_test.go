@@ -268,3 +268,47 @@ func TestClientStreamsProgressEvents(t *testing.T) {
 		t.Fatalf("metrics streamed %d bytes, want %d", snap.BytesStreamed, obj.Size)
 	}
 }
+
+// TestClientCacheOptions checks the facade's cache wiring end to end:
+// WithCacheSize/WithCacheTTL configure the underlying RealTransport,
+// repeat fetches are served from the cache without origin traffic, and
+// CacheStats surfaces the re-exported snapshot.
+func TestClientCacheOptions(t *testing.T) {
+	origin := relay.NewOrigin()
+	origin.Put("big.bin", 1_000_000)
+	ol, err := origin.ServeAddr("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ol.Close()
+
+	tr := &repro.RealTransport{
+		Servers: map[string]string{"origin": ol.Addr().String()},
+		Verify:  true,
+	}
+	c := repro.New(tr,
+		repro.WithCacheSize(4<<20),
+		repro.WithCacheTTL(time.Minute),
+		repro.WithProbeBytes(50_000))
+	defer tr.Close()
+	if tr.CacheBytes != 4<<20 || tr.CacheTTL != time.Minute {
+		t.Fatalf("options not applied: CacheBytes=%d CacheTTL=%v",
+			tr.CacheBytes, tr.CacheTTL)
+	}
+
+	obj := repro.Object{Server: "origin", Name: "big.bin", Size: 300_000}
+	if out := c.SelectAndFetch(context.Background(), obj, nil); out.Err != nil {
+		t.Fatal(out.Err)
+	}
+	egress := origin.BytesServed.Load()
+	if out := c.SelectAndFetch(context.Background(), obj, nil); out.Err != nil {
+		t.Fatal(out.Err)
+	}
+	if got := origin.BytesServed.Load(); got != egress {
+		t.Fatalf("repeat fetch cost %d origin bytes despite cache", got-egress)
+	}
+	var st repro.CacheStats = c.CacheStats()
+	if st.CapacityBytes != 4<<20 || st.Hits == 0 || st.Fills == 0 {
+		t.Fatalf("cache stats: %+v", st)
+	}
+}

@@ -65,7 +65,7 @@ var scales = map[string]scale{
 
 func main() {
 	var (
-		expFlag      = flag.String("exp", "all", "experiment id: fig1,fig2,table1,table2,fig3,fig4,fig5,fig6,table3,ablate,adaptive,monitor,healthrank,multipath,seeds,validate,topo,all")
+		expFlag      = flag.String("exp", "all", "experiment id: fig1,fig2,table1,table2,fig3,fig4,fig5,fig6,table3,ablate,adaptive,monitor,healthrank,multipath,seeds,validate,cacheegress,topo,all")
 		seed         = flag.Uint64("seed", 42, "study seed (scenario + workloads)")
 		scaleFlag    = flag.String("scale", "default", "workload scale: quick, default, paper")
 		workers      = flag.Int("workers", 0, "parallel campaign workers (0 = GOMAXPROCS)")
@@ -252,6 +252,14 @@ func main() {
 		var vr experiment.ValidateResult
 		run("model validation", func() { vr = experiment.Validate() })
 		report.Validate(w, vr)
+		fmt.Fprintln(w)
+	}
+	if want["cacheegress"] {
+		var ce experiment.CacheEgressResult
+		run("relay cache origin egress", func() {
+			ce = experiment.RunCacheEgress(experiment.CacheEgressParams{})
+		})
+		report.CacheEgress(w, ce)
 		fmt.Fprintln(w)
 	}
 	if want["seeds"] {

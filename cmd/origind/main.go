@@ -57,13 +57,14 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	origin := relay.NewOrigin()
-	origin.Health = obs.NewHealthMonitor(obs.HealthConfig{Clock: obs.WallClock()})
 	var spans *obs.SpanCollector
 	if *tracePath != "" {
 		spans = obs.NewSpanCollector(0)
-		origin.Spans = spans
 	}
+	origin := relay.NewOriginServer(
+		relay.WithHealthMonitor(obs.NewHealthMonitor(obs.HealthConfig{Clock: obs.WallClock()})),
+		relay.WithSpans(spans),
+	)
 	if len(objects) == 0 {
 		objects = objectList{"large.bin=4000000"}
 	}

@@ -4,14 +4,24 @@
 //
 // Usage:
 //
-//	relayd -listen 127.0.0.1:8081 -metrics 127.0.0.1:9081
+//	relayd -listen 127.0.0.1:8081 -metrics 127.0.0.1:9081 \
+//	       -cache-bytes 268435456 -cache-ttl 10m
+//
+// With -cache-bytes set, the relay keeps a bounded range-aware object
+// cache: response ranges fill it as they stream through, repeat
+// requests covered by cached spans are answered from memory (x-cache:
+// hit), concurrent misses for the same range collapse into one origin
+// fetch, and cached content is re-verified against the synthetic
+// catalog before every serve. Cache warmth folds into the health score
+// self-reported to the registry, so LISTH ranks warm relays first.
 //
 // With -metrics set, live counters (requests handled, bytes relayed —
 // the raw material of the paper's §V utilization analysis) are served
 // as JSON on /debug/vars, Prometheus text format on /metrics (including
 // the forward-latency histogram and per-origin path-health gauges),
 // per-path health as JSON on /debug/paths, SLO burn windows on
-// /debug/slo, liveness on /healthz, and readiness on /readyz (the
+// /debug/slo, cache counters on /debug/cache (with -cache-bytes set),
+// liveness on /healthz, and readiness on /readyz (the
 // listener must be up and — when -registry is set — the registry still
 // accepting heartbeats). With -trace set, the relay records
 // forward/dial/ttfb/stream spans per request — continuing the client's
@@ -34,6 +44,7 @@ import (
 
 	"repro/internal/daemon"
 	"repro/internal/httpx"
+	"repro/internal/objcache"
 	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/relay"
@@ -49,6 +60,8 @@ func main() {
 	ttl := flag.Duration("ttl", time.Minute, "registration TTL")
 	tracePath := flag.String("trace", "", "write span archive (JSONL) here on shutdown (empty = tracing off)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = off)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "object cache capacity in bytes (0 = caching off)")
+	cacheTTL := flag.Duration("cache-ttl", 0, "expire cached spans this long after fill (0 = keep until evicted)")
 	mkLog := daemon.LogFlags()
 	flag.Parse()
 	logger := mkLog("relayd")
@@ -57,13 +70,19 @@ func main() {
 	defer stop()
 
 	slo := obs.NewSLOTracker(obs.SLOConfig{})
-	r := &relay.Relay{
-		Health: obs.NewHealthMonitor(obs.HealthConfig{Clock: obs.WallClock(), SLO: slo}),
-	}
 	var spans *obs.SpanCollector
 	if *tracePath != "" {
 		spans = obs.NewSpanCollector(0)
-		r.Spans = spans
+	}
+	r := relay.New(
+		relay.WithHealthMonitor(obs.NewHealthMonitor(obs.HealthConfig{Clock: obs.WallClock(), SLO: slo})),
+		relay.WithSpans(spans),
+		relay.WithCache(*cacheBytes),
+		relay.WithCacheTTL(*cacheTTL),
+		relay.WithVerifier(relay.VerifyRange),
+	)
+	if *cacheBytes > 0 {
+		logger.Info("cache enabled", "capacity_bytes", *cacheBytes, "ttl", *cacheTTL)
 	}
 
 	l, err := net.Listen("tcp", *listen)
@@ -94,7 +113,7 @@ func main() {
 		hbStop := make(chan struct{})
 		defer close(hbStop)
 		hb, err = registry.StartHeartbeat(*regAddr, *name, l.Addr().String(), *ttl,
-			aggregateHealth(r.Health), hbStop)
+			aggregateHealth(r.Health, r.Cache()), hbStop)
 		if err != nil {
 			logger.Error("registration failed", "registry", *regAddr, "err", err)
 			os.Exit(1)
@@ -122,6 +141,9 @@ func main() {
 				v["registry_ok"] = hb.OK()
 				v["registry_last_ok"] = hb.LastOK().Format(time.RFC3339)
 			}
+			if c := r.Cache(); c != nil {
+				v["cache"] = c.Stats()
+			}
 			return v
 		},
 		Prom: func(p *obs.Prom) {
@@ -129,10 +151,16 @@ func main() {
 			p.Counter("relay_bytes_relayed_total", "Response-body bytes forwarded to clients.", float64(r.BytesRelayed.Load()))
 			p.Counter("relay_spans_total", "Tracing spans recorded.", float64(spans.Seen()))
 			p.Histogram("relay_forward_latency_seconds", "Request forwarding times.", r.LatencySnapshot())
+			if c := r.Cache(); c != nil {
+				c.Stats().WriteProm(p, "relay")
+			}
 		},
 		Health: r.Health,
 		SLO:    slo,
 		Ready:  ready,
+	}
+	if c := r.Cache(); c != nil {
+		d.Cache = func() any { return c.Stats() }
 	}
 	d.ServeMetrics(ctx, *metrics, logger)
 	if *pprofAddr != "" {
@@ -185,8 +213,11 @@ func main() {
 // aggregateHealth folds the per-origin path scores into the single
 // scalar the relay self-reports to the registry: the mean score, or
 // unreported before any traffic (ranking a silent relay last is the
-// conservative choice).
-func aggregateHealth(m *obs.HealthMonitor) func() float64 {
+// conservative choice). With a cache attached, warmth scales the score
+// within [warmthFloor, 1]: among equally healthy relays, LISTH ranks
+// the ones that can serve from memory first, while even a stone-cold
+// cache only discounts a healthy path by 1-warmthFloor.
+func aggregateHealth(m *obs.HealthMonitor, c *objcache.Cache) func() float64 {
 	return func() float64 {
 		snap := m.Snapshot()
 		if len(snap.Paths) == 0 {
@@ -196,9 +227,17 @@ func aggregateHealth(m *obs.HealthMonitor) func() float64 {
 		for _, p := range snap.Paths {
 			sum += p.Score
 		}
-		return sum / float64(len(snap.Paths))
+		score := sum / float64(len(snap.Paths))
+		if c != nil {
+			score *= warmthFloor + (1-warmthFloor)*c.Stats().Warmth()
+		}
+		return score
 	}
 }
+
+// warmthFloor bounds how much a cold cache can discount a relay's
+// self-reported health: path quality stays the dominant term.
+const warmthFloor = 0.85
 
 func writeSpans(path string, spans *obs.SpanCollector) error {
 	f, err := os.Create(path)

@@ -1,7 +1,7 @@
 // Package daemon is the shared introspection scaffolding for origind,
 // relayd, and registryd: one place that assembles the debug mux
 // (/healthz, /readyz, /debug/vars, /metrics, and — when the subsystems
-// are wired — /debug/paths and /debug/slo), and the common logging
+// are wired — /debug/paths, /debug/slo, and /debug/cache), and the common logging
 // flag plumbing around internal/obs/slogx. The daemons declaring their
 // endpoints through this package means the e2e metrics test exercises
 // exactly the pages the binaries serve, not a parallel reimplementation.
@@ -35,6 +35,10 @@ type Daemon struct {
 	// SLO, when set, adds /debug/slo and the burn-rate families to
 	// /metrics.
 	SLO *obs.SLOTracker
+	// Cache, when set, builds the /debug/cache payload (an
+	// objcache.Stats snapshot); the cache's Prometheus families are the
+	// daemon's to append via Prom.
+	Cache func() any
 	// Ready backs /healthz and /readyz; nil means unconditionally
 	// healthy (a daemon with no checks yet).
 	Ready *httpx.Ready
@@ -79,6 +83,9 @@ func (d *Daemon) Mux() *httpx.Mux {
 		mux.Handle("/debug/slo", httpx.JSONHandler(func() any {
 			return d.SLO.Snapshot(d.sloNow())
 		}))
+	}
+	if d.Cache != nil {
+		mux.Handle("/debug/cache", httpx.JSONHandler(d.Cache))
 	}
 	return mux
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/httpx"
+	"repro/internal/objcache"
 	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/relay"
@@ -71,13 +72,16 @@ func TestAllDaemonMetricsPagesLint(t *testing.T) {
 	}
 	defer ol.Close()
 
-	// Relay with health + SLO, forwarding to the origin.
+	// Relay with health + SLO + cache, built through the options API the
+	// relayd binary uses.
 	relaySLO := obs.NewSLOTracker(obs.SLOConfig{})
-	r := &relay.Relay{
-		Health: obs.NewHealthMonitor(obs.HealthConfig{
+	r := relay.New(
+		relay.WithHealthMonitor(obs.NewHealthMonitor(obs.HealthConfig{
 			Window: 10, Buckets: 10, Clock: obs.WallClock(), SLO: relaySLO,
-		}),
-	}
+		})),
+		relay.WithCache(16<<20),
+		relay.WithVerifier(relay.VerifyRange),
+	)
 	rl, err := r.ServeAddr("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -130,9 +134,11 @@ func TestAllDaemonMetricsPagesLint(t *testing.T) {
 			Prom: func(p *obs.Prom) {
 				p.Counter("relay_requests_total", "Requests handled.", float64(r.Requests.Load()))
 				p.Histogram("relay_forward_latency_seconds", "Request forwarding times.", r.LatencySnapshot())
+				r.Cache().Stats().WriteProm(p, "relay")
 			},
 			Health: r.Health,
 			SLO:    relaySLO,
+			Cache:  func() any { return r.Cache().Stats() },
 		},
 		"registryd": {
 			Prefix: "registry",
@@ -194,6 +200,19 @@ func TestAllDaemonMetricsPagesLint(t *testing.T) {
 			}
 			if snap.Total == 0 {
 				t.Fatalf("%s /debug/slo saw no requests", name)
+			}
+		}
+		if d.Cache != nil {
+			status, body := scrape(t, addr, "/debug/cache")
+			var snap objcache.Stats
+			if status != 200 || json.Unmarshal(body, &snap) != nil {
+				t.Fatalf("%s /debug/cache = %d %q", name, status, body)
+			}
+			if snap.Fills == 0 || snap.Hits == 0 || snap.BytesCached == 0 {
+				t.Fatalf("%s /debug/cache saw no cache activity: %+v", name, snap)
+			}
+			if !strings.Contains(string(page), d.Prefix+"_cache_hits_total") {
+				t.Fatalf("%s /metrics missing cache families:\n%s", name, page)
 			}
 		}
 	}

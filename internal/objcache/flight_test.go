@@ -1,0 +1,116 @@
+package objcache
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSingleflightCollapsesConcurrentMisses(t *testing.T) {
+	c := New(Config{MaxBytes: 1 << 20})
+	const waiters = 8
+
+	fl, leader := c.StartFlight("o", 0, 100)
+	if !leader {
+		t.Fatal("first StartFlight is not the leader")
+	}
+	for i := 0; i < 3; i++ {
+		if f2, l2 := c.StartFlight("o", 0, 100); l2 || f2 != fl {
+			t.Fatal("concurrent StartFlight did not join the open flight")
+		}
+	}
+	// A different range is a different flight.
+	other, l := c.StartFlight("o", 100, 100)
+	if !l {
+		t.Fatal("distinct range joined the wrong flight")
+	}
+	other.Complete(nil, errors.New("unused"))
+
+	var served int32
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			data, err := fl.Wait(context.Background())
+			if err == nil && bytes.Equal(data, pattern(0, 100)) {
+				atomic.AddInt32(&served, 1)
+			}
+		}()
+	}
+	// Wait for every waiter to be parked before completing.
+	for {
+		if c.Stats().FlightWaiters == waiters {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	fl.Complete(pattern(0, 100), nil)
+	wg.Wait()
+
+	if served != waiters {
+		t.Fatalf("%d of %d waiters served", served, waiters)
+	}
+	s := c.Stats()
+	if s.SharedFills != waiters || s.ActiveFlights != 0 {
+		t.Fatalf("flight counters: %+v", s)
+	}
+	// The fill landed in the cache for everyone after.
+	wantRange(t, c, "o", 0, 100)
+}
+
+func TestFlightFailureReleasesWaiters(t *testing.T) {
+	c := New(Config{MaxBytes: 1 << 20})
+	fl, _ := c.StartFlight("o", 0, 100)
+	boom := errors.New("origin down")
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := fl.Wait(context.Background())
+		errc <- err
+	}()
+	for c.Stats().FlightWaiters != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	fl.Complete(nil, boom)
+	if err := <-errc; !errors.Is(err, boom) {
+		t.Fatalf("waiter error = %v, want the leader's", err)
+	}
+	wantMiss(t, c, "o", 0, 100)
+	// The flight slot is free again: the next miss leads a fresh fill.
+	if _, leader := c.StartFlight("o", 0, 100); !leader {
+		t.Fatal("failed flight still registered")
+	}
+}
+
+func TestWaiterCanceledWhileFillContinues(t *testing.T) {
+	c := New(Config{MaxBytes: 1 << 20})
+	fl, _ := c.StartFlight("o", 0, 100)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := fl.Wait(ctx)
+		errc <- err
+	}()
+	for c.Stats().FlightWaiters != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter returned %v", err)
+	}
+
+	// The fill is undisturbed: the leader completes afterwards and the
+	// cache still warms for the next request.
+	fl.Complete(pattern(0, 100), nil)
+	wantRange(t, c, "o", 0, 100)
+	s := c.Stats()
+	if s.CanceledWaits != 1 || s.FlightWaiters != 0 {
+		t.Fatalf("cancel counters: %+v", s)
+	}
+}

@@ -30,12 +30,14 @@ import (
 	"net"
 	"reflect"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/httpx"
+	"repro/internal/objcache"
 	"repro/internal/obs"
 	"repro/internal/relay"
 )
@@ -95,6 +97,17 @@ type Transport struct {
 	// pool evicts it (DefaultIdleTTL when 0; negative disables expiry).
 	IdleTTL time.Duration
 
+	// CacheBytes, when positive, gives the client a bounded range-aware
+	// object cache: every streamed range also fills the cache (keyed by
+	// server/name, position-exact), and a later fetch fully covered by
+	// cached spans completes without touching the network at all. Zero
+	// (the default) disables caching and leaves the transfer path —
+	// including its allocation profile — untouched.
+	CacheBytes int64
+	// CacheTTL expires cached spans this long after their fill; 0 keeps
+	// them until evicted. Only meaningful with CacheBytes set.
+	CacheTTL time.Duration
+
 	// Observer receives transport-level events: RetryScheduled for every
 	// cold re-attempt (with the chosen backoff) and TransferAborted for
 	// every context-death teardown. Nil disables emission. The engine's
@@ -127,6 +140,11 @@ type Transport struct {
 	// continuations reuse, built lazily from the fields above.
 	poolOnce sync.Once
 	pool     *connPool
+
+	// cache is the client-side object cache, built lazily from
+	// CacheBytes/CacheTTL on first use; nil when caching is disabled.
+	cacheOnce sync.Once
+	cache     *objcache.Cache
 }
 
 type pooledConn struct {
@@ -213,6 +231,55 @@ func (t *Transport) poolEvent(key string, op obs.PoolOp) {
 // the pool.
 func (t *Transport) PoolStats() PoolStats {
 	return t.idlePool().stats()
+}
+
+// objCache returns the client-side object cache, building it from
+// CacheBytes/CacheTTL on first use (so, like every other Transport
+// field, they must be set before the first transfer); nil when caching
+// is disabled.
+func (t *Transport) objCache() *objcache.Cache {
+	t.cacheOnce.Do(func() {
+		if t.CacheBytes <= 0 {
+			return
+		}
+		var verify objcache.VerifyFunc
+		if t.Verify {
+			verify = func(key string, off int64, data []byte) bool {
+				return relay.VerifyRange(objectNameFromCacheKey(key), off, data)
+			}
+		}
+		t.cache = objcache.New(objcache.Config{
+			MaxBytes: t.CacheBytes,
+			TTL:      t.CacheTTL,
+			Verify:   verify,
+		})
+	})
+	return t.cache
+}
+
+// CacheStats returns the client-side cache's counters; the zero Stats
+// (capacity 0) when caching is disabled.
+func (t *Transport) CacheStats() objcache.Stats {
+	if c := t.objCache(); c != nil {
+		return c.Stats()
+	}
+	return objcache.Stats{}
+}
+
+// objCacheKey is the cache identity of an object on this client:
+// origin server name plus object name. Unlike the relay's key it is
+// address-independent — the same object fetched over different paths
+// shares one cache entry, which is the point of caching above the
+// path-selection layer.
+func objCacheKey(obj core.Object) string { return obj.Server + "/" + obj.Name }
+
+// objectNameFromCacheKey recovers the object name for serve-time
+// re-verification: everything after the first '/'.
+func objectNameFromCacheKey(key string) string {
+	if i := strings.IndexByte(key, '/'); i >= 0 {
+		return key[i+1:]
+	}
+	return key
 }
 
 // StatusError reports a non-success HTTP response. It is permanent from
@@ -528,6 +595,20 @@ func (t *Transport) scheduleRetry(ctx context.Context, obj core.Object, path cor
 // continuation — including status-error responses whose body was fully
 // drained, since the server answered cleanly.
 func (t *Transport) fetch(ctx context.Context, h *handle, obj core.Object, path core.Path, off, n int64, warm bool, tspan *obs.ActiveSpan) error {
+	if c := t.objCache(); c != nil {
+		if data, ok := c.Get(objCacheKey(obj), off, n); ok {
+			// Fully covered by cached spans: the transfer completes without
+			// touching the network (and without consulting path health — a
+			// local hit says nothing about any path).
+			if tspan != nil {
+				tspan.SetAttr("cache", "hit")
+			}
+			delivered := int64(len(data))
+			h.progress.Store(delivered)
+			t.emitProgress(obj, path, off, delivered, delivered, n)
+			return nil
+		}
+	}
 	originAddr, ok := t.Servers[obj.Server]
 	if !ok {
 		return fmt.Errorf("realnet: unknown server %q", obj.Server)
@@ -698,6 +779,15 @@ func (t *Transport) doRange(pc *pooledConn, h *handle, obj core.Object, path cor
 	if t.Verify {
 		v = relay.NewVerifier(obj.Name, off)
 	}
+	// With caching on, the stream tees into a fill buffer so the range
+	// lands in the cache as a side effect of delivery. With it off (or
+	// the range bigger than the whole cache) fill stays nil and the loop
+	// below is byte-for-byte the uncached one.
+	var fill []byte
+	cache := t.objCache()
+	if cache != nil && n <= cache.Capacity() {
+		fill = make([]byte, 0, n)
+	}
 	buf := streamBufs.Get().([]byte)
 	defer streamBufs.Put(buf)
 	sspan := t.childSpan(tspan, "stream")
@@ -733,6 +823,9 @@ func (t *Transport) doRange(pc *pooledConn, h *handle, obj core.Object, path cor
 					return false, err
 				}
 			}
+			if fill != nil {
+				fill = append(fill, buf[:m]...)
+			}
 			delivered += int64(m)
 			h.progress.Store(delivered)
 			t.emitProgress(obj, path, off, int64(m), delivered, n)
@@ -748,6 +841,9 @@ func (t *Transport) doRange(pc *pooledConn, h *handle, obj core.Object, path cor
 		}
 	}
 	t.endStream(sspan, verifyStart, verifyBusy, delivered, obs.ClassOK, "")
+	if fill != nil {
+		cache.Put(objCacheKey(obj), off, fill)
+	}
 	// Reusable only if the response was exactly the requested range: an
 	// unknown-length body leaves the stream position undefined.
 	return keep && resp.ContentLength == n, nil

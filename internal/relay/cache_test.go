@@ -1,0 +1,239 @@
+package relay
+
+import (
+	"bufio"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/httpx"
+)
+
+// startCachedRelay starts a relay built through the options API with a
+// cache of the given capacity (plus any extra options).
+func startCachedRelay(t *testing.T, cacheBytes int64, extra ...Option) (*Relay, string) {
+	t.Helper()
+	r := New(append([]Option{WithCache(cacheBytes)}, extra...)...)
+	l, err := r.ServeAddr("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return r, l.Addr().String()
+}
+
+// fetchWhole downloads a full object (no Range header) through the
+// relay, returning the body and the response's x-cache header.
+func fetchWhole(relayAddr, originAddr, name string) ([]byte, string, error) {
+	conn, err := net.Dial("tcp", relayAddr)
+	if err != nil {
+		return nil, "", err
+	}
+	defer conn.Close()
+	req := httpx.NewGet("http://"+originAddr+"/"+name, originAddr)
+	if err := req.Write(conn); err != nil {
+		return nil, "", err
+	}
+	resp, err := httpx.ReadResponse(bufio.NewReader(conn))
+	if err != nil {
+		return nil, "", err
+	}
+	body, err := io.ReadAll(resp.Body)
+	return body, resp.Header["x-cache"], err
+}
+
+func TestCachedRelayServesRepeatsWithoutOrigin(t *testing.T) {
+	o, originAddr := startOrigin(t)
+	r, relayAddr := startCachedRelay(t, 1<<20)
+
+	body, err := FetchVia(nil, relayAddr, originAddr, "big.bin", 0, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !VerifyRange("big.bin", 0, body) {
+		t.Fatal("first (miss) fetch returned wrong bytes")
+	}
+	conns := o.Conns.Load()
+	egress := o.BytesServed.Load()
+
+	// The identical range, then sub-ranges of the cached span: all must
+	// be served from memory without a single new origin connection.
+	for _, rg := range []struct{ off, n int64 }{{0, 64 << 10}, {1000, 1000}, {63 << 10, 1 << 10}} {
+		body, err := FetchVia(nil, relayAddr, originAddr, "big.bin", rg.off, rg.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(len(body)) != rg.n || !VerifyRange("big.bin", rg.off, body) {
+			t.Fatalf("cached range [%d,+%d) served wrong bytes", rg.off, rg.n)
+		}
+	}
+	if got := o.Conns.Load(); got != conns {
+		t.Fatalf("cached fetches opened %d new origin conns", got-conns)
+	}
+	if got := o.BytesServed.Load(); got != egress {
+		t.Fatalf("cached fetches cost %d origin bytes", got-egress)
+	}
+	s := r.Cache().Stats()
+	if s.Hits != 3 || s.Misses != 1 || s.Fills != 1 {
+		t.Fatalf("cache counters: %+v", s)
+	}
+}
+
+func TestCachedRelayWholeObjectLearnsSize(t *testing.T) {
+	o, originAddr := startOrigin(t)
+	o.Put("small.bin", 8192)
+	r, relayAddr := startCachedRelay(t, 1<<20)
+
+	body, how, err := fetchWhole(relayAddr, originAddr, "small.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if how != "miss" || len(body) != 8192 || !VerifyRange("small.bin", 0, body) {
+		t.Fatalf("first whole-object fetch: x-cache=%q, %d bytes", how, len(body))
+	}
+	conns := o.Conns.Load()
+
+	// The 200's Content-Length recorded the extent, so the repeat — still
+	// rangeless — resolves to the full cached span.
+	body, how, err = fetchWhole(relayAddr, originAddr, "small.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if how != "hit" || !VerifyRange("small.bin", 0, body) {
+		t.Fatalf("repeat whole-object fetch: x-cache=%q", how)
+	}
+	// And so does an explicit range over the same bytes.
+	rbody, err := FetchVia(nil, relayAddr, originAddr, "small.bin", 100, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !VerifyRange("small.bin", 100, rbody) {
+		t.Fatal("ranged read of whole-object fill served wrong bytes")
+	}
+	if got := o.Conns.Load(); got != conns {
+		t.Fatalf("%d extra origin conns after whole-object fill", got-conns)
+	}
+	if size, ok := r.Cache().Size(cacheKey(originAddr, "/small.bin")); !ok || size != 8192 {
+		t.Fatalf("recorded size = %d, %v", size, ok)
+	}
+}
+
+// TestSingleflightCollapsesRelayMisses is the acceptance-criteria proof:
+// K concurrent misses for the same range issue exactly one origin fetch
+// that every waiter is served from.
+func TestSingleflightCollapsesRelayMisses(t *testing.T) {
+	o, originAddr := startOrigin(t)
+	gate := make(chan struct{})
+	r, relayAddr := startCachedRelay(t, 1<<20, WithDialer(
+		func(network, addr string) (net.Conn, error) {
+			<-gate // hold the leader's upstream dial until every waiter is parked
+			return net.Dial(network, addr)
+		}))
+
+	const clients = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body, err := FetchVia(nil, relayAddr, originAddr, "big.bin", 4096, 32<<10)
+			if err == nil && !VerifyRange("big.bin", 4096, body) {
+				err = errWrongBytes
+			}
+			errs <- err
+		}()
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for r.Cache().Stats().FlightWaiters != clients-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("waiters never converged: %+v", r.Cache().Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if got := o.Conns.Load(); got != 1 {
+		t.Fatalf("%d origin fetches for %d concurrent misses, want exactly 1", got, clients)
+	}
+	s := r.Cache().Stats()
+	if s.SharedFills != clients-1 || s.ActiveFlights != 0 {
+		t.Fatalf("flight counters: %+v", s)
+	}
+}
+
+func TestCorruptedCachedRangeRefetchedOnServe(t *testing.T) {
+	o, originAddr := startOrigin(t)
+	r, relayAddr := startCachedRelay(t, 1<<20, WithVerifier(VerifyRange))
+
+	if _, err := FetchVia(nil, relayAddr, originAddr, "big.bin", 0, 32<<10); err != nil {
+		t.Fatal(err)
+	}
+	conns := o.Conns.Load()
+
+	// Flip the cached bytes under the relay (all zeroes never match the
+	// synthetic content). Serving must catch it, drop the span, and
+	// refetch from the origin rather than hand out the corruption.
+	r.Cache().Put(cacheKey(originAddr, "/big.bin"), 0, make([]byte, 32<<10))
+	body, err := FetchVia(nil, relayAddr, originAddr, "big.bin", 0, 32<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !VerifyRange("big.bin", 0, body) {
+		t.Fatal("relay served corrupted cached bytes")
+	}
+	if got := o.Conns.Load(); got != conns+1 {
+		t.Fatalf("refetch opened %d origin conns, want 1", got-conns)
+	}
+	s := r.Cache().Stats()
+	if s.VerifyFailures != 1 {
+		t.Fatalf("verify counters: %+v", s)
+	}
+	// The refetch replaced the span with good bytes: warm again.
+	if _, err := FetchVia(nil, relayAddr, originAddr, "big.bin", 0, 32<<10); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Conns.Load(); got != conns+1 {
+		t.Fatal("post-refetch fetch went to the origin again")
+	}
+}
+
+func TestCachelessRelayUnchangedByOptionsAPI(t *testing.T) {
+	o, originAddr := startOrigin(t)
+	r := New() // no options: equivalent to &Relay{}
+	l, err := r.ServeAddr("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if r.Cache() != nil {
+		t.Fatal("cache attached without WithCache")
+	}
+	for i := 0; i < 2; i++ {
+		body, err := FetchVia(nil, l.Addr().String(), originAddr, "big.bin", 0, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !VerifyRange("big.bin", 0, body) {
+			t.Fatal("wrong bytes")
+		}
+	}
+	if got := o.Conns.Load(); got != 2 {
+		t.Fatalf("cacheless relay reached the origin %d times, want every request", got)
+	}
+}
+
+var errWrongBytes = errVerify{}
+
+type errVerify struct{}
+
+func (errVerify) Error() string { return "relay: fetched bytes failed verification" }

@@ -85,8 +85,12 @@ type Origin struct {
 func (o *Origin) LatencySnapshot() obs.HistogramSnapshot { return o.lat.Snapshot() }
 
 // NewOrigin returns an empty origin server.
+//
+// Deprecated: use NewOriginServer, the options-first constructor; this
+// wrapper remains for existing callers and is equivalent to
+// NewOriginServer() with no options.
 func NewOrigin() *Origin {
-	return &Origin{objects: make(map[string]int64)}
+	return NewOriginServer()
 }
 
 // Put registers an object.

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/httpx"
+	"repro/internal/objcache"
 	"repro/internal/obs"
 )
 
@@ -44,6 +45,11 @@ type Relay struct {
 	BytesRelayed atomic.Int64
 	// Requests counts requests handled (including failures).
 	Requests atomic.Int64
+
+	// cache, when non-nil, is the bounded range-aware object cache the
+	// forwarding path consults before dialing upstream. Only relay.New
+	// with WithCache sets it; a zero Relay forwards exactly as before.
+	cache *objcache.Cache
 
 	lat obs.LatencyRecorder
 }
@@ -138,6 +144,14 @@ func (r *Relay) forward(conn net.Conn, req *httpx.Request, fspan *obs.ActiveSpan
 		httpx.WriteResponseHead(conn, 400, "Bad Request: relay requires absolute-form target",
 			map[string]string{"content-length": "0"})
 		return true, obs.ClassStatus, "non-absolute target", "", 0
+	}
+
+	if r.cache != nil && req.Method == "GET" {
+		handled, cagain, cclass, cdetail, caddr, cn := r.serveCached(conn, req, fspan, upstreamAddr, path)
+		if handled {
+			return cagain, cclass, cdetail, caddr, cn
+		}
+		// Not cacheable (or a failed shared fill): plain path below.
 	}
 
 	dial := r.Dial

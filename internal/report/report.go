@@ -429,3 +429,17 @@ func HealthRank(w io.Writer, r experiment.HealthRankResult) {
 	fmt.Fprintf(w, "  ranked set: %v\n", r.Ranked)
 	fmt.Fprintln(w, "  telemetry concentrates the probe budget on recently-delivering paths")
 }
+
+// CacheEgress renders the relay-cache origin-egress comparison.
+func CacheEgress(w io.Writer, r experiment.CacheEgressResult) {
+	fmt.Fprintf(w, "Extension — relay cache origin egress (%d clients x %d objects x %d KB, live loopback TCP)\n",
+		r.Clients, r.Objects, r.ObjectSize>>10)
+	Table(w, []string{"Relay", "Origin egress KB"}, [][]string{
+		{"no cache", fmt.Sprintf("%d", r.BaselineEgress>>10)},
+		{"cached", fmt.Sprintf("%d", r.CachedEgress>>10)},
+	})
+	s := r.CacheStats
+	fmt.Fprintf(w, "  egress reduction %.1fx; cache: %d hits, %d shared fills, %d fills, hit rate %.2f, warmth %.2f\n",
+		r.Reduction, s.Hits, s.SharedFills, s.Fills, s.HitRate(), s.Warmth())
+	fmt.Fprintln(w, "  each object leaves the origin once; every later request is served from relay memory")
+}
