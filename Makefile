@@ -1,7 +1,7 @@
 GO ?= go
 BENCHTIME ?= 1s
 
-.PHONY: build vet test race bench bench-json verify
+.PHONY: build vet test race bench bench-json fuzz-smoke verify
 
 build:
 	$(GO) build ./...
@@ -19,12 +19,25 @@ bench:
 	$(GO) test -bench=. -benchmem
 
 # Machine-readable benchmark artifact: the warm-fetch streaming contract
-# (flat allocs/op from 64 KB to 16 MB), the health-fold hot path, and the
-# cache hit/miss paths (in-memory and relayed end to end), as JSON for CI
-# archiving and cross-run comparison.
+# (flat allocs/op from 64 KB to 16 MB), the health-fold hot path, the
+# cache hit/miss paths (in-memory and relayed end to end), and the
+# registry microbenchmarks (sharded vs single-mutex register, delta
+# steady state), as JSON for CI archiving and cross-run comparison. The
+# registryload experiment (100k relays over live loopback TCP: sharded
+# p99 REGISTER vs the single-mutex baseline, delta-vs-full bytes on the
+# wire) runs first and is embedded under extras.registryload.
 bench-json:
-	$(GO) test -run '^$$' -bench 'WarmFetch|HealthFold|Cache' -benchmem -benchtime $(BENCHTIME) \
-		./internal/realnet ./internal/obs ./internal/objcache ./internal/relay | $(GO) run ./cmd/benchjson -out BENCH_6.json
+	$(GO) run ./cmd/indirectlab -exp registryload -regload-json registryload.json
+	$(GO) test -run '^$$' -bench 'WarmFetch|HealthFold|Cache|Registry' -benchmem -benchtime $(BENCHTIME) \
+		./internal/realnet ./internal/obs ./internal/objcache ./internal/relay ./internal/registry \
+		| $(GO) run ./cmd/benchjson -out BENCH_7.json -extra registryload=registryload.json
+
+# Seed-corpus smoke for the wire-parser fuzz targets: runs each corpus
+# as regular tests plus a short randomized burst, so CI exercises the
+# parsers' crash-freedom invariants without an open-ended fuzz session.
+fuzz-smoke:
+	$(GO) test ./internal/registry/ -run '^Fuzz' -fuzz FuzzParseRequest -fuzztime 10s
+	$(GO) test ./internal/registry/ -run '^Fuzz' -count=1
 
 # The CI tier: static checks plus the full suite under the race detector.
 verify: vet race

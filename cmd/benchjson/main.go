@@ -41,6 +41,10 @@ type Document struct {
 	GOARCH     string   `json:"goarch"`
 	Time       string   `json:"time"`
 	Benchmarks []Result `json:"benchmarks"`
+	// Extras holds embedded experiment artifacts (-extra name=path):
+	// whole JSON documents produced by other tools, carried inside the
+	// benchmark artifact so one file describes the run.
+	Extras map[string]json.RawMessage `json:"extras,omitempty"`
 }
 
 // parseLine decodes one `Benchmark...` output line, returning false for
@@ -81,8 +85,16 @@ func parseLine(line string) (Result, bool) {
 	return r, true
 }
 
+// extraFlags collects repeated -extra name=path pairs.
+type extraFlags []string
+
+func (e *extraFlags) String() string     { return strings.Join(*e, ",") }
+func (e *extraFlags) Set(v string) error { *e = append(*e, v); return nil }
+
 func main() {
 	out := flag.String("out", "", "write JSON here (empty = stdout)")
+	var extras extraFlags
+	flag.Var(&extras, "extra", "embed a JSON file under extras.<name>; format name=path (repeatable)")
 	flag.Parse()
 
 	doc := Document{
@@ -116,6 +128,26 @@ func main() {
 	if len(doc.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
+	}
+	for _, e := range extras {
+		name, path, ok := strings.Cut(e, "=")
+		if !ok || name == "" || path == "" {
+			fmt.Fprintf(os.Stderr, "benchjson: bad -extra %q (want name=path)\n", e)
+			os.Exit(1)
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: extra %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if !json.Valid(raw) {
+			fmt.Fprintf(os.Stderr, "benchjson: extra %s: %s is not valid JSON\n", name, path)
+			os.Exit(1)
+		}
+		if doc.Extras == nil {
+			doc.Extras = make(map[string]json.RawMessage)
+		}
+		doc.Extras[name] = json.RawMessage(raw)
 	}
 
 	enc, err := json.MarshalIndent(doc, "", "  ")

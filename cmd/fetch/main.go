@@ -9,9 +9,11 @@
 //	fetch -origin 127.0.0.1:8080 -object large.bin -size 4000000 \
 //	      -relay campus=127.0.0.1:8081 -relay isp=127.0.0.1:8082
 //
-// With -registry the relay set is discovered instead of listed by hand;
-// -top K narrows discovery to the K relays the registry ranks healthiest
-// (the paper's result: ~10 of 35 candidates capture nearly all gain).
+// With -registry the relay set is discovered instead of listed by hand
+// (comma-separate peered registryd addresses to fail over when one is
+// down); -top K narrows discovery to the K relays the registry ranks
+// healthiest (the paper's result: ~10 of 35 candidates capture nearly
+// all gain). Relays the registry has marked down are excluded.
 // -paths attaches a health monitor to the client and prints the per-path
 // health snapshot (state, score, throughput EWMA) after the transfer.
 // Result tables go to stdout; operational logging is structured (slog)
@@ -33,7 +35,6 @@ import (
 
 	"repro"
 	"repro/internal/daemon"
-	"repro/internal/registry"
 	"repro/internal/traceio"
 )
 
@@ -126,7 +127,8 @@ func main() {
 	segment := flag.Int64("segment", 1_000_000, "adaptive mode: segment size in bytes")
 	timeout := flag.Duration("timeout", 0, "overall transfer deadline (0 = none)")
 	retries := flag.Int("retries", 0, "retry a transfer that delivered nothing up to N times")
-	regAddr := flag.String("registry", "", "discover relays from this registry (in addition to -relay flags)")
+	regAddr := flag.String("registry", "", "discover relays from this registry; comma-separate peered registries to fail over (in addition to -relay flags)")
+	regTimeout := flag.Duration("registry-timeout", 5*time.Second, "per-request registry deadline")
 	topK := flag.Int("top", 0, "discover only the K healthiest relays, ranked by the registry (0 = all)")
 	showStats := flag.Bool("stats", false, "print the metrics snapshot (JSON) after the transfer")
 	showPaths := flag.Bool("paths", false, "track path health during the transfer and print the snapshot (JSON) after")
@@ -171,25 +173,27 @@ func main() {
 	}
 	if *regAddr != "" {
 		// Health-ranked discovery narrows the probe race to the relays the
-		// registry believes are healthiest; plain discovery takes them all.
-		var entries []registry.Entry
-		var err error
-		if *topK > 0 {
-			entries, err = registry.ListRanked(*regAddr, *topK)
-		} else {
-			entries, err = registry.List(*regAddr)
-		}
+		// registry believes are healthiest. The first address is the
+		// primary; any further comma-separated addresses are peered
+		// registries tried on failure, so discovery survives losing one.
+		addrs := strings.Split(*regAddr, ",")
+		rc := repro.NewRegistryClient(addrs[0],
+			repro.WithRegistryTimeout(*regTimeout),
+			repro.WithRegistryRetry(1, 200*time.Millisecond),
+			repro.WithRegistryFallbackPeers(addrs[1:]...))
+		discovered, err := repro.DiscoverRelays(ctx, rc, *topK)
+		rc.Close()
 		if err != nil {
 			fatal("registry discovery failed", "registry", *regAddr, "err", err)
 		}
-		for _, e := range entries {
-			if _, dup := tr.Relays[e.Name]; dup {
+		for name, addr := range discovered {
+			if _, dup := tr.Relays[name]; dup {
 				continue
 			}
-			tr.Relays[e.Name] = e.Addr
-			candidates = append(candidates, e.Name)
+			tr.Relays[name] = addr
+			candidates = append(candidates, name)
 		}
-		logger.Info("discovered relays", "count", len(entries), "registry", *regAddr,
+		logger.Info("discovered relays", "count", len(discovered), "registry", *regAddr,
 			"ranked", *topK > 0)
 	}
 

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +35,8 @@ type scale struct {
 	fig6Sizes      []int
 	table3Rounds   int
 	ablateRounds   int
+	registryRelays int
+	registryOps    int
 }
 
 var scales = map[string]scale{
@@ -44,6 +47,8 @@ var scales = map[string]scale{
 		fig6Sizes:      []int{1, 3, 10, 22, 35},
 		table3Rounds:   150,
 		ablateRounds:   30,
+		registryRelays: 10_000,
+		registryOps:    4000,
 	},
 	"default": {
 		studyTransfers: 60,
@@ -52,6 +57,8 @@ var scales = map[string]scale{
 		fig6Sizes:      []int{1, 2, 3, 4, 5, 6, 8, 10, 12, 15, 20, 25, 30, 35},
 		table3Rounds:   500,
 		ablateRounds:   80,
+		registryRelays: 100_000,
+		registryOps:    16_000,
 	},
 	"paper": {
 		studyTransfers: 100,
@@ -60,12 +67,14 @@ var scales = map[string]scale{
 		fig6Sizes:      []int{1, 2, 3, 4, 5, 6, 8, 10, 12, 15, 20, 25, 30, 35},
 		table3Rounds:   720,
 		ablateRounds:   150,
+		registryRelays: 100_000,
+		registryOps:    32_000,
 	},
 }
 
 func main() {
 	var (
-		expFlag      = flag.String("exp", "all", "experiment id: fig1,fig2,table1,table2,fig3,fig4,fig5,fig6,table3,ablate,adaptive,monitor,healthrank,multipath,seeds,validate,cacheegress,topo,all")
+		expFlag      = flag.String("exp", "all", "experiment id: fig1,fig2,table1,table2,fig3,fig4,fig5,fig6,table3,ablate,adaptive,monitor,healthrank,multipath,seeds,validate,cacheegress,registryload,topo,all")
 		seed         = flag.Uint64("seed", 42, "study seed (scenario + workloads)")
 		scaleFlag    = flag.String("scale", "default", "workload scale: quick, default, paper")
 		workers      = flag.Int("workers", 0, "parallel campaign workers (0 = GOMAXPROCS)")
@@ -73,6 +82,7 @@ func main() {
 		outCSV       = flag.String("csv", "", "export the Section 3 study records to this CSV file")
 		plotDir      = flag.String("plotdata", "", "write gnuplot-ready TSV series for each produced figure/table into this directory")
 		scenarioPath = flag.String("scenario", "", "JSON scenario config (see topo.ScenarioConfig); used by -exp topo")
+		regloadJSON  = flag.String("regload-json", "", "write the registryload result as JSON to this file")
 	)
 	flag.Parse()
 
@@ -261,6 +271,24 @@ func main() {
 		})
 		report.CacheEgress(w, ce)
 		fmt.Fprintln(w)
+	}
+	if want["registryload"] {
+		var rl experiment.RegistryLoadResult
+		run("registry load (sharding + delta sync)", func() {
+			rl = experiment.RunRegistryLoad(experiment.RegistryLoadParams{
+				Relays:        sc.registryRelays,
+				Registrations: sc.registryOps,
+			})
+		})
+		report.RegistryLoad(w, rl)
+		fmt.Fprintln(w)
+		if *regloadJSON != "" {
+			archive(*regloadJSON, func(f *os.File) error {
+				enc := json.NewEncoder(f)
+				enc.SetIndent("", "  ")
+				return enc.Encode(rl)
+			})
+		}
 	}
 	if want["seeds"] {
 		var sw experiment.SeedSweepResult

@@ -3,18 +3,31 @@
 // and clients discover the live relay set from it — the operational
 // realization of the paper's "set of nodes available to a client". The
 // LISTH command returns the set ranked healthiest-first, so clients can
-// probe only the healthiest K (the paper's knee is ~10 of 35).
+// probe only the healthiest K (the paper's knee is ~10 of 35), and LISTD
+// serves epoch-keyed deltas so steady-state clients re-pull only what
+// changed instead of the full table.
 //
 // Usage:
 //
-//	registryd -listen 127.0.0.1:8070 -metrics 127.0.0.1:9070
+//	registryd -listen 127.0.0.1:8070 -metrics 127.0.0.1:9070 \
+//	    -peer 127.0.0.1:8071 -sync-every 5s
 //
-// With -metrics set, live counters (registrations, list queries, live and
-// down relay counts) are served as JSON on /debug/vars, Prometheus text
-// format on /metrics (including the command-latency histogram), liveness
-// on /healthz, and readiness on /readyz (the listener must be up).
-// -pprof serves net/http/pprof on a separate address. Logging is
-// structured (slog); see -log-format, -log-level, and -log-components.
+// The table stripes across -shards lock partitions, so heartbeat storms
+// from very large relay fleets don't serialize on one mutex. Each -peer
+// (repeatable) names another registryd to anti-entropy against: this
+// instance pulls SYNCD deltas from every peer each -sync-every and
+// merges them last-writer-wins, so a heartbeat reaching either peer is
+// visible on both within one interval and discovery survives a
+// registryd loss (point clients at both via fetch -registry a,b).
+//
+// With -metrics set, live counters (registrations, list and delta
+// queries, epoch, live and down relay counts) are served as JSON on
+// /debug/vars, shard occupancy and peer sync cursors on /debug/registry,
+// Prometheus text format on /metrics (including the command-latency
+// histogram), liveness on /healthz, and readiness on /readyz (the
+// listener must be up). -pprof serves net/http/pprof on a separate
+// address. Logging is structured (slog); see -log-format, -log-level,
+// and -log-components.
 package main
 
 import (
@@ -24,6 +37,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -34,11 +48,31 @@ import (
 	"repro/internal/registry"
 )
 
+// peerList collects repeatable -peer flags (comma-separated values also
+// accepted).
+type peerList []string
+
+func (p *peerList) String() string { return strings.Join(*p, ",") }
+
+func (p *peerList) Set(v string) error {
+	for _, a := range strings.Split(v, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			*p = append(*p, a)
+		}
+	}
+	return nil
+}
+
 func main() {
 	listen := flag.String("listen", "127.0.0.1:8070", "listen address")
 	metrics := flag.String("metrics", "", "metrics endpoint address (empty = off)")
 	statsEvery := flag.Duration("stats", 30*time.Second, "stats log interval (0 = off)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = off)")
+	shards := flag.Int("shards", registry.DefaultShards, "table lock partitions")
+	timeout := flag.Duration("timeout", registry.DefaultTimeout, "per-command connection deadline")
+	syncEvery := flag.Duration("sync-every", 5*time.Second, "peer anti-entropy interval")
+	var peers peerList
+	flag.Var(&peers, "peer", "peer registryd address to sync against (repeatable, or comma-separated)")
 	mkLog := daemon.LogFlags()
 	flag.Parse()
 	logger := mkLog("registryd")
@@ -46,7 +80,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	var s registry.Server
+	s := registry.Server{NumShards: *shards, Timeout: *timeout}
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		logger.Error("listen failed", "addr", *listen, "err", err)
@@ -60,7 +94,13 @@ func main() {
 			logger.Error("serve failed", "err", err)
 		}
 	}()
-	logger.Info("listening", "addr", l.Addr().String())
+	logger.Info("listening", "addr", l.Addr().String(), "shards", *shards, "peers", peers.String())
+
+	var ps *registry.PeerSync
+	if len(peers) > 0 {
+		ps = registry.NewPeerSync(&s, peers, *syncEvery, *timeout, logger)
+		go ps.Run(ctx)
+	}
 
 	ready := httpx.NewReady()
 	ready.AddLive("listener", func() error {
@@ -73,27 +113,52 @@ func main() {
 	d := &daemon.Daemon{
 		Prefix: "registry",
 		Vars: func() any {
-			all := s.ListAll()
-			down := 0
-			for _, e := range all {
-				if e.Down {
-					down++
-				}
-			}
+			st := s.Stats()
 			return map[string]any{
 				"registrations": s.Registrations.Load(),
 				"lists":         s.Lists.Load(),
+				"delta_lists":   s.DeltaLists.Load(),
+				"full_deltas":   s.FullDeltas.Load(),
+				"syncs":         s.Syncs.Load(),
 				"downs":         s.Downs.Load(),
-				"live_relays":   len(all) - down,
-				"down_relays":   down,
+				"live_relays":   st.Live,
+				"down_relays":   st.Down,
+				"epoch":         st.Epoch,
 			}
 		},
+		Registry: func() any {
+			out := map[string]any{"table": s.Stats()}
+			if ps != nil {
+				out["peers"] = ps.Stats()
+			}
+			return out
+		},
 		Prom: func(p *obs.Prom) {
+			st := s.Stats()
 			p.Counter("registry_registrations_total", "Accepted REGISTER commands.", float64(s.Registrations.Load()))
-			p.Counter("registry_lists_total", "LIST commands served.", float64(s.Lists.Load()))
+			p.Counter("registry_lists_total", "LIST and LISTH commands served.", float64(s.Lists.Load()))
+			p.Counter("registry_delta_lists_total", "LISTD commands served.", float64(s.DeltaLists.Load()))
+			p.Counter("registry_full_deltas_total", "Delta responses that fell back to a full snapshot.", float64(s.FullDeltas.Load()))
+			p.Counter("registry_syncs_total", "SYNCD peer pulls served.", float64(s.Syncs.Load()))
 			p.Counter("registry_downs_total", "Relays marked down after TTL lapse.", float64(s.Downs.Load()))
-			p.Gauge("registry_live_relays", "Relays currently registered and unexpired.", float64(len(s.List())))
+			p.Gauge("registry_live_relays", "Relays currently registered and unexpired.", float64(st.Live))
+			p.Gauge("registry_down_relays", "Relays inside their post-expiry grace window.", float64(st.Down))
+			p.Gauge("registry_epoch", "Current registry mutation epoch.", float64(st.Epoch))
+			p.Gauge("registry_shards", "Table lock partitions.", float64(st.Shards))
 			p.Histogram("registry_command_latency_seconds", "Wire-command handling times.", s.LatencySnapshot())
+			if ps != nil {
+				pulls := map[string]float64{}
+				applied := map[string]float64{}
+				errs := map[string]float64{}
+				for _, pst := range ps.Stats() {
+					pulls[pst.Addr] = float64(pst.Pulls)
+					applied[pst.Addr] = float64(pst.Applied)
+					errs[pst.Addr] = float64(pst.Errors)
+				}
+				p.LabeledCounter("registry_peer_pulls_total", "Peer sync pulls completed.", "peer", pulls)
+				p.LabeledCounter("registry_peer_applied_total", "Peer sync records applied.", "peer", applied)
+				p.LabeledCounter("registry_peer_errors_total", "Peer sync failures.", "peer", errs)
+			}
 		},
 		Ready: ready,
 	}
@@ -117,7 +182,8 @@ func main() {
 				select {
 				case <-ticker.C:
 					logger.Info("stats", "live_relays", len(s.List()),
-						"registrations", s.Registrations.Load())
+						"registrations", s.Registrations.Load(),
+						"epoch", s.Epoch())
 				case <-ctx.Done():
 					return
 				}
@@ -126,6 +192,6 @@ func main() {
 	}
 
 	<-ctx.Done()
-	logger.Info("shutting down", "registrations", s.Registrations.Load())
+	logger.Info("shutting down", "registrations", s.Registrations.Load(), "epoch", s.Epoch())
 	l.Close()
 }

@@ -38,6 +38,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -55,7 +56,8 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:8081", "listen address")
 	metrics := flag.String("metrics", "", "metrics endpoint address (empty = off)")
 	statsEvery := flag.Duration("stats", 30*time.Second, "stats log interval (0 = off)")
-	regAddr := flag.String("registry", "", "registry address to self-register with (optional)")
+	regAddr := flag.String("registry", "", "registry address to self-register with; comma-separate peered registries to fail over (optional)")
+	regTimeout := flag.Duration("registry-timeout", 5*time.Second, "per-request registry deadline")
 	name := flag.String("name", "relay", "relay name used when registering")
 	ttl := flag.Duration("ttl", time.Minute, "registration TTL")
 	tracePath := flag.String("trace", "", "write span archive (JSONL) here on shutdown (empty = tracing off)")
@@ -110,10 +112,19 @@ func main() {
 
 	var hb *registry.HeartbeatState
 	if *regAddr != "" {
-		hbStop := make(chan struct{})
-		defer close(hbStop)
-		hb, err = registry.StartHeartbeat(*regAddr, *name, l.Addr().String(), *ttl,
-			aggregateHealth(r.Health, r.Cache()), hbStop)
+		// Heartbeats go through a pooled client: steady state is one
+		// round trip on a held-open connection, each tick re-resolving
+		// through the client (transparent redial, fallback peers) so one
+		// refused connection doesn't burn a tick. With peered registries
+		// listed, a heartbeat landing on either converges on both.
+		addrs := strings.Split(*regAddr, ",")
+		rc := registry.NewClient(addrs[0],
+			registry.WithTimeout(*regTimeout),
+			registry.WithPooledConn(),
+			registry.WithFallbackPeers(addrs[1:]...))
+		defer rc.Close()
+		hb, err = rc.StartHeartbeat(ctx, *name, l.Addr().String(), *ttl,
+			aggregateHealth(r.Health, r.Cache()))
 		if err != nil {
 			logger.Error("registration failed", "registry", *regAddr, "err", err)
 			os.Exit(1)

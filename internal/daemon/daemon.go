@@ -1,7 +1,8 @@
 // Package daemon is the shared introspection scaffolding for origind,
 // relayd, and registryd: one place that assembles the debug mux
 // (/healthz, /readyz, /debug/vars, /metrics, and — when the subsystems
-// are wired — /debug/paths, /debug/slo, and /debug/cache), and the common logging
+// are wired — /debug/paths, /debug/slo, /debug/cache, and
+// /debug/registry), and the common logging
 // flag plumbing around internal/obs/slogx. The daemons declaring their
 // endpoints through this package means the e2e metrics test exercises
 // exactly the pages the binaries serve, not a parallel reimplementation.
@@ -39,6 +40,10 @@ type Daemon struct {
 	// objcache.Stats snapshot); the cache's Prometheus families are the
 	// daemon's to append via Prom.
 	Cache func() any
+	// Registry, when set, builds the /debug/registry payload (a
+	// registry.Stats snapshot — shard occupancy, epoch, delta floor,
+	// digest — plus peer sync cursors on a peered registryd).
+	Registry func() any
 	// Ready backs /healthz and /readyz; nil means unconditionally
 	// healthy (a daemon with no checks yet).
 	Ready *httpx.Ready
@@ -86,6 +91,9 @@ func (d *Daemon) Mux() *httpx.Mux {
 	}
 	if d.Cache != nil {
 		mux.Handle("/debug/cache", httpx.JSONHandler(d.Cache))
+	}
+	if d.Registry != nil {
+		mux.Handle("/debug/registry", httpx.JSONHandler(d.Registry))
 	}
 	return mux
 }

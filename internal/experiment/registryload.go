@@ -1,0 +1,469 @@
+package experiment
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/registry"
+	"repro/internal/stats"
+)
+
+// The registry-load experiment proves the discovery tier holds up at
+// registry scale: a table of (by default) 100k simulated relays under a
+// churning heartbeat storm plus concurrent client LIST traffic, over
+// live loopback TCP. Two comparisons come out of it:
+//
+//   - Sharding: the same open-loop REGISTER workload is driven against a
+//     single-mutex registry (NumShards: 1 — exactly the old design) and
+//     a sharded one, with incremental delta polls racing the writes.
+//     Every poll sweeps the full table under its locks while emitting
+//     only the changed handful, so the single mutex turns each poll
+//     into a registration stall covering the whole table; the sharded
+//     layout confines each stall to 1/NumShards of the keyspace.
+//     Open-loop pacing means latency is measured from the op's
+//     scheduled dispatch time, so queueing delay counts — a saturated
+//     server cannot hide behind a closed loop's back-pressure. Ranked
+//     full-table scans are timed separately, before the storm: on a
+//     small machine their sort CPU saturates the core identically for
+//     both configurations, which would mask the lock behavior under
+//     measurement.
+//
+//   - Delta sync: during the steady-state heartbeat churn (almost all
+//     refreshes are pure — nothing material changes), a delta client
+//     polls LISTD while a legacy client re-pulls full LISTH lists, and
+//     the experiment reports the measured bytes on the wire per poll for
+//     each. The delta client's steady-state poll is a single EPOCH line.
+
+// RegistryLoadParams configures the load comparison.
+type RegistryLoadParams struct {
+	// Relays is the preloaded table size (default 100_000).
+	Relays int
+	// Registrations is how many open-loop REGISTER ops to measure per
+	// configuration (default 16000).
+	Registrations int
+	// Rate is the open-loop dispatch rate in ops/sec (default 1000 — a
+	// rate even one core sustains between scans, so the tail measures
+	// lock stalls and their queue drain rather than CPU saturation).
+	Rate float64
+	// Workers is the size of the registering client pool (default 16).
+	Workers int
+	// RankedScans is how many ranked LISTH scans to time (default 5).
+	// They run sequentially before the storm: ranking 100k entries is
+	// hundreds of ms of raw CPU, so interleaving them with the measured
+	// REGISTER stream would report core saturation, not lock behavior.
+	RankedScans int
+	// ScanK is the ranked scans' LISTH top-K (default 100). The server
+	// still sweeps, copies, and ranks the full table per scan — K bounds
+	// only the response size, mirroring fetch -top K clients.
+	ScanK int
+	// DeltaScanners is how many clients poll LISTD with a live cursor
+	// (default 8) — the steady-state read load of delta-sync mirrors,
+	// and the contention that breaks a single-mutex table: an
+	// incremental delta sweeps every entry under the shard locks but
+	// emits only the handful that changed, so nearly all of its cost is
+	// lock-hold time. The scanners share one cadence, so their polls
+	// arrive as synchronized bursts — the realistic worst case for a
+	// fleet of mirrors on a fixed refresh interval, and the single
+	// mutex serializes the entire burst into one indivisible stall.
+	DeltaScanners int
+	// DeltaScanEvery is each delta scanner's poll cadence (default 2s).
+	DeltaScanEvery time.Duration
+	// DeltaPolls is how many LISTD/LISTH byte-measurement polls run
+	// during the churn (default 25).
+	DeltaPolls int
+	// Shards is the sharded configuration's partition count (default
+	// registry.DefaultShards).
+	Shards int
+}
+
+func (p RegistryLoadParams) withDefaults() RegistryLoadParams {
+	if p.Relays == 0 {
+		p.Relays = 100_000
+	}
+	if p.Registrations == 0 {
+		p.Registrations = 16000
+	}
+	if p.Rate == 0 {
+		p.Rate = 1000
+	}
+	if p.Workers == 0 {
+		p.Workers = 16
+	}
+	if p.RankedScans == 0 {
+		p.RankedScans = 5
+	}
+	if p.ScanK == 0 {
+		p.ScanK = 100
+	}
+	if p.DeltaScanners == 0 {
+		p.DeltaScanners = 8
+	}
+	if p.DeltaScanEvery == 0 {
+		p.DeltaScanEvery = 2 * time.Second
+	}
+	if p.DeltaPolls == 0 {
+		p.DeltaPolls = 25
+	}
+	if p.Shards == 0 {
+		p.Shards = registry.DefaultShards
+	}
+	return p
+}
+
+// RegistryLoadConfig is one configuration's measured behavior under the
+// storm.
+type RegistryLoadConfig struct {
+	Shards int `json:"shards"`
+	// RegisterP50Ms/RegisterP99Ms are REGISTER latencies measured from
+	// scheduled dispatch time (open loop: queueing delay counts).
+	RegisterP50Ms float64 `json:"register_p50_ms"`
+	RegisterP99Ms float64 `json:"register_p99_ms"`
+	// ListP50Ms/ListP99Ms are ranked LISTH scan latencies (the server
+	// sweeps and ranks the full table per scan).
+	ListP50Ms float64 `json:"list_p50_ms"`
+	ListP99Ms float64 `json:"list_p99_ms"`
+	// DeltaP50Ms/DeltaP99Ms are incremental LISTD poll latencies during
+	// the storm.
+	DeltaP50Ms float64 `json:"delta_p50_ms"`
+	DeltaP99Ms float64 `json:"delta_p99_ms"`
+	// Scans is how many ranked LISTH scans were timed; DeltaScans is how
+	// many incremental LISTD polls the delta scanners completed during
+	// the storm.
+	Scans      int `json:"scans"`
+	DeltaScans int `json:"delta_scans"`
+	// AchievedRate is the measured REGISTER completion rate (ops/sec);
+	// well below the target rate means the configuration saturated.
+	AchievedRate float64 `json:"achieved_rate"`
+}
+
+// RegistryLoadResult is the full comparison.
+type RegistryLoadResult struct {
+	Relays        int     `json:"relays"`
+	Registrations int     `json:"registrations"`
+	TargetRate    float64 `json:"target_rate"`
+
+	Baseline RegistryLoadConfig `json:"baseline"` // NumShards = 1: the old single-mutex design
+	Sharded  RegistryLoadConfig `json:"sharded"`
+
+	// P99Speedup is Baseline.RegisterP99Ms / Sharded.RegisterP99Ms.
+	P99Speedup float64 `json:"p99_speedup"`
+
+	// FullListBytes is the measured LISTH response size for the full
+	// table; DeltaPollBytes is the mean LISTD response size during
+	// steady-state churn; DeltaSavings is their ratio.
+	FullListBytes  int64   `json:"full_list_bytes"`
+	DeltaPollBytes float64 `json:"delta_poll_bytes"`
+	DeltaPolls     int     `json:"delta_polls"`
+	DeltaSavings   float64 `json:"delta_savings"`
+}
+
+// RunRegistryLoad drives the storm against both configurations on live
+// loopback TCP.
+func RunRegistryLoad(p RegistryLoadParams) RegistryLoadResult {
+	p = p.withDefaults()
+	// On boxes with very few cores, give the runtime extra Ps (applied
+	// identically to both configurations): with GOMAXPROCS=1 a woken
+	// REGISTER goroutine queues behind every CPU-bound scan goroutine
+	// regardless of lock layout, so the measurement reports single-P
+	// scheduler serialization instead of lock architecture. OS
+	// timesharing across Ms stands in for hardware parallelism.
+	if runtime.GOMAXPROCS(0) < 4 {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	}
+	res := RegistryLoadResult{
+		Relays:        p.Relays,
+		Registrations: p.Registrations,
+		TargetRate:    p.Rate,
+	}
+	res.Baseline = runRegistryConfig(p, 1, nil)
+	res.Sharded = runRegistryConfig(p, p.Shards, &res)
+	if res.Sharded.RegisterP99Ms > 0 {
+		res.P99Speedup = res.Baseline.RegisterP99Ms / res.Sharded.RegisterP99Ms
+	}
+	return res
+}
+
+// runRegistryConfig measures one configuration. When byteRes is non-nil
+// the delta-vs-full byte measurement also runs (on the sharded pass —
+// the protocol is identical in both, so once is enough).
+func runRegistryConfig(p RegistryLoadParams, shards int, byteRes *RegistryLoadResult) RegistryLoadConfig {
+	s := &registry.Server{NumShards: shards}
+	// Preload in-process: the storm measures steady-state behavior at
+	// scale, not bulk-load throughput.
+	for i := 0; i < p.Relays; i++ {
+		err := s.RegisterHealth(relayName(i), "10.0.0.1:8081", time.Hour, 0.5)
+		must(err == nil, "preload: %v", err)
+	}
+	l, err := s.ServeAddr("127.0.0.1:0")
+	must(err == nil, "registry listen: %v", err)
+	defer l.Close()
+	addr := l.Addr().String()
+	ctx := context.Background()
+
+	cfg := RegistryLoadConfig{Shards: shards}
+
+	// Phase 1 — ranked scans, timed solo: LISTH top-K over a raw
+	// connection (draining, not parsing). Sequential and pre-storm
+	// because ranking 100k entries is hundreds of ms of raw CPU; on a
+	// small machine, racing that against the measured REGISTER stream
+	// reports core saturation for both configurations, not lock
+	// behavior.
+	var listLat []float64
+	{
+		conn, err := net.Dial("tcp", addr)
+		must(err == nil, "lister dial: %v", err)
+		br := bufio.NewReader(conn)
+		scanCmd := fmt.Sprintf("LISTH %d\n", p.ScanK)
+		for i := 0; i < p.RankedScans; i++ {
+			t0 := time.Now()
+			_, err := conn.Write([]byte(scanCmd))
+			must(err == nil, "lister write: %v", err)
+			lines := 0
+			for {
+				line, err := br.ReadString('\n')
+				must(err == nil, "lister read: %v", err)
+				if line == ".\n" {
+					break
+				}
+				lines++
+			}
+			must(lines >= min(p.ScanK, p.Relays), "lister saw %d lines, want %d", lines, min(p.ScanK, p.Relays))
+			listLat = append(listLat, float64(time.Since(t0).Microseconds())/1000)
+		}
+		conn.Close()
+	}
+
+	// Phase 2 — delta scanners: incremental LISTD polls with a live
+	// cursor, the steady-state read traffic of deployed delta-sync
+	// mirrors. Each poll sweeps the whole table under the shard locks
+	// while emitting only the changed handful, so its cost is almost
+	// pure lock-hold: the load that turns a single-mutex table into a
+	// REGISTER stall machine, and exactly what striping confines. Each
+	// scanner pays for its initial full snapshot *before* the measured
+	// storm begins (a mirror bootstraps once, then holds its cursor).
+	stop := make(chan struct{})
+	startStorm := make(chan struct{})
+	var listWG, warmWG sync.WaitGroup
+	var deltaMu sync.Mutex
+	var deltaLat []float64
+	for i := 0; i < p.DeltaScanners; i++ {
+		listWG.Add(1)
+		warmWG.Add(1)
+		go func() {
+			defer listWG.Done()
+			conn, err := net.Dial("tcp", addr)
+			must(err == nil, "delta scanner dial: %v", err)
+			defer conn.Close()
+			br := bufio.NewReader(conn)
+			var cursor uint64
+			poll := func() {
+				_, err := fmt.Fprintf(conn, "LISTD %d\n", cursor)
+				must(err == nil, "delta scanner write: %v", err)
+				header := ""
+				for {
+					line, err := br.ReadString('\n')
+					must(err == nil, "delta scanner read: %v", err)
+					if header == "" {
+						header = line
+					}
+					if line == ".\n" {
+						break
+					}
+				}
+				_, err = fmt.Sscanf(header, "EPOCH %d", &cursor)
+				must(err == nil, "delta scanner epoch parse: %q", header)
+			}
+			poll() // bootstrap: the one full snapshot, unmeasured
+			warmWG.Done()
+			<-startStorm
+			// Open-loop pacing, like the heartbeat storm: polls are due
+			// every DeltaScanEvery regardless of how long the previous
+			// one took, so a table that can't keep up accumulates a
+			// queue instead of quietly throttling its readers.
+			due := time.Now()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				t0 := time.Now()
+				poll()
+				deltaMu.Lock()
+				deltaLat = append(deltaLat, float64(time.Since(t0).Microseconds())/1000)
+				deltaMu.Unlock()
+				due = due.Add(p.DeltaScanEvery)
+				d := time.Until(due)
+				if d <= 0 {
+					continue
+				}
+				select {
+				case <-stop:
+					return
+				case <-time.After(d):
+				}
+			}
+		}()
+	}
+	warmWG.Wait()
+	// Start the measured storm from a collected heap: the preload and the
+	// ranked scans above leave tens of MB of garbage, and on a small
+	// machine a collection firing mid-storm is a config-independent tail
+	// event big enough to drown the lock behavior under measurement.
+	runtime.GC()
+
+	// Phase 3 — the heartbeat storm, open loop: ops are due at
+	// start + i/rate and latency is measured from the due time. Almost
+	// all heartbeats are pure refreshes (same addr, same health); 1 in
+	// 100 moves its health so the delta stream sees realistic sparse
+	// change.
+	type op struct {
+		idx int
+		due time.Time
+	}
+	ops := make(chan op, p.Workers*4)
+	regLat := make([]float64, p.Registrations)
+	var workWG sync.WaitGroup
+	for w := 0; w < p.Workers; w++ {
+		workWG.Add(1)
+		go func() {
+			defer workWG.Done()
+			c := registry.NewClient(addr, registry.WithPooledConn())
+			defer c.Close()
+			for o := range ops {
+				health := 0.5
+				if o.idx%100 == 0 {
+					health = 0.5 + float64(o.idx%7)/100 // sparse material churn
+				}
+				err := c.RegisterHealth(ctx, relayName(o.idx%p.Relays), "10.0.0.1:8081", time.Hour, health)
+				must(err == nil, "storm register: %v", err)
+				regLat[o.idx] = float64(time.Since(o.due).Microseconds()) / 1000
+			}
+		}()
+	}
+	close(startStorm)
+	start := time.Now()
+	interval := time.Duration(float64(time.Second) / p.Rate)
+	for i := 0; i < p.Registrations; i++ {
+		due := start.Add(time.Duration(i) * interval)
+		if d := time.Until(due); d > 0 {
+			time.Sleep(d)
+		}
+		ops <- op{idx: i, due: due}
+	}
+	close(ops)
+	workWG.Wait()
+	elapsed := time.Since(start).Seconds()
+	close(stop)
+	listWG.Wait()
+
+	// Phase 4 (sharded pass only) — bytes on the wire, delta vs full,
+	// under a background churn matching the storm's change rate. Kept
+	// out of the measured storm: the full-list pull it needs for the
+	// comparison would stall the REGISTER stream on a small machine.
+	if byteRes != nil {
+		churnStop := make(chan struct{})
+		var churnWG sync.WaitGroup
+		churnWG.Add(1)
+		go func() {
+			defer churnWG.Done()
+			c := registry.NewClient(addr, registry.WithPooledConn())
+			defer c.Close()
+			for i := 0; ; i++ {
+				select {
+				case <-churnStop:
+					return
+				default:
+				}
+				health := 0.5
+				if i%100 == 0 {
+					health = 0.5 + float64(i%7)/100
+				}
+				err := c.RegisterHealth(ctx, relayName(i%p.Relays), "10.0.0.1:8081", time.Hour, health)
+				must(err == nil, "churn register: %v", err)
+				time.Sleep(5 * time.Millisecond)
+			}
+		}()
+		measureWireBytes(addr, p, byteRes)
+		close(churnStop)
+		churnWG.Wait()
+	}
+
+	sort.Float64s(regLat)
+	cfg.RegisterP50Ms = stats.Quantile(regLat, 0.50)
+	cfg.RegisterP99Ms = stats.Quantile(regLat, 0.99)
+	sort.Float64s(listLat)
+	cfg.ListP50Ms = stats.Quantile(listLat, 0.50)
+	cfg.ListP99Ms = stats.Quantile(listLat, 0.99)
+	cfg.Scans = len(listLat)
+	sort.Float64s(deltaLat)
+	cfg.DeltaP50Ms = stats.Quantile(deltaLat, 0.50)
+	cfg.DeltaP99Ms = stats.Quantile(deltaLat, 0.99)
+	cfg.DeltaScans = len(deltaLat)
+	if elapsed > 0 {
+		cfg.AchievedRate = float64(p.Registrations) / elapsed
+	}
+	return cfg
+}
+
+// measureWireBytes counts raw response bytes for one full LISTH pull and
+// p.DeltaPolls steady-state LISTD polls over one raw connection each way.
+func measureWireBytes(addr string, p RegistryLoadParams, res *RegistryLoadResult) {
+	conn, err := net.Dial("tcp", addr)
+	must(err == nil, "byte probe dial: %v", err)
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+
+	// countResponse reads lines until the "." terminator (or a bare
+	// EPOCH header's end for LISTD incremental responses) and returns the
+	// byte count on the wire.
+	countResponse := func(cmd string) (int64, string) {
+		_, err := conn.Write([]byte(cmd))
+		must(err == nil, "byte probe write: %v", err)
+		var n int64
+		var header string
+		for {
+			line, err := br.ReadString('\n')
+			must(err == nil, "byte probe read: %v", err)
+			n += int64(len(line))
+			if header == "" {
+				header = strings.TrimSpace(line)
+			}
+			if strings.TrimSpace(line) == "." {
+				return n, header
+			}
+		}
+	}
+
+	full, _ := countResponse("LISTH\n")
+	res.FullListBytes = full
+
+	// First LISTD pull pays for a full snapshot; poll from its epoch.
+	_, header := countResponse("LISTD 0\n")
+	var epoch uint64
+	_, err = fmt.Sscanf(header, "EPOCH %d", &epoch)
+	must(err == nil, "byte probe epoch parse: %q", header)
+
+	var deltaTotal int64
+	for i := 0; i < p.DeltaPolls; i++ {
+		time.Sleep(20 * time.Millisecond) // let the storm churn between polls
+		n, header := countResponse(fmt.Sprintf("LISTD %d\n", epoch))
+		_, err = fmt.Sscanf(header, "EPOCH %d", &epoch)
+		must(err == nil, "byte probe epoch parse: %q", header)
+		deltaTotal += n
+	}
+	res.DeltaPolls = p.DeltaPolls
+	res.DeltaPollBytes = float64(deltaTotal) / float64(p.DeltaPolls)
+	if res.DeltaPollBytes > 0 {
+		res.DeltaSavings = float64(res.FullListBytes) / res.DeltaPollBytes
+	}
+}
+
+func relayName(i int) string { return fmt.Sprintf("relay-%06d", i) }

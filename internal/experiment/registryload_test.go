@@ -1,0 +1,41 @@
+package experiment
+
+import "testing"
+
+// Reduced-scale smoke run of the registry load harness: asserts the
+// harness mechanics (open-loop completion, both configs measured, byte
+// probe ran) and the directional claims with loose CI-safe margins —
+// the full-scale acceptance ratios live in BENCH_7.json, produced by
+// `indirectlab -exp registryload` at default scale.
+func TestRunRegistryLoadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live-TCP load harness")
+	}
+	r := RunRegistryLoad(RegistryLoadParams{
+		Relays:        3000,
+		Registrations: 600,
+		Rate:          1500,
+		Workers:       8,
+		RankedScans:   3,
+		DeltaPolls:    5,
+	})
+	if r.Baseline.Shards != 1 || r.Sharded.Shards < 2 {
+		t.Fatalf("config shards: baseline=%d sharded=%d", r.Baseline.Shards, r.Sharded.Shards)
+	}
+	if r.Baseline.RegisterP99Ms <= 0 || r.Sharded.RegisterP99Ms <= 0 {
+		t.Fatalf("missing latency measurements: %+v", r)
+	}
+	if r.Baseline.Scans == 0 || r.Sharded.Scans == 0 {
+		t.Fatalf("listers never scanned: %+v", r)
+	}
+	// The full table is a few hundred KB on the wire; a steady-state
+	// delta poll is tens of bytes. Even at toy scale the savings must be
+	// large — this is the protocol claim, not a scheduler-sensitive one.
+	if r.FullListBytes < int64(r.Relays)*10 {
+		t.Fatalf("full list implausibly small: %d bytes for %d relays", r.FullListBytes, r.Relays)
+	}
+	if r.DeltaSavings < 10 {
+		t.Fatalf("delta savings %.1fx, want >= 10x (full=%dB delta=%.0fB)",
+			r.DeltaSavings, r.FullListBytes, r.DeltaPollBytes)
+	}
+}

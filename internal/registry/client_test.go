@@ -1,0 +1,251 @@
+package registry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func startServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	s := &Server{}
+	l, err := s.ServeAddr("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return s, l.Addr().String()
+}
+
+func TestClientRegisterListRanked(t *testing.T) {
+	_, addr := startServer(t)
+	c := NewClient(addr, WithTimeout(5*time.Second))
+	defer c.Close()
+	ctx := context.Background()
+
+	if err := c.RegisterHealth(ctx, "good", "10.0.0.1:1", time.Minute, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterHealth(ctx, "bad", "10.0.0.2:1", time.Minute, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register(ctx, "mute", "10.0.0.3:1", time.Minute); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := c.ListRanked(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0].Name != "good" || got[1].Name != "bad" || got[2].Name != "mute" {
+		t.Fatalf("ranked = %+v", got)
+	}
+	if got[2].Health != HealthUnreported {
+		t.Fatalf("unreported health came back as %v", got[2].Health)
+	}
+	if got[0].Down {
+		t.Fatal("live entry parsed as down")
+	}
+
+	live, err := c.List(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(live) != 3 || live[0].Name != "bad" {
+		t.Fatalf("list = %+v", live)
+	}
+}
+
+// LISTH must tell the truth about down entries: served during grace
+// with state "down", ranked last, parsed into Entry.Down.
+func TestClientSeesDownState(t *testing.T) {
+	now := time.Unix(1000, 0)
+	s := &Server{Clock: func() time.Time { return now }}
+	l, err := s.ServeAddr("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	c := NewClient(l.Addr().String())
+	defer c.Close()
+	ctx := context.Background()
+
+	c.RegisterHealth(ctx, "dying", "x:1", 10*time.Second, 0.9)
+	c.RegisterHealth(ctx, "alive", "y:1", 10*time.Minute, 0.1)
+	now = now.Add(30 * time.Second) // "dying" lapses, inside grace
+
+	got, err := c.ListRanked(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("ranked = %+v", got)
+	}
+	if got[0].Name != "alive" || got[0].Down {
+		t.Fatalf("live entry first, up: %+v", got[0])
+	}
+	if got[1].Name != "dying" || !got[1].Down {
+		t.Fatalf("down entry must be served last with Down set: %+v", got[1])
+	}
+}
+
+func TestClientPooledConnSurvivesStaleConn(t *testing.T) {
+	// A short server-side idle timeout closes the session between calls;
+	// the pooled client must notice the stale conn and redial
+	// transparently without burning a retry or surfacing an error.
+	s := &Server{Timeout: 200 * time.Millisecond}
+	l, err := s.ServeAddr("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	c := NewClient(l.Addr().String(), WithPooledConn())
+	defer c.Close()
+	ctx := context.Background()
+
+	if err := c.Register(ctx, "a", "x:1", time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(500 * time.Millisecond) // server idles the session out
+
+	if err := c.Register(ctx, "b", "y:1", time.Minute); err != nil {
+		t.Fatalf("pooled client did not recover from stale conn: %v", err)
+	}
+	if got := s.List(); len(got) != 2 {
+		t.Fatalf("post-redial list = %+v", got)
+	}
+}
+
+func TestClientFallbackPeers(t *testing.T) {
+	s, addr := startServer(t)
+	// Primary is a dead port; fallback is live.
+	c := NewClient("127.0.0.1:1", WithFallbackPeers(addr), WithTimeout(2*time.Second))
+	defer c.Close()
+	if err := c.Register(context.Background(), "via-fallback", "x:1", time.Minute); err != nil {
+		t.Fatalf("fallback not used: %v", err)
+	}
+	if got := s.List(); len(got) != 1 || got[0].Name != "via-fallback" {
+		t.Fatalf("list = %+v", got)
+	}
+}
+
+func TestClientUnavailable(t *testing.T) {
+	c := NewClient("127.0.0.1:1", WithTimeout(500*time.Millisecond))
+	defer c.Close()
+	_, err := c.List(context.Background())
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("want ErrUnavailable, got %v", err)
+	}
+}
+
+func TestClientRejectionIsNotRetried(t *testing.T) {
+	_, addr := startServer(t)
+	c := NewClient(addr, WithRetry(3, 10*time.Millisecond))
+	defer c.Close()
+	start := time.Now()
+	err := c.RegisterHealth(context.Background(), "bad name", "x:1", time.Minute, 0.5)
+	if !errors.Is(err, ErrBadName) {
+		t.Fatalf("want ErrBadName, got %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("client-side validation took the retry path")
+	}
+}
+
+func TestClientContextCancellation(t *testing.T) {
+	c := NewClient("127.0.0.1:1", WithRetry(10, time.Second))
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.List(ctx)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if time.Since(start) > 3*time.Second {
+		t.Fatalf("cancellation did not cut the retry loop short (%v)", time.Since(start))
+	}
+}
+
+func TestClientDeltaAndEpoch(t *testing.T) {
+	s, addr := startServer(t)
+	c := NewClient(addr, WithPooledConn())
+	defer c.Close()
+	ctx := context.Background()
+
+	c.RegisterHealth(ctx, "a", "x:1", time.Minute, 0.7)
+	d, err := c.ListDelta(ctx, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Full || len(d.Entries) != 1 || d.Entries[0].Name != "a" {
+		t.Fatalf("first delta = %+v", d)
+	}
+
+	// Steady state: pure heartbeat, delta is empty.
+	c.RegisterHealth(ctx, "a", "x:1", time.Minute, 0.7)
+	d2, err := c.ListDelta(ctx, d.Epoch, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Full || len(d2.Entries) != 0 {
+		t.Fatalf("steady-state delta = %+v", d2)
+	}
+
+	epoch, digest, err := c.Epoch(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != s.Epoch() || digest != s.Digest() {
+		t.Fatalf("EPOCH reported %d/%d, server has %d/%d", epoch, digest, s.Epoch(), s.Digest())
+	}
+}
+
+func TestClientStartHeartbeat(t *testing.T) {
+	s, addr := startServer(t)
+	c := NewClient(addr, WithPooledConn())
+	defer c.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Wire TTLs are whole seconds (1500ms truncates to 1s); heartbeats
+	// fire every TTL/3 = 500ms, so after 1.2s the entry survives only if
+	// the ticker is refreshing it.
+	hb, err := c.StartHeartbeat(ctx, "hb", "x:1", 1500*time.Millisecond, func() float64 { return 0.8 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(1200 * time.Millisecond)
+	if got := s.List(); len(got) != 1 || got[0].Name != "hb" || got[0].Health != 0.8 {
+		t.Fatalf("heartbeat entry = %+v", got)
+	}
+	if !hb.OK() || hb.Err() != nil || hb.LastOK().IsZero() {
+		t.Fatalf("heartbeat state: ok=%v err=%v lastOK=%v", hb.OK(), hb.Err(), hb.LastOK())
+	}
+}
+
+func TestRankedSetRefreshOverWire(t *testing.T) {
+	_, addr := startServer(t)
+	c := NewClient(addr, WithPooledConn())
+	defer c.Close()
+	ctx := context.Background()
+
+	c.RegisterHealth(ctx, "a", "x:1", time.Minute, 0.9)
+	m := NewRankedSet()
+	if err := m.Refresh(ctx, c); err != nil {
+		t.Fatal(err)
+	}
+	c.RegisterHealth(ctx, "b", "y:1", time.Minute, 0.3)
+	if err := m.Refresh(ctx, c); err != nil {
+		t.Fatal(err)
+	}
+	top := m.Top(0)
+	if len(top) != 2 || top[0].Name != "a" {
+		t.Fatalf("top = %+v", top)
+	}
+	st := m.Stats()
+	if st.Fulls != 1 || st.Refreshes != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,165 @@
+package registry
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestListDeltaFirstSyncIsFull(t *testing.T) {
+	var s Server
+	s.RegisterHealth("a", "x:1", time.Minute, 0.9)
+	s.RegisterHealth("b", "y:1", time.Minute, 0.1)
+	d := s.ListDelta(0, 0)
+	if !d.Full || len(d.Entries) != 2 {
+		t.Fatalf("first sync = %+v", d)
+	}
+	if d.Epoch != s.Epoch() {
+		t.Fatalf("delta epoch %d, server epoch %d", d.Epoch, s.Epoch())
+	}
+}
+
+func TestListDeltaIncrementalOnlyChanges(t *testing.T) {
+	var s Server
+	s.RegisterHealth("a", "x:1", time.Minute, 0.9)
+	s.RegisterHealth("b", "y:1", time.Minute, 0.1)
+	e := s.ListDelta(0, 0).Epoch
+
+	// Pure heartbeat: same addr, same health — no client-visible change.
+	s.RegisterHealth("a", "x:1", time.Minute, 0.9)
+	d := s.ListDelta(e, 0)
+	if d.Full || len(d.Entries) != 0 {
+		t.Fatalf("pure heartbeat produced a delta: %+v", d)
+	}
+
+	// Material change: health moved.
+	s.RegisterHealth("a", "x:1", time.Minute, 0.5)
+	d = s.ListDelta(d.Epoch, 0)
+	if d.Full || len(d.Entries) != 1 || d.Entries[0].Name != "a" || d.Entries[0].Health != 0.5 {
+		t.Fatalf("health change delta = %+v", d)
+	}
+
+	// Delete arrives as a tombstone line.
+	s.Remove("b")
+	d = s.ListDelta(d.Epoch, 0)
+	if d.Full || len(d.Entries) != 1 || !d.Entries[0].Deleted || d.Entries[0].Name != "b" {
+		t.Fatalf("delete delta = %+v", d)
+	}
+}
+
+func TestListDeltaUnknownEpochFallsBackToFull(t *testing.T) {
+	var s Server
+	s.Register("a", "x:1", time.Minute)
+	d := s.ListDelta(s.Epoch()+100, 0) // from a future/other server's epoch
+	if !d.Full {
+		t.Fatalf("unknown epoch should force a full snapshot: %+v", d)
+	}
+}
+
+func TestListDeltaBelowFloorFallsBackToFull(t *testing.T) {
+	now := time.Unix(1000, 0)
+	s := Server{Clock: func() time.Time { return now }}
+	s.Register("a", "x:1", time.Second)
+	e := s.Epoch()
+	// Walk the entry through its whole afterlife: down, tombstoned, and
+	// finally pruned (each stage needs its own sweep at a later time).
+	now = now.Add(time.Second * 4)
+	s.Sweep() // down-marked
+	now = now.Add(time.Hour)
+	s.Sweep() // past grace: tombstoned, kept for tombstoneKeep
+	now = now.Add(time.Hour)
+	s.Sweep() // tombstone pruned, delta floor raised
+	s.Register("b", "y:1", time.Minute)
+	d := s.ListDelta(e, 0)
+	if !d.Full {
+		t.Fatalf("pre-floor epoch must get a full snapshot: floor=%d d=%+v", s.deltaFloor.Load(), d)
+	}
+}
+
+// The delta property test: from ANY interleaving of registrations,
+// health changes, heartbeats, removals, and clock advances, a client
+// that applies LISTD deltas from any starting epoch converges to the
+// same view as a client that pulls the full list — the mirror never
+// silently diverges.
+func TestDeltaSyncPropertyReconstructsFullView(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			now := time.Unix(10_000, 0)
+			s := Server{NumShards: 4, Clock: func() time.Time { return now }}
+			names := make([]string, 12)
+			for i := range names {
+				names[i] = fmt.Sprintf("relay-%d", i)
+			}
+
+			// Several mirrors, syncing at staggered times (so each sees a
+			// different interleaving of deltas), plus mirror 0 starting
+			// mid-stream from a nonzero epoch.
+			mirrors := make([]*RankedSet, 4)
+			for i := range mirrors {
+				mirrors[i] = NewRankedSet()
+			}
+
+			for step := 0; step < 400; step++ {
+				name := names[rng.Intn(len(names))]
+				switch rng.Intn(10) {
+				case 0, 1, 2, 3: // heartbeat / register
+					s.RegisterHealth(name, name+":1", 30*time.Second, float64(rng.Intn(3))/2)
+				case 4:
+					s.Register(name, name+":2", 20*time.Second) // addr change
+				case 5:
+					s.Remove(name)
+				case 6:
+					now = now.Add(time.Duration(rng.Intn(10)) * time.Second)
+				case 7:
+					now = now.Add(time.Duration(rng.Intn(90)) * time.Second) // force expiries
+				default:
+					// quiet step
+				}
+				for i, m := range mirrors {
+					if step%(3+i*5) == 0 { // staggered sync cadences
+						m.Apply(s.ListDelta(m.Epoch(), 0))
+					}
+				}
+			}
+
+			// Final sync for every mirror, then compare against the truth.
+			want := s.rankedAll(0)
+			sort.Slice(want, func(i, j int) bool { return want[i].Name < want[j].Name })
+			for i, m := range mirrors {
+				m.Apply(s.ListDelta(m.Epoch(), 0))
+				got := m.All()
+				sort.Slice(got, func(a, b int) bool { return got[a].Name < got[b].Name })
+				if len(got) != len(want) {
+					t.Fatalf("mirror %d: %d entries, want %d\n got=%+v\nwant=%+v", i, len(got), len(want), got, want)
+				}
+				for j := range want {
+					g, w := got[j], want[j]
+					if g.Name != w.Name || g.Addr != w.Addr || g.Health != w.Health || g.Down != w.Down {
+						t.Fatalf("mirror %d diverged at %q:\n got %+v\nwant %+v", i, w.Name, g, w)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestRankedSetTopMatchesServerRanking(t *testing.T) {
+	var s Server
+	s.RegisterHealth("hi", "a:1", time.Minute, 0.9)
+	s.RegisterHealth("mid", "b:1", time.Minute, 0.5)
+	s.RegisterHealth("lo", "c:1", time.Minute, 0.1)
+	m := NewRankedSet()
+	m.Apply(s.ListDelta(0, 0))
+	top := m.Top(2)
+	if len(top) != 2 || top[0].Name != "hi" || top[1].Name != "mid" {
+		t.Fatalf("top = %+v", top)
+	}
+	st := m.Stats()
+	if st.Refreshes != 1 || st.Fulls != 1 || st.Entries != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,67 @@
+package registry
+
+import (
+	"context"
+	"time"
+)
+
+// Legacy package-level helpers. Each dials fresh per call with the
+// default timeout and no retry — exactly the pre-Client behavior —
+// by delegating to a throwaway Client. New code should construct a
+// Client (pooling, retries, fallback peers, context cancellation) and
+// will get deprecation warnings from staticcheck until it does.
+
+// Register registers name at the registry at addr.
+//
+// Deprecated: use NewClient(addr).Register with a context.
+func Register(addr, name, relayAddr string, ttl time.Duration) error {
+	return NewClient(addr).Register(context.Background(), name, relayAddr, ttl)
+}
+
+// RegisterHealth registers name carrying a health score.
+//
+// Deprecated: use NewClient(addr).RegisterHealth with a context.
+func RegisterHealth(addr, name, relayAddr string, ttl time.Duration, health float64) error {
+	return NewClient(addr).RegisterHealth(context.Background(), name, relayAddr, ttl, health)
+}
+
+// List fetches the live relay set from the registry at addr.
+//
+// Deprecated: use NewClient(addr).List with a context.
+func List(addr string) ([]Entry, error) {
+	return NewClient(addr).List(context.Background())
+}
+
+// ListRanked fetches up to k relays ranked healthiest-first.
+//
+// Deprecated: use NewClient(addr).ListRanked with a context.
+func ListRanked(addr string, k int) ([]Entry, error) {
+	return NewClient(addr).ListRanked(context.Background(), k)
+}
+
+// Heartbeat registers name immediately (returning that first error so
+// callers fail fast) and then re-registers every ttl/3 in a background
+// goroutine until stop closes. Tick errors are retried next tick.
+//
+// Deprecated: use NewClient(addr).StartHeartbeat with a context.
+func Heartbeat(regAddr, name, relayAddr string, ttl time.Duration, stop <-chan struct{}) error {
+	_, err := StartHeartbeat(regAddr, name, relayAddr, ttl, nil, stop)
+	return err
+}
+
+// StartHeartbeat registers name immediately and keeps it registered in
+// a background goroutine until stop closes.
+//
+// Deprecated: use NewClient(addr).StartHeartbeat with a context.
+func StartHeartbeat(regAddr, name, relayAddr string, ttl time.Duration, health func() float64, stop <-chan struct{}) (*HeartbeatState, error) {
+	ctx := context.Background()
+	if stop != nil {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithCancel(ctx)
+		go func() {
+			defer cancel()
+			<-stop
+		}()
+	}
+	return NewClient(regAddr).StartHeartbeat(ctx, name, relayAddr, ttl, health)
+}

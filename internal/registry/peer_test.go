@@ -1,0 +1,186 @@
+package registry
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// Two peered registries: an entry heartbeated to either must be visible
+// on both within one sync interval, and their digests must converge.
+func TestPeerSyncConvergence(t *testing.T) {
+	sA, addrA := startServer(t)
+	sB, addrB := startServer(t)
+	psA := NewPeerSync(sA, []string{addrB}, time.Hour, 2*time.Second, nil)
+	psB := NewPeerSync(sB, []string{addrA}, time.Hour, 2*time.Second, nil)
+	ctx := context.Background()
+
+	sA.RegisterHealth("only-on-a", "a:1", time.Minute, 0.9)
+	sB.RegisterHealth("only-on-b", "b:1", time.Minute, 0.4)
+
+	// One manual round each direction == "within one sync interval".
+	psA.SyncOnce(ctx)
+	psB.SyncOnce(ctx)
+
+	for _, s := range []*Server{sA, sB} {
+		got := s.List()
+		if len(got) != 2 || got[0].Name != "only-on-a" || got[1].Name != "only-on-b" {
+			t.Fatalf("after one sync round, list = %+v", got)
+		}
+	}
+	if sA.Digest() != sB.Digest() {
+		t.Fatalf("digests diverge after sync: %d vs %d", sA.Digest(), sB.Digest())
+	}
+
+	// B's merge of only-on-a moved B's epoch past A's cursor, so one
+	// catch-up pull (applying nothing) brings the cursor current...
+	psA.SyncOnce(ctx)
+	// ...and the next round is idle: the EPOCH probe must skip the pull.
+	before := psA.Stats()[0]
+	psA.SyncOnce(ctx)
+	after := psA.Stats()[0]
+	if after.Skips != before.Skips+1 || after.Pulls != before.Pulls {
+		t.Fatalf("idle round did not skip: before=%+v after=%+v", before, after)
+	}
+}
+
+// Last-writer-wins: the refresh that happened later (by LastSeen) must
+// survive a merge in both directions.
+func TestPeerSyncLastWriterWins(t *testing.T) {
+	nowA := time.Unix(1000, 0)
+	nowB := time.Unix(1000, 0)
+	sA := &Server{Clock: func() time.Time { return nowA }}
+	sB := &Server{Clock: func() time.Time { return nowB }}
+
+	sA.RegisterHealth("r", "addr-old:1", time.Minute, 0.2)
+	nowB = nowB.Add(10 * time.Second)
+	sB.RegisterHealth("r", "addr-new:1", time.Minute, 0.8) // later write
+
+	// Merge A's copy into B: must be ignored (older).
+	if n := sB.Merge(sA.SyncDelta(0).Entries); n != 0 {
+		t.Fatalf("older write applied (%d entries)", n)
+	}
+	// Merge B's copy into A: must win.
+	if n := sA.Merge(sB.SyncDelta(0).Entries); n != 1 {
+		t.Fatal("newer write not applied")
+	}
+	got := sA.List()
+	if len(got) != 1 || got[0].Addr != "addr-new:1" || got[0].Health != 0.8 {
+		t.Fatalf("LWW merge result = %+v", got)
+	}
+}
+
+// A delete must beat an older heartbeat, and a newer re-registration
+// must beat the delete.
+func TestPeerSyncDeleteSupersession(t *testing.T) {
+	now := time.Unix(1000, 0)
+	sA := &Server{Clock: func() time.Time { return now }}
+	sB := &Server{Clock: func() time.Time { return now }}
+
+	sA.Register("r", "x:1", time.Minute)
+	sB.Merge(sA.SyncDelta(0).Entries)
+
+	now = now.Add(5 * time.Second)
+	sA.Remove("r")
+	if n := sB.Merge(sA.SyncDelta(0).Entries); n == 0 {
+		t.Fatal("delete not propagated")
+	}
+	if got := sB.List(); len(got) != 0 {
+		t.Fatalf("deleted entry survives on peer: %+v", got)
+	}
+
+	// The relay comes back, registering at B after the delete.
+	now = now.Add(5 * time.Second)
+	sB.Register("r", "x:1", time.Minute)
+	if n := sA.Merge(sB.SyncDelta(0).Entries); n == 0 {
+		t.Fatal("re-registration newer than tombstone not applied")
+	}
+	if got := sA.List(); len(got) != 1 || got[0].Name != "r" {
+		t.Fatalf("re-registration lost to stale tombstone: %+v", got)
+	}
+}
+
+// Pure heartbeats are invisible to LISTD clients but MUST propagate
+// liveness to peers — otherwise entries look dead on the replica.
+func TestPeerSyncPropagatesHeartbeatLiveness(t *testing.T) {
+	nowA := time.Unix(1000, 0)
+	sA := &Server{Clock: func() time.Time { return nowA }}
+	sB := &Server{Clock: func() time.Time { return nowA }}
+
+	sA.RegisterHealth("r", "x:1", 30*time.Second, 0.5)
+	sB.Merge(sA.SyncDelta(0).Entries)
+	cursor := sA.Epoch()
+
+	// Heartbeat on A: no material change, but SeenEpoch moves.
+	nowA = nowA.Add(20 * time.Second)
+	sA.RegisterHealth("r", "x:1", 30*time.Second, 0.5)
+	d := sA.SyncDelta(cursor)
+	if len(d.Entries) != 1 {
+		t.Fatalf("heartbeat invisible to peer sync: %+v", d)
+	}
+	if n := sB.Merge(d.Entries); n != 1 {
+		t.Fatal("heartbeat refresh not merged")
+	}
+	got := sB.ListAll()
+	if len(got) != 1 || !got[0].LastSeen.Equal(nowA) {
+		t.Fatalf("replica LastSeen not advanced: %+v", got)
+	}
+}
+
+// The acceptance-criteria e2e: two peered registries, kill one, and
+// fetch-style ranked discovery through a fallback-aware client keeps
+// working against the survivor — including entries that were only ever
+// heartbeated to the dead peer.
+func TestPeerFailoverDiscovery(t *testing.T) {
+	sA := &Server{}
+	lA, err := sA.ServeAddr("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sB, addrB := startServer(t)
+	addrA := lA.Addr().String()
+
+	psB := NewPeerSync(sB, []string{addrA}, time.Hour, 2*time.Second, nil)
+	ctx := context.Background()
+
+	// The relay only ever talked to A.
+	relayClient := NewClient(addrA)
+	if err := relayClient.RegisterHealth(ctx, "survivor-relay", "10.0.0.9:1", time.Minute, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	relayClient.Close()
+
+	psB.SyncOnce(ctx) // B pulls A before the crash
+
+	lA.Close() // registry A dies
+	time.Sleep(20 * time.Millisecond)
+
+	// fetch -top K with -registry addrA,addrB: primary dead, fallback up.
+	c := NewClient(addrA, WithFallbackPeers(addrB), WithTimeout(2*time.Second))
+	defer c.Close()
+	got, err := c.ListRanked(ctx, 3)
+	if err != nil {
+		t.Fatalf("discovery failed after losing a registry: %v", err)
+	}
+	if len(got) != 1 || got[0].Name != "survivor-relay" || got[0].Addr != "10.0.0.9:1" {
+		t.Fatalf("survivor view = %+v", got)
+	}
+}
+
+// A replica that was partitioned long enough to fall below the delta
+// floor heals through a full sync that carries tombstones.
+func TestPeerSyncFullCarriesTombstones(t *testing.T) {
+	var sA, sB Server
+	sA.Register("stale", "x:1", time.Minute)
+	sB.Merge(sA.SyncDelta(0).Entries)
+	sA.Remove("stale")
+
+	d := sA.SyncDelta(0) // full sync
+	if !d.Full {
+		t.Fatalf("since=0 should be full: %+v", d)
+	}
+	sB.Merge(d.Entries)
+	if got := sB.List(); len(got) != 0 {
+		t.Fatalf("full sync did not carry the delete: %+v", got)
+	}
+}

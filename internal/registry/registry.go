@@ -2,7 +2,8 @@
 // themselves (with a TTL, refreshed by heartbeats) and clients list the
 // live set. This is the operational glue the paper's deployment implies —
 // "the set of nodes available to a client" from which candidate policies
-// draw — turned into a small service.
+// draw — turned into a service that holds up at registry scale (100k+
+// heartbeating relays) instead of a single mutex-guarded map.
 //
 // Registration doubles as a health report: each heartbeat may carry the
 // relay's self-measured health score (its HealthMonitor's view of its
@@ -13,23 +14,57 @@
 // paper's §V observation that a small, well-chosen candidate subset
 // captures nearly all the attainable improvement.
 //
-// The wire protocol is line-based over TCP, one session per command:
+// Three mechanisms carry the scale:
 //
-//	REGISTER <name> <addr> <ttl-seconds> [<health 0..1>]\n  ->  OK\n
-//	LIST\n                                  ->  <name> <addr>\n ... .\n
-//	LISTH [<k>]\n                           ->  <name> <addr> <health> <state>\n ... .\n
+//   - The table is sharded: entries stripe across NumShards partitions by
+//     FNV-1a hash of the relay name, each behind its own mutex, so a
+//     REGISTER storm stops serializing on one lock and full-table scans
+//     (LISTH at 100k entries) hold only one shard at a time.
+//
+//   - Mutations are epoch-versioned: every change bumps a registry-wide
+//     epoch, and LISTD serves only the entries changed since the epoch a
+//     client last saw — steady-state clients keep a cached ranked set
+//     (RankedSet) and re-pull deltas instead of full lists. Entries carry
+//     two stamps: ChangeEpoch moves on material changes (address, health,
+//     up/down state) and feeds client deltas; SeenEpoch moves on every
+//     refresh and feeds peer anti-entropy, so a heartbeat that changes
+//     nothing costs LISTD clients zero lines but still tells peers the
+//     relay is alive.
+//
+//   - Registries peer: PeerSync periodically pulls SYNCD deltas from
+//     each configured peer and merges them last-writer-wins on LastSeen,
+//     so discovery survives a registryd loss and a heartbeat reaching
+//     either peer converges on both.
+//
+// The wire protocol is line-based over TCP; a session may carry any
+// number of commands (clients can hold a pooled connection open):
+//
+//	REGISTER <name> <addr> <ttl-seconds> [<health 0..1>]\n -> OK\n
+//	LIST\n                -> <name> <addr>\n ... .\n
+//	LISTH [<k>]\n         -> <name> <addr> <health> <up|down>\n ... .\n
+//	LISTD <epoch> [<k>]\n -> EPOCH <epoch> [full]\n
+//	                         + <name> <addr> <health> <up|down>\n
+//	                         - <name>\n ... .\n
+//	EPOCH\n               -> EPOCH <epoch> <digest>\n
+//	SYNCD <epoch>\n       -> EPOCH <epoch> [full]\n
+//	                         + <name> <addr> <health> <lastseen-ns> <ttl-ns>\n
+//	                         - <name> <lastseen-ns>\n ... .\n
 //
 // Names and addresses must be token-shaped (no whitespace). LISTH
-// returns live entries ranked by health (best first, unreported health
-// ranks below any reported score), truncated to k when given.
+// returns entries ranked by health (best first, unreported health ranks
+// below any reported score, down-marked entries rank after every live
+// one and say so in the state column), truncated to k when given.
+// LISTD's epoch is the client's last-synced epoch (0 for a first pull);
+// the response replays adds/updates (+) and deletes (-) since then, or —
+// when the epoch is unknown, from a restarted server, or older than the
+// tombstone horizon — a full snapshot tagged "full". SYNCD is LISTD for
+// peers: keyed by SeenEpoch and carrying the absolute LastSeen/TTL a
+// last-writer-wins merge needs.
 package registry
 
 import (
-	"bufio"
 	"errors"
-	"fmt"
-	"net"
-	"sort"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -39,13 +74,21 @@ import (
 	"repro/internal/obs"
 )
 
-// Errors returned by the client helpers.
+// Errors returned by the registry client (all reachable through
+// errors.Is from Client method returns).
 var (
-	ErrBadEntry  = errors.New("registry: malformed entry")
-	ErrRejected  = errors.New("registry: request rejected")
-	ErrBadName   = errors.New("registry: name and addr must be non-empty tokens")
-	ErrBadTTL    = errors.New("registry: ttl must be positive")
-	errShortRead = errors.New("registry: short response")
+	// ErrBadEntry reports a malformed response line from the server.
+	ErrBadEntry = errors.New("registry: malformed entry")
+	// ErrRejected reports a request the server refused (ERR response).
+	ErrRejected = errors.New("registry: request rejected")
+	// ErrBadName reports a name or address that is not a non-empty token.
+	ErrBadName = errors.New("registry: name and addr must be non-empty tokens")
+	// ErrBadTTL reports a non-positive registration TTL.
+	ErrBadTTL = errors.New("registry: ttl must be positive")
+	// ErrUnavailable reports that the registry and every fallback peer
+	// failed; it wraps the last transport error.
+	ErrUnavailable = errors.New("registry: no endpoint reachable")
+	errShortRead   = errors.New("registry: short response")
 )
 
 // HealthUnreported marks an entry whose registrant never sent a health
@@ -54,9 +97,18 @@ const HealthUnreported = -1
 
 // downGraceFactor scales the TTL into the post-expiry grace period: an
 // entry whose TTL lapses is marked down and held for TTL×downGraceFactor
-// so operators (and /debug/vars) can see the outage before the registry
+// so operators (and LISTH) can see the outage before the registry
 // forgets the relay existed.
 const downGraceFactor = 2
+
+// DefaultShards is the table partition count when Server.NumShards is
+// zero: enough stripes that a heartbeat storm's lock waits vanish, few
+// enough that per-shard scans stay cache-friendly.
+const DefaultShards = 32
+
+// DefaultTimeout bounds one wire command (server side) and one request
+// (client side) when no explicit timeout is configured.
+const DefaultTimeout = 10 * time.Second
 
 // Entry is one registered relay.
 type Entry struct {
@@ -64,7 +116,8 @@ type Entry struct {
 	Addr string
 	// Expires is when the entry lapses unless refreshed.
 	Expires time.Time
-	// LastSeen is when the last REGISTER for this name arrived.
+	// LastSeen is when the last REGISTER for this name arrived (or, on a
+	// peered registry, when it arrived at whichever peer saw it last).
 	LastSeen time.Time
 	// TTL is the registration's lifetime, as most recently reported.
 	TTL time.Duration
@@ -72,28 +125,60 @@ type Entry struct {
 	// or HealthUnreported.
 	Health float64
 	// Down marks an entry whose TTL lapsed without a refresh; down
-	// entries are excluded from LIST/ListRanked and dropped entirely
-	// once the grace period passes.
+	// entries are excluded from LIST/ListRanked, served with state
+	// "down" by LISTH/LISTD during the grace period, and dropped
+	// entirely once it passes.
 	Down bool
+	// ChangeEpoch is the registry epoch of the entry's last material
+	// change (insert, address, health, or up/down transition) — the
+	// stamp LISTD deltas filter on.
+	ChangeEpoch uint64
+
+	// seenEpoch is the epoch of the entry's last refresh of any kind
+	// (material or pure heartbeat) — the stamp peer SYNCD filters on.
+	seenEpoch uint64
 }
 
 // Server is the registry service. The zero value is ready to use; set
-// Clock only in tests.
+// the exported fields only before the first call.
 type Server struct {
 	// Clock returns the current time (nil means time.Now); injectable
 	// for expiry tests.
 	Clock func() time.Time
+	// NumShards is the table partition count (0 = DefaultShards). Read
+	// on first use; changes afterwards are ignored.
+	NumShards int
+	// Timeout bounds each wire command: the per-command connection
+	// deadline (0 = DefaultTimeout).
+	Timeout time.Duration
 
 	// Registrations counts accepted REGISTER commands received over the
 	// wire (in-process Register calls are not counted).
 	Registrations atomic.Int64
 	// Lists counts LIST and LISTH commands served over the wire.
 	Lists atomic.Int64
+	// DeltaLists counts LISTD commands served over the wire.
+	DeltaLists atomic.Int64
+	// FullDeltas counts LISTD/SYNCD responses that had to fall back to a
+	// full snapshot (unknown or pre-horizon epoch).
+	FullDeltas atomic.Int64
+	// Syncs counts SYNCD commands served over the wire (peer pulls).
+	Syncs atomic.Int64
 	// Downs counts entries marked down by TTL expiry.
 	Downs atomic.Int64
 
-	mu      sync.Mutex
-	entries map[string]Entry
+	// epoch is the registry-wide mutation counter; every change claims
+	// the next value while holding the owning shard's lock, so a reader
+	// that snapshots the epoch and then visits the shards cannot miss a
+	// change at or below its snapshot.
+	epoch atomic.Uint64
+	// deltaFloor is the highest epoch of any pruned tombstone: a delta
+	// request from below it could miss a delete, so it gets a full
+	// snapshot instead.
+	deltaFloor atomic.Uint64
+
+	initOnce sync.Once
+	shards   []*shard
 
 	lat obs.LatencyRecorder
 }
@@ -109,6 +194,24 @@ func (s *Server) now() time.Time {
 	return time.Now()
 }
 
+// init lays out the shard table on first use.
+func (s *Server) init() {
+	s.initOnce.Do(func() {
+		n := s.NumShards
+		if n <= 0 {
+			n = DefaultShards
+		}
+		s.shards = make([]*shard, n)
+		for i := range s.shards {
+			s.shards[i] = newShard()
+		}
+	})
+}
+
+// Epoch returns the current registry epoch: the stamp of the most
+// recent mutation (0 before any).
+func (s *Server) Epoch() uint64 { return s.epoch.Load() }
+
 // Register inserts or refreshes an entry with no health report.
 func (s *Server) Register(name, addr string, ttl time.Duration) error {
 	return s.RegisterHealth(name, addr, ttl, HealthUnreported)
@@ -116,7 +219,10 @@ func (s *Server) Register(name, addr string, ttl time.Duration) error {
 
 // RegisterHealth inserts or refreshes an entry carrying the
 // registrant's self-reported health score. A refresh clears any down
-// mark — the relay is back.
+// mark — the relay is back. Only material changes (a new entry, a new
+// address or health value, an up/down transition) advance the entry's
+// ChangeEpoch; a pure heartbeat refresh advances SeenEpoch alone, so it
+// is invisible to LISTD clients but still propagates through peer sync.
 func (s *Server) RegisterHealth(name, addr string, ttl time.Duration, health float64) error {
 	if name == "" || addr == "" || strings.ContainsAny(name+addr, " \t\r\n") {
 		return ErrBadName
@@ -132,67 +238,61 @@ func (s *Server) RegisterHealth(name, addr string, ttl time.Duration, health flo
 			health = 1
 		}
 	}
+	s.init()
 	now := s.now()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.entries == nil {
-		s.entries = make(map[string]Entry)
-	}
-	s.entries[name] = Entry{
+	sh := s.shardFor(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	delete(sh.tombs, name)
+	old, existed := sh.entries[name]
+	e := Entry{
 		Name: name, Addr: addr,
 		Expires: now.Add(ttl), LastSeen: now, TTL: ttl,
 		Health: health,
 	}
+	epoch := s.epoch.Add(1)
+	e.seenEpoch = epoch
+	if existed && old.Addr == addr && old.Health == health && !old.Down {
+		e.ChangeEpoch = old.ChangeEpoch // pure refresh: nothing a client sees moved
+	} else {
+		e.ChangeEpoch = epoch
+	}
+	sh.entries[name] = e
 	return nil
 }
 
-// sweep applies TTL expiry under s.mu: lapsed entries are marked down;
-// down entries past their grace are deleted.
-func (s *Server) sweep(now time.Time) {
-	for name, e := range s.entries {
-		if e.Down {
-			if now.After(e.Expires.Add(downGraceFactor * e.TTL)) {
-				delete(s.entries, name)
-			}
-			continue
-		}
-		if e.Expires.Before(now) {
-			e.Down = true
-			s.entries[name] = e
-			s.Downs.Add(1)
-		}
+// Remove deletes an entry by name (idempotent), leaving a tombstone so
+// delta clients and peers learn about the delete.
+func (s *Server) Remove(name string) {
+	s.init()
+	now := s.now()
+	sh := s.shardFor(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.entries[name]; !ok {
+		return
+	}
+	delete(sh.entries, name)
+	sh.tombs[name] = tombstone{
+		Epoch:    s.epoch.Add(1),
+		LastSeen: now,
+		Keep:     now.Add(tombstoneKeep),
 	}
 }
 
 // List returns the live entries sorted by name. Entries whose TTL
 // lapsed are excluded (marked down, then forgotten after the grace).
 func (s *Server) List() []Entry {
-	now := s.now()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.sweep(now)
-	var out []Entry
-	for _, e := range s.entries {
-		if !e.Down {
-			out = append(out, e)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	out := s.collect(func(e Entry) bool { return !e.Down })
+	sortByName(out)
 	return out
 }
 
 // ListAll returns every tracked entry — live and down — sorted by name,
 // for the /debug/vars view.
 func (s *Server) ListAll() []Entry {
-	now := s.now()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.sweep(now)
-	out := make([]Entry, 0, len(s.entries))
-	for _, e := range s.entries {
-		out = append(out, e)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	out := s.collect(func(Entry) bool { return true })
+	sortByName(out)
 	return out
 }
 
@@ -200,284 +300,91 @@ func (s *Server) ListAll() []Entry {
 // reported health descending (unreported ranks last), ties by name.
 // k <= 0 means all.
 func (s *Server) ListRanked(k int) []Entry {
-	out := s.List()
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].Health != out[j].Health {
-			return out[i].Health > out[j].Health
+	out := s.collect(func(e Entry) bool { return !e.Down })
+	sortRanked(out)
+	return truncate(out, k)
+}
+
+// rankedAll is the LISTH/LISTD-full view: live entries ranked
+// healthiest-first, then down-marked entries (still inside their grace)
+// ranked after every live one — operators see outages from the CLI
+// instead of a hard-coded "up" column.
+func (s *Server) rankedAll(k int) []Entry {
+	out := s.collect(func(Entry) bool { return true })
+	sortRanked(out)
+	return truncate(out, k)
+}
+
+// collect sweeps and gathers matching entries across all shards, locking
+// one shard at a time. Shard boundaries double as scheduling points: a
+// full-table scan yields between shards so concurrent writers interleave
+// instead of queueing behind the whole scan — the indivisible hold is
+// exactly what a single-mutex table cannot avoid.
+func (s *Server) collect(keep func(Entry) bool) []Entry {
+	s.init()
+	now := s.now()
+	var out []Entry
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		s.sweepShard(sh, now)
+		for _, e := range sh.entries {
+			if keep(e) {
+				out = append(out, e)
+			}
 		}
-		return out[i].Name < out[j].Name
-	})
-	if k > 0 && k < len(out) {
-		out = out[:k]
+		sh.mu.Unlock()
+		runtime.Gosched()
 	}
 	return out
 }
 
-// Remove deletes an entry by name (idempotent).
-func (s *Server) Remove(name string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	delete(s.entries, name)
+// Sweep applies TTL expiry across the table without collecting entries:
+// lapsed entries are marked down, down entries past their grace become
+// tombstones, and expired tombstones are pruned (raising the delta
+// floor). List/ListRanked/ListDelta sweep as they read; long-running
+// servers may also call Sweep from a ticker so epochs advance even when
+// nobody is reading.
+func (s *Server) Sweep() {
+	s.init()
+	now := s.now()
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		s.sweepShard(sh, now)
+		sh.mu.Unlock()
+	}
 }
 
-// Serve accepts registry sessions until the listener closes.
-func (s *Server) Serve(l net.Listener) error {
-	for {
-		conn, err := l.Accept()
-		if err != nil {
-			if errors.Is(err, net.ErrClosed) {
-				return nil
-			}
-			return err
+func sortByName(out []Entry) {
+	sortSlice(out, func(a, b Entry) bool { return a.Name < b.Name })
+}
+
+// sortRanked orders by: live before down, health descending, name.
+func sortRanked(out []Entry) {
+	sortSlice(out, func(a, b Entry) bool {
+		if a.Down != b.Down {
+			return !a.Down
 		}
-		go s.handle(conn)
-	}
-}
-
-// ServeAddr starts the registry on addr and returns its listener.
-func (s *Server) ServeAddr(addr string) (net.Listener, error) {
-	l, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	go s.Serve(l)
-	return l, nil
-}
-
-func (s *Server) handle(conn net.Conn) {
-	defer conn.Close()
-	start := time.Now()
-	defer func() { s.lat.Observe(time.Since(start)) }()
-	conn.SetDeadline(time.Now().Add(10 * time.Second))
-	br := bufio.NewReader(conn)
-	line, err := br.ReadString('\n')
-	if err != nil {
-		return
-	}
-	fields := strings.Fields(line)
-	if len(fields) == 0 {
-		fmt.Fprintf(conn, "ERR empty command\n")
-		return
-	}
-	switch fields[0] {
-	case "REGISTER":
-		if len(fields) != 4 && len(fields) != 5 {
-			fmt.Fprintf(conn, "ERR usage: REGISTER name addr ttl [health]\n")
-			return
+		if a.Health != b.Health {
+			return a.Health > b.Health
 		}
-		ttlSec, err := strconv.Atoi(fields[3])
-		if err != nil || ttlSec <= 0 {
-			fmt.Fprintf(conn, "ERR bad ttl\n")
-			return
-		}
-		health := float64(HealthUnreported)
-		if len(fields) == 5 {
-			health, err = strconv.ParseFloat(fields[4], 64)
-			if err != nil || health < 0 || health > 1 {
-				fmt.Fprintf(conn, "ERR bad health\n")
-				return
-			}
-		}
-		if err := s.RegisterHealth(fields[1], fields[2], time.Duration(ttlSec)*time.Second, health); err != nil {
-			fmt.Fprintf(conn, "ERR %v\n", err)
-			return
-		}
-		s.Registrations.Add(1)
-		fmt.Fprintf(conn, "OK\n")
-	case "LIST":
-		s.Lists.Add(1)
-		for _, e := range s.List() {
-			fmt.Fprintf(conn, "%s %s\n", e.Name, e.Addr)
-		}
-		fmt.Fprintf(conn, ".\n")
-	case "LISTH":
-		if len(fields) > 2 {
-			fmt.Fprintf(conn, "ERR usage: LISTH [k]\n")
-			return
-		}
-		k := 0
-		if len(fields) == 2 {
-			k, err = strconv.Atoi(fields[1])
-			if err != nil || k < 0 {
-				fmt.Fprintf(conn, "ERR bad k\n")
-				return
-			}
-		}
-		s.Lists.Add(1)
-		for _, e := range s.ListRanked(k) {
-			fmt.Fprintf(conn, "%s %s %s up\n", e.Name, e.Addr,
-				strconv.FormatFloat(e.Health, 'g', 6, 64))
-		}
-		fmt.Fprintf(conn, ".\n")
-	default:
-		fmt.Fprintf(conn, "ERR unknown command %q\n", fields[0])
+		return a.Name < b.Name
+	})
+}
+
+func truncate(out []Entry, k int) []Entry {
+	if k > 0 && k < len(out) {
+		return out[:k]
 	}
+	return out
 }
 
-// Register performs one REGISTER call against the registry at regAddr.
-func Register(regAddr, name, relayAddr string, ttl time.Duration) error {
-	return RegisterHealth(regAddr, name, relayAddr, ttl, HealthUnreported)
-}
+// formatHealth renders a health score for the wire.
+func formatHealth(h float64) string { return strconv.FormatFloat(h, 'g', 6, 64) }
 
-// RegisterHealth performs one REGISTER call carrying a health score
-// (HealthUnreported omits it).
-func RegisterHealth(regAddr, name, relayAddr string, ttl time.Duration, health float64) error {
-	conn, err := net.Dial("tcp", regAddr)
-	if err != nil {
-		return err
+// stateWord renders the entry's state column.
+func stateWord(down bool) string {
+	if down {
+		return "down"
 	}
-	defer conn.Close()
-	conn.SetDeadline(time.Now().Add(10 * time.Second))
-	if health == HealthUnreported {
-		fmt.Fprintf(conn, "REGISTER %s %s %d\n", name, relayAddr, int(ttl.Seconds()))
-	} else {
-		fmt.Fprintf(conn, "REGISTER %s %s %d %s\n", name, relayAddr, int(ttl.Seconds()),
-			strconv.FormatFloat(health, 'g', 6, 64))
-	}
-	line, err := bufio.NewReader(conn).ReadString('\n')
-	if err != nil {
-		return fmt.Errorf("%w: %v", errShortRead, err)
-	}
-	if strings.TrimSpace(line) != "OK" {
-		return fmt.Errorf("%w: %s", ErrRejected, strings.TrimSpace(line))
-	}
-	return nil
-}
-
-// List fetches the live relay set from the registry at regAddr.
-func List(regAddr string) ([]Entry, error) {
-	return listWire(regAddr, "LIST\n", false)
-}
-
-// ListRanked fetches up to k live relays ranked healthiest-first from
-// the registry at regAddr (k <= 0 means all).
-func ListRanked(regAddr string, k int) ([]Entry, error) {
-	cmd := "LISTH\n"
-	if k > 0 {
-		cmd = fmt.Sprintf("LISTH %d\n", k)
-	}
-	return listWire(regAddr, cmd, true)
-}
-
-func listWire(regAddr, cmd string, ranked bool) ([]Entry, error) {
-	conn, err := net.Dial("tcp", regAddr)
-	if err != nil {
-		return nil, err
-	}
-	defer conn.Close()
-	conn.SetDeadline(time.Now().Add(10 * time.Second))
-	fmt.Fprint(conn, cmd)
-	br := bufio.NewReader(conn)
-	var out []Entry
-	for {
-		line, err := br.ReadString('\n')
-		if err != nil {
-			return nil, fmt.Errorf("%w: %v", errShortRead, err)
-		}
-		line = strings.TrimSpace(line)
-		if line == "." {
-			return out, nil
-		}
-		fields := strings.Fields(line)
-		e := Entry{Health: HealthUnreported}
-		switch {
-		case !ranked && len(fields) == 2:
-			e.Name, e.Addr = fields[0], fields[1]
-		case ranked && len(fields) == 4:
-			e.Name, e.Addr = fields[0], fields[1]
-			h, err := strconv.ParseFloat(fields[2], 64)
-			if err != nil {
-				return nil, fmt.Errorf("%w: %q", ErrBadEntry, line)
-			}
-			e.Health = h
-		default:
-			return nil, fmt.Errorf("%w: %q", ErrBadEntry, line)
-		}
-		out = append(out, e)
-	}
-}
-
-// HeartbeatState is the observable status of a background heartbeat,
-// feeding the relay daemon's readiness check.
-type HeartbeatState struct {
-	mu     sync.Mutex
-	lastOK time.Time
-	err    error
-	ok     bool
-}
-
-func (h *HeartbeatState) set(err error, now time.Time) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.err = err
-	h.ok = err == nil
-	if err == nil {
-		h.lastOK = now
-	}
-}
-
-// OK reports whether the most recent registration attempt succeeded.
-func (h *HeartbeatState) OK() bool {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.ok
-}
-
-// LastOK returns when the registry last accepted a registration (zero
-// if never).
-func (h *HeartbeatState) LastOK() time.Time {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.lastOK
-}
-
-// Err returns the most recent registration error, nil after a success.
-func (h *HeartbeatState) Err() error {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.err
-}
-
-// Heartbeat keeps name registered at regAddr until stop is closed,
-// re-registering every ttl/3. Registration errors are retried on the next
-// tick; the first registration happens immediately and its error is
-// returned so callers can fail fast on misconfiguration.
-func Heartbeat(regAddr, name, relayAddr string, ttl time.Duration, stop <-chan struct{}) error {
-	_, err := StartHeartbeat(regAddr, name, relayAddr, ttl, nil, stop)
-	return err
-}
-
-// StartHeartbeat is Heartbeat with two additions: each registration
-// carries the current value of health (nil means unreported), and the
-// returned HeartbeatState tracks whether the registry is still
-// accepting refreshes — the relay daemon's registry-reachability
-// readiness signal. The first registration happens synchronously and
-// its error is returned.
-func StartHeartbeat(regAddr, name, relayAddr string, ttl time.Duration, health func() float64, stop <-chan struct{}) (*HeartbeatState, error) {
-	report := func() error {
-		h := float64(HealthUnreported)
-		if health != nil {
-			h = health()
-		}
-		return RegisterHealth(regAddr, name, relayAddr, ttl, h)
-	}
-	state := &HeartbeatState{}
-	err := report()
-	state.set(err, time.Now())
-	if err != nil {
-		return state, err
-	}
-	go func() {
-		t := time.NewTicker(ttl / 3)
-		defer t.Stop()
-		for {
-			select {
-			case <-stop:
-				return
-			case <-t.C:
-				state.set(report(), time.Now()) // retried next tick on error
-			}
-		}
-	}()
-	return state, nil
+	return "up"
 }

@@ -1,0 +1,210 @@
+package registry
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// The table is striped into shards keyed by FNV-1a hash of the relay
+// name. A REGISTER touches exactly one shard, so a heartbeat storm from
+// 100k relays spreads its lock traffic across NumShards mutexes instead
+// of serializing on one; table scans (LISTH, LISTD, peer sync) visit
+// shards one at a time and never stall writers on more than 1/NumShards
+// of the table. Epochs are claimed from the server-wide counter while
+// holding the owning shard's lock — see Server.epoch for why readers
+// cannot miss a stamped change.
+
+// tombstoneKeep is how long a delete is remembered so delta clients and
+// peers that sync within it see the removal; pruning a tombstone raises
+// the server's delta floor, forcing older clients onto a full snapshot.
+const tombstoneKeep = 10 * time.Minute
+
+// tombstone records a deleted entry: the epoch of the delete (for
+// LISTD/SYNCD filtering), the LastSeen it supersedes (for last-writer-
+// wins peer merges), and how long to remember it.
+type tombstone struct {
+	Epoch    uint64
+	LastSeen time.Time
+	Keep     time.Time
+}
+
+// shard is one table partition. All fields are guarded by mu.
+type shard struct {
+	mu      sync.Mutex
+	entries map[string]Entry
+	tombs   map[string]tombstone
+}
+
+func newShard() *shard {
+	return &shard{
+		entries: make(map[string]Entry),
+		tombs:   make(map[string]tombstone),
+	}
+}
+
+// shardFor maps a relay name to its owning shard.
+func (s *Server) shardFor(name string) *shard {
+	return s.shards[int(fnv32(name)%uint32(len(s.shards)))]
+}
+
+// fnv32 is the FNV-1a hash of s (inlined to keep the hot REGISTER path
+// free of hash.Hash allocation).
+func fnv32(s string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime32
+	}
+	return h
+}
+
+// sweepShard applies TTL expiry under sh.mu: lapsed entries are marked
+// down (a material change — clients need to see the outage), down
+// entries past their grace become tombstones, and expired tombstones
+// are pruned, raising the delta floor past their epochs.
+func (s *Server) sweepShard(sh *shard, now time.Time) {
+	for name, e := range sh.entries {
+		if e.Down {
+			if now.After(e.Expires.Add(downGraceFactor * e.TTL)) {
+				delete(sh.entries, name)
+				sh.tombs[name] = tombstone{
+					Epoch:    s.epoch.Add(1),
+					LastSeen: e.LastSeen,
+					Keep:     now.Add(tombstoneKeep),
+				}
+			}
+			continue
+		}
+		if e.Expires.Before(now) {
+			e.Down = true
+			epoch := s.epoch.Add(1)
+			e.ChangeEpoch = epoch
+			e.seenEpoch = epoch
+			sh.entries[name] = e
+			s.Downs.Add(1)
+		}
+	}
+	for name, t := range sh.tombs {
+		if now.After(t.Keep) {
+			delete(sh.tombs, name)
+			s.raiseFloor(t.Epoch)
+		}
+	}
+}
+
+// raiseFloor lifts deltaFloor to at least epoch.
+func (s *Server) raiseFloor(epoch uint64) {
+	for {
+		cur := s.deltaFloor.Load()
+		if cur >= epoch || s.deltaFloor.CompareAndSwap(cur, epoch) {
+			return
+		}
+	}
+}
+
+// ShardStats describes one shard for /debug/registry.
+type ShardStats struct {
+	Entries    int    `json:"entries"`
+	Tombstones int    `json:"tombstones"`
+	Digest     uint64 `json:"digest"`
+}
+
+// Stats is the point-in-time table view served on /debug/registry.
+type Stats struct {
+	Epoch      uint64       `json:"epoch"`
+	DeltaFloor uint64       `json:"delta_floor"`
+	Shards     int          `json:"shards"`
+	Live       int          `json:"live"`
+	Down       int          `json:"down"`
+	Tombstones int          `json:"tombstones"`
+	Digest     uint64       `json:"digest"`
+	PerShard   []ShardStats `json:"per_shard"`
+}
+
+// Stats sweeps and snapshots per-shard occupancy and digests.
+func (s *Server) Stats() Stats {
+	s.init()
+	now := s.now()
+	st := Stats{Shards: len(s.shards)}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		s.sweepShard(sh, now)
+		ss := ShardStats{Entries: len(sh.entries), Tombstones: len(sh.tombs), Digest: shardDigest(sh)}
+		for _, e := range sh.entries {
+			if e.Down {
+				st.Down++
+			} else {
+				st.Live++
+			}
+		}
+		sh.mu.Unlock()
+		st.Tombstones += ss.Tombstones
+		st.Digest ^= ss.Digest
+		st.PerShard = append(st.PerShard, ss)
+	}
+	st.Epoch = s.epoch.Load()
+	st.DeltaFloor = s.deltaFloor.Load()
+	return st
+}
+
+// Digest returns an order-independent hash of the table's converged
+// state (name, address, health, last-seen, down). Two peers whose
+// digests match hold the same view; peer sync uses it to detect
+// divergence and tests use it to assert convergence.
+func (s *Server) Digest() uint64 {
+	s.init()
+	var d uint64
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		d ^= shardDigest(sh)
+		sh.mu.Unlock()
+	}
+	return d
+}
+
+// shardDigest XORs per-entry FNV-1a hashes (commutative, so map
+// iteration order is irrelevant). Caller holds sh.mu.
+func shardDigest(sh *shard) uint64 {
+	var d uint64
+	for _, e := range sh.entries {
+		d ^= entryDigest(e)
+	}
+	return d
+}
+
+func entryDigest(e Entry) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime64
+		}
+		h ^= 0xff // field separator
+		h *= prime64
+	}
+	mix(e.Name)
+	mix(e.Addr)
+	mix(formatHealth(e.Health))
+	mix(strconv64(e.LastSeen.UnixNano()))
+	if e.Down {
+		mix("down")
+	}
+	return h
+}
+
+func strconv64(v int64) string { return strconv.FormatInt(v, 10) }
+
+// sortSlice sorts entries with the given less function.
+func sortSlice(out []Entry, less func(a, b Entry) bool) {
+	sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
+}

@@ -443,3 +443,26 @@ func CacheEgress(w io.Writer, r experiment.CacheEgressResult) {
 		r.Reduction, s.Hits, s.SharedFills, s.Fills, s.HitRate(), s.Warmth())
 	fmt.Fprintln(w, "  each object leaves the origin once; every later request is served from relay memory")
 }
+
+// RegistryLoad renders the registry scale comparison: single-mutex vs
+// sharded REGISTER tail latency under concurrent full-table scans, and
+// delta-sync vs full-list bytes on the wire.
+func RegistryLoad(w io.Writer, r experiment.RegistryLoadResult) {
+	fmt.Fprintf(w, "Extension — registry at scale (%d relays, %d REGISTERs open-loop @ %.0f/s, live loopback TCP)\n",
+		r.Relays, r.Registrations, r.TargetRate)
+	row := func(label string, c experiment.RegistryLoadConfig) []string {
+		return []string{
+			label, fmt.Sprintf("%d", c.Shards),
+			fmt.Sprintf("%.2f", c.RegisterP50Ms), fmt.Sprintf("%.2f", c.RegisterP99Ms),
+			fmt.Sprintf("%.1f", c.ListP99Ms), fmt.Sprintf("%.1f", c.DeltaP99Ms),
+			fmt.Sprintf("%.0f", c.AchievedRate),
+		}
+	}
+	Table(w, []string{"Config", "Shards", "REGISTER p50 ms", "REGISTER p99 ms", "LISTH p99 ms", "LISTD p99 ms", "ops/s"}, [][]string{
+		row("single mutex", r.Baseline),
+		row("sharded", r.Sharded),
+	})
+	fmt.Fprintf(w, "  REGISTER p99 speedup %.1fx; full LISTH %d bytes vs steady-state LISTD %.0f bytes/poll (%.0fx smaller)\n",
+		r.P99Speedup, r.FullListBytes, r.DeltaPollBytes, r.DeltaSavings)
+	fmt.Fprintln(w, "  striped locks confine scan stalls; epoch deltas make a quiet poll one EPOCH line")
+}
