@@ -1,7 +1,7 @@
 GO ?= go
 BENCHTIME ?= 1s
 
-.PHONY: build vet test race bench bench-json fuzz-smoke verify
+.PHONY: build vet test race bench bench-json fuzz-smoke chaos-smoke verify
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,20 @@ bench-json:
 fuzz-smoke:
 	$(GO) test ./internal/registry/ -run '^Fuzz' -fuzz FuzzParseRequest -fuzztime 10s
 	$(GO) test ./internal/registry/ -run '^Fuzz' -count=1
+	$(GO) test ./internal/faultproxy/ -run '^Fuzz' -fuzz FuzzParseSchedule -fuzztime 10s
+	$(GO) test ./internal/faultproxy/ -run '^Fuzz' -count=1
+
+# The chaos tier: the fault-injection regression tests under the race
+# detector (packet faults on the simulator, connection faults through
+# the loopback proxy, the bug-sweep regressions they pinned), then the
+# full nine-class campaign with its JSON scorecard.
+chaos-smoke:
+	$(GO) test -race -count=1 ./internal/simnet/ ./internal/faultproxy/ \
+		-run 'Fault|Schedule|Proxy|Burst|SamplePacket'
+	$(GO) test -race -count=1 ./internal/relay/ ./internal/realnet/ ./internal/obs/ \
+		-run 'Chaos|WarmFetch|Forward|Taxonomy|FillForward|CachedRelay'
+	$(GO) test -race -count=1 . -run 'Chaos'
+	$(GO) run ./cmd/indirectlab -exp chaos -scale quick -chaos-json chaos.json
 
 # The CI tier: static checks plus the full suite under the race detector.
 verify: vet race

@@ -37,6 +37,8 @@ type scale struct {
 	ablateRounds   int
 	registryRelays int
 	registryOps    int
+	chaosTransfers int
+	chaosSimXfers  int
 }
 
 var scales = map[string]scale{
@@ -49,6 +51,8 @@ var scales = map[string]scale{
 		ablateRounds:   30,
 		registryRelays: 10_000,
 		registryOps:    4000,
+		chaosTransfers: 8,
+		chaosSimXfers:  10,
 	},
 	"default": {
 		studyTransfers: 60,
@@ -59,6 +63,8 @@ var scales = map[string]scale{
 		ablateRounds:   80,
 		registryRelays: 100_000,
 		registryOps:    16_000,
+		chaosTransfers: 16,
+		chaosSimXfers:  24,
 	},
 	"paper": {
 		studyTransfers: 100,
@@ -69,12 +75,14 @@ var scales = map[string]scale{
 		ablateRounds:   150,
 		registryRelays: 100_000,
 		registryOps:    32_000,
+		chaosTransfers: 32,
+		chaosSimXfers:  48,
 	},
 }
 
 func main() {
 	var (
-		expFlag      = flag.String("exp", "all", "experiment id: fig1,fig2,table1,table2,fig3,fig4,fig5,fig6,table3,ablate,adaptive,monitor,healthrank,multipath,seeds,validate,cacheegress,registryload,topo,all")
+		expFlag      = flag.String("exp", "all", "experiment id: fig1,fig2,table1,table2,fig3,fig4,fig5,fig6,table3,ablate,adaptive,monitor,healthrank,multipath,seeds,validate,cacheegress,registryload,chaos,topo,all")
 		seed         = flag.Uint64("seed", 42, "study seed (scenario + workloads)")
 		scaleFlag    = flag.String("scale", "default", "workload scale: quick, default, paper")
 		workers      = flag.Int("workers", 0, "parallel campaign workers (0 = GOMAXPROCS)")
@@ -83,6 +91,7 @@ func main() {
 		plotDir      = flag.String("plotdata", "", "write gnuplot-ready TSV series for each produced figure/table into this directory")
 		scenarioPath = flag.String("scenario", "", "JSON scenario config (see topo.ScenarioConfig); used by -exp topo")
 		regloadJSON  = flag.String("regload-json", "", "write the registryload result as JSON to this file")
+		chaosJSON    = flag.String("chaos-json", "", "write the chaos campaign result as JSON to this file")
 	)
 	flag.Parse()
 
@@ -287,6 +296,25 @@ func main() {
 				enc := json.NewEncoder(f)
 				enc.SetIndent("", "  ")
 				return enc.Encode(rl)
+			})
+		}
+	}
+	if want["chaos"] {
+		var ch experiment.ChaosResult
+		run("chaos campaign (fault injection sweep)", func() {
+			ch = experiment.RunChaos(experiment.ChaosParams{
+				Seed:         *seed,
+				Transfers:    sc.chaosTransfers,
+				SimTransfers: sc.chaosSimXfers,
+			})
+		})
+		report.Chaos(w, ch)
+		fmt.Fprintln(w)
+		if *chaosJSON != "" {
+			archive(*chaosJSON, func(f *os.File) error {
+				enc := json.NewEncoder(f)
+				enc.SetIndent("", "  ")
+				return enc.Encode(ch)
 			})
 		}
 	}

@@ -64,6 +64,7 @@ func main() {
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = off)")
 	cacheBytes := flag.Int64("cache-bytes", 0, "object cache capacity in bytes (0 = caching off)")
 	cacheTTL := flag.Duration("cache-ttl", 0, "expire cached spans this long after fill (0 = keep until evicted)")
+	upstreamStall := flag.Duration("upstream-stall", 30*time.Second, "fail a forward whose origin goes silent this long mid-response (0 = no guard)")
 	mkLog := daemon.LogFlags()
 	flag.Parse()
 	logger := mkLog("relayd")
@@ -82,6 +83,7 @@ func main() {
 		relay.WithCache(*cacheBytes),
 		relay.WithCacheTTL(*cacheTTL),
 		relay.WithVerifier(relay.VerifyRange),
+		relay.WithUpstreamStall(*upstreamStall),
 	)
 	if *cacheBytes > 0 {
 		logger.Info("cache enabled", "capacity_bytes", *cacheBytes, "ttl", *cacheTTL)

@@ -1,0 +1,64 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunChaos drives the whole campaign at test scale and asserts the
+// acceptance line: every fault class produced the expected verdict, the
+// monitor recovered after every heal, nothing ran past its deadline,
+// and the cache never served a corrupted span.
+func TestRunChaos(t *testing.T) {
+	res := RunChaos(ChaosParams{
+		Seed:         7,
+		ObjectSize:   48 << 10,
+		Transfers:    10,
+		Deadline:     2 * time.Second,
+		SimBytes:     1 << 20,
+		SimTransfers: 12,
+	})
+	if len(res.Entries) != 9 {
+		t.Fatalf("campaign covered %d fault classes, want 9", len(res.Entries))
+	}
+	for _, e := range res.Entries {
+		t.Logf("%-16s %-4s transfers=%d failures=%d verdict=%s ok=%v recovered=%v burn=%v max=%.3fs",
+			e.Class, e.Mode, e.Transfers, e.Failures, e.Verdict, e.VerdictOK, e.Recovered, e.BurnAlert, e.MaxTransfer)
+		if !e.VerdictOK {
+			t.Errorf("%s: verdict %s not among the expected states", e.Class, e.Verdict)
+		}
+		if !e.Recovered {
+			t.Errorf("%s: monitor never recovered after heal", e.Class)
+		}
+		if e.DeadlineExceeded != 0 {
+			t.Errorf("%s: %d transfers ran past their deadline", e.Class, e.DeadlineExceeded)
+		}
+		if e.CorruptDeliveries != 0 {
+			t.Errorf("%s: %d corrupt spans served from cache", e.Class, e.CorruptDeliveries)
+		}
+		if e.Class != "corrupted-range" && e.Mode == "live" && e.Failures == 0 {
+			t.Errorf("%s: fault phase produced no failures — injection inert?", e.Class)
+		}
+	}
+	// Hard-failing live classes must have tripped the fast-window SLO
+	// burn alert; the corruption class (transport-clean) must not have.
+	for _, e := range res.Entries {
+		switch e.Class {
+		case "partition", "flap", "slow-loris", "mid-stream-reset":
+			if !e.BurnAlert {
+				t.Errorf("%s: SLO fast-window burn alert never fired", e.Class)
+			}
+		case "corrupted-range":
+			if e.BurnAlert {
+				t.Errorf("corrupted-range: burn alert fired on a transport-clean path")
+			}
+		}
+	}
+	if !res.AllVerdictsOK || !res.AllRecovered {
+		t.Errorf("campaign rollup: verdicts_ok=%v recovered=%v", res.AllVerdictsOK, res.AllRecovered)
+	}
+	if res.TotalDeadlineExceeded != 0 || res.TotalCorruptDeliveries != 0 {
+		t.Errorf("campaign rollup: deadline_exceeded=%d corrupt=%d",
+			res.TotalDeadlineExceeded, res.TotalCorruptDeliveries)
+	}
+}

@@ -1,0 +1,287 @@
+// Package faultproxy is a fault-injecting TCP proxy for the loopback
+// testbed: it splices client connections to a fixed upstream and applies
+// a scripted fault schedule — partitions, mid-stream resets, slow-loris
+// stalls, bandwidth throttling, corrupted byte ranges — per connection
+// and per phase of the exchange. It is the live-network counterpart of
+// simnet's packet-level fault layer: where the simulator models loss as
+// fluid efficiency, the proxy makes a real client/relay/origin stack
+// experience the same pathologies over real sockets.
+//
+// Faults are scripted with a line-oriented schedule DSL so chaos
+// scenarios are data, not code:
+//
+//	conn=* phase=dial refuse            # partition: every dial dies
+//	conn=2 phase=headers stall=2s       # slow-loris before first byte
+//	conn=3 phase=body@4096 reset        # RST mid-body after 4 KB
+//	conn=4 phase=body@0 throttle=65536  # cap at 64 KB/s from byte 0
+//	conn=5 phase=body@1024 corrupt=16   # flip 16 bytes at offset 1024
+//
+// Phases anchor where in the exchange a rule arms: "dial" at accept
+// time, "headers" before the first upstream byte is forwarded to the
+// client, and "body@N" once N bytes of the upstream→client stream have
+// been forwarded. (The proxy is L4: "headers" is simply offset zero of
+// the server's response stream, which for the testbed's HTTP subset is
+// exactly the response head.)
+package faultproxy
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Action is what a rule does when its phase triggers.
+type Action uint8
+
+// Actions, in canonical serialization order.
+const (
+	// ActionReset severs the client side with an RST (SO_LINGER 0).
+	ActionReset Action = iota
+	// ActionClose half-closes cleanly with a FIN.
+	ActionClose
+	// ActionRefuse closes the accepted connection before dialing
+	// upstream; only meaningful in the dial phase.
+	ActionRefuse
+	// ActionStall pauses forwarding for Dur (a slow-loris pause); Dur 0
+	// stalls until the connection dies.
+	ActionStall
+	// ActionThrottle caps the upstream→client stream at Rate bytes/sec
+	// from the trigger point on.
+	ActionThrottle
+	// ActionCorrupt XORs the next Len forwarded bytes with 0xFF.
+	ActionCorrupt
+	// ActionBlackhole keeps the connection open but forwards nothing
+	// further: bytes vanish, the peer just waits.
+	ActionBlackhole
+)
+
+func (a Action) String() string {
+	switch a {
+	case ActionReset:
+		return "reset"
+	case ActionClose:
+		return "close"
+	case ActionRefuse:
+		return "refuse"
+	case ActionStall:
+		return "stall"
+	case ActionThrottle:
+		return "throttle"
+	case ActionCorrupt:
+		return "corrupt"
+	case ActionBlackhole:
+		return "blackhole"
+	}
+	return "unknown"
+}
+
+// Phase anchors when a rule triggers within a connection's lifetime.
+type Phase uint8
+
+// Phases, in exchange order.
+const (
+	PhaseDial    Phase = iota // at accept, before the upstream dial
+	PhaseHeaders              // before the first upstream byte is forwarded
+	PhaseBody                 // after Rule.After upstream bytes forwarded
+)
+
+// Rule is one scripted fault.
+type Rule struct {
+	// Conn selects the 1-based accepted-connection index the rule
+	// applies to; 0 means every connection.
+	Conn int
+	// Phase anchors the trigger; After is the body offset for PhaseBody.
+	Phase Phase
+	After int64
+	// Action is what happens, with its argument in the matching field.
+	Action Action
+	Dur    time.Duration // ActionStall
+	Rate   float64       // ActionThrottle, bytes/sec
+	Len    int64         // ActionCorrupt
+}
+
+// Schedule is an ordered rule list. Within one connection, rules trigger
+// in stream order (dial, then headers, then body offsets ascending as
+// the stream crosses them); rules at the same offset apply in list
+// order.
+type Schedule struct {
+	Rules []Rule
+}
+
+// forConn returns the rules applying to the idx-th accepted connection.
+func (s *Schedule) forConn(idx int64) []Rule {
+	if s == nil {
+		return nil
+	}
+	var out []Rule
+	for _, r := range s.Rules {
+		if r.Conn == 0 || int64(r.Conn) == idx {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// String renders the schedule in canonical DSL form: one rule per line,
+// fields in fixed order, body phases always carrying their @offset.
+// ParseSchedule(s.String()) reproduces s exactly, and the canonical form
+// is a fixed point — the round-trip invariant the fuzz target checks.
+func (s *Schedule) String() string {
+	var b strings.Builder
+	for _, r := range s.Rules {
+		if r.Conn == 0 {
+			b.WriteString("conn=*")
+		} else {
+			fmt.Fprintf(&b, "conn=%d", r.Conn)
+		}
+		switch r.Phase {
+		case PhaseDial:
+			b.WriteString(" phase=dial")
+		case PhaseHeaders:
+			b.WriteString(" phase=headers")
+		case PhaseBody:
+			fmt.Fprintf(&b, " phase=body@%d", r.After)
+		}
+		switch r.Action {
+		case ActionStall:
+			fmt.Fprintf(&b, " stall=%s", r.Dur)
+		case ActionThrottle:
+			fmt.Fprintf(&b, " throttle=%s", strconv.FormatFloat(r.Rate, 'g', -1, 64))
+		case ActionCorrupt:
+			fmt.Fprintf(&b, " corrupt=%d", r.Len)
+		default:
+			b.WriteString(" " + r.Action.String())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ParseSchedule parses the DSL: one rule per line, `conn=<n|*>
+// phase=<dial|headers|body[@off]> <action>[=<arg>]`, with blank lines
+// and #-comments skipped. Any malformed line fails the whole parse with
+// a line-numbered error; garbage never panics.
+func ParseSchedule(text string) (*Schedule, error) {
+	s := &Schedule{}
+	for ln, line := range strings.Split(text, "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		r, err := parseRule(fields)
+		if err != nil {
+			return nil, fmt.Errorf("faultproxy: line %d: %w", ln+1, err)
+		}
+		s.Rules = append(s.Rules, r)
+	}
+	return s, nil
+}
+
+func parseRule(fields []string) (Rule, error) {
+	var r Rule
+	if len(fields) != 3 {
+		return r, fmt.Errorf("want 3 fields (conn= phase= action), got %d", len(fields))
+	}
+
+	connArg, ok := strings.CutPrefix(fields[0], "conn=")
+	if !ok {
+		return r, fmt.Errorf("first field must be conn=, got %q", fields[0])
+	}
+	if connArg == "*" {
+		r.Conn = 0
+	} else {
+		n, err := strconv.Atoi(connArg)
+		if err != nil || n < 1 {
+			return r, fmt.Errorf("conn must be * or a positive index, got %q", connArg)
+		}
+		r.Conn = n
+	}
+
+	phaseArg, ok := strings.CutPrefix(fields[1], "phase=")
+	if !ok {
+		return r, fmt.Errorf("second field must be phase=, got %q", fields[1])
+	}
+	switch {
+	case phaseArg == "dial":
+		r.Phase = PhaseDial
+	case phaseArg == "headers":
+		r.Phase = PhaseHeaders
+	case phaseArg == "body" || strings.HasPrefix(phaseArg, "body@"):
+		r.Phase = PhaseBody
+		if off, ok := strings.CutPrefix(phaseArg, "body@"); ok {
+			n, err := strconv.ParseInt(off, 10, 64)
+			if err != nil || n < 0 {
+				return r, fmt.Errorf("body offset must be a non-negative integer, got %q", off)
+			}
+			r.After = n
+		}
+	default:
+		return r, fmt.Errorf("unknown phase %q", phaseArg)
+	}
+
+	action, arg, hasArg := strings.Cut(fields[2], "=")
+	switch action {
+	case "reset", "close", "refuse", "blackhole":
+		if hasArg {
+			return r, fmt.Errorf("%s takes no argument", action)
+		}
+		switch action {
+		case "reset":
+			r.Action = ActionReset
+		case "close":
+			r.Action = ActionClose
+		case "refuse":
+			r.Action = ActionRefuse
+		case "blackhole":
+			r.Action = ActionBlackhole
+		}
+	case "stall":
+		if !hasArg {
+			return r, fmt.Errorf("stall needs a duration argument")
+		}
+		d, err := time.ParseDuration(arg)
+		if err != nil || d < 0 {
+			return r, fmt.Errorf("bad stall duration %q", arg)
+		}
+		r.Action, r.Dur = ActionStall, d
+	case "throttle":
+		if !hasArg {
+			return r, fmt.Errorf("throttle needs a bytes/sec argument")
+		}
+		rate, err := strconv.ParseFloat(arg, 64)
+		if err != nil || math.IsNaN(rate) || rate <= 0 || rate > 1e15 {
+			return r, fmt.Errorf("bad throttle rate %q", arg)
+		}
+		r.Action, r.Rate = ActionThrottle, rate
+	case "corrupt":
+		if !hasArg {
+			return r, fmt.Errorf("corrupt needs a byte-count argument")
+		}
+		n, err := strconv.ParseInt(arg, 10, 64)
+		if err != nil || n < 1 {
+			return r, fmt.Errorf("bad corrupt length %q", arg)
+		}
+		r.Action, r.Len = ActionCorrupt, n
+	default:
+		return r, fmt.Errorf("unknown action %q", fields[2])
+	}
+
+	if r.Action == ActionRefuse && r.Phase != PhaseDial {
+		return r, fmt.Errorf("refuse only applies to phase=dial")
+	}
+	return r, nil
+}
+
+// MustParse parses or panics; for schedules written inline in tests.
+func MustParse(text string) *Schedule {
+	s, err := ParseSchedule(text)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

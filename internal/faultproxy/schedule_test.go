@@ -1,0 +1,132 @@
+package faultproxy
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestScheduleRoundTrip(t *testing.T) {
+	in := strings.Join([]string{
+		"conn=* phase=dial refuse",
+		"conn=2 phase=dial stall=1.5s",
+		"conn=3 phase=headers stall=2s",
+		"conn=4 phase=body@4096 reset",
+		"conn=5 phase=body@0 throttle=65536",
+		"conn=6 phase=body@1024 corrupt=16",
+		"conn=7 phase=body@512 close",
+		"conn=8 phase=body@0 blackhole",
+	}, "\n")
+	s, err := ParseSchedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rules) != 8 {
+		t.Fatalf("parsed %d rules, want 8", len(s.Rules))
+	}
+	if r := s.Rules[1]; r.Conn != 2 || r.Phase != PhaseDial || r.Action != ActionStall || r.Dur != 1500*time.Millisecond {
+		t.Fatalf("rule 1 = %+v", r)
+	}
+	if r := s.Rules[4]; r.Conn != 5 || r.Phase != PhaseBody || r.After != 0 || r.Action != ActionThrottle || r.Rate != 65536 {
+		t.Fatalf("rule 4 = %+v", r)
+	}
+
+	canon := s.String()
+	s2, err := ParseSchedule(canon)
+	if err != nil {
+		t.Fatalf("canonical form failed to parse: %v\n%s", err, canon)
+	}
+	if !reflect.DeepEqual(s, s2) {
+		t.Fatalf("round trip diverged:\n%+v\n%+v", s, s2)
+	}
+	if s2.String() != canon {
+		t.Fatalf("canonical form is not a fixed point:\n%q\n%q", canon, s2.String())
+	}
+}
+
+func TestScheduleCommentsAndBlanks(t *testing.T) {
+	s, err := ParseSchedule("# a partition\n\nconn=* phase=dial refuse # every dial\n\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rules) != 1 || s.Rules[0].Action != ActionRefuse {
+		t.Fatalf("parsed %+v", s.Rules)
+	}
+}
+
+func TestScheduleBodyWithoutOffset(t *testing.T) {
+	s, err := ParseSchedule("conn=1 phase=body reset")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Rules[0].After != 0 {
+		t.Fatalf("After = %d, want 0", s.Rules[0].After)
+	}
+	if got := s.String(); got != "conn=1 phase=body@0 reset\n" {
+		t.Fatalf("canonical form %q", got)
+	}
+}
+
+func TestScheduleGarbage(t *testing.T) {
+	bad := []string{
+		"reset",
+		"conn=x phase=dial reset",
+		"conn=0 phase=dial reset",
+		"conn=-3 phase=dial reset",
+		"conn=1 phase=nope reset",
+		"conn=1 phase=body@-1 reset",
+		"conn=1 phase=body@zz reset",
+		"conn=1 phase=dial explode",
+		"conn=1 phase=dial reset=now",
+		"conn=1 phase=dial stall",
+		"conn=1 phase=dial stall=fast",
+		"conn=1 phase=dial stall=-2s",
+		"conn=1 phase=body@0 throttle=0",
+		"conn=1 phase=body@0 throttle=-5",
+		"conn=1 phase=body@0 throttle=NaN",
+		"conn=1 phase=body@0 throttle=+Inf",
+		"conn=1 phase=body@0 corrupt=0",
+		"conn=1 phase=body@0 corrupt=many",
+		"conn=1 phase=body@0 refuse",
+		"phase=dial conn=1 reset",
+		"conn=1 phase=dial reset extra",
+	}
+	for _, in := range bad {
+		if s, err := ParseSchedule(in); err == nil {
+			t.Errorf("ParseSchedule(%q) = %+v, want error", in, s.Rules)
+		}
+	}
+}
+
+// FuzzParseSchedule checks the parser's crash-freedom on garbage and the
+// round-trip invariant on anything it accepts: the canonical rendering
+// must re-parse to an identical schedule and be a serialization fixed
+// point.
+func FuzzParseSchedule(f *testing.F) {
+	f.Add("conn=* phase=dial refuse")
+	f.Add("conn=2 phase=headers stall=2s")
+	f.Add("conn=3 phase=body@4096 reset\nconn=3 phase=body@8192 close")
+	f.Add("conn=5 phase=body@0 throttle=65536")
+	f.Add("conn=6 phase=body@1024 corrupt=16")
+	f.Add("# comment\n\nconn=1 phase=body blackhole")
+	f.Add("conn=1 phase=dial stall=1h2m3.5s")
+	f.Add("conn=9999999 phase=body@9223372036854775807 corrupt=9223372036854775807")
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := ParseSchedule(in)
+		if err != nil {
+			return
+		}
+		canon := s.String()
+		s2, err := ParseSchedule(canon)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v\n%q", err, canon)
+		}
+		if !reflect.DeepEqual(s, s2) {
+			t.Fatalf("round trip diverged for %q:\n%+v\n%+v", in, s, s2)
+		}
+		if c2 := s2.String(); c2 != canon {
+			t.Fatalf("canonical form not a fixed point: %q vs %q", canon, c2)
+		}
+	})
+}

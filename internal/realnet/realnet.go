@@ -659,8 +659,18 @@ func (t *Transport) fetch(ctx context.Context, h *handle, obj core.Object, path 
 			pc = &pooledConn{conn: conn, br: bufio.NewReader(conn)}
 		}
 		h.setConn(pc.conn)
-		if dl, ok := ctx.Deadline(); ok {
-			pc.conn.SetDeadline(dl)
+		// Arm the ctx deadline — or, when ctx has none, explicitly clear
+		// whatever deadline a previous transfer may have left armed on a
+		// pooled connection, so a lazy warm fetch never inherits a sooner
+		// expiry. A connection that can't even take a deadline is already
+		// dead (e.g. closed under us by the pool sweeper); for a reused one
+		// that's the free keep-alive fallback, not an error.
+		dl, _ := ctx.Deadline()
+		if err := pc.conn.SetDeadline(dl); err != nil && reused {
+			pc.conn.Close()
+			pc = nil
+			reused = false
+			continue
 		}
 		h.progress.Store(0)
 		reusable, err := t.doRange(pc, h, obj, path, target, host, off, n, tspan)
@@ -670,9 +680,10 @@ func (t *Transport) fetch(ctx context.Context, h *handle, obj core.Object, path 
 			if errors.As(err, &se) {
 				// The server answered; a reusable connection survives the
 				// failure (the old code closed it here, burning a warm
-				// connection on every 404).
-				if reusable {
-					pc.conn.SetDeadline(time.Time{})
+				// connection on every 404). Parking requires clearing the
+				// transfer deadline — a connection that refuses is dead and
+				// must not reach the pool with a stale deadline armed.
+				if reusable && pc.conn.SetDeadline(time.Time{}) == nil {
 					t.idlePool().park(key, pc)
 				} else {
 					pc.conn.Close()
@@ -684,16 +695,21 @@ func (t *Transport) fetch(ctx context.Context, h *handle, obj core.Object, path 
 			if cerr := core.CtxErr(ctx); cerr != nil {
 				return cerr
 			}
+			if reused {
+				// The parked connection went stale; a fresh dial is the
+				// normal keep-alive fallback, not a retry. This check runs
+				// before the timeout classification on purpose: a half-open
+				// pooled connection swallows the request silently until the
+				// armed deadline pops, which used to surface as a spurious
+				// ErrProbeTimeout even though the ctx (checked just above)
+				// was still alive.
+				reused = false
+				continue
+			}
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
 				// A connection deadline fired without the ctx (cold
 				// standalone timeout): surface it as the typed expiry.
 				return fmt.Errorf("%w: %w", core.ErrProbeTimeout, err)
-			}
-			if reused {
-				// The parked connection went stale; a fresh dial is the
-				// normal keep-alive fallback, not a retry.
-				reused = false
-				continue
 			}
 			if retries >= t.maxRetries() {
 				return err
@@ -704,8 +720,9 @@ func (t *Transport) fetch(ctx context.Context, h *handle, obj core.Object, path 
 			}
 			continue
 		}
-		pc.conn.SetDeadline(time.Time{})
-		if reusable {
+		// Same park-site guard as above: only a connection whose deadline
+		// cleanly cleared may re-enter the pool.
+		if reusable && pc.conn.SetDeadline(time.Time{}) == nil {
 			t.idlePool().park(key, pc)
 		} else {
 			pc.conn.Close()

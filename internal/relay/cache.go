@@ -9,6 +9,7 @@ import (
 	"net"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/httpx"
 	"repro/internal/objcache"
@@ -210,6 +211,9 @@ func (r *Relay) fillForward(conn net.Conn, req *httpx.Request, fspan *obs.Active
 			map[string]string{"content-length": "0"})
 		return handled, true, obs.ClassFailed, err.Error(), healthAddr, 0
 	}
+	if r.UpstreamStall > 0 {
+		upstream.SetReadDeadline(time.Now().Add(r.UpstreamStall))
+	}
 	resp, err := httpx.ReadResponse(bufio.NewReader(upstream))
 	if err != nil {
 		tspan.End(obs.ClassFailed, err.Error())
@@ -282,13 +286,19 @@ func (r *Relay) fillForward(conn net.Conn, req *httpx.Request, fspan *obs.Active
 	if tee {
 		fill = make([]byte, 0, resp.ContentLength)
 	}
+	body := io.Reader(resp.Body)
+	if r.UpstreamStall > 0 {
+		// Same stall guard as the plain path: a fill that goes silent
+		// must fail (waiters refetch) rather than wedge the flight.
+		body = &stallGuard{conn: upstream, d: r.UpstreamStall, r: body}
+	}
 	buf := relayBufs.Get().([]byte)
 	defer relayBufs.Put(buf)
 	clientErr := headErr
 	var got int64
 	var rerr error
 	for {
-		nr, err := resp.Body.Read(buf)
+		nr, err := body.Read(buf)
 		if nr > 0 {
 			got += int64(nr)
 			if tee {

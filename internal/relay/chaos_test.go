@@ -1,0 +1,204 @@
+package relay
+
+import (
+	"bufio"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/faultproxy"
+	"repro/internal/httpx"
+	"repro/internal/obs"
+)
+
+// Regression tests for the fault classes the chaos suite flushed out of
+// the plain forwarding path: an origin that FINs mid-body used to be
+// reported as success (the LimitReader surfaces the early close as a
+// clean EOF), leaving the client hung on a keep-alive connection
+// awaiting bytes that would never come, and folding a spurious OK into
+// the relay's path health.
+
+// chaosRelay wires origin → faultproxy → relay and returns the relay's
+// address, the origin's address (the health key), and the proxy.
+func chaosRelay(t *testing.T, objSize int64, schedule string, opts ...Option) (relayAddr, originAddr string, p *faultproxy.Proxy, mon *obs.HealthMonitor) {
+	t.Helper()
+	origin := NewOriginServer()
+	origin.Put("obj.bin", objSize)
+	ol, err := origin.ServeAddr("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ol.Close() })
+	originAddr = ol.Addr().String()
+
+	p, err = faultproxy.Listen("127.0.0.1:0", originAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	if schedule != "" {
+		p.SetSchedule(faultproxy.MustParse(schedule))
+	}
+
+	mon = obs.NewHealthMonitor(obs.HealthConfig{Clock: obs.WallClock()})
+	proxyAddr := p.Addr()
+	opts = append([]Option{
+		WithHealthMonitor(mon),
+		// Route the upstream leg through the fault proxy regardless of
+		// the address the request names.
+		WithDialer(func(network, addr string) (net.Conn, error) {
+			return net.Dial(network, proxyAddr)
+		}),
+	}, opts...)
+	r := New(opts...)
+	rl, err := r.ServeAddr("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rl.Close() })
+	return rl.Addr().String(), originAddr, p, mon
+}
+
+// shortGet issues one whole-object GET through the relay with a hard
+// client deadline and returns the declared length, the delivered body,
+// the open connection, and how long the read took.
+func shortGet(t *testing.T, relayAddr, originAddr, name string, deadline time.Duration) (clen int64, body []byte, conn net.Conn, elapsed time.Duration) {
+	t.Helper()
+	conn, err := net.Dial("tcp", relayAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.SetDeadline(time.Now().Add(deadline))
+	req := httpx.NewGet("http://"+originAddr+"/"+name, originAddr)
+	delete(req.Header, "connection") // keep-alive: pin the hang, not mask it
+	if err := req.Write(conn); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	resp, err := httpx.ReadResponse(bufio.NewReader(conn))
+	if err != nil {
+		t.Fatalf("response head: %v", err)
+	}
+	if resp.Status != 200 {
+		t.Fatalf("status %d, want 200", resp.Status)
+	}
+	body, err = io.ReadAll(resp.Body)
+	elapsed = time.Since(start)
+	if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatalf("client hung for %v on a truncated body (%d of %d bytes)",
+			elapsed, len(body), resp.ContentLength)
+	}
+	return resp.ContentLength, body, conn, elapsed
+}
+
+func TestForwardShortUpstreamBody(t *testing.T) {
+	const objSize = 64 << 10
+	// The origin's FIN lands 8 KB into the response stream: a clean
+	// early close, not a reset — exactly the case EOF semantics hide.
+	relayAddr, originAddr, _, mon := chaosRelay(t, objSize, "conn=* phase=body@8192 close")
+
+	clen, body, conn, elapsed := shortGet(t, relayAddr, originAddr, "obj.bin", 5*time.Second)
+	defer conn.Close()
+	if clen != objSize {
+		t.Fatalf("declared length %d, want %d", clen, objSize)
+	}
+	if int64(len(body)) >= objSize {
+		t.Fatalf("got the whole object (%d bytes) through a truncating proxy", len(body))
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("short read took %v: client waited on a dead keep-alive conn", elapsed)
+	}
+	// The delivered prefix must be intact bytes of the object.
+	if !VerifyRange("obj.bin", 0, body) {
+		t.Fatal("delivered prefix corrupted")
+	}
+
+	// The relay must close the client connection after a truncated
+	// forward: a second request on it cannot succeed.
+	req := httpx.NewGet("http://"+originAddr+"/obj.bin", originAddr)
+	delete(req.Header, "connection")
+	if err := req.Write(conn); err == nil {
+		if _, err := httpx.ReadResponse(bufio.NewReader(conn)); err == nil {
+			t.Fatal("keep-alive survived a truncated forward")
+		}
+	}
+
+	// And the truncation folds as an upstream transport failure — never
+	// an OK sample.
+	ph := waitForFold(t, mon, originAddr, func(ph obs.PathHealth) bool { return ph.Failed >= 1 })
+	if ph.Ok != 0 {
+		t.Fatalf("health folded ok=%d failed=%d, want the truncation as a failure", ph.Ok, ph.Failed)
+	}
+}
+
+func TestForwardUpstreamStallGuard(t *testing.T) {
+	const objSize = 64 << 10
+	// The origin goes silent 8 KB in, far longer than the relay's stall
+	// guard: the relay must fail the forward, not wedge its handler.
+	relayAddr, originAddr, _, mon := chaosRelay(t, objSize,
+		"conn=* phase=body@8192 stall=30s", WithUpstreamStall(250*time.Millisecond))
+
+	_, body, conn, elapsed := shortGet(t, relayAddr, originAddr, "obj.bin", 10*time.Second)
+	defer conn.Close()
+	if int64(len(body)) >= objSize {
+		t.Fatalf("got the whole object (%d bytes) past a stalled upstream", len(body))
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("stalled forward released the client after %v, want ~the stall guard", elapsed)
+	}
+	ph := waitForFold(t, mon, originAddr, func(ph obs.PathHealth) bool { return ph.Failed >= 1 })
+	if ph.Ok != 0 {
+		t.Fatalf("health folded ok=%d failed=%d, want the stall as a failure", ph.Ok, ph.Failed)
+	}
+}
+
+func TestFillForwardTruncationNeverPoisonsCache(t *testing.T) {
+	const objSize = 32 << 10
+	relayAddr, originAddr, p, _ := chaosRelay(t, objSize,
+		"conn=1 phase=body@4096 close",
+		WithCache(1<<20), WithVerifier(VerifyRange))
+
+	// First fetch rides the truncated fill; it must come back short or
+	// failed, and must not leave a partial span behind.
+	if body, err := FetchVia(nil, relayAddr, originAddr, "obj.bin", 0, objSize); err == nil && int64(len(body)) == objSize {
+		t.Fatal("truncated fill delivered a full object")
+	}
+
+	// Heal the path; the refetch must serve complete, verified bytes.
+	p.SetSchedule(nil)
+	body, err := FetchVia(nil, relayAddr, originAddr, "obj.bin", 0, objSize)
+	if err != nil {
+		t.Fatalf("healed refetch: %v", err)
+	}
+	if int64(len(body)) != objSize || !VerifyRange("obj.bin", 0, body) {
+		t.Fatalf("healed refetch returned %d corrupt-or-short bytes", len(body))
+	}
+}
+
+func TestCachedRelayNeverServesCorruptSpan(t *testing.T) {
+	const objSize = 32 << 10
+	// Conn 1 (the cache fill) delivers a corrupted range; the serve-time
+	// verifier must keep the poisoned span from ever reaching a client.
+	relayAddr, originAddr, p, _ := chaosRelay(t, objSize,
+		"conn=1 phase=body@4096 corrupt=64",
+		WithCache(1<<20), WithVerifier(VerifyRange))
+
+	first, err := FetchVia(nil, relayAddr, originAddr, "obj.bin", 0, objSize)
+	if err == nil && VerifyRange("obj.bin", 0, first) && int64(len(first)) == objSize {
+		t.Fatal("corrupting proxy delivered intact bytes; fault injection broke")
+	}
+
+	// Heal the upstream; every subsequent fetch — whether it hits the
+	// cache or refills — must verify.
+	p.SetSchedule(nil)
+	for i := 0; i < 3; i++ {
+		body, err := FetchVia(nil, relayAddr, originAddr, "obj.bin", 0, objSize)
+		if err != nil {
+			t.Fatalf("fetch %d after heal: %v", i, err)
+		}
+		if int64(len(body)) != objSize || !VerifyRange("obj.bin", 0, body) {
+			t.Fatalf("fetch %d served corrupt bytes from the relay tier", i)
+		}
+	}
+}

@@ -27,12 +27,13 @@ type VerifyFunc func(name string, off int64, p []byte) bool
 // shared bag keeps option names uniform across New and NewOriginServer;
 // each constructor applies the subset that concerns it.
 type options struct {
-	dial       func(network, addr string) (net.Conn, error)
-	spans      *obs.SpanCollector
-	health     *obs.HealthMonitor
-	cacheBytes int64
-	cacheTTL   time.Duration
-	verify     VerifyFunc
+	dial          func(network, addr string) (net.Conn, error)
+	spans         *obs.SpanCollector
+	health        *obs.HealthMonitor
+	cacheBytes    int64
+	cacheTTL      time.Duration
+	verify        VerifyFunc
+	upstreamStall time.Duration
 }
 
 // Option configures a relay-tier constructor.
@@ -84,6 +85,15 @@ func WithVerifier(v VerifyFunc) Option {
 	return func(o *options) { o.verify = v }
 }
 
+// WithUpstreamStall bounds upstream silence while a response streams
+// through the relay: each upstream read re-arms a deadline of d, so a
+// slow-loris origin fails the request (and folds as a path failure)
+// instead of wedging the handler goroutine forever. Zero (the default)
+// disables the guard.
+func WithUpstreamStall(d time.Duration) Option {
+	return func(o *options) { o.upstreamStall = d }
+}
+
 // New constructs a Relay from options:
 //
 //	r := relay.New(
@@ -100,7 +110,7 @@ func New(opts ...Option) *Relay {
 	for _, opt := range opts {
 		opt(&o)
 	}
-	r := &Relay{Dial: o.dial, Spans: o.spans, Health: o.health}
+	r := &Relay{Dial: o.dial, Spans: o.spans, Health: o.health, UpstreamStall: o.upstreamStall}
 	if o.cacheBytes > 0 {
 		var verify objcache.VerifyFunc
 		if o.verify != nil {

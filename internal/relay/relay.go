@@ -41,6 +41,13 @@ type Relay struct {
 	// registry. Nil costs nothing.
 	Health *obs.HealthMonitor
 
+	// UpstreamStall bounds how long the upstream may go silent while a
+	// response streams through: each upstream read re-arms a deadline of
+	// this length, so a slow-loris origin fails the request instead of
+	// wedging the handler goroutine (and the client) forever. Zero
+	// disables the guard.
+	UpstreamStall time.Duration
+
 	// BytesRelayed counts response-body bytes forwarded to clients.
 	BytesRelayed atomic.Int64
 	// Requests counts requests handled (including failures).
@@ -200,6 +207,12 @@ func (r *Relay) forward(conn net.Conn, req *httpx.Request, fspan *obs.ActiveSpan
 	}
 
 	ubr := bufio.NewReader(upstream)
+	if r.UpstreamStall > 0 {
+		// The guard also covers time-to-first-byte: a server that
+		// accepts and never answers is the same pathology as one that
+		// stalls mid-body.
+		upstream.SetReadDeadline(time.Now().Add(r.UpstreamStall))
+	}
 	resp, err := httpx.ReadResponse(ubr)
 	if err != nil {
 		tspan.End(obs.ClassFailed, err.Error())
@@ -223,8 +236,12 @@ func (r *Relay) forward(conn net.Conn, req *httpx.Request, fspan *obs.ActiveSpan
 		return false, obs.ClassCanceled, "client: " + err.Error(), upstreamAddr, 0
 	}
 	sspan := r.childSpan(fspan, "stream")
+	body := resp.Body
+	if r.UpstreamStall > 0 {
+		body = &stallGuard{conn: upstream, d: r.UpstreamStall, r: body}
+	}
 	var werr, rerr error
-	n, werr, rerr = copyStream(conn, resp.Body)
+	n, werr, rerr = copyStream(conn, body)
 	r.BytesRelayed.Add(n)
 	if sspan != nil {
 		sspan.SetAttr("bytes", strconv.FormatInt(n, 10))
@@ -237,11 +254,40 @@ func (r *Relay) forward(conn net.Conn, req *httpx.Request, fspan *obs.ActiveSpan
 		sspan.End(obs.ClassFailed, rerr.Error())
 		return false, obs.ClassFailed, rerr.Error(), upstreamAddr, n
 	}
+	if resp.ContentLength >= 0 && n < resp.ContentLength {
+		// The upstream closed mid-body: its LimitReader surfaces the early
+		// FIN as a clean EOF, but the client was promised ContentLength
+		// bytes. Report the truncation as an upstream transport failure and
+		// close the client connection, so the client sees a short read
+		// immediately instead of hanging on a keep-alive conn that will
+		// never carry the rest. (The cache fill path has the same
+		// completeness check; this is the plain-forward twin.)
+		detail = "upstream: short body " + strconv.FormatInt(n, 10) +
+			"/" + strconv.FormatInt(resp.ContentLength, 10)
+		sspan.End(obs.ClassFailed, detail)
+		return false, obs.ClassFailed, detail, upstreamAddr, n
+	}
 	sspan.EndOK()
 	if resp.Status != 200 && resp.Status != 206 {
 		return resp.ContentLength >= 0, obs.ClassStatus, resp.Reason, upstreamAddr, n
 	}
 	return resp.ContentLength >= 0, obs.ClassOK, "", upstreamAddr, n
+}
+
+// stallGuard re-arms a read deadline on the upstream connection before
+// every body read: progress resets the clock, silence longer than d
+// surfaces as a timeout error from the read. A stall detector, not a
+// transfer cap — an arbitrarily large body is fine as long as bytes keep
+// arriving.
+type stallGuard struct {
+	conn net.Conn
+	d    time.Duration
+	r    io.Reader
+}
+
+func (g *stallGuard) Read(p []byte) (int, error) {
+	g.conn.SetReadDeadline(time.Now().Add(g.d))
+	return g.r.Read(p)
 }
 
 // relayBufs recycles forward-stream buffers across requests.

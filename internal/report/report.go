@@ -466,3 +466,33 @@ func RegistryLoad(w io.Writer, r experiment.RegistryLoadResult) {
 		r.P99Speedup, r.FullListBytes, r.DeltaPollBytes, r.DeltaSavings)
 	fmt.Fprintln(w, "  striped locks confine scan stalls; epoch deltas make a quiet poll one EPOCH line")
 }
+
+// Chaos renders the chaos campaign scorecard: one row per injected
+// fault class, with the health verdict the monitor converged to and the
+// safety counters that must stay zero.
+func Chaos(w io.Writer, r experiment.ChaosResult) {
+	fmt.Fprintf(w, "Extension — chaos campaign (seed %d, %d fault classes: fluid sim + live loopback TCP)\n",
+		r.Seed, len(r.Entries))
+	rows := [][]string{}
+	for _, e := range r.Entries {
+		verdict := e.Verdict
+		if !e.VerdictOK {
+			verdict += " (WRONG)"
+		}
+		burn := "-"
+		if e.Mode == "live" {
+			burn = fmt.Sprintf("%v", e.BurnAlert)
+		}
+		rows = append(rows, []string{
+			e.Class, e.Mode,
+			fmt.Sprintf("%d", e.Transfers), fmt.Sprintf("%d", e.Failures),
+			verdict, fmt.Sprintf("%v", e.Recovered), burn,
+			fmt.Sprintf("%.2f", e.MaxTransfer),
+			fmt.Sprintf("%d", e.DeadlineExceeded), fmt.Sprintf("%d", e.CorruptDeliveries),
+		})
+	}
+	Table(w, []string{"Fault", "Mode", "Xfers", "Fail", "Verdict", "Recovered", "Burn", "Max s", "Over-DL", "Corrupt"}, rows)
+	fmt.Fprintf(w, "  verdicts ok: %v; recovered: %v; deadline overruns %d; corrupt cache serves %d\n",
+		r.AllVerdictsOK, r.AllRecovered, r.TotalDeadlineExceeded, r.TotalCorruptDeliveries)
+	fmt.Fprintln(w, "  every fault class must degrade the verdict it should, heal when lifted, and never wedge or corrupt a transfer")
+}

@@ -22,12 +22,44 @@ type Link struct {
 	capacity float64 // current available capacity, bits/sec
 	floor    float64 // capacity never drops below this, keeping flows live
 
+	// efficiency is the fraction of capacity surviving as goodput under
+	// packet-level faults (1 on a clean link); see InjectFaults. The
+	// max-min allocation works on capacity × efficiency.
+	efficiency float64
+
 	flows map[*Flow]struct{}
 	net   *Network
 }
 
 // Capacity returns the link's current available capacity in bits/sec.
 func (l *Link) Capacity() float64 { return l.capacity }
+
+// EffectiveCapacity returns the goodput-bearing capacity the fair-share
+// allocation divides among flows: capacity scaled by the fault layer's
+// efficiency, never below the floor.
+func (l *Link) EffectiveCapacity() float64 {
+	c := l.capacity * l.efficiency
+	if c < l.floor {
+		return l.floor
+	}
+	return c
+}
+
+// setEfficiency updates the goodput fraction and reallocates. Values are
+// clamped to (0, 1].
+func (l *Link) setEfficiency(eff float64) {
+	if eff <= 0 {
+		eff = minEfficiency
+	}
+	if eff > 1 {
+		eff = 1
+	}
+	if eff == l.efficiency {
+		return
+	}
+	l.efficiency = eff
+	l.net.reallocate()
+}
 
 // SetCapacity updates the link's available capacity and triggers a
 // network-wide rate reallocation. Values below the floor are raised to it.

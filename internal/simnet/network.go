@@ -39,13 +39,14 @@ func (n *Network) NewLink(name string, capacity, latency, loss float64) *Link {
 		panic("simnet: link capacity must be > 0")
 	}
 	l := &Link{
-		Name:     name,
-		Latency:  latency,
-		Loss:     loss,
-		capacity: capacity,
-		floor:    capacity * 0.001,
-		flows:    make(map[*Flow]struct{}),
-		net:      n,
+		Name:       name,
+		Latency:    latency,
+		Loss:       loss,
+		capacity:   capacity,
+		floor:      capacity * 0.001,
+		efficiency: 1,
+		flows:      make(map[*Flow]struct{}),
+		net:        n,
 	}
 	n.links = append(n.links, l)
 	return l
@@ -226,7 +227,11 @@ func (n *Network) computeMaxMin() {
 		for _, l := range f.links {
 			st := ls[l]
 			if st == nil {
-				st = &linkState{rem: l.capacity, cap: l.capacity}
+				// Divide the goodput-bearing capacity: a faulted link
+				// spends part of its raw capacity on retransmissions and
+				// duplicates, which no flow gets credit for.
+				ec := l.EffectiveCapacity()
+				st = &linkState{rem: ec, cap: ec}
 				ls[l] = st
 			}
 			st.cnt++
