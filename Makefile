@@ -1,7 +1,7 @@
 GO ?= go
 BENCHTIME ?= 1s
 
-.PHONY: build vet test race bench bench-json fuzz-smoke chaos-smoke verify
+.PHONY: build vet test race bench bench-json fuzz-smoke chaos-smoke obs-smoke verify
 
 build:
 	$(GO) build ./...
@@ -20,17 +20,20 @@ bench:
 
 # Machine-readable benchmark artifact: the warm-fetch streaming contract
 # (flat allocs/op from 64 KB to 16 MB), the health-fold hot path, the
-# cache hit/miss paths (in-memory and relayed end to end), and the
-# registry microbenchmarks (sharded vs single-mutex register, delta
-# steady state), as JSON for CI archiving and cross-run comparison. The
-# registryload experiment (100k relays over live loopback TCP: sharded
-# p99 REGISTER vs the single-mutex baseline, delta-vs-full bytes on the
-# wire) runs first and is embedded under extras.registryload.
+# cache hit/miss paths (in-memory and relayed end to end), the registry
+# microbenchmarks (sharded vs single-mutex register, delta steady
+# state), and the observability hot paths (striped vs single-cell
+# counters under contention, worst-case exemplar render), as JSON for
+# CI archiving and cross-run comparison. The registryload experiment
+# (100k relays over live loopback TCP) and the observer-overhead
+# experiment (bare vs fully instrumented relay, ABBA CPU-time blocks)
+# run first and are embedded under extras.
 bench-json:
 	$(GO) run ./cmd/indirectlab -exp registryload -regload-json registryload.json
-	$(GO) test -run '^$$' -bench 'WarmFetch|HealthFold|Cache|Registry' -benchmem -benchtime $(BENCHTIME) \
+	$(GO) run ./cmd/indirectlab -exp obsoverhead -obsoverhead-json obsoverhead.json
+	$(GO) test -run '^$$' -bench 'WarmFetch|HealthFold|Cache|Registry|MetricsContended|ExemplarRender' -benchmem -benchtime $(BENCHTIME) \
 		./internal/realnet ./internal/obs ./internal/objcache ./internal/relay ./internal/registry \
-		| $(GO) run ./cmd/benchjson -out BENCH_7.json -extra registryload=registryload.json
+		| $(GO) run ./cmd/benchjson -out BENCH_9.json -extra registryload=registryload.json -extra obsoverhead=obsoverhead.json
 
 # Seed-corpus smoke for the wire-parser fuzz targets: runs each corpus
 # as regular tests plus a short randomized burst, so CI exercises the
@@ -52,6 +55,18 @@ chaos-smoke:
 		-run 'Chaos|WarmFetch|Forward|Taxonomy|FillForward|CachedRelay'
 	$(GO) test -race -count=1 . -run 'Chaos'
 	$(GO) run ./cmd/indirectlab -exp chaos -scale quick -chaos-json chaos.json
+
+# The observability tier: the fleet aggregator e2e (three loopback
+# relays scraped over real HTTP, induced degradation, staleness), the
+# striped-counter and exemplar correctness suite, the tail-retention
+# policy tests, concurrent structured logging, and the scraped-exemplar
+# -> stitched-trace acceptance path — all under the race detector.
+obs-smoke:
+	$(GO) test -race -count=1 ./internal/obs/fleet/ ./internal/obs/slogx/
+	$(GO) test -race -count=1 ./internal/obs/ \
+		-run 'Striped|StripePicker|Exemplar|Tail|OpenMetrics|Accepts|ParseProm|MergeHistogram|Runtime|HistogramSum|HistogramEdges|HistogramReconstruction'
+	$(GO) test -race -count=1 ./internal/realnet/ -run 'ExemplarResolvesToStitchedTrace'
+	$(GO) test -race -count=1 ./internal/experiment/ -run 'RunObsOverhead'
 
 # The CI tier: static checks plus the full suite under the race detector.
 verify: vet race

@@ -16,12 +16,16 @@
 // all gain). Relays the registry has marked down are excluded.
 // -paths attaches a health monitor to the client and prints the per-path
 // health snapshot (state, score, throughput EWMA) after the transfer.
+// -fleet <addr> skips the transfer entirely and prints the merged fleet
+// snapshot (per-relay freshness, fleet totals, worst paths) from an
+// aggregating registryd's metrics address.
 // Result tables go to stdout; operational logging is structured (slog)
 // on stderr — see -log-format, -log-level, and -log-components.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -35,6 +39,8 @@ import (
 
 	"repro"
 	"repro/internal/daemon"
+	"repro/internal/httpx"
+	"repro/internal/obs/fleet"
 	"repro/internal/traceio"
 )
 
@@ -83,6 +89,57 @@ func mergeSpanFiles(paths []string) []repro.Span {
 func printStitched(all []repro.Span) {
 	for _, id := range repro.TraceIDs(all) {
 		fmt.Print(repro.FormatTrace(id, repro.StitchTrace(id, all)))
+	}
+}
+
+// printFleet pulls /debug/fleet from an aggregating registryd's metrics
+// address and renders the whole-fleet view as a table.
+func printFleet(ctx context.Context, addr string, timeout time.Duration) {
+	status, _, body, err := httpx.Get(ctx, nil, addr, "/debug/fleet", nil, timeout)
+	if err != nil {
+		fatal("fleet snapshot failed", "addr", addr, "err", err)
+	}
+	if status != 200 {
+		fatal("fleet snapshot failed", "addr", addr, "status", status,
+			"hint", "is registryd running with -fleet-every?")
+	}
+	var snap fleet.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		fatal("decoding fleet snapshot", "addr", addr, "err", err)
+	}
+	fmt.Printf("fleet @ %s: %d relays (%d live, %d stale), %d scrapes (%d errors)\n",
+		snap.Time.Format(time.RFC3339), len(snap.Relays), snap.Live, snap.Stale,
+		snap.Scrapes, snap.ScrapeErrs)
+	for _, rs := range snap.Relays {
+		age := "never"
+		if rs.AgeSeconds >= 0 {
+			age = fmt.Sprintf("%.1fs", rs.AgeSeconds)
+		}
+		state := "live"
+		if rs.Stale {
+			state = "STALE"
+		}
+		health := "unreported"
+		if rs.Health >= 0 {
+			health = fmt.Sprintf("%.3f", rs.Health)
+		}
+		fmt.Printf("  %-12s %-21s %-5s age %-7s health %-10s %8.0f reqs %12.0f bytes  p99 %6.1fms\n",
+			rs.Name, rs.Addr, state, age, health,
+			rs.Requests, rs.BytesRelayed, rs.ForwardLatency.P99*1e3)
+		if rs.Err != "" {
+			fmt.Printf("  %-12s last scrape error: %s\n", "", rs.Err)
+		}
+	}
+	fmt.Printf("totals (live): %.0f requests, %.0f bytes relayed, forward p50/p90/p99 %.1f/%.1f/%.1f ms\n",
+		snap.Requests, snap.BytesRelayed,
+		snap.ForwardLatency.P50*1e3, snap.ForwardLatency.P90*1e3, snap.ForwardLatency.P99*1e3)
+	if len(snap.WorstPaths) > 0 {
+		fmt.Printf("worst paths:\n")
+		for _, wp := range snap.WorstPaths {
+			fmt.Printf("  %-12s %-24s %-9s score %.3f  success %.3f  p99 %6.1fms\n",
+				wp.Relay, wp.Path.Path, wp.Path.State, wp.Path.Score,
+				wp.Path.SuccessRate, wp.Path.LatencyP99*1e3)
+		}
 	}
 }
 
@@ -136,12 +193,22 @@ func main() {
 	traceFile := flag.String("trace", "", "write the observer event trace as JSONL to this file")
 	spanFile := flag.String("spans", "", "record distributed-tracing spans and write them as JSONL to this file")
 	stitch := flag.Bool("stitch", false, "print the stitched span timeline after the transfer (implies span recording)")
+	fleetAddr := flag.String("fleet", "", "print the fleet snapshot from this registryd metrics address and exit")
 	var mergeFiles relayList
 	flag.Var(&mergeFiles, "merge", "span archive (from relayd/origind -trace) to merge into the stitched timeline (repeatable)")
 	flag.Var(&relays, "relay", "relay spec name=addr (repeatable)")
 	mkLog := daemon.LogFlags()
 	flag.Parse()
 	logger = mkLog("fetch")
+
+	// Fleet browsing: ask an aggregating registryd for its merged view of
+	// the relay fleet instead of transferring anything.
+	if *fleetAddr != "" {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		printFleet(ctx, *fleetAddr, *regTimeout)
+		return
+	}
 
 	// Offline stitching: with no object to transfer, merge already-written
 	// span archives (the client's -spans file plus the daemons' shutdown

@@ -39,6 +39,8 @@ type scale struct {
 	registryOps    int
 	chaosTransfers int
 	chaosSimXfers  int
+	obsRounds      int
+	obsRequests    int
 }
 
 var scales = map[string]scale{
@@ -53,6 +55,8 @@ var scales = map[string]scale{
 		registryOps:    4000,
 		chaosTransfers: 8,
 		chaosSimXfers:  10,
+		obsRounds:      5,
+		obsRequests:    80,
 	},
 	"default": {
 		studyTransfers: 60,
@@ -65,6 +69,8 @@ var scales = map[string]scale{
 		registryOps:    16_000,
 		chaosTransfers: 16,
 		chaosSimXfers:  24,
+		obsRounds:      7,
+		obsRequests:    150,
 	},
 	"paper": {
 		studyTransfers: 100,
@@ -77,12 +83,14 @@ var scales = map[string]scale{
 		registryOps:    32_000,
 		chaosTransfers: 32,
 		chaosSimXfers:  48,
+		obsRounds:      11,
+		obsRequests:    300,
 	},
 }
 
 func main() {
 	var (
-		expFlag      = flag.String("exp", "all", "experiment id: fig1,fig2,table1,table2,fig3,fig4,fig5,fig6,table3,ablate,adaptive,monitor,healthrank,multipath,seeds,validate,cacheegress,registryload,chaos,topo,all")
+		expFlag      = flag.String("exp", "all", "experiment id: fig1,fig2,table1,table2,fig3,fig4,fig5,fig6,table3,ablate,adaptive,monitor,healthrank,multipath,seeds,validate,cacheegress,registryload,chaos,obsoverhead,topo,all")
 		seed         = flag.Uint64("seed", 42, "study seed (scenario + workloads)")
 		scaleFlag    = flag.String("scale", "default", "workload scale: quick, default, paper")
 		workers      = flag.Int("workers", 0, "parallel campaign workers (0 = GOMAXPROCS)")
@@ -92,6 +100,7 @@ func main() {
 		scenarioPath = flag.String("scenario", "", "JSON scenario config (see topo.ScenarioConfig); used by -exp topo")
 		regloadJSON  = flag.String("regload-json", "", "write the registryload result as JSON to this file")
 		chaosJSON    = flag.String("chaos-json", "", "write the chaos campaign result as JSON to this file")
+		obsJSON      = flag.String("obsoverhead-json", "", "write the observability-overhead result as JSON to this file")
 	)
 	flag.Parse()
 
@@ -315,6 +324,24 @@ func main() {
 				enc := json.NewEncoder(f)
 				enc.SetIndent("", "  ")
 				return enc.Encode(ch)
+			})
+		}
+	}
+	if want["obsoverhead"] {
+		var oo experiment.ObsOverheadResult
+		run("observability overhead (bare vs full plane)", func() {
+			oo = experiment.RunObsOverhead(experiment.ObsOverheadParams{
+				Rounds:           sc.obsRounds,
+				RequestsPerRound: sc.obsRequests,
+			})
+		})
+		report.ObsOverhead(w, oo)
+		fmt.Fprintln(w)
+		if *obsJSON != "" {
+			archive(*obsJSON, func(f *os.File) error {
+				enc := json.NewEncoder(f)
+				enc.SetIndent("", "  ")
+				return enc.Encode(oo)
 			})
 		}
 	}

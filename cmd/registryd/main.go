@@ -25,9 +25,15 @@
 // /debug/vars, shard occupancy and peer sync cursors on /debug/registry,
 // Prometheus text format on /metrics (including the command-latency
 // histogram), liveness on /healthz, and readiness on /readyz (the
-// listener must be up). -pprof serves net/http/pprof on a separate
-// address. Logging is structured (slog); see -log-format, -log-level,
-// and -log-components.
+// listener must be up). With -fleet-every set, the registry doubles as
+// the fleet observability plane: every relay whose heartbeat carries a
+// metrics address is scraped (/metrics and /debug/paths) each interval,
+// and the merged fleet snapshot — per-relay freshness, summed request
+// and byte counters, merged forward-latency histogram, and the top-K
+// worst paths anywhere in the fleet — is served as JSON on /debug/fleet
+// and as fleet_* families on /metrics. -pprof serves net/http/pprof on
+// a separate address. Logging is structured (slog); see -log-format,
+// -log-level, and -log-components.
 package main
 
 import (
@@ -45,6 +51,7 @@ import (
 	"repro/internal/daemon"
 	"repro/internal/httpx"
 	"repro/internal/obs"
+	"repro/internal/obs/fleet"
 	"repro/internal/registry"
 )
 
@@ -71,6 +78,8 @@ func main() {
 	shards := flag.Int("shards", registry.DefaultShards, "table lock partitions")
 	timeout := flag.Duration("timeout", registry.DefaultTimeout, "per-command connection deadline")
 	syncEvery := flag.Duration("sync-every", 5*time.Second, "peer anti-entropy interval")
+	fleetEvery := flag.Duration("fleet-every", 0, "fleet aggregator scrape interval (0 = off)")
+	fleetTopK := flag.Int("fleet-topk", 10, "worst paths kept in the fleet snapshot")
 	var peers peerList
 	flag.Var(&peers, "peer", "peer registryd address to sync against (repeatable, or comma-separated)")
 	mkLog := daemon.LogFlags()
@@ -100,6 +109,22 @@ func main() {
 	if len(peers) > 0 {
 		ps = registry.NewPeerSync(&s, peers, *syncEvery, *timeout, logger)
 		go ps.Run(ctx)
+	}
+
+	// The fleet aggregator turns the registry's vantage into a fleet-wide
+	// observability plane: every relay that heartbeats with a metrics
+	// address gets its /metrics and /debug/paths scraped each interval,
+	// and the merged snapshot is served on /debug/fleet and as fleet_*
+	// Prometheus families.
+	var agg *fleet.Aggregator
+	if *fleetEvery > 0 {
+		agg = fleet.New(fleet.Config{
+			Source: fleet.ServerSource(&s),
+			Every:  *fleetEvery,
+			TopK:   *fleetTopK,
+		})
+		go agg.Run(ctx)
+		logger.Info("fleet aggregator running", "every", *fleetEvery)
 	}
 
 	ready := httpx.NewReady()
@@ -159,8 +184,14 @@ func main() {
 				p.LabeledCounter("registry_peer_applied_total", "Peer sync records applied.", "peer", applied)
 				p.LabeledCounter("registry_peer_errors_total", "Peer sync failures.", "peer", errs)
 			}
+			if agg != nil {
+				agg.Snapshot().WriteProm(p)
+			}
 		},
 		Ready: ready,
+	}
+	if agg != nil {
+		d.Fleet = func() any { return agg.Snapshot() }
 	}
 	d.ServeMetrics(ctx, *metrics, logger)
 	if *pprofAddr != "" {

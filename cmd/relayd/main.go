@@ -25,7 +25,12 @@
 // listener must be up and — when -registry is set — the registry still
 // accepting heartbeats). With -trace set, the relay records
 // forward/dial/ttfb/stream spans per request — continuing the client's
-// x-trace — and archives them as JSONL on shutdown. -pprof serves
+// x-trace — under tail-based retention (errored and slowest-decile
+// traces always kept, boring ones sampled at -trace-keep within
+// -trace-budget bytes) and archives the kept spans as JSONL on
+// shutdown. When both -registry and -metrics are set, heartbeats carry
+// the metrics address so the registry's fleet aggregator can scrape
+// this relay. -pprof serves
 // net/http/pprof on a separate address. Logging is structured (slog);
 // see -log-format, -log-level, and -log-components.
 package main
@@ -61,6 +66,8 @@ func main() {
 	name := flag.String("name", "relay", "relay name used when registering")
 	ttl := flag.Duration("ttl", time.Minute, "registration TTL")
 	tracePath := flag.String("trace", "", "write span archive (JSONL) here on shutdown (empty = tracing off)")
+	traceBudget := flag.Int("trace-budget", 1<<20, "tail-retention byte budget for kept traces")
+	traceKeep := flag.Float64("trace-keep", 0.1, "probability a boring (no-error, not-slow) trace is kept")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = off)")
 	cacheBytes := flag.Int64("cache-bytes", 0, "object cache capacity in bytes (0 = caching off)")
 	cacheTTL := flag.Duration("cache-ttl", 0, "expire cached spans this long after fill (0 = keep until evicted)")
@@ -75,7 +82,13 @@ func main() {
 	slo := obs.NewSLOTracker(obs.SLOConfig{})
 	var spans *obs.SpanCollector
 	if *tracePath != "" {
-		spans = obs.NewSpanCollector(0)
+		// Tail-based retention instead of the blind ring: error-class and
+		// slowest-decile traces always survive, boring ones draw against
+		// -trace-keep, all within -trace-budget bytes.
+		spans = obs.NewTailSpanCollector(obs.TailConfig{
+			ByteBudget: *traceBudget,
+			KeepProb:   *traceKeep,
+		})
 	}
 	r := relay.New(
 		relay.WithHealthMonitor(obs.NewHealthMonitor(obs.HealthConfig{Clock: obs.WallClock(), SLO: slo})),
@@ -125,7 +138,9 @@ func main() {
 			registry.WithPooledConn(),
 			registry.WithFallbackPeers(addrs[1:]...))
 		defer rc.Close()
-		hb, err = rc.StartHeartbeat(ctx, *name, l.Addr().String(), *ttl,
+		// The heartbeat advertises the metrics address so the registry's
+		// fleet aggregator knows where to scrape this relay.
+		hb, err = rc.StartHeartbeatFull(ctx, *name, l.Addr().String(), *metrics, *ttl,
 			aggregateHealth(r.Health, r.Cache()))
 		if err != nil {
 			logger.Error("registration failed", "registry", *regAddr, "err", err)
@@ -150,6 +165,9 @@ func main() {
 				"spans_seen":    spans.Seen(),
 				"spans_dropped": spans.Dropped(),
 			}
+			if ts, ok := spans.TailStats(); ok {
+				v["trace_tail"] = ts
+			}
 			if hb != nil {
 				v["registry_ok"] = hb.OK()
 				v["registry_last_ok"] = hb.LastOK().Format(time.RFC3339)
@@ -163,6 +181,13 @@ func main() {
 			p.Counter("relay_requests_total", "Requests handled, including failures.", float64(r.Requests.Load()))
 			p.Counter("relay_bytes_relayed_total", "Response-body bytes forwarded to clients.", float64(r.BytesRelayed.Load()))
 			p.Counter("relay_spans_total", "Tracing spans recorded.", float64(spans.Seen()))
+			if ts, ok := spans.TailStats(); ok {
+				p.Counter("relay_traces_kept_total", "Traces the tail policy kept.", float64(ts.KeptTraces))
+				p.Counter("relay_traces_dropped_total", "Traces the tail policy dropped.", float64(ts.DroppedTraces))
+				p.Counter("relay_traces_forced_keep_total", "Traces force-kept (errored or slowest-decile roots).",
+					float64(ts.ForcedError+ts.ForcedSlow))
+				p.Gauge("relay_trace_bytes", "Estimated bytes of kept spans.", float64(ts.KeptBytes))
+			}
 			p.Histogram("relay_forward_latency_seconds", "Request forwarding times.", r.LatencySnapshot())
 			if c := r.Cache(); c != nil {
 				c.Stats().WriteProm(p, "relay")

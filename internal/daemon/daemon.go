@@ -44,6 +44,9 @@ type Daemon struct {
 	// registry.Stats snapshot — shard occupancy, epoch, delta floor,
 	// digest — plus peer sync cursors on a peered registryd).
 	Registry func() any
+	// Fleet, when set, builds the /debug/fleet payload (a
+	// fleet.Snapshot on an aggregating registryd).
+	Fleet func() any
 	// Ready backs /healthz and /readyz; nil means unconditionally
 	// healthy (a daemon with no checks yet).
 	Ready *httpx.Ready
@@ -66,8 +69,15 @@ func (d *Daemon) Mux() *httpx.Mux {
 		vars = func() any { return map[string]any{} }
 	}
 	mux := httpx.NewReadyMux(vars, d.Ready)
-	mux.Handle("/metrics", httpx.PromHandler(func() []byte {
+	// /metrics content-negotiates: scrapers asking for OpenMetrics get
+	// the same families plus histogram exemplars and the # EOF marker;
+	// everyone else gets the classic text format, byte-for-byte what it
+	// always was.
+	mux.Handle("/metrics", func(req *httpx.Request) (int, map[string]string, []byte) {
 		p := obs.NewProm()
+		if req != nil && obs.AcceptsOpenMetrics(req.Header["accept"]) {
+			p = obs.NewOpenMetricsProm()
+		}
 		if d.Prom != nil {
 			d.Prom(p)
 		}
@@ -77,8 +87,9 @@ func (d *Daemon) Mux() *httpx.Mux {
 		if d.SLO != nil {
 			d.SLO.Snapshot(d.sloNow()).WriteProm(p, d.Prefix)
 		}
-		return p.Bytes()
-	}))
+		obs.WriteRuntimeProm(p)
+		return 200, map[string]string{"content-type": p.ContentType()}, p.Bytes()
+	})
 	if d.Health != nil {
 		mux.Handle("/debug/paths", httpx.JSONHandler(func() any {
 			return d.Health.Snapshot()
@@ -94,6 +105,9 @@ func (d *Daemon) Mux() *httpx.Mux {
 	}
 	if d.Registry != nil {
 		mux.Handle("/debug/registry", httpx.JSONHandler(d.Registry))
+	}
+	if d.Fleet != nil {
+		mux.Handle("/debug/fleet", httpx.JSONHandler(d.Fleet))
 	}
 	return mux
 }

@@ -1,0 +1,39 @@
+package experiment
+
+import "testing"
+
+// TestRunObsOverhead exercises the overhead experiment machinery at
+// quick scale: both relays must serve the workload, the observed one
+// must track paths and decide traces, and the result must carry a
+// finite verdict. The ceiling here is deliberately loose — CI boxes
+// are shared and noisy, and the 5% claim is made by the archived
+// BENCH artifact runs, not by every unit-test invocation.
+func TestRunObsOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live loopback experiment")
+	}
+	res := RunObsOverhead(ObsOverheadParams{
+		Rounds:           3,
+		RequestsPerRound: 40,
+		Clients:          2,
+		ObjectSize:       32 << 10,
+		MaxOverhead:      0.5,
+	})
+	if res.Paths < 1 {
+		t.Fatalf("observed relay tracked %d paths", res.Paths)
+	}
+	if res.KeptTraces+res.DroppedTraces == 0 {
+		t.Fatal("tail collector decided no traces")
+	}
+	if res.BareCPUSecs <= 0 || res.ObservedCPUSecs <= 0 {
+		t.Fatalf("non-positive CPU medians: bare %v observed %v", res.BareCPUSecs, res.ObservedCPUSecs)
+	}
+	if res.BareRPS <= 0 || res.ObservedRPS <= 0 {
+		t.Fatalf("non-positive RPS: bare %v observed %v", res.BareRPS, res.ObservedRPS)
+	}
+	if res.OverheadFrac < -1 || res.OverheadFrac > 1 {
+		t.Fatalf("implausible overhead fraction %v", res.OverheadFrac)
+	}
+	t.Logf("overhead %.2f%% (bare %.0f req/s, observed %.0f req/s)",
+		100*res.OverheadFrac, res.BareRPS, res.ObservedRPS)
+}

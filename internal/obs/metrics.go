@@ -26,46 +26,27 @@ const (
 	transferMbpsBins               = 200
 )
 
-// Metrics aggregates events into atomic counters, per-path utilization
-// tallies, and fixed-bucket histograms. All counter updates are
-// lock-free; the per-path map takes a read lock on the hot path (a write
-// lock only the first time a path is seen) and the two histograms share
-// one short-lived mutex. Snapshot may be called concurrently with
-// observation.
+// Metrics aggregates events into per-P striped counters, per-path
+// utilization tallies, and fixed-bucket histograms. Counter and
+// histogram updates land on cache-line-padded stripes (one per P, see
+// stripe.go) so concurrent transfer goroutines stop ping-ponging shared
+// cache lines; Snapshot folds the stripes. The per-path map takes a
+// read lock on the hot path (a write lock only the first time a path is
+// seen). Snapshot may be called concurrently with observation.
 type Metrics struct {
-	probesStarted  atomic.Int64
-	probesFinished atomic.Int64
-	probesFailed   atomic.Int64 // finished with a non-cancellation error
-	probesCanceled atomic.Int64 // reaped by the engine after the race was decided
-
-	selections         atomic.Int64
-	selectionsIndirect atomic.Int64
-
-	transfersStarted  atomic.Int64
-	transfersFinished atomic.Int64
-	transfersFailed   atomic.Int64
-
-	retries atomic.Int64
-	aborts  atomic.Int64
-
-	bytesDelivered atomic.Int64 // payload bytes of successful probes + transfers
-	bytesStreamed  atomic.Int64 // payload bytes observed in-flight, including attempts that later fail
-
-	poolReuses    atomic.Int64
-	poolMisses    atomic.Int64
-	poolParked    atomic.Int64
-	poolEvicted   atomic.Int64
-	poolDiscarded atomic.Int64
+	counters *stripedCounters
 
 	pathMu sync.RWMutex
 	paths  map[string]*pathTally
 
-	histMu       sync.Mutex
-	probeLatency *stats.Histogram // successful probe durations, seconds
-	transferTput *stats.Histogram // successful transfer throughputs, Mb/s
+	probeLatency *stripedHistogram // successful probe durations, seconds
+	transferTput *stripedHistogram // successful transfer throughputs, Mb/s
 }
 
-// pathTally is one route's counters (keyed by PathID.Label()).
+// pathTally is one route's counters (keyed by PathID.Label()). The
+// tallies stay single-cell atomics: path cardinality times stripe count
+// would multiply memory for counters that are per-route, not
+// per-chunk-hot.
 type pathTally struct {
 	probed   atomic.Int64 // appeared in a race or refresh
 	selected atomic.Int64 // won the commit
@@ -77,9 +58,10 @@ type pathTally struct {
 // NewMetrics returns an empty collector.
 func NewMetrics() *Metrics {
 	return &Metrics{
+		counters:     newStripedCounters(),
 		paths:        make(map[string]*pathTally),
-		probeLatency: stats.NewHistogram(probeLatencyLo, probeLatencyHi, probeLatencyBins),
-		transferTput: stats.NewHistogram(transferMbpsLo, transferMbpsHi, transferMbpsBins),
+		probeLatency: newStripedHistogram(probeLatencyLo, probeLatencyHi, probeLatencyBins),
+		transferTput: newStripedHistogram(transferMbpsLo, transferMbpsHi, transferMbpsBins),
 	}
 }
 
@@ -102,7 +84,7 @@ func (m *Metrics) tally(label string) *pathTally {
 // ProbeStarted counts the probe toward its route's appearance tally — the
 // denominator of the paper's Section V utilization ratio.
 func (m *Metrics) ProbeStarted(e ProbeStart) {
-	m.probesStarted.Add(1)
+	m.counters.add(cProbesStarted, 1)
 	m.tally(e.Path.Label()).probed.Add(1)
 }
 
@@ -111,84 +93,82 @@ func (m *Metrics) ProbeStarted(e ProbeStart) {
 // cancellations, which ProbeCanceled already counted) feed the failure
 // tallies.
 func (m *Metrics) ProbeFinished(e ProbeEnd) {
-	m.probesFinished.Add(1)
+	m.counters.add(cProbesFinished, 1)
 	switch e.Class {
 	case ClassOK:
-		m.bytesDelivered.Add(e.Bytes)
-		m.histMu.Lock()
-		m.probeLatency.Add(e.Duration)
-		m.histMu.Unlock()
+		m.counters.add(cBytesDelivered, e.Bytes)
+		m.probeLatency.observe(e.Duration, TraceID{})
 	case ClassCanceled:
 		// The reap decision was counted by ProbeCanceled; nothing more.
 	default:
-		m.probesFailed.Add(1)
+		m.counters.add(cProbesFailed, 1)
 		m.tally(e.Path.Label()).failed.Add(1)
 	}
 }
 
 // ProbeCanceled counts a loser reaped by the engine.
 func (m *Metrics) ProbeCanceled(e ProbeCancel) {
-	m.probesCanceled.Add(1)
+	m.counters.add(cProbesCanceled, 1)
 	m.tally(e.Path.Label()).canceled.Add(1)
 }
 
 // PathSelected counts the commit — the numerator of the utilization
 // ratio for the winning route.
 func (m *Metrics) PathSelected(e Selection) {
-	m.selections.Add(1)
+	m.counters.add(cSelections, 1)
 	if e.Indirect {
-		m.selectionsIndirect.Add(1)
+		m.counters.add(cSelectionsIndirect, 1)
 	}
 	m.tally(e.Path.Label()).selected.Add(1)
 }
 
 // TransferStarted counts a payload transfer being issued.
 func (m *Metrics) TransferStarted(e TransferStart) {
-	m.transfersStarted.Add(1)
+	m.counters.add(cTransfersStarted, 1)
 }
 
 // TransferFinished records the payload outcome; successes feed the
 // throughput histogram.
 func (m *Metrics) TransferFinished(e TransferEnd) {
-	m.transfersFinished.Add(1)
+	m.counters.add(cTransfersFinished, 1)
 	if e.Class != ClassOK {
-		m.transfersFailed.Add(1)
+		m.counters.add(cTransfersFailed, 1)
 		m.tally(e.Path.Label()).failed.Add(1)
 		return
 	}
-	m.bytesDelivered.Add(e.Bytes)
+	m.counters.add(cBytesDelivered, e.Bytes)
 	m.tally(e.Path.Label()).bytes.Add(e.Bytes)
 	if e.Duration > 0 {
-		m.histMu.Lock()
-		m.transferTput.Add(float64(e.Bytes) * 8 / e.Duration / 1e6)
-		m.histMu.Unlock()
+		m.transferTput.observe(float64(e.Bytes)*8/e.Duration/1e6, TraceID{})
 	}
 }
 
 // RetryScheduled counts a transport-level retry.
-func (m *Metrics) RetryScheduled(e Retry) { m.retries.Add(1) }
+func (m *Metrics) RetryScheduled(e Retry) { m.counters.add(cRetries, 1) }
 
 // TransferAborted counts a transport-level teardown by context death.
-func (m *Metrics) TransferAborted(e Abort) { m.aborts.Add(1) }
+func (m *Metrics) TransferAborted(e Abort) { m.counters.add(cAborts, 1) }
 
 // TransferProgress accumulates in-flight bytes. Unlike bytesDelivered
 // (credited only on success), bytesStreamed counts every byte that
 // arrived, so the gap between the two measures wasted transfer work.
-func (m *Metrics) TransferProgress(e Progress) { m.bytesStreamed.Add(e.Chunk) }
+// This is the hottest callback — once per received chunk — and the one
+// the striped cells exist for.
+func (m *Metrics) TransferProgress(e Progress) { m.counters.add(cBytesStreamed, e.Chunk) }
 
 // PoolEvent tallies connection-pool transitions.
 func (m *Metrics) PoolEvent(e Pool) {
 	switch e.Op {
 	case PoolReuse:
-		m.poolReuses.Add(1)
+		m.counters.add(cPoolReuses, 1)
 	case PoolMiss:
-		m.poolMisses.Add(1)
+		m.counters.add(cPoolMisses, 1)
 	case PoolPark:
-		m.poolParked.Add(1)
+		m.counters.add(cPoolParked, 1)
 	case PoolEvict:
-		m.poolEvicted.Add(1)
+		m.counters.add(cPoolEvicted, 1)
 	case PoolDiscard:
-		m.poolDiscarded.Add(1)
+		m.counters.add(cPoolDiscarded, 1)
 	}
 }
 
@@ -220,9 +200,18 @@ type HistogramSnapshot struct {
 	Overflow  int64   `json:"overflow"`
 	Total     int64   `json:"total"`
 
+	// Sum is the sum of observed values: exact for the striped
+	// histograms (Metrics, LatencyRecorder), a bin-center estimate for
+	// snapshots taken from plain stats histograms, which carry no sum.
+	Sum float64 `json:"sum"`
+
 	P50 float64 `json:"p50"`
 	P90 float64 `json:"p90"`
 	P99 float64 `json:"p99"`
+
+	// Exemplars holds, per populated bin that saw a traced observation,
+	// the most recent trace that landed there — sparse, ordered by bin.
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
 }
 
 // Quantile estimates the q-th quantile (0 ≤ q ≤ 1) by linear
@@ -259,10 +248,35 @@ func (s HistogramSnapshot) Quantile(q float64) float64 {
 	return s.Hi // rank fell into overflow
 }
 
+// ExemplarNear returns the exemplar whose bin contains the q-th
+// quantile, or the nearest populated one at or below it — the "what
+// trace explains my p99" lookup.
+func (s HistogramSnapshot) ExemplarNear(q float64) (Exemplar, bool) {
+	if len(s.Exemplars) == 0 || len(s.Bins) == 0 {
+		return Exemplar{}, false
+	}
+	v := s.Quantile(q)
+	width := (s.Hi - s.Lo) / float64(len(s.Bins))
+	bin := int((v - s.Lo) / width)
+	if bin >= len(s.Bins) {
+		bin = len(s.Bins) - 1
+	}
+	best := -1
+	for i, e := range s.Exemplars {
+		if e.Bin <= bin {
+			best = i
+		}
+	}
+	if best < 0 {
+		best = 0 // all exemplars above the quantile bin: take the lowest
+	}
+	return s.Exemplars[best], true
+}
+
 // Snapshot is a consistent-enough point-in-time view of a Metrics
 // collector, ready for JSON serving (the daemons' /debug/vars endpoints)
-// or test assertions. Counters are read atomically; histograms are copied
-// under their lock.
+// or test assertions. Counters are folded across their stripes;
+// histograms are merged stripe by stripe under the stripe locks.
 type Snapshot struct {
 	ProbesStarted  int64 `json:"probes_started"`
 	ProbesFinished int64 `json:"probes_finished"`
@@ -304,6 +318,19 @@ func histSnapshot(h *stats.Histogram) HistogramSnapshot {
 		Total: h.Total(),
 	}
 	copy(s.Bins, h.Bins)
+	// Plain stats histograms carry no running sum; estimate one from bin
+	// centers (under/overflow valued at the edges) so every snapshot has
+	// a usable Sum. The striped histograms overwrite this with the exact
+	// value.
+	width := 0.0
+	if len(h.Bins) > 0 {
+		width = (h.Hi - h.Lo) / float64(len(h.Bins))
+	}
+	sum := float64(h.Underflow)*h.Lo + float64(h.Overflow)*h.Hi
+	for i, n := range h.Bins {
+		sum += float64(n) * (h.Lo + (float64(i)+0.5)*width)
+	}
+	s.Sum = sum
 	s.P50 = s.Quantile(0.50)
 	s.P90 = s.Quantile(0.90)
 	s.P99 = s.Quantile(0.99)
@@ -311,65 +338,72 @@ func histSnapshot(h *stats.Histogram) HistogramSnapshot {
 }
 
 // HistogramSnapshotOf copies an arbitrary stats histogram into the
-// snapshot form (quantiles included). The daemons use it to expose their
-// server-side latency histograms through the same /metrics renderer the
-// client metrics use. The caller provides any locking the histogram
-// needs.
+// snapshot form (quantiles included, sum estimated from bin centers).
+// The daemons use it to expose their server-side latency histograms
+// through the same /metrics renderer the client metrics use. The caller
+// provides any locking the histogram needs.
 func HistogramSnapshotOf(h *stats.Histogram) HistogramSnapshot {
 	return histSnapshot(h)
 }
 
-// LatencyRecorder is a self-initializing, mutex-guarded request-latency
-// histogram for the daemons' /metrics endpoints: [0, 20) s at 0.1 s
-// resolution, matching the client probe-latency geometry so the two
-// views line up. The zero value is ready to use.
+// LatencyRecorder is a self-initializing request-latency histogram for
+// the daemons' /metrics endpoints: [0, 20) s at 0.1 s resolution,
+// matching the client probe-latency geometry so the two views line up.
+// Observations land on per-P striped cells (see stripe.go), so many
+// handler goroutines recording concurrently no longer serialize on one
+// mutex or share cache lines. The zero value is ready to use.
 type LatencyRecorder struct {
 	once sync.Once
-	mu   sync.Mutex
-	h    *stats.Histogram
+	h    *stripedHistogram
 }
 
 func (l *LatencyRecorder) init() {
-	l.once.Do(func() { l.h = stats.NewHistogram(probeLatencyLo, probeLatencyHi, probeLatencyBins) })
+	l.once.Do(func() {
+		l.h = newStripedHistogram(probeLatencyLo, probeLatencyHi, probeLatencyBins)
+	})
 }
 
 // Observe records one request duration.
-func (l *LatencyRecorder) Observe(d time.Duration) {
+func (l *LatencyRecorder) Observe(d time.Duration) { l.ObserveTrace(d, TraceID{}) }
+
+// ObserveTrace records one request duration attributed to a trace: the
+// observation's bucket remembers the trace as its exemplar, linking the
+// latency distribution on /metrics to the stitchable cross-hop trace
+// that produced it. A zero trace records no exemplar.
+func (l *LatencyRecorder) ObserveTrace(d time.Duration, trace TraceID) {
 	l.init()
-	l.mu.Lock()
-	l.h.Add(d.Seconds())
-	l.mu.Unlock()
+	l.h.observe(d.Seconds(), trace)
 }
 
-// Snapshot copies the distribution, quantiles included.
+// Snapshot copies the distribution, quantiles, exact sum, and exemplars
+// included.
 func (l *LatencyRecorder) Snapshot() HistogramSnapshot {
 	l.init()
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return histSnapshot(l.h)
+	return l.h.snapshot()
 }
 
 // Snapshot captures the collector's current state.
 func (m *Metrics) Snapshot() Snapshot {
+	c := m.counters
 	s := Snapshot{
-		ProbesStarted:      m.probesStarted.Load(),
-		ProbesFinished:     m.probesFinished.Load(),
-		ProbesFailed:       m.probesFailed.Load(),
-		ProbesCanceled:     m.probesCanceled.Load(),
-		Selections:         m.selections.Load(),
-		SelectionsIndirect: m.selectionsIndirect.Load(),
-		TransfersStarted:   m.transfersStarted.Load(),
-		TransfersFinished:  m.transfersFinished.Load(),
-		TransfersFailed:    m.transfersFailed.Load(),
-		Retries:            m.retries.Load(),
-		Aborts:             m.aborts.Load(),
-		BytesDelivered:     m.bytesDelivered.Load(),
-		BytesStreamed:      m.bytesStreamed.Load(),
-		PoolReuses:         m.poolReuses.Load(),
-		PoolMisses:         m.poolMisses.Load(),
-		PoolParked:         m.poolParked.Load(),
-		PoolEvicted:        m.poolEvicted.Load(),
-		PoolDiscarded:      m.poolDiscarded.Load(),
+		ProbesStarted:      c.load(cProbesStarted),
+		ProbesFinished:     c.load(cProbesFinished),
+		ProbesFailed:       c.load(cProbesFailed),
+		ProbesCanceled:     c.load(cProbesCanceled),
+		Selections:         c.load(cSelections),
+		SelectionsIndirect: c.load(cSelectionsIndirect),
+		TransfersStarted:   c.load(cTransfersStarted),
+		TransfersFinished:  c.load(cTransfersFinished),
+		TransfersFailed:    c.load(cTransfersFailed),
+		Retries:            c.load(cRetries),
+		Aborts:             c.load(cAborts),
+		BytesDelivered:     c.load(cBytesDelivered),
+		BytesStreamed:      c.load(cBytesStreamed),
+		PoolReuses:         c.load(cPoolReuses),
+		PoolMisses:         c.load(cPoolMisses),
+		PoolParked:         c.load(cPoolParked),
+		PoolEvicted:        c.load(cPoolEvicted),
+		PoolDiscarded:      c.load(cPoolDiscarded),
 		Paths:              make(map[string]PathSnapshot),
 	}
 	m.pathMu.RLock()
@@ -387,10 +421,8 @@ func (m *Metrics) Snapshot() Snapshot {
 		s.Paths[label] = ps
 	}
 	m.pathMu.RUnlock()
-	m.histMu.Lock()
-	s.ProbeLatencySeconds = histSnapshot(m.probeLatency)
-	s.TransferMbps = histSnapshot(m.transferTput)
-	m.histMu.Unlock()
+	s.ProbeLatencySeconds = m.probeLatency.snapshot()
+	s.TransferMbps = m.transferTput.snapshot()
 	return s
 }
 

@@ -11,13 +11,36 @@ package obs
 import (
 	"bytes"
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
 )
 
-// PromContentType is the content-type of the text exposition format.
+// PromContentType is the content-type of the classic text exposition
+// format.
 const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// OpenMetricsContentType is the content-type of the OpenMetrics text
+// exposition. Served when the scraper's Accept header asks for it; the
+// payload is the classic exposition plus bucket exemplars and the
+// closing # EOF marker.
+const OpenMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// AcceptsOpenMetrics reports whether an Accept header value asks for
+// the OpenMetrics exposition. Matching is deliberately loose — any
+// listed media type of application/openmetrics-text, regardless of
+// parameters or q-weights, selects it; everything else (including an
+// absent header) gets the classic text format.
+func AcceptsOpenMetrics(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mt, _, _ := strings.Cut(part, ";")
+		if strings.TrimSpace(mt) == "application/openmetrics-text" {
+			return true
+		}
+	}
+	return false
+}
 
 // promHistMaxBuckets bounds how many explicit buckets a rendered
 // histogram emits: the 200-bin snapshots are coarsened (cumulative
@@ -27,14 +50,40 @@ const promHistMaxBuckets = 20
 // Prom accumulates metric families and renders the text exposition
 // format. Not safe for concurrent use; build one per scrape.
 type Prom struct {
-	b bytes.Buffer
+	b  bytes.Buffer
+	om bool
 }
 
-// NewProm returns an empty exposition builder.
+// NewProm returns an empty exposition builder for the classic text
+// format.
 func NewProm() *Prom { return &Prom{} }
 
-// Bytes returns the accumulated exposition.
-func (p *Prom) Bytes() []byte { return append([]byte(nil), p.b.Bytes()...) }
+// NewOpenMetricsProm returns a builder for the OpenMetrics flavor: the
+// same families and samples as the classic format (so the two stay
+// diffable), with histogram bucket exemplars attached and a # EOF
+// terminator appended by Bytes. It is a subset of OpenMetrics, not a
+// full implementation — families keep their classic names and TYPE
+// spellings — validated by LintOpenMetrics.
+func NewOpenMetricsProm() *Prom { return &Prom{om: true} }
+
+// ContentType returns the content-type header value matching the
+// builder's format.
+func (p *Prom) ContentType() string {
+	if p.om {
+		return OpenMetricsContentType
+	}
+	return PromContentType
+}
+
+// Bytes returns the accumulated exposition (with the terminating # EOF
+// marker in OpenMetrics mode).
+func (p *Prom) Bytes() []byte {
+	out := append([]byte(nil), p.b.Bytes()...)
+	if p.om {
+		out = append(out, "# EOF\n"...)
+	}
+	return out
+}
 
 func (p *Prom) head(name, typ, help string) {
 	help = strings.ReplaceAll(help, "\\", `\\`)
@@ -72,7 +121,7 @@ func (p *Prom) LabeledCounter(name, help, label string, samples map[string]float
 	}
 	sort.Strings(keys)
 	for _, k := range keys {
-		fmt.Fprintf(&p.b, "%s{%s=%q} %s\n", name, label, promLabel(k), promFloat(samples[k]))
+		fmt.Fprintf(&p.b, "%s{%s=\"%s\"} %s\n", name, label, promLabel(k), promFloat(samples[k]))
 	}
 }
 
@@ -86,7 +135,7 @@ func (p *Prom) LabeledGauge(name, help, label string, samples map[string]float64
 	}
 	sort.Strings(keys)
 	for _, k := range keys {
-		fmt.Fprintf(&p.b, "%s{%s=%q} %s\n", name, label, promLabel(k), promFloat(samples[k]))
+		fmt.Fprintf(&p.b, "%s{%s=\"%s\"} %s\n", name, label, promLabel(k), promFloat(samples[k]))
 	}
 }
 
@@ -94,9 +143,10 @@ func (p *Prom) LabeledGauge(name, help, label string, samples map[string]float64
 // Bucket edges are the snapshot's bin edges, coarsened to at most
 // promHistMaxBuckets explicit le bounds plus +Inf; underflow counts into
 // every bucket (an observation below Lo is ≤ any edge) and overflow only
-// into +Inf. The _sum is approximated from bin centers — the snapshots
-// deliberately do not carry exact sums — with under/overflow valued at
-// the histogram edges.
+// into +Inf. The _sum comes straight from the snapshot — exact for
+// striped recorders, a bin-center estimate otherwise. In OpenMetrics
+// mode each explicit bucket carries the most recent exemplar whose
+// observation landed in the bin range the coarsened bucket covers.
 func (p *Prom) Histogram(name, help string, h HistogramSnapshot) {
 	p.head(name, "histogram", help)
 	nbins := len(h.Bins)
@@ -109,18 +159,92 @@ func (p *Prom) Histogram(name, help string, h HistogramSnapshot) {
 		step = (nbins + promHistMaxBuckets - 1) / promHistMaxBuckets
 	}
 	cum := h.Underflow
-	sum := float64(h.Underflow)*h.Lo + float64(h.Overflow)*h.Hi
+	lowBin := 0
 	for i := 0; i < nbins; i++ {
 		cum += h.Bins[i]
-		sum += float64(h.Bins[i]) * (h.Lo + (float64(i)+0.5)*width)
 		if (i+1)%step == 0 || i == nbins-1 {
 			edge := h.Lo + float64(i+1)*width
-			fmt.Fprintf(&p.b, "%s_bucket{le=%q} %d\n", name, promFloat(edge), cum)
+			fmt.Fprintf(&p.b, "%s_bucket{le=%q} %d", name, promFloat(edge), cum)
+			p.exemplar(h.Exemplars, lowBin, i)
+			p.b.WriteByte('\n')
+			lowBin = i + 1
 		}
 	}
 	fmt.Fprintf(&p.b, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Total)
-	fmt.Fprintf(&p.b, "%s_sum %s\n", name, promFloat(sum))
+	fmt.Fprintf(&p.b, "%s_sum %s\n", name, promFloat(h.Sum))
 	fmt.Fprintf(&p.b, "%s_count %d\n", name, h.Total)
+}
+
+// exemplar appends, in OpenMetrics mode, the freshest exemplar whose
+// bin falls inside [lo, hi] as an exemplar suffix on the current bucket
+// line. Timestamps render in seconds, the OpenMetrics unit.
+func (p *Prom) exemplar(exemplars []Exemplar, lo, hi int) {
+	if !p.om {
+		return
+	}
+	best := -1
+	for i, e := range exemplars {
+		if e.Bin < lo || e.Bin > hi || e.Trace.IsZero() {
+			continue
+		}
+		if best < 0 || e.Time > exemplars[best].Time {
+			best = i
+		}
+	}
+	if best < 0 {
+		return
+	}
+	e := exemplars[best]
+	ts := float64(e.Time) / 1e9
+	fmt.Fprintf(&p.b, " # {trace_id=%q} %s %s",
+		e.Trace.String(), promFloat(e.Value), strconv.FormatFloat(ts, 'f', 3, 64))
+}
+
+// HistogramEdges emits a cumulative-bucket histogram family from
+// explicit bucket edges, the shape runtime/metrics hands back:
+// counts[i] covers [edges[i], edges[i+1]), len(edges) == len(counts)+1,
+// and the first/last edges may be infinite. Buckets are coarsened to at
+// most promHistMaxBuckets explicit bounds plus +Inf; _sum is a
+// midpoint estimate with infinite edges valued at their finite
+// neighbor.
+func (p *Prom) HistogramEdges(name, help string, edges []float64, counts []uint64) {
+	p.head(name, "histogram", help)
+	n := len(counts)
+	if n == 0 || len(edges) != n+1 {
+		fmt.Fprintf(&p.b, "%s_bucket{le=\"+Inf\"} 0\n%s_sum 0\n%s_count 0\n", name, name, name)
+		return
+	}
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	step := 1
+	if n > promHistMaxBuckets {
+		step = (n + promHistMaxBuckets - 1) / promHistMaxBuckets
+	}
+	var cum uint64
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		cum += counts[i]
+		lo, hi := edges[i], edges[i+1]
+		mid := 0.0
+		switch {
+		case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+		case math.IsInf(lo, -1):
+			mid = hi
+		case math.IsInf(hi, 1):
+			mid = lo
+		default:
+			mid = (lo + hi) / 2
+		}
+		sum += float64(counts[i]) * mid
+		if ((i+1)%step == 0 || i == n-1) && !math.IsInf(hi, 1) {
+			fmt.Fprintf(&p.b, "%s_bucket{le=%q} %d\n", name, promFloat(hi), cum)
+		}
+	}
+	fmt.Fprintf(&p.b, "%s_bucket{le=\"+Inf\"} %d\n", name, total)
+	fmt.Fprintf(&p.b, "%s_sum %s\n", name, promFloat(sum))
+	fmt.Fprintf(&p.b, "%s_count %d\n", name, total)
 }
 
 // WriteProm renders the whole metrics snapshot as Prometheus families
@@ -226,6 +350,66 @@ func LintProm(b []byte) error {
 	for family, typ := range typed {
 		if typ == "histogram" && lastBucket[family] >= 0 && !sawInf[family] {
 			return fmt.Errorf("prom lint: histogram %s has no +Inf bucket", family)
+		}
+	}
+	return nil
+}
+
+// LintOpenMetrics validates the OpenMetrics flavor of the exposition:
+// the payload must end with the # EOF marker, exemplar suffixes may
+// only appear on _bucket sample lines and must be syntactically sound
+// ({labels} value [timestamp]), and what remains after stripping both
+// must pass LintProm unchanged — the OpenMetrics output is the classic
+// one plus annotations, never a different exposition.
+func LintOpenMetrics(b []byte) error {
+	s := string(b)
+	if !strings.HasSuffix(s, "# EOF\n") {
+		return fmt.Errorf("openmetrics lint: missing terminating # EOF")
+	}
+	s = strings.TrimSuffix(s, "# EOF\n")
+	var classic strings.Builder
+	for ln, line := range strings.Split(s, "\n") {
+		lineNo := ln + 1
+		body := line
+		if i := strings.Index(line, " # "); i >= 0 && !strings.HasPrefix(line, "#") {
+			body = line[:i]
+			ex := line[i+3:]
+			if !strings.Contains(body, "_bucket") {
+				return fmt.Errorf("openmetrics lint: line %d: exemplar on non-bucket sample", lineNo)
+			}
+			if err := lintExemplar(ex); err != nil {
+				return fmt.Errorf("openmetrics lint: line %d: %v", lineNo, err)
+			}
+		}
+		classic.WriteString(body)
+		classic.WriteByte('\n')
+	}
+	return LintProm([]byte(classic.String()))
+}
+
+// lintExemplar checks one exemplar annotation: {label="value",...}
+// followed by a float value and an optional float timestamp.
+func lintExemplar(ex string) error {
+	if !strings.HasPrefix(ex, "{") {
+		return fmt.Errorf("exemplar %q does not start with labels", ex)
+	}
+	end := strings.IndexByte(ex, '}')
+	if end < 0 {
+		return fmt.Errorf("exemplar %q has unbalanced labels", ex)
+	}
+	for _, pair := range splitLabels(ex[1:end]) {
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok || !promName(k) || len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+			return fmt.Errorf("bad exemplar label %q", pair)
+		}
+	}
+	fields := strings.Fields(ex[end+1:])
+	if len(fields) != 1 && len(fields) != 2 {
+		return fmt.Errorf("exemplar %q needs a value and optional timestamp", ex)
+	}
+	for _, f := range fields {
+		if _, err := strconv.ParseFloat(f, 64); err != nil {
+			return fmt.Errorf("bad exemplar number %q", f)
 		}
 	}
 	return nil

@@ -1,0 +1,243 @@
+// A real parser for the text exposition format, built on the same
+// low-level helpers LintProm uses. The fleet aggregator scrapes every
+// relay's /metrics and needs decoded families back — names, labels,
+// values, and reconstructed histograms it can merge across relays —
+// not just a validity verdict. The parser accepts both flavors this
+// repo emits: classic text and the OpenMetrics variant (exemplar
+// suffixes and the # EOF marker are tolerated and skipped).
+
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// PromSample is one decoded sample line.
+type PromSample struct {
+	Name   string            // full sample name, including _bucket/_sum/_count suffixes
+	Labels map[string]string // nil when the sample has no labels
+	Value  float64
+}
+
+// PromFamily is one metric family: its TYPE, HELP, and samples in
+// exposition order. Histogram families own their _bucket/_sum/_count
+// samples.
+type PromFamily struct {
+	Name    string
+	Type    string
+	Help    string
+	Samples []PromSample
+}
+
+// ParseProm decodes a text exposition into families keyed by family
+// name. Unknown lines are errors — the input is expected to come from
+// this package's own renderer (or a peer daemon running it), so
+// strictness is a feature. Exemplar suffixes and the OpenMetrics # EOF
+// terminator are accepted and ignored.
+func ParseProm(b []byte) (map[string]*PromFamily, error) {
+	fams := make(map[string]*PromFamily)
+	for ln, line := range strings.Split(string(b), "\n") {
+		lineNo := ln + 1
+		if line == "" || line == "# EOF" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, err := promComment(line)
+			if err != nil {
+				return nil, fmt.Errorf("prom parse: line %d: %v", lineNo, err)
+			}
+			f := fams[name]
+			if f == nil {
+				f = &PromFamily{Name: name}
+				fams[name] = f
+			}
+			if kind == "TYPE" {
+				f.Type = rest
+			} else {
+				f.Help = rest
+			}
+			continue
+		}
+		if i := strings.Index(line, " # "); i >= 0 {
+			line = line[:i] // drop exemplar annotation
+		}
+		name, labels, value, err := promSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("prom parse: line %d: %v", lineNo, err)
+		}
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, suffix)
+			if f, ok := fams[trimmed]; ok && f.Type == "histogram" {
+				family = trimmed
+				break
+			}
+		}
+		f := fams[family]
+		if f == nil {
+			return nil, fmt.Errorf("prom parse: line %d: sample %q has no TYPE line", lineNo, name)
+		}
+		s := PromSample{Name: name, Value: value}
+		if labels != "" {
+			s.Labels = make(map[string]string)
+			for _, pair := range splitLabels(labels) {
+				k, v, ok := strings.Cut(pair, "=")
+				if !ok || len(v) < 2 {
+					return nil, fmt.Errorf("prom parse: line %d: bad label %q", lineNo, pair)
+				}
+				s.Labels[k] = promUnquoteLabel(v[1 : len(v)-1])
+			}
+		}
+		f.Samples = append(f.Samples, s)
+	}
+	return fams, nil
+}
+
+// promUnquoteLabel reverses promLabel's escaping.
+func promUnquoteLabel(v string) string {
+	if !strings.ContainsRune(v, '\\') {
+		return v
+	}
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		if v[i] == '\\' && i+1 < len(v) {
+			i++
+			switch v[i] {
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				b.WriteByte(v[i])
+			}
+			continue
+		}
+		b.WriteByte(v[i])
+	}
+	return b.String()
+}
+
+// Value returns the family's single unlabeled sample value. False when
+// the family is empty, labeled, or has several samples.
+func (f *PromFamily) Value() (float64, bool) {
+	if f == nil || len(f.Samples) != 1 || f.Samples[0].Labels != nil {
+		return 0, false
+	}
+	return f.Samples[0].Value, true
+}
+
+// Histogram reconstructs a HistogramSnapshot from a parsed histogram
+// family's _bucket/_sum/_count samples. The renderer emits uniform-
+// width buckets, so the reconstruction checks edge uniformity and
+// rebuilds the bin array at scrape resolution: Lo is the first edge
+// minus the width, counts above the last finite edge become Overflow,
+// and Underflow is zero (the renderer folds it into every cumulative
+// bucket, so it is indistinguishable from the first bin). Snapshots
+// reconstructed from scrapes of the same renderer share geometry and
+// merge exactly.
+func (f *PromFamily) Histogram() (HistogramSnapshot, error) {
+	var snap HistogramSnapshot
+	if f == nil || f.Type != "histogram" {
+		return snap, fmt.Errorf("prom parse: not a histogram family")
+	}
+	type bucket struct {
+		le  float64
+		cum float64
+	}
+	var buckets []bucket
+	var total float64
+	haveInf := false
+	for _, s := range f.Samples {
+		switch {
+		case s.Name == f.Name+"_sum":
+			snap.Sum = s.Value
+		case s.Name == f.Name+"_count":
+			total = s.Value
+		case s.Name == f.Name+"_bucket":
+			le, ok := s.Labels["le"]
+			if !ok {
+				return snap, fmt.Errorf("prom parse: %s bucket without le", f.Name)
+			}
+			if le == "+Inf" {
+				haveInf = true
+				if total == 0 {
+					total = s.Value
+				}
+				continue
+			}
+			edge, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return snap, fmt.Errorf("prom parse: %s bad le %q", f.Name, le)
+			}
+			buckets = append(buckets, bucket{le: edge, cum: s.Value})
+		}
+	}
+	if !haveInf {
+		return snap, fmt.Errorf("prom parse: %s has no +Inf bucket", f.Name)
+	}
+	snap.Total = int64(total)
+	if len(buckets) == 0 {
+		return snap, nil
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i].le <= buckets[i-1].le {
+			return snap, fmt.Errorf("prom parse: %s bucket edges not increasing", f.Name)
+		}
+	}
+	width := buckets[0].le
+	if len(buckets) > 1 {
+		width = buckets[1].le - buckets[0].le
+		for i := 1; i < len(buckets); i++ {
+			w := buckets[i].le - buckets[i-1].le
+			if math.Abs(w-width) > 1e-9*math.Max(math.Abs(w), math.Abs(width)) {
+				return snap, fmt.Errorf("prom parse: %s buckets not uniform width", f.Name)
+			}
+		}
+	}
+	snap.Lo = buckets[0].le - width
+	snap.Hi = buckets[len(buckets)-1].le
+	snap.Bins = make([]int64, len(buckets))
+	prev := 0.0
+	for i, b := range buckets {
+		snap.Bins[i] = int64(b.cum - prev)
+		prev = b.cum
+	}
+	snap.Overflow = int64(total - prev)
+	snap.P50 = snap.Quantile(0.50)
+	snap.P90 = snap.Quantile(0.90)
+	snap.P99 = snap.Quantile(0.99)
+	return snap, nil
+}
+
+// MergeHistogramSnapshots adds o into h bin-by-bin. Both must share
+// geometry (same Lo, Hi, bin count) — which scrape-reconstructed
+// snapshots from identical renderers do. Quantiles are recomputed.
+func MergeHistogramSnapshots(h *HistogramSnapshot, o HistogramSnapshot) error {
+	if len(h.Bins) == 0 && h.Total == 0 {
+		*h = o
+		// Copy the bins: later merges mutate h.Bins in place, and sharing
+		// o's backing array would corrupt the caller's source snapshot.
+		h.Bins = append([]int64(nil), o.Bins...)
+		h.Exemplars = nil
+		return nil
+	}
+	if o.Total == 0 && len(o.Bins) == 0 {
+		return nil
+	}
+	if h.Lo != o.Lo || h.Hi != o.Hi || len(h.Bins) != len(o.Bins) {
+		return fmt.Errorf("merge histogram: geometry mismatch ([%g,%g]x%d vs [%g,%g]x%d)",
+			h.Lo, h.Hi, len(h.Bins), o.Lo, o.Hi, len(o.Bins))
+	}
+	for i := range h.Bins {
+		h.Bins[i] += o.Bins[i]
+	}
+	h.Underflow += o.Underflow
+	h.Overflow += o.Overflow
+	h.Total += o.Total
+	h.Sum += o.Sum
+	h.P50 = h.Quantile(0.50)
+	h.P90 = h.Quantile(0.90)
+	h.P99 = h.Quantile(0.99)
+	return nil
+}

@@ -1,0 +1,289 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParsePromDecodesFamilies(t *testing.T) {
+	p := NewProm()
+	p.Counter("a_total", "A.", 12)
+	p.Gauge("b_depth", "B.", 3.5)
+	p.LabeledCounter("c_by_route_total", "C.", "route", map[string]float64{
+		"direct": 7, "relay-1": 2, `quo"te`: 1,
+	})
+	fams, err := ParseProm(p.Bytes())
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if v, ok := fams["a_total"].Value(); !ok || v != 12 {
+		t.Fatalf("a_total = %v/%v", v, ok)
+	}
+	if fams["a_total"].Type != "counter" || fams["a_total"].Help != "A." {
+		t.Fatalf("a_total meta %+v", fams["a_total"])
+	}
+	if v, ok := fams["b_depth"].Value(); !ok || v != 3.5 {
+		t.Fatalf("b_depth = %v/%v", v, ok)
+	}
+	c := fams["c_by_route_total"]
+	if len(c.Samples) != 3 {
+		t.Fatalf("c samples %v", c.Samples)
+	}
+	if _, ok := c.Value(); ok {
+		t.Fatal("Value() must refuse labeled families")
+	}
+	byRoute := map[string]float64{}
+	for _, s := range c.Samples {
+		byRoute[s.Labels["route"]] = s.Value
+	}
+	if byRoute["direct"] != 7 || byRoute["relay-1"] != 2 || byRoute[`quo"te`] != 1 {
+		t.Fatalf("labels decoded wrong: %v", byRoute)
+	}
+}
+
+func TestParsePromToleratesOpenMetricsFlavor(t *testing.T) {
+	var rec LatencyRecorder
+	for i := 0; i < 40; i++ {
+		rec.ObserveTrace(time.Duration(i)*50*time.Millisecond, NewTraceID())
+	}
+	classic, om := renderBoth(func(p *Prom) {
+		p.Counter("a_total", "A.", 1)
+		p.Histogram("h_latency_seconds", "H.", rec.Snapshot())
+	})
+	fc, err := ParseProm(classic)
+	if err != nil {
+		t.Fatalf("classic parse: %v", err)
+	}
+	fo, err := ParseProm(om)
+	if err != nil {
+		t.Fatalf("om parse: %v", err)
+	}
+	hc, err := fc["h_latency_seconds"].Histogram()
+	if err != nil {
+		t.Fatalf("classic reconstruct: %v", err)
+	}
+	ho, err := fo["h_latency_seconds"].Histogram()
+	if err != nil {
+		t.Fatalf("om reconstruct: %v", err)
+	}
+	if hc.Total != ho.Total || hc.Sum != ho.Sum || len(hc.Bins) != len(ho.Bins) {
+		t.Fatalf("exemplar-annotated scrape decoded differently: %+v vs %+v", hc, ho)
+	}
+}
+
+func TestParsePromErrors(t *testing.T) {
+	cases := []string{
+		"no_type_line 5\n",
+		"# TYPE a counter\na{b} 1\n",        // label without value
+		"# TYPE a counter\na 1 2 3\n",       // too many fields
+		"# TYPE a counter\na not-a-float\n", // bad value
+		"# BOGUS a counter\n",               // unknown comment kind
+	}
+	for _, in := range cases {
+		if _, err := ParseProm([]byte(in)); err == nil {
+			t.Fatalf("ParseProm accepted %q", in)
+		}
+	}
+}
+
+func TestHistogramReconstructionMatchesQuantilesAtScrapeResolution(t *testing.T) {
+	var rec LatencyRecorder
+	for i := 0; i < 500; i++ {
+		rec.Observe(time.Duration(i%120) * 25 * time.Millisecond)
+	}
+	orig := rec.Snapshot()
+	p := NewProm()
+	p.Histogram("h_latency_seconds", "H.", orig)
+	fams, err := ParseProm(p.Bytes())
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	got, err := fams["h_latency_seconds"].Histogram()
+	if err != nil {
+		t.Fatalf("reconstruct: %v", err)
+	}
+	if got.Total != orig.Total {
+		t.Fatalf("total %d, want %d", got.Total, orig.Total)
+	}
+	if got.Sum != orig.Sum {
+		t.Fatalf("sum %v, want %v", got.Sum, orig.Sum)
+	}
+	// The scrape coarsens 200 bins to 20 buckets; quantiles must agree
+	// within one coarse bucket width.
+	width := (got.Hi - got.Lo) / float64(len(got.Bins))
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if d := math.Abs(got.Quantile(q) - orig.Quantile(q)); d > width {
+			t.Fatalf("q%.2f moved %v across the scrape, more than bucket width %v", q, d, width)
+		}
+	}
+}
+
+func TestHistogramReconstructionErrors(t *testing.T) {
+	mk := func(body string) *PromFamily {
+		fams, err := ParseProm([]byte(body))
+		if err != nil {
+			t.Fatalf("setup parse: %v", err)
+		}
+		for _, f := range fams {
+			return f
+		}
+		return nil
+	}
+	if _, err := (*PromFamily)(nil).Histogram(); err == nil {
+		t.Fatal("nil family reconstructed")
+	}
+	if _, err := mk("# TYPE a counter\na 1\n").Histogram(); err == nil {
+		t.Fatal("counter family reconstructed as histogram")
+	}
+	noInf := "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n"
+	if _, err := mk(noInf).Histogram(); err == nil {
+		t.Fatal("histogram without +Inf reconstructed")
+	}
+	nonUniform := "# TYPE h histogram\n" +
+		"h_bucket{le=\"1\"} 1\nh_bucket{le=\"2\"} 2\nh_bucket{le=\"10\"} 3\n" +
+		"h_bucket{le=\"+Inf\"} 3\nh_sum 6\nh_count 3\n"
+	if _, err := mk(nonUniform).Histogram(); err == nil {
+		t.Fatal("non-uniform bucket widths reconstructed")
+	}
+}
+
+func TestMergeHistogramSnapshotsExactAcrossScrapes(t *testing.T) {
+	// Two relays with identical renderers; merging their scrapes must
+	// equal a scrape of the union of observations.
+	var recA, recB, recAll LatencyRecorder
+	for i := 0; i < 300; i++ {
+		// Quarter-second multiples are exact in binary, so the two
+		// per-relay sums and the union sum agree bit-for-bit regardless
+		// of accumulation order.
+		d := time.Duration(i%60) * 250 * time.Millisecond
+		if i%2 == 0 {
+			recA.Observe(d)
+		} else {
+			recB.Observe(d)
+		}
+		recAll.Observe(d)
+	}
+	scrape := func(rec *LatencyRecorder) HistogramSnapshot {
+		p := NewProm()
+		p.Histogram("h_latency_seconds", "H.", rec.Snapshot())
+		fams, err := ParseProm(p.Bytes())
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		h, err := fams["h_latency_seconds"].Histogram()
+		if err != nil {
+			t.Fatalf("reconstruct: %v", err)
+		}
+		return h
+	}
+	var merged HistogramSnapshot
+	if err := MergeHistogramSnapshots(&merged, scrape(&recA)); err != nil {
+		t.Fatalf("merge A: %v", err)
+	}
+	if err := MergeHistogramSnapshots(&merged, scrape(&recB)); err != nil {
+		t.Fatalf("merge B: %v", err)
+	}
+	union := scrape(&recAll)
+	if merged.Total != union.Total || merged.Sum != union.Sum {
+		t.Fatalf("merged total/sum %d/%v, want %d/%v", merged.Total, merged.Sum, union.Total, union.Sum)
+	}
+	for i := range union.Bins {
+		if merged.Bins[i] != union.Bins[i] {
+			t.Fatalf("bin %d: merged %d, union %d", i, merged.Bins[i], union.Bins[i])
+		}
+	}
+	if merged.P99 != union.P99 {
+		t.Fatalf("merged p99 %v, union %v", merged.P99, union.P99)
+	}
+}
+
+func TestMergeHistogramSnapshotsGeometryMismatch(t *testing.T) {
+	a := HistogramSnapshot{Lo: 0, Hi: 10, Bins: make([]int64, 10), Total: 1}
+	b := HistogramSnapshot{Lo: 0, Hi: 20, Bins: make([]int64, 10), Total: 1}
+	if err := MergeHistogramSnapshots(&a, b); err == nil {
+		t.Fatal("geometry mismatch merged silently")
+	}
+	// Merging into an empty target adopts the source wholesale (minus
+	// exemplars, which are per-process handles).
+	var empty HistogramSnapshot
+	src := HistogramSnapshot{Lo: 0, Hi: 10, Bins: []int64{1, 2}, Total: 3, Sum: 4,
+		Exemplars: []Exemplar{{Bin: 0, Trace: NewTraceID()}}}
+	if err := MergeHistogramSnapshots(&empty, src); err != nil {
+		t.Fatalf("empty-target merge: %v", err)
+	}
+	if empty.Total != 3 || empty.Exemplars != nil {
+		t.Fatalf("empty-target merge kept exemplars or lost counts: %+v", empty)
+	}
+	// Merging an empty source into a populated target is a no-op.
+	if err := MergeHistogramSnapshots(&empty, HistogramSnapshot{}); err != nil {
+		t.Fatalf("empty-source merge: %v", err)
+	}
+	if empty.Total != 3 {
+		t.Fatalf("empty-source merge changed totals: %+v", empty)
+	}
+}
+
+func TestMergeHistogramSnapshotsDoesNotAliasSource(t *testing.T) {
+	// The empty-target adoption path must copy the source's bins: the
+	// fleet aggregator merges the same stored per-relay snapshots on
+	// every Snapshot() call, and a shared backing array would let one
+	// merge corrupt the stored state for the next.
+	src := HistogramSnapshot{Lo: 0, Hi: 2, Bins: []int64{5, 5}, Total: 10, Sum: 10}
+	other := HistogramSnapshot{Lo: 0, Hi: 2, Bins: []int64{1, 2}, Total: 3, Sum: 3}
+	for round := 0; round < 3; round++ {
+		var merged HistogramSnapshot
+		if err := MergeHistogramSnapshots(&merged, src); err != nil {
+			t.Fatalf("round %d adopt: %v", round, err)
+		}
+		if err := MergeHistogramSnapshots(&merged, other); err != nil {
+			t.Fatalf("round %d merge: %v", round, err)
+		}
+		if merged.Total != 13 || merged.Bins[0] != 6 || merged.Bins[1] != 7 {
+			t.Fatalf("round %d merged wrong: %+v", round, merged)
+		}
+		if src.Bins[0] != 5 || src.Bins[1] != 5 {
+			t.Fatalf("round %d merge mutated its source: %v", round, src.Bins)
+		}
+	}
+}
+
+func TestPromUnquoteLabel(t *testing.T) {
+	p := NewProm()
+	p.LabeledGauge("g_weird", "G.", "k", map[string]float64{
+		"line\nbreak": 1, `back\slash`: 2, `qu"ote`: 3,
+	})
+	fams, err := ParseProm(p.Bytes())
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	got := map[string]float64{}
+	for _, s := range fams["g_weird"].Samples {
+		got[s.Labels["k"]] = s.Value
+	}
+	for k, v := range map[string]float64{"line\nbreak": 1, `back\slash`: 2, `qu"ote`: 3} {
+		if got[k] != v {
+			t.Fatalf("label %q round-tripped to %v (have %v)", k, got[k], got)
+		}
+	}
+}
+
+func TestParsePromHistogramOwnsSuffixSamples(t *testing.T) {
+	var rec LatencyRecorder
+	rec.Observe(time.Second)
+	p := NewProm()
+	p.Histogram("h_latency_seconds", "H.", rec.Snapshot())
+	fams, err := ParseProm(p.Bytes())
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(fams) != 1 {
+		names := make([]string, 0, len(fams))
+		for n := range fams {
+			names = append(names, n)
+		}
+		t.Fatalf("histogram suffix samples leaked into families of their own: %s",
+			strings.Join(names, ", "))
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"log/slog"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/obs"
@@ -123,5 +124,123 @@ func TestParseComponentLevels(t *testing.T) {
 	}
 	if _, err := ParseComponentLevels("nolevel"); err == nil {
 		t.Fatal("accepted pair without =")
+	}
+}
+
+// lockedBuffer serializes concurrent writes and hands back whole lines.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+// TestTraceInjectionConcurrentSpans drives one shared JSON logger from
+// many goroutines, each inside its own span, and checks every emitted
+// line carries the trace of the goroutine that logged it — the handler
+// must read the span from the per-call context, never from shared
+// state. Run with -race this also proves Handle/Clone stay data-race
+// free on the shared handler chain.
+func TestTraceInjectionConcurrentSpans(t *testing.T) {
+	var out lockedBuffer
+	logger := New(&out, "relay", Config{Format: "json"})
+
+	const goroutines = 8
+	const perG = 50
+	traces := make([]obs.SpanContext, goroutines)
+	for g := range traces {
+		traces[g] = obs.SpanContext{Trace: obs.NewTraceID(), Span: obs.NewSpanID()}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ctx := obs.ContextWithSpan(context.Background(), traces[g])
+			for i := 0; i < perG; i++ {
+				logger.InfoContext(ctx, "work", "g", g, "i", i)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	lines := strings.Split(strings.TrimSpace(out.buf.String()), "\n")
+	if len(lines) != goroutines*perG {
+		t.Fatalf("emitted %d lines, want %d", len(lines), goroutines*perG)
+	}
+	for _, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("interleaved write broke a line: %v\n%q", err, line)
+		}
+		g := int(m["g"].(float64))
+		if got := m[TraceKey]; got != traces[g].Trace.String() {
+			t.Fatalf("goroutine %d line carries trace %v, want %s", g, got, traces[g].Trace)
+		}
+		if got := m[SpanKey]; got != traces[g].Span.String() {
+			t.Fatalf("goroutine %d line carries span %v, want %s", g, got, traces[g].Span)
+		}
+	}
+}
+
+// TestComponentFilteringConcurrent exercises per-component level
+// overrides on loggers derived from one shared handler while goroutines
+// log through them concurrently: the noisy component's info lines are
+// suppressed, everyone else's arrive intact.
+func TestComponentFilteringConcurrent(t *testing.T) {
+	var out lockedBuffer
+	cfg := Config{
+		Format: "json",
+		Level:  slog.LevelInfo,
+		ComponentLevels: map[string]slog.Level{
+			"noisy": slog.LevelError,
+			"quiet": slog.LevelDebug,
+		},
+	}
+	root := slog.New(NewHandler(&out, cfg))
+	components := []string{"noisy", "quiet", "plain"}
+
+	const perC = 40
+	var wg sync.WaitGroup
+	for _, comp := range components {
+		wg.Add(1)
+		go func(comp string) {
+			defer wg.Done()
+			logger := With(root, comp)
+			sc := obs.SpanContext{Trace: obs.NewTraceID(), Span: obs.NewSpanID()}
+			ctx := obs.ContextWithSpan(context.Background(), sc)
+			for i := 0; i < perC; i++ {
+				logger.InfoContext(ctx, "tick", "i", i)  // dropped for noisy
+				logger.DebugContext(ctx, "tock", "i", i) // kept only for quiet
+			}
+		}(comp)
+	}
+	wg.Wait()
+
+	counts := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(out.buf.String()), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("bad line: %v\n%q", err, line)
+		}
+		comp, _ := m[ComponentKey].(string)
+		counts[comp]++
+		if _, ok := m[TraceKey]; !ok {
+			t.Fatalf("line lost its trace under concurrency: %q", line)
+		}
+	}
+	want := map[string]int{
+		"noisy": 0,        // info suppressed by the error override
+		"quiet": 2 * perC, // debug allowed by the debug override
+		"plain": perC,     // floor: info kept, debug dropped
+	}
+	for comp, n := range want {
+		if counts[comp] != n {
+			t.Fatalf("component %s emitted %d lines, want %d (all: %v)", comp, counts[comp], n, counts)
+		}
 	}
 }

@@ -22,12 +22,11 @@ package obs
 
 import (
 	"context"
-	"crypto/rand"
 	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
+	"math/rand/v2"
 	"sync"
-	"sync/atomic"
 	"time"
 )
 
@@ -98,19 +97,20 @@ func idFromJSON(b, dst []byte) error {
 	return nil
 }
 
-// idCounter sequences fallback IDs if the system entropy source ever
-// fails (it does not on any supported platform; the fallback just keeps
-// tracing non-fatal).
-var idCounter atomic.Uint64
-
+// randomBytes fills b from math/rand/v2's ChaCha8 stream: OS-seeded,
+// per-P, and lock-free, where crypto/rand would pay a getrandom(2)
+// syscall per ID. Trace and span IDs need collision resistance, not
+// secrecy — minting them must cost nanoseconds because every traced
+// request mints several.
 func randomBytes(b []byte) {
-	if _, err := rand.Read(b); err != nil {
-		n := idCounter.Add(1) ^ uint64(time.Now().UnixNano())
-		for len(b) >= 8 {
-			binary.BigEndian.PutUint64(b, n)
-			b = b[8:]
-			n = n*0x9e3779b97f4a7c15 + 1
-		}
+	for len(b) >= 8 {
+		binary.BigEndian.PutUint64(b, rand.Uint64())
+		b = b[8:]
+	}
+	if len(b) > 0 {
+		var tail [8]byte
+		binary.BigEndian.PutUint64(tail[:], rand.Uint64())
+		copy(b, tail[:])
 	}
 }
 
@@ -212,6 +212,11 @@ type SpanCollector struct {
 	next int
 	seq  uint64
 	full bool
+
+	// tail, when set, replaces the ring with tail-based retention (see
+	// tailspan.go / NewTailSpanCollector). Exactly one of ring/tail is
+	// active.
+	tail *tailState
 }
 
 // NewSpanCollector returns a collector retaining the last capacity spans
@@ -226,6 +231,11 @@ func NewSpanCollector(capacity int) *SpanCollector {
 func (c *SpanCollector) add(s Span) {
 	c.mu.Lock()
 	c.seq++
+	if c.tail != nil {
+		c.tail.addTail(s, c.seq)
+		c.mu.Unlock()
+		return
+	}
 	c.ring[c.next] = s
 	c.next++
 	if c.next == len(c.ring) {
@@ -242,6 +252,9 @@ func (c *SpanCollector) Spans() []Span {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.tail != nil {
+		return c.tail.tailSpans()
+	}
 	if !c.full {
 		out := make([]Span, c.next)
 		copy(out, c.ring[:c.next])
@@ -270,6 +283,9 @@ func (c *SpanCollector) Dropped() uint64 {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.tail != nil {
+		return c.tail.stats.DroppedSpans
+	}
 	if !c.full {
 		return 0
 	}

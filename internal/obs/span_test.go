@@ -24,10 +24,10 @@ func TestParseTraceHeaderRejectsMalformed(t *testing.T) {
 	bad := []string{
 		"",
 		"x",
-		valid[:len(valid)-1],                       // truncated
-		valid + "0",                                // oversized
-		strings.Replace(valid, "-", "_", 1),        // wrong separator
-		strings.Repeat("g", headerLen),             // non-hex
+		valid[:len(valid)-1],                // truncated
+		valid + "0",                         // oversized
+		strings.Replace(valid, "-", "_", 1), // wrong separator
+		strings.Repeat("g", headerLen),      // non-hex
 		valid[:32] + "-" + strings.Repeat("z", 16), // non-hex span
 		strings.Repeat("0", 32) + "-" + valid[33:], // zero trace ID
 		valid[:32] + "-" + strings.Repeat("0", 16), // zero span ID

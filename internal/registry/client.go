@@ -226,16 +226,28 @@ func (c *Client) Register(ctx context.Context, name, relayAddr string, ttl time.
 // RegisterHealth inserts or refreshes name carrying a self-reported
 // health score (HealthUnreported omits it from the wire).
 func (c *Client) RegisterHealth(ctx context.Context, name, relayAddr string, ttl time.Duration, health float64) error {
-	if name == "" || relayAddr == "" || strings.ContainsAny(name+relayAddr, " \t\r\n") {
+	return c.RegisterFull(ctx, name, relayAddr, "", ttl, health)
+}
+
+// RegisterFull is RegisterHealth plus the registrant's observability
+// endpoint (its daemon HTTP address; "" omits it from the wire). The
+// six-field form always carries an explicit health token — the -1
+// sentinel when unreported — because metrics-addr is positional.
+func (c *Client) RegisterFull(ctx context.Context, name, relayAddr, metricsAddr string, ttl time.Duration, health float64) error {
+	if name == "" || relayAddr == "" || strings.ContainsAny(name+relayAddr+metricsAddr, " \t\r\n") {
 		return ErrBadName
 	}
 	if ttl <= 0 {
 		return ErrBadTTL
 	}
 	return c.do(ctx, func(bw *bufio.Writer, br *bufio.Reader) error {
-		if health == HealthUnreported {
+		switch {
+		case metricsAddr != "":
+			fmt.Fprintf(bw, "REGISTER %s %s %d %s %s\n", name, relayAddr, int(ttl.Seconds()),
+				formatHealth(health), metricsAddr)
+		case health == HealthUnreported:
 			fmt.Fprintf(bw, "REGISTER %s %s %d\n", name, relayAddr, int(ttl.Seconds()))
-		} else {
+		default:
 			fmt.Fprintf(bw, "REGISTER %s %s %d %s\n", name, relayAddr, int(ttl.Seconds()), formatHealth(health))
 		}
 		if err := bw.Flush(); err != nil {
@@ -406,12 +418,18 @@ func (c *Client) Epoch(ctx context.Context) (epoch, digest uint64, err error) {
 // returned HeartbeatState tracks whether the registry is still
 // accepting refreshes, feeding relayd's readiness check.
 func (c *Client) StartHeartbeat(ctx context.Context, name, relayAddr string, ttl time.Duration, health func() float64) (*HeartbeatState, error) {
+	return c.StartHeartbeatFull(ctx, name, relayAddr, "", ttl, health)
+}
+
+// StartHeartbeatFull is StartHeartbeat with the registrant's
+// observability endpoint carried on every refresh ("" omits it).
+func (c *Client) StartHeartbeatFull(ctx context.Context, name, relayAddr, metricsAddr string, ttl time.Duration, health func() float64) (*HeartbeatState, error) {
 	report := func() error {
 		h := float64(HealthUnreported)
 		if health != nil {
 			h = health()
 		}
-		return c.RegisterHealth(ctx, name, relayAddr, ttl, h)
+		return c.RegisterFull(ctx, name, relayAddr, metricsAddr, ttl, h)
 	}
 	state := &HeartbeatState{}
 	err := report()

@@ -16,6 +16,9 @@ func FuzzParseRequest(f *testing.F) {
 	for _, seed := range []string{
 		"REGISTER campus 10.0.0.2:8081 60",
 		"REGISTER campus 10.0.0.2:8081 60 0.95",
+		"REGISTER campus 10.0.0.2:8081 60 0.95 10.0.0.2:9081",
+		"REGISTER campus 10.0.0.2:8081 60 -1 10.0.0.2:9081",
+		"REGISTER campus 10.0.0.2:8081 60 -1",
 		"REGISTER a b 0",
 		"REGISTER a b -5 2",
 		"LIST",
@@ -58,10 +61,11 @@ func FuzzParseListEntry(f *testing.F) {
 	for _, seed := range []string{
 		"campus 10.0.0.2:8081",
 		"campus 10.0.0.2:8081 0.95 up",
+		"campus 10.0.0.2:8081 0.95 up 10.0.0.2:9081",
 		"campus 10.0.0.2:8081 -1 down",
 		"campus 10.0.0.2:8081 0.5 sideways",
 		"one",
-		"a b c d e",
+		"a b c d e f",
 	} {
 		f.Add(seed, true)
 		f.Add(seed, false)
@@ -74,7 +78,8 @@ func FuzzParseListEntry(f *testing.F) {
 		// Round-trip: re-encode the way the server does and re-parse.
 		var enc string
 		if ranked {
-			enc = e.Name + " " + e.Addr + " " + formatHealth(e.Health) + " " + stateWord(e.Down)
+			enc = e.Name + " " + e.Addr + " " + formatHealth(e.Health) + " " + stateWord(e.Down) +
+				maddrSuffix(e.MetricsAddr)
 		} else {
 			enc = e.Name + " " + e.Addr
 		}
@@ -82,7 +87,7 @@ func FuzzParseListEntry(f *testing.F) {
 		if err != nil {
 			t.Fatalf("round-trip of %q -> %q failed: %v", line, enc, err)
 		}
-		if e2.Name != e.Name || e2.Addr != e.Addr || e2.Down != e.Down {
+		if e2.Name != e.Name || e2.Addr != e.Addr || e2.Down != e.Down || e2.MetricsAddr != e.MetricsAddr {
 			t.Fatalf("round-trip changed meaning: %+v vs %+v", e, e2)
 		}
 	})
@@ -91,6 +96,7 @@ func FuzzParseListEntry(f *testing.F) {
 func FuzzParseDeltaLine(f *testing.F) {
 	for _, seed := range []string{
 		"+ campus 10.0.0.2:8081 0.95 up",
+		"+ campus 10.0.0.2:8081 0.95 up 10.0.0.2:9081",
 		"+ campus 10.0.0.2:8081 -1 down",
 		"- campus",
 		"- ",
@@ -108,13 +114,14 @@ func FuzzParseDeltaLine(f *testing.F) {
 		if de.Deleted {
 			enc = "- " + de.Name
 		} else {
-			enc = "+ " + de.Name + " " + de.Addr + " " + formatHealth(de.Health) + " " + stateWord(de.Down)
+			enc = "+ " + de.Name + " " + de.Addr + " " + formatHealth(de.Health) + " " + stateWord(de.Down) +
+				maddrSuffix(de.MetricsAddr)
 		}
 		de2, err := parseDeltaLine(enc)
 		if err != nil {
 			t.Fatalf("round-trip of %q -> %q failed: %v", line, enc, err)
 		}
-		if de2.Name != de.Name || de2.Deleted != de.Deleted || de2.Addr != de.Addr {
+		if de2.Name != de.Name || de2.Deleted != de.Deleted || de2.Addr != de.Addr || de2.MetricsAddr != de.MetricsAddr {
 			t.Fatalf("round-trip changed meaning: %+v vs %+v", de, de2)
 		}
 	})
@@ -123,6 +130,7 @@ func FuzzParseDeltaLine(f *testing.F) {
 func FuzzParseSyncLine(f *testing.F) {
 	for _, seed := range []string{
 		"+ campus 10.0.0.2:8081 0.95 1722470400000000000 60000000000",
+		"+ campus 10.0.0.2:8081 0.95 1722470400000000000 60000000000 10.0.0.2:9081",
 		"+ campus 10.0.0.2:8081 -1 0 1",
 		"- campus 1722470400000000000",
 		"- campus x",
@@ -148,13 +156,15 @@ func FuzzParseSyncLine(f *testing.F) {
 			enc = "- " + de.Name + " " + strconv64(de.LastSeen.UnixNano())
 		} else {
 			enc = "+ " + de.Name + " " + de.Addr + " " + formatHealth(de.Health) + " " +
-				strconv64(de.LastSeen.UnixNano()) + " " + strconv64(int64(de.TTL))
+				strconv64(de.LastSeen.UnixNano()) + " " + strconv64(int64(de.TTL)) +
+				maddrSuffix(de.MetricsAddr)
 		}
 		de2, err := parseSyncLine(enc)
 		if err != nil {
 			t.Fatalf("round-trip of %q -> %q failed: %v", line, enc, err)
 		}
-		if de2.Name != de.Name || de2.Deleted != de.Deleted || !de2.LastSeen.Equal(de.LastSeen) || de2.TTL != de.TTL {
+		if de2.Name != de.Name || de2.Deleted != de.Deleted || !de2.LastSeen.Equal(de.LastSeen) ||
+			de2.TTL != de.TTL || de2.MetricsAddr != de.MetricsAddr {
 			t.Fatalf("round-trip changed meaning: %+v vs %+v", de, de2)
 		}
 	})

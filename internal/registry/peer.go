@@ -110,12 +110,14 @@ func (s *Server) Merge(entries []DeltaEntry) int {
 		e := Entry{
 			Name: de.Name, Addr: de.Addr, Health: de.Health,
 			LastSeen: de.LastSeen, TTL: de.TTL,
-			Expires: de.LastSeen.Add(de.TTL),
+			Expires:     de.LastSeen.Add(de.TTL),
+			MetricsAddr: de.MetricsAddr,
 		}
 		e.Down = e.Expires.Before(now)
 		epoch := s.epoch.Add(1)
 		e.seenEpoch = epoch
-		if existed && old.Addr == e.Addr && old.Health == e.Health && old.Down == e.Down {
+		if existed && old.Addr == e.Addr && old.Health == e.Health &&
+			old.MetricsAddr == e.MetricsAddr && old.Down == e.Down {
 			e.ChangeEpoch = old.ChangeEpoch
 		} else {
 			e.ChangeEpoch = epoch

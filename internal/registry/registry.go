@@ -39,18 +39,24 @@
 // The wire protocol is line-based over TCP; a session may carry any
 // number of commands (clients can hold a pooled connection open):
 //
-//	REGISTER <name> <addr> <ttl-seconds> [<health 0..1>]\n -> OK\n
+//	REGISTER <name> <addr> <ttl-seconds> [<health 0..1|-1> [<metrics-addr>]]\n -> OK\n
 //	LIST\n                -> <name> <addr>\n ... .\n
-//	LISTH [<k>]\n         -> <name> <addr> <health> <up|down>\n ... .\n
+//	LISTH [<k>]\n         -> <name> <addr> <health> <up|down> [<metrics-addr>]\n ... .\n
 //	LISTD <epoch> [<k>]\n -> EPOCH <epoch> [full]\n
-//	                         + <name> <addr> <health> <up|down>\n
+//	                         + <name> <addr> <health> <up|down> [<metrics-addr>]\n
 //	                         - <name>\n ... .\n
 //	EPOCH\n               -> EPOCH <epoch> <digest>\n
 //	SYNCD <epoch>\n       -> EPOCH <epoch> [full]\n
-//	                         + <name> <addr> <health> <lastseen-ns> <ttl-ns>\n
+//	                         + <name> <addr> <health> <lastseen-ns> <ttl-ns> [<metrics-addr>]\n
 //	                         - <name> <lastseen-ns>\n ... .\n
 //
-// Names and addresses must be token-shaped (no whitespace). LISTH
+// Names and addresses must be token-shaped (no whitespace). The
+// optional trailing metrics-addr token is the relay's observability
+// endpoint (its daemon HTTP address) — the fleet aggregator scrapes it;
+// six-field REGISTER accepts health -1 (unreported) so a relay can
+// advertise a metrics address without a score. Response lines omit the
+// token when the entry never reported one, keeping old clients'
+// field counts intact. LISTH
 // returns entries ranked by health (best first, unreported health ranks
 // below any reported score, down-marked entries rank after every live
 // one and say so in the state column), truncated to k when given.
@@ -129,9 +135,13 @@ type Entry struct {
 	// "down" by LISTH/LISTD during the grace period, and dropped
 	// entirely once it passes.
 	Down bool
+	// MetricsAddr is the registrant's observability endpoint (daemon
+	// HTTP address serving /metrics and /debug/*), "" when unreported.
+	// The fleet aggregator scrapes it.
+	MetricsAddr string
 	// ChangeEpoch is the registry epoch of the entry's last material
-	// change (insert, address, health, or up/down transition) — the
-	// stamp LISTD deltas filter on.
+	// change (insert, address, health, metrics address, or up/down
+	// transition) — the stamp LISTD deltas filter on.
 	ChangeEpoch uint64
 
 	// seenEpoch is the epoch of the entry's last refresh of any kind
@@ -220,11 +230,18 @@ func (s *Server) Register(name, addr string, ttl time.Duration) error {
 // RegisterHealth inserts or refreshes an entry carrying the
 // registrant's self-reported health score. A refresh clears any down
 // mark — the relay is back. Only material changes (a new entry, a new
-// address or health value, an up/down transition) advance the entry's
-// ChangeEpoch; a pure heartbeat refresh advances SeenEpoch alone, so it
-// is invisible to LISTD clients but still propagates through peer sync.
+// address, health value, or metrics address, an up/down transition)
+// advance the entry's ChangeEpoch; a pure heartbeat refresh advances
+// SeenEpoch alone, so it is invisible to LISTD clients but still
+// propagates through peer sync.
 func (s *Server) RegisterHealth(name, addr string, ttl time.Duration, health float64) error {
-	if name == "" || addr == "" || strings.ContainsAny(name+addr, " \t\r\n") {
+	return s.RegisterFull(name, addr, ttl, health, "")
+}
+
+// RegisterFull is RegisterHealth plus the registrant's observability
+// endpoint (empty when it serves none).
+func (s *Server) RegisterFull(name, addr string, ttl time.Duration, health float64, metricsAddr string) error {
+	if name == "" || addr == "" || strings.ContainsAny(name+addr+metricsAddr, " \t\r\n") {
 		return ErrBadName
 	}
 	if ttl <= 0 {
@@ -248,11 +265,12 @@ func (s *Server) RegisterHealth(name, addr string, ttl time.Duration, health flo
 	e := Entry{
 		Name: name, Addr: addr,
 		Expires: now.Add(ttl), LastSeen: now, TTL: ttl,
-		Health: health,
+		Health: health, MetricsAddr: metricsAddr,
 	}
 	epoch := s.epoch.Add(1)
 	e.seenEpoch = epoch
-	if existed && old.Addr == addr && old.Health == health && !old.Down {
+	if existed && old.Addr == addr && old.Health == health &&
+		old.MetricsAddr == metricsAddr && !old.Down {
 		e.ChangeEpoch = old.ChangeEpoch // pure refresh: nothing a client sees moved
 	} else {
 		e.ChangeEpoch = epoch

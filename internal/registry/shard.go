@@ -196,6 +196,7 @@ func entryDigest(e Entry) uint64 {
 	mix(e.Addr)
 	mix(formatHealth(e.Health))
 	mix(strconv64(e.LastSeen.UnixNano()))
+	mix(e.MetricsAddr)
 	if e.Down {
 		mix("down")
 	}

@@ -31,13 +31,14 @@ const (
 
 // request is one parsed command line.
 type request struct {
-	Kind   reqKind
-	Name   string        // REGISTER
-	Addr   string        // REGISTER
-	TTL    time.Duration // REGISTER
-	Health float64       // REGISTER (HealthUnreported when omitted)
-	K      int           // LISTH/LISTD (0 = all)
-	Since  uint64        // LISTD/SYNCD
+	Kind        reqKind
+	Name        string        // REGISTER
+	Addr        string        // REGISTER
+	TTL         time.Duration // REGISTER
+	Health      float64       // REGISTER (HealthUnreported when omitted)
+	MetricsAddr string        // REGISTER ("" when omitted)
+	K           int           // LISTH/LISTD (0 = all)
+	Since       uint64        // LISTD/SYNCD
 }
 
 // parseRequest decodes one command line (without trailing newline).
@@ -49,8 +50,8 @@ func parseRequest(line string) (request, error) {
 	}
 	switch fields[0] {
 	case "REGISTER":
-		if len(fields) != 4 && len(fields) != 5 {
-			return request{}, errors.New("usage: REGISTER name addr ttl [health]")
+		if len(fields) < 4 || len(fields) > 6 {
+			return request{}, errors.New("usage: REGISTER name addr ttl [health [maddr]]")
 		}
 		ttlSec, err := strconv.Atoi(fields[3])
 		if err != nil || ttlSec <= 0 {
@@ -60,12 +61,18 @@ func parseRequest(line string) (request, error) {
 			Kind: reqRegister, Name: fields[1], Addr: fields[2],
 			TTL: time.Duration(ttlSec) * time.Second, Health: HealthUnreported,
 		}
-		if len(fields) == 5 {
+		if len(fields) >= 5 {
 			h, err := strconv.ParseFloat(fields[4], 64)
-			if err != nil || h < 0 || h > 1 {
+			// The six-field form admits the -1 sentinel so a relay can
+			// advertise a metrics address without a health score; the
+			// five-field form keeps the original strict range.
+			if err != nil || h > 1 || (h < 0 && !(len(fields) == 6 && h == HealthUnreported)) {
 				return request{}, errors.New("bad health")
 			}
 			r.Health = h
+		}
+		if len(fields) == 6 {
+			r.MetricsAddr = fields[5]
 		}
 		return r, nil
 	case "LIST":
@@ -178,7 +185,7 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		switch req.Kind {
 		case reqRegister:
-			if err := s.RegisterHealth(req.Name, req.Addr, req.TTL, req.Health); err != nil {
+			if err := s.RegisterFull(req.Name, req.Addr, req.TTL, req.Health, req.MetricsAddr); err != nil {
 				fmt.Fprintf(bw, "ERR %v\n", err)
 			} else {
 				s.Registrations.Add(1)
@@ -193,7 +200,8 @@ func (s *Server) handle(conn net.Conn) {
 		case reqListH:
 			s.Lists.Add(1)
 			for _, e := range s.rankedAll(req.K) {
-				fmt.Fprintf(bw, "%s %s %s %s\n", e.Name, e.Addr, formatHealth(e.Health), stateWord(e.Down))
+				fmt.Fprintf(bw, "%s %s %s %s%s\n", e.Name, e.Addr, formatHealth(e.Health),
+					stateWord(e.Down), maddrSuffix(e.MetricsAddr))
 			}
 			fmt.Fprintf(bw, ".\n")
 		case reqListD:
@@ -207,7 +215,8 @@ func (s *Server) handle(conn net.Conn) {
 				if de.Deleted {
 					fmt.Fprintf(bw, "- %s\n", de.Name)
 				} else {
-					fmt.Fprintf(bw, "+ %s %s %s %s\n", de.Name, de.Addr, formatHealth(de.Health), stateWord(de.Down))
+					fmt.Fprintf(bw, "+ %s %s %s %s%s\n", de.Name, de.Addr, formatHealth(de.Health),
+						stateWord(de.Down), maddrSuffix(de.MetricsAddr))
 				}
 			}
 			fmt.Fprintf(bw, ".\n")
@@ -224,8 +233,8 @@ func (s *Server) handle(conn net.Conn) {
 				if de.Deleted {
 					fmt.Fprintf(bw, "- %s %d\n", de.Name, de.LastSeen.UnixNano())
 				} else {
-					fmt.Fprintf(bw, "+ %s %s %s %d %d\n", de.Name, de.Addr, formatHealth(de.Health),
-						de.LastSeen.UnixNano(), int64(de.TTL))
+					fmt.Fprintf(bw, "+ %s %s %s %d %d%s\n", de.Name, de.Addr, formatHealth(de.Health),
+						de.LastSeen.UnixNano(), int64(de.TTL), maddrSuffix(de.MetricsAddr))
 				}
 			}
 			fmt.Fprintf(bw, ".\n")
@@ -248,14 +257,14 @@ func writeEpochLine(bw *bufio.Writer, d Delta) {
 // --- Response-line parsers (client side) ---
 
 // parseListEntry decodes one LIST ("name addr") or LISTH
-// ("name addr health state") body line.
+// ("name addr health state [maddr]") body line.
 func parseListEntry(line string, ranked bool) (Entry, error) {
 	fields := strings.Fields(line)
 	e := Entry{Health: HealthUnreported}
 	switch {
 	case !ranked && len(fields) == 2:
 		e.Name, e.Addr = fields[0], fields[1]
-	case ranked && len(fields) == 4:
+	case ranked && (len(fields) == 4 || len(fields) == 5):
 		e.Name, e.Addr = fields[0], fields[1]
 		h, err := strconv.ParseFloat(fields[2], 64)
 		if err != nil {
@@ -267,6 +276,9 @@ func parseListEntry(line string, ranked bool) (Entry, error) {
 			return Entry{}, fmt.Errorf("%w: %q", ErrBadEntry, line)
 		}
 		e.Down = down
+		if len(fields) == 5 {
+			e.MetricsAddr = fields[4]
+		}
 	default:
 		return Entry{}, fmt.Errorf("%w: %q", ErrBadEntry, line)
 	}
@@ -305,13 +317,13 @@ func parseEpochLine(line string) (epoch uint64, full bool, err error) {
 }
 
 // parseDeltaLine decodes one LISTD body line:
-// "+ name addr health state" or "- name".
+// "+ name addr health state [maddr]" or "- name".
 func parseDeltaLine(line string) (DeltaEntry, error) {
 	fields := strings.Fields(line)
 	switch {
 	case len(fields) == 2 && fields[0] == "-":
 		return DeltaEntry{Entry: Entry{Name: fields[1]}, Deleted: true}, nil
-	case len(fields) == 5 && fields[0] == "+":
+	case (len(fields) == 5 || len(fields) == 6) && fields[0] == "+":
 		e, err := parseListEntry(strings.Join(fields[1:], " "), true)
 		if err != nil {
 			return DeltaEntry{}, err
@@ -323,7 +335,8 @@ func parseDeltaLine(line string) (DeltaEntry, error) {
 }
 
 // parseSyncLine decodes one SYNCD body line:
-// "+ name addr health lastseen-ns ttl-ns" or "- name lastseen-ns".
+// "+ name addr health lastseen-ns ttl-ns [maddr]" or
+// "- name lastseen-ns".
 func parseSyncLine(line string) (DeltaEntry, error) {
 	fields := strings.Fields(line)
 	switch {
@@ -336,7 +349,7 @@ func parseSyncLine(line string) (DeltaEntry, error) {
 			Entry:   Entry{Name: fields[1], LastSeen: time.Unix(0, ns)},
 			Deleted: true,
 		}, nil
-	case len(fields) == 6 && fields[0] == "+":
+	case (len(fields) == 6 || len(fields) == 7) && fields[0] == "+":
 		h, err := strconv.ParseFloat(fields[3], 64)
 		if err != nil || (h != HealthUnreported && (h < 0 || h > 1)) {
 			return DeltaEntry{}, fmt.Errorf("%w: %q", ErrBadEntry, line)
@@ -352,11 +365,25 @@ func parseSyncLine(line string) (DeltaEntry, error) {
 		if strings.ContainsAny(fields[1]+fields[2], " \t\r\n") || fields[1] == "" || fields[2] == "" {
 			return DeltaEntry{}, fmt.Errorf("%w: %q", ErrBadEntry, line)
 		}
-		return DeltaEntry{Entry: Entry{
+		e := Entry{
 			Name: fields[1], Addr: fields[2], Health: h,
 			LastSeen: time.Unix(0, ns), TTL: time.Duration(ttl),
-		}}, nil
+		}
+		if len(fields) == 7 {
+			e.MetricsAddr = fields[6]
+		}
+		return DeltaEntry{Entry: e}, nil
 	default:
 		return DeltaEntry{}, fmt.Errorf("%w: %q", ErrBadEntry, line)
 	}
+}
+
+// maddrSuffix renders the optional trailing metrics-addr token of a
+// response line: " <maddr>" when reported, "" otherwise — absent, not
+// a placeholder, so pre-extension clients' field counts still match.
+func maddrSuffix(maddr string) string {
+	if maddr == "" {
+		return ""
+	}
+	return " " + maddr
 }

@@ -154,15 +154,17 @@ func (o *Origin) handle(conn net.Conn) {
 // "serve" span under whatever trace the request's x-trace header names.
 func (o *Origin) serveOne(conn net.Conn, req *httpx.Request) bool {
 	start := time.Now()
+	// Parse the trace header unconditionally: the latency histogram's
+	// exemplars want the trace even when span recording is off.
+	parent, _ := obs.ParseTraceHeader(req.Header[obs.TraceHeader])
 	var span *obs.ActiveSpan
 	if o.Spans != nil {
-		parent, _ := obs.ParseTraceHeader(req.Header[obs.TraceHeader])
 		span = o.Spans.StartSpan(parent, "origin", "serve")
 	}
 	again, class, detail, object, sent := o.serve(conn, req, span)
 	span.End(class, detail)
 	elapsed := time.Since(start)
-	o.lat.Observe(elapsed)
+	o.lat.ObserveTrace(elapsed, parent.Trace)
 	if o.Health != nil {
 		o.Health.Observe(object, class, elapsed.Seconds(), sent)
 	}

@@ -115,16 +115,19 @@ func (r *Relay) handle(conn net.Conn) {
 func (r *Relay) forwardOne(conn net.Conn, req *httpx.Request) bool {
 	r.Requests.Add(1)
 	start := time.Now()
+	// The trace header is parsed even when span recording is off: the
+	// latency histogram's exemplars link buckets to traces, and a traced
+	// client deserves that link whether or not this relay keeps spans.
+	parent, _ := obs.ParseTraceHeader(req.Header[obs.TraceHeader])
 	var fspan *obs.ActiveSpan
 	if r.Spans != nil {
-		parent, _ := obs.ParseTraceHeader(req.Header[obs.TraceHeader])
 		fspan = r.Spans.StartSpan(parent, "relay", "forward")
 		fspan.SetAttr("target", req.Target)
 	}
 	again, class, detail, upstream, n := r.forward(conn, req, fspan)
 	fspan.End(class, detail)
 	elapsed := time.Since(start)
-	r.lat.Observe(elapsed)
+	r.lat.ObserveTrace(elapsed, parent.Trace)
 	if r.Health != nil && upstream != "" {
 		// Malformed requests never name an upstream; they say nothing
 		// about any path and are not folded.
