@@ -1,7 +1,7 @@
 GO ?= go
 BENCHTIME ?= 1s
 
-.PHONY: build vet test race bench bench-json fuzz-smoke chaos-smoke obs-smoke verify
+.PHONY: build vet test race bench bench-json fuzz-smoke chaos-smoke obs-smoke flight-smoke verify
 
 build:
 	$(GO) build ./...
@@ -27,13 +27,16 @@ bench:
 # CI archiving and cross-run comparison. The registryload experiment
 # (100k relays over live loopback TCP) and the observer-overhead
 # experiment (bare vs fully instrumented relay, ABBA CPU-time blocks)
-# run first and are embedded under extras.
+# run first and are embedded under extras; the obsoverhead experiment
+# also prices the flight recorder's always-on wide-event ring and
+# profiler cadence, and the FlightAppend benchmark pins the per-event
+# append cost the ring adds to every transfer.
 bench-json:
 	$(GO) run ./cmd/indirectlab -exp registryload -regload-json registryload.json
 	$(GO) run ./cmd/indirectlab -exp obsoverhead -obsoverhead-json obsoverhead.json
-	$(GO) test -run '^$$' -bench 'WarmFetch|HealthFold|Cache|Registry|MetricsContended|ExemplarRender' -benchmem -benchtime $(BENCHTIME) \
-		./internal/realnet ./internal/obs ./internal/objcache ./internal/relay ./internal/registry \
-		| $(GO) run ./cmd/benchjson -out BENCH_9.json -extra registryload=registryload.json -extra obsoverhead=obsoverhead.json
+	$(GO) test -run '^$$' -bench 'WarmFetch|HealthFold|Cache|Registry|MetricsContended|ExemplarRender|FlightAppend|FlightDisabled' -benchmem -benchtime $(BENCHTIME) \
+		./internal/realnet ./internal/obs ./internal/obs/flight ./internal/objcache ./internal/relay ./internal/registry \
+		| $(GO) run ./cmd/benchjson -out BENCH_10.json -extra registryload=registryload.json -extra obsoverhead=obsoverhead.json
 
 # Seed-corpus smoke for the wire-parser fuzz targets: runs each corpus
 # as regular tests plus a short randomized burst, so CI exercises the
@@ -47,14 +50,16 @@ fuzz-smoke:
 # The chaos tier: the fault-injection regression tests under the race
 # detector (packet faults on the simulator, connection faults through
 # the loopback proxy, the bug-sweep regressions they pinned), then the
-# full nine-class campaign with its JSON scorecard.
+# full nine-class campaign with its JSON scorecard and the anomaly
+# debug bundles the flight trigger engine captured per live fault
+# class (archived as a CI artifact).
 chaos-smoke:
 	$(GO) test -race -count=1 ./internal/simnet/ ./internal/faultproxy/ \
 		-run 'Fault|Schedule|Proxy|Burst|SamplePacket'
 	$(GO) test -race -count=1 ./internal/relay/ ./internal/realnet/ ./internal/obs/ \
 		-run 'Chaos|WarmFetch|Forward|Taxonomy|FillForward|CachedRelay'
 	$(GO) test -race -count=1 . -run 'Chaos'
-	$(GO) run ./cmd/indirectlab -exp chaos -scale quick -chaos-json chaos.json
+	$(GO) run ./cmd/indirectlab -exp chaos -scale quick -chaos-json chaos.json -chaos-bundle-dir chaos-bundles
 
 # The observability tier: the fleet aggregator e2e (three loopback
 # relays scraped over real HTTP, induced degradation, staleness), the
@@ -67,6 +72,18 @@ obs-smoke:
 		-run 'Striped|StripePicker|Exemplar|Tail|OpenMetrics|Accepts|ParseProm|MergeHistogram|Runtime|HistogramSum|HistogramEdges|HistogramReconstruction'
 	$(GO) test -race -count=1 ./internal/realnet/ -run 'ExemplarResolvesToStitchedTrace'
 	$(GO) test -race -count=1 ./internal/experiment/ -run 'RunObsOverhead'
+
+# The flight-recorder tier: the whole wide-event/profiler/trigger
+# package under the race detector (ring rotation, archive backpressure,
+# trigger rate limiting, bundle assembly), the realnet and relay
+# wide-event integrations, the SLO burn-rate clamp regression, the
+# health-transition callback, and the daemon debug surfaces
+# (/debug/requests, /debug/active, /debug/bundle, /debug/stack).
+flight-smoke:
+	$(GO) test -race -count=1 ./internal/obs/flight/
+	$(GO) test -race -count=1 ./internal/realnet/ ./internal/relay/ -run 'Flight'
+	$(GO) test -race -count=1 ./internal/obs/ -run 'SLOObjectiveOne|SLOOnFastBurn|HealthOnTransition'
+	$(GO) test -race -count=1 ./internal/daemon/ -run 'AllDaemonMetricsPagesLint'
 
 # The CI tier: static checks plus the full suite under the race detector.
 verify: vet race

@@ -19,6 +19,11 @@
 // -fleet <addr> skips the transfer entirely and prints the merged fleet
 // snapshot (per-relay freshness, fleet totals, worst paths) from an
 // aggregating registryd's metrics address.
+// -bundle <relay> likewise skips the transfer and pulls the named
+// relay's anomaly debug bundles through the metrics address it reported
+// to the registry ("all" sweeps every relay in the fleet; a literal
+// host:port skips discovery); add -bundle-name to dump one bundle's
+// full JSON.
 // Result tables go to stdout; operational logging is structured (slog)
 // on stderr — see -log-format, -log-level, and -log-components.
 package main
@@ -41,6 +46,7 @@ import (
 	"repro/internal/daemon"
 	"repro/internal/httpx"
 	"repro/internal/obs/fleet"
+	"repro/internal/obs/flight"
 	"repro/internal/traceio"
 )
 
@@ -143,6 +149,91 @@ func printFleet(ctx context.Context, addr string, timeout time.Duration) {
 	}
 }
 
+// bundleTarget is one daemon whose flight-recorder bundles -bundle
+// pulls: a name for the report plus the metrics address to scrape.
+type bundleTarget struct{ name, addr string }
+
+// resolveBundleTargets turns the -bundle argument into metrics
+// addresses: a literal host:port is used as-is; otherwise the registry
+// is asked for the fleet and the argument names one relay — or "all"
+// for every relay that reported a metrics address.
+func resolveBundleTargets(ctx context.Context, arg, regAddr string, timeout time.Duration) []bundleTarget {
+	if strings.Contains(arg, ":") {
+		return []bundleTarget{{name: arg, addr: arg}}
+	}
+	if regAddr == "" {
+		fatal("-bundle with a relay name needs -registry (or pass a metrics host:port)")
+	}
+	addrs := strings.Split(regAddr, ",")
+	rc := repro.NewRegistryClient(addrs[0],
+		repro.WithRegistryTimeout(timeout),
+		repro.WithRegistryRetry(1, 200*time.Millisecond),
+		repro.WithRegistryFallbackPeers(addrs[1:]...))
+	defer rc.Close()
+	// LISTH, not LIST: only the ranked listing carries the metrics
+	// address a relay's heartbeat advertises.
+	entries, err := rc.ListRanked(ctx, 0)
+	if err != nil {
+		fatal("registry discovery failed", "registry", regAddr, "err", err)
+	}
+	var targets []bundleTarget
+	for _, e := range entries {
+		if arg != "all" && e.Name != arg {
+			continue
+		}
+		if e.MetricsAddr == "" {
+			logger.Warn("relay reports no metrics address", "relay", e.Name)
+			continue
+		}
+		targets = append(targets, bundleTarget{name: e.Name, addr: e.MetricsAddr})
+	}
+	if len(targets) == 0 {
+		fatal("no matching relay with a metrics address", "bundle", arg, "registry", regAddr)
+	}
+	return targets
+}
+
+// printBundles pulls /debug/bundle from each target's flight recorder:
+// the retained-bundle listing per relay, or — with name set — one full
+// bundle as raw JSON (fleet-wide, the first relay holding it wins).
+func printBundles(ctx context.Context, targets []bundleTarget, name string, timeout time.Duration) {
+	if name != "" {
+		for _, t := range targets {
+			status, _, body, err := httpx.Get(ctx, nil, t.addr, "/debug/bundle?name="+name, nil, timeout)
+			if err != nil || status != 200 {
+				continue
+			}
+			os.Stdout.Write(body)
+			return
+		}
+		fatal("no target holds bundle", "name", name)
+	}
+	for _, t := range targets {
+		status, _, body, err := httpx.Get(ctx, nil, t.addr, "/debug/bundle", nil, timeout)
+		if err != nil {
+			fatal("bundle listing failed", "target", t.addr, "err", err)
+		}
+		if status != 200 {
+			fatal("bundle listing failed", "target", t.addr, "status", status,
+				"hint", "is the daemon running with its flight recorder on?")
+		}
+		var listing struct {
+			Stats   flight.EngineStats  `json:"stats"`
+			Bundles []flight.BundleInfo `json:"bundles"`
+		}
+		if err := json.Unmarshal(body, &listing); err != nil {
+			fatal("decoding bundle listing", "target", t.addr, "err", err)
+		}
+		fmt.Printf("%s (%s): %d bundles  fired %d  suppressed %d  dropped %d  write-failures %d\n",
+			t.name, t.addr, len(listing.Bundles), listing.Stats.Fired,
+			listing.Stats.Suppressed, listing.Stats.Dropped, listing.Stats.WriteFailures)
+		for _, b := range listing.Bundles {
+			fmt.Printf("  %-32s %-14s path %-24s at %8.1fs  %3d events  %d traces\n",
+				b.Name, b.Reason, b.Path, b.At, b.Events, b.TraceCount)
+		}
+	}
+}
+
 // progressPrinter renders a live progress line from the streaming
 // transport's per-chunk events. Probes are over in well under a refresh
 // interval, so only transfers larger than minTotal (the remainder) are
@@ -194,6 +285,8 @@ func main() {
 	spanFile := flag.String("spans", "", "record distributed-tracing spans and write them as JSONL to this file")
 	stitch := flag.Bool("stitch", false, "print the stitched span timeline after the transfer (implies span recording)")
 	fleetAddr := flag.String("fleet", "", "print the fleet snapshot from this registryd metrics address and exit")
+	bundleRelay := flag.String("bundle", "", "print debug bundles from this relay (name via -registry, \"all\" for the fleet, or a metrics host:port) and exit")
+	bundleName := flag.String("bundle-name", "", "with -bundle: print this one bundle as full JSON instead of the listing")
 	var mergeFiles relayList
 	flag.Var(&mergeFiles, "merge", "span archive (from relayd/origind -trace) to merge into the stitched timeline (repeatable)")
 	flag.Var(&relays, "relay", "relay spec name=addr (repeatable)")
@@ -207,6 +300,16 @@ func main() {
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
 		printFleet(ctx, *fleetAddr, *regTimeout)
+		return
+	}
+
+	// Bundle browsing: pull the flight recorder's anomaly bundles off a
+	// relay (or the whole fleet) instead of transferring anything.
+	if *bundleRelay != "" {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		targets := resolveBundleTargets(ctx, *bundleRelay, *regAddr, *regTimeout)
+		printBundles(ctx, targets, *bundleName, *regTimeout)
 		return
 	}
 

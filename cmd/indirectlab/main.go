@@ -100,6 +100,7 @@ func main() {
 		scenarioPath = flag.String("scenario", "", "JSON scenario config (see topo.ScenarioConfig); used by -exp topo")
 		regloadJSON  = flag.String("regload-json", "", "write the registryload result as JSON to this file")
 		chaosJSON    = flag.String("chaos-json", "", "write the chaos campaign result as JSON to this file")
+		chaosBundles = flag.String("chaos-bundle-dir", "", "persist each live fault class's anomaly debug bundles under this directory (CI artifact)")
 		obsJSON      = flag.String("obsoverhead-json", "", "write the observability-overhead result as JSON to this file")
 	)
 	flag.Parse()
@@ -315,6 +316,7 @@ func main() {
 				Seed:         *seed,
 				Transfers:    sc.chaosTransfers,
 				SimTransfers: sc.chaosSimXfers,
+				BundleDir:    *chaosBundles,
 			})
 		})
 		report.Chaos(w, ch)

@@ -17,6 +17,16 @@
 // processes' archives. -pprof serves net/http/pprof on a separate
 // address. Logging is structured (slog); see -log-format, -log-level,
 // and -log-components.
+//
+// The flight-recorder pieces that apply to an origin are wired too:
+// /debug/stack always serves a plain-text goroutine dump, -profile-dir
+// runs the continuous profiler (periodic CPU/heap/goroutine captures in
+// a byte-bounded on-disk ring, -profile-every / -profile-max-bytes),
+// and an object whose serving health transitions to down fires a
+// rate-limited debug bundle (goroutine dump, freshest profiles, the
+// /metrics page) to /debug/bundle and -bundle-dir. Origins forward no
+// transfers, so bundles here carry no wide events — those live on the
+// relay and in the client.
 package main
 
 import (
@@ -30,10 +40,12 @@ import (
 	"strings"
 	"sync/atomic"
 	"syscall"
+	"time"
 
 	"repro/internal/daemon"
 	"repro/internal/httpx"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/relay"
 	"repro/internal/traceio"
 )
@@ -49,6 +61,11 @@ func main() {
 	metrics := flag.String("metrics", "", "metrics endpoint address (empty = off)")
 	tracePath := flag.String("trace", "", "write span archive (JSONL) here on shutdown (empty = tracing off)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = off)")
+	profileDir := flag.String("profile-dir", "", "continuous-profiler capture directory (empty = profiler off)")
+	profileEvery := flag.Duration("profile-every", 30*time.Second, "continuous-profiler capture cadence")
+	profileMax := flag.Int64("profile-max-bytes", 8<<20, "continuous-profiler on-disk ring budget")
+	bundleDir := flag.String("bundle-dir", "", "persist anomaly debug bundles here (empty = in-memory only)")
+	bundleWindow := flag.Duration("bundle-window", time.Minute, "per-path rate limit between debug bundles")
 	flag.Var(&objects, "object", "object spec name=size (repeatable)")
 	mkLog := daemon.LogFlags()
 	flag.Parse()
@@ -57,12 +74,34 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	var prof *flight.Profiler
+	if *profileDir != "" {
+		p, err := flight.NewProfiler(flight.ProfilerConfig{
+			Dir: *profileDir, Every: *profileEvery, MaxBytes: *profileMax,
+		})
+		if err != nil {
+			logger.Error("profiler failed", "dir", *profileDir, "err", err)
+			os.Exit(1)
+		}
+		prof = p
+		prof.Start()
+		defer prof.Stop()
+		logger.Info("profiler running", "dir", *profileDir, "every", *profileEvery)
+	}
+
 	var spans *obs.SpanCollector
 	if *tracePath != "" {
 		spans = obs.NewSpanCollector(0)
 	}
+	// An object's serving health going down fires a debug bundle; the
+	// engine is assigned before the listener starts, so the nil-safe
+	// closure can never race a live transition.
+	var engine *flight.Engine
 	origin := relay.NewOriginServer(
-		relay.WithHealthMonitor(obs.NewHealthMonitor(obs.HealthConfig{Clock: obs.WallClock()})),
+		relay.WithHealthMonitor(obs.NewHealthMonitor(obs.HealthConfig{
+			Clock: obs.WallClock(),
+			OnTransition: func(path string, tr obs.HealthTransition) { engine.FireHealth(path, tr) },
+		})),
 		relay.WithSpans(spans),
 	)
 	if len(objects) == 0 {
@@ -82,6 +121,23 @@ func main() {
 		origin.Put(name, size)
 		logger.Info("serving object", "name", name, "bytes", size)
 	}
+
+	engine = flight.NewEngine(flight.TriggerConfig{
+		Spans:    spans,
+		Profiler: prof,
+		Dir:      *bundleDir,
+		Window:   bundleWindow.Seconds(),
+		Metrics: func() []byte {
+			p := obs.NewProm()
+			p.Counter("origin_bytes_served_total", "Content bytes written to clients.", float64(origin.BytesServed.Load()))
+			p.Counter("origin_conns_total", "Connections accepted.", float64(origin.Conns.Load()))
+			p.Histogram("origin_request_latency_seconds", "Request serving times.", origin.LatencySnapshot())
+			origin.Health.Snapshot().WriteProm(p, "origin")
+			obs.WriteRuntimeProm(p)
+			return p.Bytes()
+		},
+	})
+	defer engine.Close()
 
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -114,6 +170,10 @@ func main() {
 				"conns":         origin.Conns.Load(),
 				"spans_seen":    spans.Seen(),
 				"spans_dropped": spans.Dropped(),
+				"bundles":       engine.Stats(),
+				"profiler": map[string]any{
+					"cycles": prof.Cycles(), "failures": prof.Failures(), "disk_bytes": prof.DiskBytes(),
+				},
 			}
 		},
 		Prom: func(p *obs.Prom) {
@@ -122,8 +182,9 @@ func main() {
 			p.Counter("origin_spans_total", "Tracing spans recorded.", float64(spans.Seen()))
 			p.Histogram("origin_request_latency_seconds", "Request serving times.", origin.LatencySnapshot())
 		},
-		Health: origin.Health,
-		Ready:  ready,
+		Health:  origin.Health,
+		Bundles: engine,
+		Ready:   ready,
 	}
 	d.ServeMetrics(ctx, *metrics, logger)
 	if *pprofAddr != "" {

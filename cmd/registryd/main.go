@@ -31,7 +31,8 @@
 // and the merged fleet snapshot — per-relay freshness, summed request
 // and byte counters, merged forward-latency histogram, and the top-K
 // worst paths anywhere in the fleet — is served as JSON on /debug/fleet
-// and as fleet_* families on /metrics. -pprof serves net/http/pprof on
+// and as fleet_* families on /metrics. /debug/stack serves a plain-text
+// goroutine dump even with -pprof off. -pprof serves net/http/pprof on
 // a separate address. Logging is structured (slog); see -log-format,
 // -log-level, and -log-components.
 package main

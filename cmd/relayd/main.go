@@ -33,6 +33,16 @@
 // this relay. -pprof serves
 // net/http/pprof on a separate address. Logging is structured (slog);
 // see -log-format, -log-level, and -log-components.
+//
+// The flight recorder is on by default (-flight sets the wide-event
+// ring size, 0 disables): every forward lands one canonical record at
+// /debug/requests (JSONL-archivable via -flight-archive), in-flight
+// forwards show at /debug/active, and SLO fast-burn crossings or
+// health →down transitions snapshot a rate-limited debug bundle
+// (-bundle-window) to /debug/bundle and -bundle-dir. -profile-dir
+// turns on the continuous profiler: periodic CPU/heap/goroutine
+// captures in a byte-bounded on-disk ring, with pprof labels on the
+// forward hot path while it runs.
 package main
 
 import (
@@ -52,6 +62,7 @@ import (
 	"repro/internal/httpx"
 	"repro/internal/objcache"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/registry"
 	"repro/internal/relay"
 	"repro/internal/traceio"
@@ -69,6 +80,13 @@ func main() {
 	traceBudget := flag.Int("trace-budget", 1<<20, "tail-retention byte budget for kept traces")
 	traceKeep := flag.Float64("trace-keep", 0.1, "probability a boring (no-error, not-slow) trace is kept")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = off)")
+	flightRing := flag.Int("flight", 512, "flight-recorder wide-event ring size (0 = recorder off)")
+	flightArchive := flag.String("flight-archive", "", "append wide events as JSONL here (empty = no archive)")
+	profileDir := flag.String("profile-dir", "", "continuous-profiler capture directory (empty = profiler off)")
+	profileEvery := flag.Duration("profile-every", 30*time.Second, "continuous-profiler capture cadence")
+	profileMax := flag.Int64("profile-max-bytes", 8<<20, "continuous-profiler on-disk ring budget")
+	bundleDir := flag.String("bundle-dir", "", "persist anomaly debug bundles here (empty = in-memory only)")
+	bundleWindow := flag.Duration("bundle-window", time.Minute, "per-path rate limit between debug bundles")
 	cacheBytes := flag.Int64("cache-bytes", 0, "object cache capacity in bytes (0 = caching off)")
 	cacheTTL := flag.Duration("cache-ttl", 0, "expire cached spans this long after fill (0 = keep until evicted)")
 	upstreamStall := flag.Duration("upstream-stall", 30*time.Second, "fail a forward whose origin goes silent this long mid-response (0 = no guard)")
@@ -79,7 +97,43 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	slo := obs.NewSLOTracker(obs.SLOConfig{})
+	// The flight-recorder pieces are built before the relay so the health
+	// and SLO trigger hooks can close over the engine variable; the engine
+	// itself is assigned below, before the listener starts, so no traffic
+	// can fire a trigger against a half-built engine.
+	var engine *flight.Engine
+	var rec *flight.Recorder
+	var archive *os.File
+	if *flightRing > 0 {
+		fcfg := flight.Config{Ring: *flightRing}
+		if *flightArchive != "" {
+			f, err := os.Create(*flightArchive)
+			if err != nil {
+				logger.Error("flight archive failed", "path", *flightArchive, "err", err)
+				os.Exit(1)
+			}
+			archive, fcfg.Archive = f, f
+		}
+		rec = flight.NewRecorder(fcfg)
+	}
+	var prof *flight.Profiler
+	if *profileDir != "" {
+		p, err := flight.NewProfiler(flight.ProfilerConfig{
+			Dir: *profileDir, Every: *profileEvery, MaxBytes: *profileMax,
+		})
+		if err != nil {
+			logger.Error("profiler failed", "dir", *profileDir, "err", err)
+			os.Exit(1)
+		}
+		prof = p
+		prof.Start()
+		defer prof.Stop()
+		logger.Info("profiler running", "dir", *profileDir, "every", *profileEvery)
+	}
+
+	slo := obs.NewSLOTracker(obs.SLOConfig{
+		OnFastBurn: func(path string, burn float64) { engine.FireBurn(path, burn) },
+	})
 	var spans *obs.SpanCollector
 	if *tracePath != "" {
 		// Tail-based retention instead of the blind ring: error-class and
@@ -90,16 +144,34 @@ func main() {
 			KeepProb:   *traceKeep,
 		})
 	}
+	mon := obs.NewHealthMonitor(obs.HealthConfig{
+		Clock: obs.WallClock(), SLO: slo,
+		OnTransition: func(path string, tr obs.HealthTransition) { engine.FireHealth(path, tr) },
+	})
 	r := relay.New(
-		relay.WithHealthMonitor(obs.NewHealthMonitor(obs.HealthConfig{Clock: obs.WallClock(), SLO: slo})),
+		relay.WithHealthMonitor(mon),
 		relay.WithSpans(spans),
 		relay.WithCache(*cacheBytes),
 		relay.WithCacheTTL(*cacheTTL),
 		relay.WithVerifier(relay.VerifyRange),
 		relay.WithUpstreamStall(*upstreamStall),
+		relay.WithFlight(rec),
 	)
 	if *cacheBytes > 0 {
 		logger.Info("cache enabled", "capacity_bytes", *cacheBytes, "ttl", *cacheTTL)
+	}
+	if rec != nil {
+		engine = flight.NewEngine(flight.TriggerConfig{
+			Recorder: rec,
+			Spans:    spans,
+			Profiler: prof,
+			Dir:      *bundleDir,
+			Window:   bundleWindow.Seconds(),
+			Metrics:  func() []byte { return metricsPage(r, mon, slo, spans) },
+		})
+		defer engine.Close()
+		logger.Info("flight recorder on", "ring", *flightRing, "archive", *flightArchive,
+			"bundle_dir", *bundleDir)
 	}
 
 	l, err := net.Listen("tcp", *listen)
@@ -175,6 +247,20 @@ func main() {
 			if c := r.Cache(); c != nil {
 				v["cache"] = c.Stats()
 			}
+			if rec != nil {
+				v["flight"] = map[string]any{
+					"seen":            rec.Seen(),
+					"dropped":         rec.Dropped(),
+					"archive_dropped": rec.ArchiveDropped(),
+					"bundles":         engine.Stats(),
+				}
+			}
+			if prof != nil {
+				v["profiler"] = map[string]any{
+					"cycles": prof.Cycles(), "failures": prof.Failures(),
+					"disk_bytes": prof.DiskBytes(),
+				}
+			}
 			return v
 		},
 		Prom: func(p *obs.Prom) {
@@ -193,9 +279,11 @@ func main() {
 				c.Stats().WriteProm(p, "relay")
 			}
 		},
-		Health: r.Health,
-		SLO:    slo,
-		Ready:  ready,
+		Health:  r.Health,
+		SLO:     slo,
+		Flight:  rec,
+		Bundles: engine,
+		Ready:   ready,
 	}
 	if c := r.Cache(); c != nil {
 		d.Cache = func() any { return c.Stats() }
@@ -246,6 +334,33 @@ func main() {
 			logger.Info("spans archived", "path", *tracePath, "count", len(spans.Spans()))
 		}
 	}
+	if rec != nil {
+		rec.CloseArchive()
+	}
+	if archive != nil {
+		archive.Close()
+	}
+}
+
+// metricsPage renders the /metrics families a debug bundle snapshots:
+// the same health, SLO, and runtime views the live endpoint serves.
+func metricsPage(r *relay.Relay, mon *obs.HealthMonitor, slo *obs.SLOTracker, spans *obs.SpanCollector) []byte {
+	p := obs.NewProm()
+	p.Counter("relay_requests_total", "Requests handled, including failures.", float64(r.Requests.Load()))
+	p.Counter("relay_bytes_relayed_total", "Response-body bytes forwarded to clients.", float64(r.BytesRelayed.Load()))
+	p.Counter("relay_spans_total", "Tracing spans recorded.", float64(spans.Seen()))
+	p.Histogram("relay_forward_latency_seconds", "Request forwarding times.", r.LatencySnapshot())
+	if c := r.Cache(); c != nil {
+		c.Stats().WriteProm(p, "relay")
+	}
+	mon.Snapshot().WriteProm(p, "relay")
+	now := -1.0
+	if clk := mon.Config().Clock; clk != nil {
+		now = clk()
+	}
+	slo.Snapshot(now).WriteProm(p, "relay")
+	obs.WriteRuntimeProm(p)
+	return p.Bytes()
 }
 
 // aggregateHealth folds the per-origin path scores into the single

@@ -1,8 +1,9 @@
 // Package daemon is the shared introspection scaffolding for origind,
 // relayd, and registryd: one place that assembles the debug mux
-// (/healthz, /readyz, /debug/vars, /metrics, and — when the subsystems
-// are wired — /debug/paths, /debug/slo, /debug/cache, and
-// /debug/registry), and the common logging
+// (/healthz, /readyz, /debug/vars, /metrics, /debug/stack, and — when
+// the subsystems are wired — /debug/paths, /debug/slo, /debug/cache,
+// /debug/registry, /debug/requests, /debug/active, /debug/bundle), and
+// the common logging
 // flag plumbing around internal/obs/slogx. The daemons declaring their
 // endpoints through this package means the e2e metrics test exercises
 // exactly the pages the binaries serve, not a parallel reimplementation.
@@ -10,12 +11,15 @@ package daemon
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"log/slog"
 	"os"
+	"strings"
 
 	"repro/internal/httpx"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/obs/slogx"
 )
 
@@ -47,6 +51,13 @@ type Daemon struct {
 	// Fleet, when set, builds the /debug/fleet payload (a
 	// fleet.Snapshot on an aggregating registryd).
 	Fleet func() any
+	// Flight, when set, adds the flight-recorder pages: /debug/requests
+	// (recent wide events, filterable by ?path=&class=&object=&trace=&n=)
+	// and /debug/active (in-flight transfers).
+	Flight *flight.Recorder
+	// Bundles, when set, adds /debug/bundle: the trigger engine's
+	// retained debug bundles (listing, or one bundle via ?name=).
+	Bundles *flight.Engine
 	// Ready backs /healthz and /readyz; nil means unconditionally
 	// healthy (a daemon with no checks yet).
 	Ready *httpx.Ready
@@ -109,7 +120,71 @@ func (d *Daemon) Mux() *httpx.Mux {
 	if d.Fleet != nil {
 		mux.Handle("/debug/fleet", httpx.JSONHandler(d.Fleet))
 	}
+	// /debug/stack is unconditional: a wedged daemon must be inspectable
+	// even when it was started without -pprof (and without a flight
+	// recorder). Plain text, the classic debug=2 goroutine dump.
+	mux.Handle("/debug/stack", func(*httpx.Request) (int, map[string]string, []byte) {
+		return 200, map[string]string{"content-type": "text/plain; charset=utf-8"}, flight.GoroutineDump()
+	})
+	if d.Flight != nil {
+		mux.Handle("/debug/requests", func(req *httpx.Request) (int, map[string]string, []byte) {
+			var f flight.Filter
+			if req != nil {
+				f = flight.ParseQuery(req.Target)
+			}
+			return jsonPage(struct {
+				Seen    uint64         `json:"seen"`
+				Dropped uint64         `json:"dropped"`
+				Events  []flight.Event `json:"events"`
+			}{d.Flight.Seen(), d.Flight.Dropped(), d.Flight.Events(f)})
+		})
+		mux.Handle("/debug/active", httpx.JSONHandler(func() any {
+			return d.Flight.Active()
+		}))
+	}
+	if d.Bundles != nil {
+		mux.Handle("/debug/bundle", func(req *httpx.Request) (int, map[string]string, []byte) {
+			if name := queryValue(req, "name"); name != "" {
+				b, found := d.Bundles.Bundle(name)
+				if !found {
+					return 404, map[string]string{"content-type": "text/plain; charset=utf-8"},
+						[]byte("no such bundle: " + name + "\n")
+				}
+				return jsonPage(b)
+			}
+			return jsonPage(struct {
+				Stats   flight.EngineStats  `json:"stats"`
+				Bundles []flight.BundleInfo `json:"bundles"`
+			}{d.Bundles.Stats(), d.Bundles.Bundles()})
+		})
+	}
 	return mux
+}
+
+// jsonPage renders one debug payload the way httpx.JSONHandler does.
+func jsonPage(v any) (int, map[string]string, []byte) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return 500, nil, []byte(err.Error() + "\n")
+	}
+	return 200, map[string]string{"content-type": "application/json"}, append(b, '\n')
+}
+
+// queryValue extracts one ?key= value from a request target.
+func queryValue(req *httpx.Request, key string) string {
+	if req == nil {
+		return ""
+	}
+	_, query, ok := strings.Cut(req.Target, "?")
+	if !ok {
+		return ""
+	}
+	for _, kv := range strings.Split(query, "&") {
+		if k, v, ok := strings.Cut(kv, "="); ok && k == key {
+			return v
+		}
+	}
+	return ""
 }
 
 // ServeMetrics starts the debug server on addr in the background,

@@ -13,6 +13,7 @@ import (
 	"repro/internal/httpx"
 	"repro/internal/objcache"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/registry"
 	"repro/internal/relay"
 )
@@ -72,15 +73,19 @@ func TestAllDaemonMetricsPagesLint(t *testing.T) {
 	}
 	defer ol.Close()
 
-	// Relay with health + SLO + cache, built through the options API the
-	// relayd binary uses.
+	// Relay with health + SLO + cache + flight recorder, built through
+	// the options API the relayd binary uses.
 	relaySLO := obs.NewSLOTracker(obs.SLOConfig{})
+	relayFlight := flight.NewRecorder(flight.Config{Ring: 64})
+	relayBundles := flight.NewEngine(flight.TriggerConfig{Recorder: relayFlight})
+	defer relayBundles.Close()
 	r := relay.New(
 		relay.WithHealthMonitor(obs.NewHealthMonitor(obs.HealthConfig{
 			Window: 10, Buckets: 10, Clock: obs.WallClock(), SLO: relaySLO,
 		})),
 		relay.WithCache(16<<20),
 		relay.WithVerifier(relay.VerifyRange),
+		relay.WithFlight(relayFlight),
 	)
 	rl, err := r.ServeAddr("127.0.0.1:0")
 	if err != nil {
@@ -136,9 +141,11 @@ func TestAllDaemonMetricsPagesLint(t *testing.T) {
 				p.Histogram("relay_forward_latency_seconds", "Request forwarding times.", r.LatencySnapshot())
 				r.Cache().Stats().WriteProm(p, "relay")
 			},
-			Health: r.Health,
-			SLO:    relaySLO,
-			Cache:  func() any { return r.Cache().Stats() },
+			Health:  r.Health,
+			SLO:     relaySLO,
+			Cache:   func() any { return r.Cache().Stats() },
+			Flight:  relayFlight,
+			Bundles: relayBundles,
 		},
 		"registryd": {
 			Prefix: "registry",
@@ -202,6 +209,55 @@ func TestAllDaemonMetricsPagesLint(t *testing.T) {
 				t.Fatalf("%s /debug/slo saw no requests", name)
 			}
 		}
+		// /debug/stack is unconditional on every daemon: a plain-text
+		// goroutine dump that works with -pprof off.
+		status, stack := scrape(t, addr, "/debug/stack")
+		if status != 200 || !strings.Contains(string(stack), "goroutine") {
+			t.Fatalf("%s /debug/stack = %d %.80q", name, status, stack)
+		}
+
+		if d.Flight != nil {
+			status, body := scrape(t, addr, "/debug/requests")
+			var page struct {
+				Seen   uint64         `json:"seen"`
+				Events []flight.Event `json:"events"`
+			}
+			if status != 200 || json.Unmarshal(body, &page) != nil {
+				t.Fatalf("%s /debug/requests = %d %q", name, status, body)
+			}
+			if len(page.Events) == 0 {
+				t.Fatalf("%s /debug/requests empty after live traffic", name)
+			}
+			// The ?class= filter must narrow the page to matching events.
+			status, body = scrape(t, addr, "/debug/requests?class=status")
+			if status != 200 || json.Unmarshal(body, &page) != nil {
+				t.Fatalf("%s /debug/requests?class= = %d %q", name, status, body)
+			}
+			for _, ev := range page.Events {
+				if ev.Class != "status" {
+					t.Fatalf("%s filtered page leaked class %q", name, ev.Class)
+				}
+			}
+			status, body = scrape(t, addr, "/debug/active")
+			var active []flight.ActiveTransfer
+			if status != 200 || json.Unmarshal(body, &active) != nil {
+				t.Fatalf("%s /debug/active = %d %q", name, status, body)
+			}
+		}
+		if d.Bundles != nil {
+			status, body := scrape(t, addr, "/debug/bundle")
+			var listing struct {
+				Stats   flight.EngineStats  `json:"stats"`
+				Bundles []flight.BundleInfo `json:"bundles"`
+			}
+			if status != 200 || json.Unmarshal(body, &listing) != nil {
+				t.Fatalf("%s /debug/bundle = %d %q", name, status, body)
+			}
+			if status, _ := scrape(t, addr, "/debug/bundle?name=nope"); status != 404 {
+				t.Fatalf("%s /debug/bundle?name=nope = %d, want 404", name, status)
+			}
+		}
+
 		if d.Cache != nil {
 			status, body := scrape(t, addr, "/debug/cache")
 			var snap objcache.Stats

@@ -4,11 +4,13 @@ import (
 	"bufio"
 	"io"
 	"net"
+	"path/filepath"
 	"time"
 
 	"repro/internal/faultproxy"
 	"repro/internal/httpx"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/randx"
 	"repro/internal/relay"
 	"repro/internal/simnet"
@@ -42,6 +44,10 @@ type ChaosParams struct {
 	// SimTransfers is the number of simulated transfers per fault phase
 	// (default 24).
 	SimTransfers int
+	// BundleDir, when set, persists each live class's anomaly debug
+	// bundles under BundleDir/<class>/ — the chaos-smoke CI artifact.
+	// Empty keeps bundles in memory only.
+	BundleDir string
 }
 
 func (p ChaosParams) withDefaults() ChaosParams {
@@ -96,6 +102,16 @@ type ChaosEntry struct {
 	// CorruptDeliveries counts fetches whose bytes failed verification
 	// but were served from the relay cache as if clean; must be 0.
 	CorruptDeliveries int `json:"corrupt_deliveries"`
+	// Bundles is how many debug bundles the flight trigger engine
+	// captured during the phase (live classes only): exactly 1 for a
+	// hard-failing class — overlapping SLO-burn and health-down triggers
+	// on the one faulted path must collapse under the rate limit — and 0
+	// for a transport-clean one. BundleEvents and BundleTraces describe
+	// the first bundle: the faulted path's wide events and stitched
+	// traces it captured.
+	Bundles      int `json:"bundles,omitempty"`
+	BundleEvents int `json:"bundle_events,omitempty"`
+	BundleTraces int `json:"bundle_traces,omitempty"`
 }
 
 // ChaosResult aggregates the campaign.
@@ -317,11 +333,38 @@ func runLiveChaos(class string, p ChaosParams, expect []obs.HealthState, drive f
 	defer px.Close()
 	proxyAddr := px.Addr()
 
+	// The flight recorder rides along as an instrument under test: the
+	// relay records one wide event per forward, the tail span collector
+	// keeps every trace at this scale (KeepProb 1), and the trigger
+	// engine watches the monitor and SLO hooks. The engine variable is
+	// assigned before the relay serves, so the nil-safe closures can
+	// never race a live trigger.
+	var engine *flight.Engine
+	rec := flight.NewRecorder(flight.Config{Ring: 256})
+	spans := obs.NewTailSpanCollector(obs.TailConfig{ByteBudget: 1 << 20, KeepProb: 1})
+
 	clk := obs.WallClock()
-	slo := obs.NewSLOTracker(obs.SLOConfig{FastWindow: 2, FastBuckets: 8, SlowWindow: 30, SlowBuckets: 15})
-	mon := obs.NewHealthMonitor(obs.HealthConfig{Clock: clk, Window: 2, Buckets: 4, SLO: slo})
+	slo := obs.NewSLOTracker(obs.SLOConfig{
+		FastWindow: 2, FastBuckets: 8, SlowWindow: 30, SlowBuckets: 15,
+		OnFastBurn: func(path string, burn float64) { engine.FireBurn(path, burn) },
+	})
+	mon := obs.NewHealthMonitor(obs.HealthConfig{
+		Clock: clk, Window: 2, Buckets: 4, SLO: slo,
+		OnTransition: func(path string, tr obs.HealthTransition) { engine.FireHealth(path, tr) },
+	})
+	bundleDir := ""
+	if p.BundleDir != "" {
+		bundleDir = filepath.Join(p.BundleDir, class)
+	}
+	engine = flight.NewEngine(flight.TriggerConfig{
+		Recorder: rec,
+		Spans:    spans,
+		Dir:      bundleDir,
+	})
 	opts := []relay.Option{
 		relay.WithHealthMonitor(mon),
+		relay.WithSpans(spans),
+		relay.WithFlight(rec),
 		relay.WithUpstreamStall(300 * time.Millisecond),
 		relay.WithDialer(func(network, addr string) (net.Conn, error) {
 			return net.Dial(network, proxyAddr)
@@ -407,6 +450,17 @@ func runLiveChaos(class string, p ChaosParams, expect []obs.HealthState, drive f
 			e.CorruptDeliveries++
 		}
 		must(f.ok, "%s: healed fetch still failing", class)
+	}
+
+	// Close drains the engine's build queue, so every fired trigger has
+	// become a bundle before the scorecard reads them.
+	engine.Close()
+	bundles := engine.Bundles()
+	e.Bundles = len(bundles)
+	if len(bundles) > 0 {
+		first := bundles[len(bundles)-1] // oldest: the one the fault fired
+		e.BundleEvents = first.Events
+		e.BundleTraces = first.TraceCount
 	}
 	return e
 }

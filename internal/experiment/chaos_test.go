@@ -42,15 +42,42 @@ func TestRunChaos(t *testing.T) {
 	}
 	// Hard-failing live classes must have tripped the fast-window SLO
 	// burn alert; the corruption class (transport-clean) must not have.
+	// The same split governs the flight trigger engine: a hard-failing
+	// class captures exactly one rate-limited debug bundle (overlapping
+	// burn and health-down triggers on the one faulted path collapse),
+	// carrying the path's wide events and at least one stitched trace;
+	// a transport-clean class captures none.
 	for _, e := range res.Entries {
 		switch e.Class {
-		case "partition", "flap", "slow-loris", "mid-stream-reset":
+		case "partition", "slow-loris", "mid-stream-reset":
 			if !e.BurnAlert {
 				t.Errorf("%s: SLO fast-window burn alert never fired", e.Class)
+			}
+			if e.Bundles != 1 {
+				t.Errorf("%s: trigger engine captured %d bundles, want exactly 1", e.Class, e.Bundles)
+			}
+			if e.BundleEvents == 0 {
+				t.Errorf("%s: bundle carries no wide events for the faulted path", e.Class)
+			}
+			if e.BundleTraces == 0 {
+				t.Errorf("%s: bundle carries no stitched traces", e.Class)
+			}
+		case "flap":
+			if !e.BurnAlert {
+				t.Errorf("%s: SLO fast-window burn alert never fired", e.Class)
+			}
+			// A flapping path may settle at degraded without ever firing a
+			// trigger, or go down and fire one — but never more than one
+			// inside the rate-limit window.
+			if e.Bundles > 1 {
+				t.Errorf("flap: trigger engine captured %d bundles, want at most 1", e.Bundles)
 			}
 		case "corrupted-range":
 			if e.BurnAlert {
 				t.Errorf("corrupted-range: burn alert fired on a transport-clean path")
+			}
+			if e.Bundles != 0 {
+				t.Errorf("corrupted-range: %d bundles captured on a transport-clean path", e.Bundles)
 			}
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"io"
 	"net"
+	"os"
 	"runtime"
 	"runtime/debug"
 	"sort"
@@ -13,18 +14,24 @@ import (
 
 	"repro/internal/httpx"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/relay"
 )
 
 // The observer-overhead experiment prices the observability plane: the
 // same loopback workload is driven through a bare relay (counters only —
-// they cannot be turned off) and through a fully instrumented one
+// they cannot be turned off), through a fully instrumented one
 // (path-health monitor with SLO windows, tail-kept span collection, and
-// traced requests feeding histogram exemplars), in interleaved rounds so
-// machine drift hits both sides equally. Observability that costs more
-// than a few percent gets turned off in production and then isn't there
-// for the outage; the experiment asserts the full plane stays under
-// MaxOverhead (default 5%) of the bare forwarding path.
+// traced requests feeding histogram exemplars), and through one that
+// additionally runs the flight recorder's always-on wide-event ring, in
+// interleaved rounds so machine drift hits all sides equally.
+// Observability that costs more than a few percent gets turned off in
+// production and then isn't there for the outage; the experiment asserts
+// the full plane stays under MaxOverhead (default 5%) of the bare
+// forwarding path, and separately prices the flight recorder's always-on
+// tax — the wide-event ring's increment over the instrumented relay plus
+// the continuous profiler's capture cycle amortised over its production
+// cadence — against MaxAlwaysOn (default 2%).
 
 // ObsOverheadParams configures the overhead comparison.
 type ObsOverheadParams struct {
@@ -44,6 +51,15 @@ type ObsOverheadParams struct {
 	// MaxOverhead is the asserted ceiling on the observed-over-bare
 	// slowdown fraction (default 0.05).
 	MaxOverhead float64
+	// MaxAlwaysOn is the asserted ceiling on the flight recorder's
+	// always-on fraction: the wide-event ring's increment over the
+	// instrumented relay plus the profiler cycle amortised over
+	// ProfilerCadenceSecs (default 0.02).
+	MaxAlwaysOn float64
+	// ProfilerCadenceSecs is the production capture cadence the profiler
+	// cycle is amortised over (default 30, matching the daemons'
+	// -profile-every default).
+	ProfilerCadenceSecs float64
 }
 
 func (p ObsOverheadParams) withDefaults() ObsOverheadParams {
@@ -61,6 +77,12 @@ func (p ObsOverheadParams) withDefaults() ObsOverheadParams {
 	}
 	if p.MaxOverhead == 0 {
 		p.MaxOverhead = 0.05
+	}
+	if p.MaxAlwaysOn == 0 {
+		p.MaxAlwaysOn = 0.02
+	}
+	if p.ProfilerCadenceSecs == 0 {
+		p.ProfilerCadenceSecs = 30
 	}
 	return p
 }
@@ -108,6 +130,29 @@ type ObsOverheadResult struct {
 	// Paths is how many upstream paths the observed relay's health
 	// monitor tracked (sanity: must be >= 1).
 	Paths int
+
+	// FlightMedianSecs and FlightCPUSecs are the flight-instrumented
+	// relay's medians (full plane plus the always-on wide-event ring).
+	FlightMedianSecs float64
+	FlightCPUSecs    float64
+	// FlightEvents is how many wide events the ring recorded — proof the
+	// append path actually ran on every forward.
+	FlightEvents uint64
+	// FlightOverheadFrac is the wide-event ring's increment over the
+	// instrumented relay (trimmed CPU ratio minus one; can dip slightly
+	// negative under measurement noise when the true cost is near zero).
+	FlightOverheadFrac float64
+	// ProfilerCycleCPUSecs is the measured process-CPU cost of one
+	// profiler capture cycle (CPU window + heap and goroutine snapshots
+	// + file writes), and ProfilerOverheadFrac that cost amortised over
+	// ProfilerCadenceSecs relative to the bare workload's CPU burn rate.
+	ProfilerCycleCPUSecs float64
+	ProfilerCadenceSecs  float64
+	ProfilerOverheadFrac float64
+	// AlwaysOnOverheadFrac is the flight recorder's total always-on tax:
+	// FlightOverheadFrac + ProfilerOverheadFrac. Asserted under
+	// MaxAlwaysOn.
+	AlwaysOnOverheadFrac float64
 }
 
 // RunObsOverhead measures the cost of the full observability plane on
@@ -129,6 +174,15 @@ func RunObsOverhead(p ObsOverheadParams) ObsOverheadResult {
 		relay.WithHealthMonitor(obs.NewHealthMonitor(obs.HealthConfig{Clock: obs.WallClock(), SLO: slo})),
 		relay.WithSpans(spans),
 	)
+	// The flight relay carries the same plane plus the always-on
+	// wide-event ring, so its increment over the observed relay isolates
+	// what one ring append per forward actually costs.
+	rec := flight.NewRecorder(flight.Config{Ring: 512})
+	flighted := relay.New(
+		relay.WithHealthMonitor(obs.NewHealthMonitor(obs.HealthConfig{Clock: obs.WallClock(), SLO: obs.NewSLOTracker(obs.SLOConfig{})})),
+		relay.WithSpans(obs.NewTailSpanCollector(obs.TailConfig{KeepProb: 0.1})),
+		relay.WithFlight(rec),
+	)
 
 	bl, err := bare.ServeAddr("127.0.0.1:0")
 	must(err == nil, "bare relay listen: %v", err)
@@ -136,6 +190,9 @@ func RunObsOverhead(p ObsOverheadParams) ObsOverheadResult {
 	obl, err := observed.ServeAddr("127.0.0.1:0")
 	must(err == nil, "observed relay listen: %v", err)
 	defer obl.Close()
+	fll, err := flighted.ServeAddr("127.0.0.1:0")
+	must(err == nil, "flight relay listen: %v", err)
+	defer fll.Close()
 
 	// round drives the whole per-round workload through one relay and
 	// returns its wall and process-CPU times: each client holds one
@@ -192,29 +249,42 @@ func RunObsOverhead(p ObsOverheadParams) ObsOverheadResult {
 	// the runtime before anything is measured.
 	round(bl.Addr().String())
 	round(obl.Addr().String())
+	round(fll.Addr().String())
 
 	bareTimes := make([]float64, 0, p.Rounds)
 	obsTimes := make([]float64, 0, p.Rounds)
+	fltTimes := make([]float64, 0, p.Rounds)
 	bareCPUs := make([]float64, 0, p.Rounds)
 	obsCPUs := make([]float64, 0, p.Rounds)
+	fltCPUs := make([]float64, 0, p.Rounds)
 	ratios := make([]float64, 0, p.Rounds)
+	fltRatios := make([]float64, 0, p.Rounds)
+	bareWall := 0.0
+	bareCPUTotal := 0.0
 	for r := 0; r < p.Rounds; r++ {
-		// Each block runs bare, observed, observed, bare: machine drift
-		// at the round timescale (frequency scaling, co-tenant cache
-		// pressure) is close to linear across the four slots, and the
-		// ABBA order gives both sides the same drift weight — slots 0+3
-		// for bare, 1+2 for observed — so the block's ratio cancels it
-		// to first order instead of billing it to whichever side ran
-		// later.
+		// Each block runs bare, observed, flight, flight, observed,
+		// bare: machine drift at the round timescale (frequency scaling,
+		// co-tenant cache pressure) is close to linear across the six
+		// slots, and the mirrored order gives every side the same drift
+		// weight — slots 0+5 for bare, 1+4 for observed, 2+3 for flight
+		// — so each block's ratios cancel it to first order instead of
+		// billing it to whichever side ran later.
 		b1w, b1 := round(bl.Addr().String())
 		o1w, o1 := round(obl.Addr().String())
+		f1w, f1 := round(fll.Addr().String())
+		f2w, f2 := round(fll.Addr().String())
 		o2w, o2 := round(obl.Addr().String())
 		b2w, b2 := round(bl.Addr().String())
 		bareTimes = append(bareTimes, b1w, b2w)
 		obsTimes = append(obsTimes, o1w, o2w)
+		fltTimes = append(fltTimes, f1w, f2w)
 		bareCPUs = append(bareCPUs, b1+b2)
 		obsCPUs = append(obsCPUs, o1+o2)
+		fltCPUs = append(fltCPUs, f1+f2)
 		ratios = append(ratios, (o1+o2)/(b1+b2))
+		fltRatios = append(fltRatios, (f1+f2)/(o1+o2))
+		bareWall += b1w + b2w
+		bareCPUTotal += b1 + b2
 	}
 
 	res := ObsOverheadResult{
@@ -231,6 +301,33 @@ func RunObsOverhead(p ObsOverheadParams) ObsOverheadResult {
 	res.BareRPS = reqs / res.BareMinSecs
 	res.ObservedRPS = reqs / res.ObservedMinSecs
 	res.OverheadFrac = trimmedRatio(bareCPUs, obsCPUs, ratios) - 1
+	res.FlightMedianSecs = median(fltTimes)
+	res.FlightCPUSecs = median(fltCPUs)
+	res.FlightEvents = rec.Seen()
+	res.FlightOverheadFrac = trimmedRatio(obsCPUs, fltCPUs, fltRatios) - 1
+
+	// Price the continuous profiler the same way it runs in production:
+	// one full capture cycle (CPU-profile window, heap and goroutine
+	// snapshots, file writes) measured in process CPU, then amortised
+	// over the capture cadence against the bare workload's CPU burn
+	// rate. The cycle runs untimed, outside the blocks, so its cost
+	// never pollutes the relay ratios. A short CPU window keeps the
+	// experiment fast; the window's own cost is per-sample signal
+	// handling, negligible next to the snapshots it bounds.
+	profDir, err := os.MkdirTemp("", "obs-overhead-prof")
+	must(err == nil, "profiler dir: %v", err)
+	defer os.RemoveAll(profDir)
+	prof, err := flight.NewProfiler(flight.ProfilerConfig{Dir: profDir, CPUSeconds: 0.5})
+	must(err == nil, "profiler: %v", err)
+	cycleStart := processCPU()
+	must(prof.CycleNow() == nil, "profiler cycle")
+	res.ProfilerCycleCPUSecs = processCPU() - cycleStart
+	res.ProfilerCadenceSecs = p.ProfilerCadenceSecs
+	if bareWall > 0 && bareCPUTotal > 0 {
+		bareCPUPerSec := bareCPUTotal / bareWall
+		res.ProfilerOverheadFrac = res.ProfilerCycleCPUSecs / (p.ProfilerCadenceSecs * bareCPUPerSec)
+	}
+	res.AlwaysOnOverheadFrac = res.FlightOverheadFrac + res.ProfilerOverheadFrac
 
 	if ts, ok := spans.TailStats(); ok {
 		res.KeptTraces = ts.KeptTraces
@@ -239,9 +336,13 @@ func RunObsOverhead(p ObsOverheadParams) ObsOverheadResult {
 	res.Paths = len(observed.Health.Snapshot().Paths)
 	must(res.Paths >= 1, "observed relay tracked no paths")
 	must(res.KeptTraces+res.DroppedTraces > 0, "tail collector decided no traces")
+	must(res.FlightEvents > 0, "flight ring recorded no wide events")
 	must(res.OverheadFrac < p.MaxOverhead,
 		"observability overhead %.1f%% exceeds %.1f%% ceiling",
 		100*res.OverheadFrac, 100*p.MaxOverhead)
+	must(res.AlwaysOnOverheadFrac < p.MaxAlwaysOn,
+		"flight always-on overhead %.1f%% exceeds %.1f%% ceiling",
+		100*res.AlwaysOnOverheadFrac, 100*p.MaxAlwaysOn)
 	return res
 }
 

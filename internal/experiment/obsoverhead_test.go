@@ -18,6 +18,7 @@ func TestRunObsOverhead(t *testing.T) {
 		Clients:          2,
 		ObjectSize:       32 << 10,
 		MaxOverhead:      0.5,
+		MaxAlwaysOn:      0.5,
 	})
 	if res.Paths < 1 {
 		t.Fatalf("observed relay tracked %d paths", res.Paths)
@@ -34,6 +35,17 @@ func TestRunObsOverhead(t *testing.T) {
 	if res.OverheadFrac < -1 || res.OverheadFrac > 1 {
 		t.Fatalf("implausible overhead fraction %v", res.OverheadFrac)
 	}
-	t.Logf("overhead %.2f%% (bare %.0f req/s, observed %.0f req/s)",
-		100*res.OverheadFrac, res.BareRPS, res.ObservedRPS)
+	if res.FlightEvents == 0 {
+		t.Fatal("flight ring recorded no wide events")
+	}
+	if res.ProfilerCycleCPUSecs <= 0 || res.ProfilerOverheadFrac <= 0 {
+		t.Fatalf("profiler cycle unpriced: cpu %v frac %v",
+			res.ProfilerCycleCPUSecs, res.ProfilerOverheadFrac)
+	}
+	if res.AlwaysOnOverheadFrac < -1 || res.AlwaysOnOverheadFrac > 1 {
+		t.Fatalf("implausible always-on fraction %v", res.AlwaysOnOverheadFrac)
+	}
+	t.Logf("overhead %.2f%% (bare %.0f req/s, observed %.0f req/s); flight always-on %.2f%% (%d events)",
+		100*res.OverheadFrac, res.BareRPS, res.ObservedRPS,
+		100*res.AlwaysOnOverheadFrac, res.FlightEvents)
 }

@@ -1,0 +1,110 @@
+package flight
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestProfilerCycleProducesCaptures(t *testing.T) {
+	dir := t.TempDir()
+	p, err := NewProfiler(ProfilerConfig{Dir: dir, Every: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CycleNow(); err != nil {
+		t.Fatalf("CycleNow: %v", err)
+	}
+	files := p.Files()
+	// CPU capture may be skipped when another profiler owns the
+	// process's single CPU slot (the -race test harness can); heap and
+	// goroutine must always land.
+	var heap, goroutine bool
+	for _, f := range files {
+		base := filepath.Base(f)
+		heap = heap || strings.HasPrefix(base, "heap-")
+		goroutine = goroutine || strings.HasPrefix(base, "goroutine-")
+		if _, err := os.Stat(f); err != nil {
+			t.Fatalf("listed capture missing on disk: %v", err)
+		}
+	}
+	if !heap || !goroutine {
+		t.Fatalf("cycle captures = %v, want heap and goroutine profiles", files)
+	}
+	if p.Cycles() != 1 {
+		t.Fatalf("Cycles = %d, want 1", p.Cycles())
+	}
+	if p.DiskBytes() <= 0 {
+		t.Fatalf("DiskBytes = %d after a cycle", p.DiskBytes())
+	}
+}
+
+func TestProfilerPruneRespectsMaxBytes(t *testing.T) {
+	dir := t.TempDir()
+	// A budget tiny enough that every cycle's captures exceed it: after
+	// each prune at most the newest capture survives the budget check.
+	p, err := NewProfiler(ProfilerConfig{Dir: dir, Every: 100 * time.Millisecond, MaxBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := p.CycleNow(); err != nil {
+			t.Fatalf("CycleNow: %v", err)
+		}
+	}
+	// The ring never retains more than one over-budget capture, and the
+	// on-disk directory matches the tracked list.
+	if n := len(p.Files()); n > 1 {
+		t.Fatalf("prune left %d captures over a 1-byte budget", n)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(p.Files()) {
+		t.Fatalf("disk has %d files, ring tracks %d", len(entries), len(p.Files()))
+	}
+}
+
+func TestProfilerStartStopGate(t *testing.T) {
+	dir := t.TempDir()
+	p, err := NewProfiler(ProfilerConfig{Dir: dir, Every: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labelsActive.Load() != 0 {
+		t.Fatalf("label gate = %d before Start", labelsActive.Load())
+	}
+	p.Start()
+	p.Start() // idempotent
+	if labelsActive.Load() != 1 {
+		t.Fatalf("label gate = %d after Start, want 1", labelsActive.Load())
+	}
+	p.Stop()
+	p.Stop() // idempotent
+	if labelsActive.Load() != 0 {
+		t.Fatalf("label gate = %d after Stop, want 0", labelsActive.Load())
+	}
+}
+
+func TestProfilerRequiresDir(t *testing.T) {
+	if _, err := NewProfiler(ProfilerConfig{}); err == nil {
+		t.Fatal("NewProfiler accepted an empty Dir")
+	}
+}
+
+func TestNilProfilerNoOp(t *testing.T) {
+	var p *Profiler
+	if p.Files() != nil || p.Cycles() != 0 || p.Failures() != 0 || p.DiskBytes() != 0 {
+		t.Fatal("nil profiler reported state")
+	}
+}
+
+func TestGoroutineDump(t *testing.T) {
+	dump := string(GoroutineDump())
+	if !strings.Contains(dump, "goroutine") || !strings.Contains(dump, "TestGoroutineDump") {
+		t.Fatalf("goroutine dump missing this test's frame:\n%.400s", dump)
+	}
+}

@@ -122,6 +122,12 @@ type HealthConfig struct {
 	// SLO, when set, receives every success/failure fold so availability
 	// and latency objectives are tracked from the same stream.
 	SLO *SLOTracker
+
+	// OnTransition, when set, is called for every committed state change
+	// with the path key and the transition. It runs after the monitor's
+	// lock is released, so the callback may call back into the monitor
+	// (State, Snapshot); slow callbacks still delay the folding caller.
+	OnTransition func(path string, tr HealthTransition)
 }
 
 func (c HealthConfig) withDefaults() HealthConfig {
@@ -237,6 +243,31 @@ type HealthMonitor struct {
 	mu      sync.Mutex
 	paths   map[string]*pathHealth
 	hiwater float64 // newest event time seen (event-time "now")
+
+	// notices queues committed transitions for OnTransition while m.mu is
+	// held; every path that calls evaluate drains it after unlocking.
+	notices []healthNotice
+}
+
+// healthNotice is one queued OnTransition delivery.
+type healthNotice struct {
+	path string
+	tr   HealthTransition
+}
+
+// takeNotices detaches the queued transition notices. Caller holds m.mu.
+func (m *HealthMonitor) takeNotices() []healthNotice {
+	n := m.notices
+	m.notices = nil
+	return n
+}
+
+// fireNotices delivers queued transitions. Caller must NOT hold m.mu:
+// the callback is allowed to read the monitor.
+func (m *HealthMonitor) fireNotices(notices []healthNotice) {
+	for _, n := range notices {
+		m.cfg.OnTransition(n.path, n.tr)
+	}
 }
 
 // NewHealthMonitor returns a monitor with cfg's gaps filled by defaults.
@@ -289,7 +320,6 @@ func (m *HealthMonitor) bucket(p *pathHealth, t float64) *healthBucket {
 // and re-evaluates the path's state.
 func (m *HealthMonitor) fold(key string, t float64, class ErrClass, latency float64, bytes int64, retry bool) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if t > m.hiwater {
 		m.hiwater = t
 	}
@@ -312,15 +342,22 @@ func (m *HealthMonitor) fold(key string, t float64, class ErrClass, latency floa
 	case class == ClassCanceled:
 		// The caller abandoned the operation; that says nothing about the
 		// path. Not a sample.
+		m.mu.Unlock()
 		return
 	default:
 		b.fail++
 	}
 	p.everSample = true
-	if slo := m.cfg.SLO; slo != nil && !retry {
-		slo.ObserveAt(t, class == ClassOK, latency)
+	m.evaluate(key, p, m.now())
+	notices := m.takeNotices()
+	slo := m.cfg.SLO
+	m.mu.Unlock()
+	// SLO fold and transition notices run unlocked: the SLO tracker has
+	// its own mutex, and OnTransition may read back into this monitor.
+	if slo != nil && !retry {
+		slo.ObservePathAt(key, t, class == ClassOK, latency)
 	}
-	m.evaluate(p, m.now())
+	m.fireNotices(notices)
 }
 
 func (m *HealthMonitor) foldEWMA(p *pathHealth, mbps float64) {
@@ -436,7 +473,7 @@ func (m *HealthMonitor) target(score float64) HealthState {
 // evaluations, and no transition commits before MinDwell seconds in the
 // current state — demanded-but-dwelling transitions count as suppressed
 // flaps.
-func (m *HealthMonitor) evaluate(p *pathHealth, now float64) {
+func (m *HealthMonitor) evaluate(key string, p *pathHealth, now float64) {
 	if !p.everSample {
 		// Only canceled operations so far: the path was never actually
 		// measured, so it stays unknown rather than scoring an empty
@@ -468,7 +505,8 @@ func (m *HealthMonitor) evaluate(p *pathHealth, now float64) {
 		p.flapsSuppressed++
 		return
 	}
-	p.history = append(p.history, HealthTransition{From: p.state, To: want, Time: now, Score: p.score})
+	tr := HealthTransition{From: p.state, To: want, Time: now, Score: p.score}
+	p.history = append(p.history, tr)
 	if len(p.history) > healthHistoryCap {
 		p.history = p.history[len(p.history)-healthHistoryCap:]
 	}
@@ -476,6 +514,9 @@ func (m *HealthMonitor) evaluate(p *pathHealth, now float64) {
 	p.stateSince = now
 	p.transitions++
 	p.pendingN = 0
+	if m.cfg.OnTransition != nil {
+		m.notices = append(m.notices, healthNotice{path: key, tr: tr})
+	}
 }
 
 // --- Observer feeding -------------------------------------------------
@@ -603,11 +644,10 @@ func (s HealthSnapshot) Path(key string) (PathHealth, bool) {
 // waiting for its next event.
 func (m *HealthMonitor) Snapshot() HealthSnapshot {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	now := m.now()
 	s := HealthSnapshot{Time: now, Paths: make([]PathHealth, 0, len(m.paths))}
 	for key, p := range m.paths {
-		m.evaluate(p, now)
+		m.evaluate(key, p, now)
 		w := m.window(p, now)
 		ph := PathHealth{
 			Path:            key,
@@ -637,6 +677,9 @@ func (m *HealthMonitor) Snapshot() HealthSnapshot {
 		}
 		s.Paths = append(s.Paths, ph)
 	}
+	notices := m.takeNotices()
+	m.mu.Unlock()
+	m.fireNotices(notices)
 	sort.Slice(s.Paths, func(i, j int) bool { return s.Paths[i].Path < s.Paths[j].Path })
 	return s
 }
@@ -649,25 +692,33 @@ func (m *HealthMonitor) PathHealth(key string) (PathHealth, bool) {
 // State returns a path's damped state (HealthUnknown if never seen).
 func (m *HealthMonitor) State(key string) HealthState {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	p := m.paths[key]
 	if p == nil {
+		m.mu.Unlock()
 		return HealthUnknown
 	}
-	m.evaluate(p, m.now())
-	return p.state
+	m.evaluate(key, p, m.now())
+	state := p.state
+	notices := m.takeNotices()
+	m.mu.Unlock()
+	m.fireNotices(notices)
+	return state
 }
 
 // Score returns a path's current score (0 if never seen).
 func (m *HealthMonitor) Score(key string) float64 {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	p := m.paths[key]
 	if p == nil {
+		m.mu.Unlock()
 		return 0
 	}
-	m.evaluate(p, m.now())
-	return p.score
+	m.evaluate(key, p, m.now())
+	score := p.score
+	notices := m.takeNotices()
+	m.mu.Unlock()
+	m.fireNotices(notices)
+	return score
 }
 
 // Healthiest returns up to k path keys ranked best-first: by state

@@ -249,3 +249,48 @@ func BenchmarkHealthFold(b *testing.B) {
 		m.fold("path", float64(i)*0.01, ClassOK, 0.05, 64<<10, false)
 	}
 }
+
+func TestHealthOnTransitionCallback(t *testing.T) {
+	cfg := testHealthCfg()
+	var m *HealthMonitor
+	type seen struct {
+		path string
+		tr   HealthTransition
+	}
+	var calls []seen
+	cfg.OnTransition = func(path string, tr HealthTransition) {
+		// The callback runs after the monitor lock is released, so
+		// calling back into the monitor must not deadlock.
+		_ = m.State(path)
+		calls = append(calls, seen{path, tr})
+	}
+	m = NewHealthMonitor(cfg)
+
+	// Unknown→healthy adoption is not a transition: no callback,
+	// matching the committed history.
+	now := feedOK(m, "p", 0, 6, 0.05, 1<<20)
+	if len(calls) != 0 {
+		t.Fatalf("first-state adoption notified: %+v", calls)
+	}
+	// Sustained failures commit healthy→degraded→down (or straight to
+	// down); every committed transition must reach the callback in order.
+	for i := 0; i < 12; i++ {
+		m.fold("p", now+float64(i), ClassFailed, 0, 0, false)
+	}
+	ph, _ := m.PathHealth("p")
+	if len(ph.History) == 0 {
+		t.Fatal("no transitions committed")
+	}
+	if len(calls) != len(ph.History) {
+		t.Fatalf("callback saw %d transitions, history has %d", len(calls), len(ph.History))
+	}
+	for i, c := range calls {
+		if c.path != "p" || c.tr != ph.History[i] {
+			t.Fatalf("callback[%d] = %+v, history[%d] = %+v", i, c, i, ph.History[i])
+		}
+	}
+	last := calls[len(calls)-1]
+	if last.tr.To != HealthDown {
+		t.Fatalf("final notified transition = %+v, want →down", last.tr)
+	}
+}

@@ -30,14 +30,38 @@ type SLOConfig struct {
 	SlowWindow  float64
 	FastBuckets int
 	SlowBuckets int
+
+	// AlertBurn is the fast-window availability burn rate at or above
+	// which OnFastBurn fires (default 2, the classic page threshold).
+	AlertBurn float64
+	// OnFastBurn, when set, is called after a failed fold pushes the
+	// fast availability burn to AlertBurn or beyond. It runs outside the
+	// tracker's lock but possibly inside a feeding HealthMonitor's fold,
+	// so it must not call back into that monitor; the flight trigger
+	// engine's FireBurn (which only touches its own state) is the
+	// intended consumer. The path is the fold's path key ("" when fed
+	// path-blind via ObserveAt).
+	OnFastBurn func(path string, burn float64)
 }
 
 func (c SLOConfig) withDefaults() SLOConfig {
-	if c.AvailabilityObjective <= 0 || c.AvailabilityObjective >= 1 {
+	if c.AvailabilityObjective <= 0 {
 		c.AvailabilityObjective = 0.995
 	}
-	if c.LatencyObjective <= 0 || c.LatencyObjective >= 1 {
+	if c.LatencyObjective <= 0 {
 		c.LatencyObjective = 0.95
+	}
+	// Objectives above 1 are impossible; clamp to exactly 1 ("every
+	// request"), which the burn-rate math floors to a minimum error
+	// budget instead of dividing by zero.
+	if c.AvailabilityObjective > 1 {
+		c.AvailabilityObjective = 1
+	}
+	if c.LatencyObjective > 1 {
+		c.LatencyObjective = 1
+	}
+	if c.AlertBurn <= 0 {
+		c.AlertBurn = 2
 	}
 	if c.LatencyThreshold <= 0 {
 		c.LatencyThreshold = 1.0
@@ -138,8 +162,14 @@ func (t *SLOTracker) Config() SLOConfig { return t.cfg }
 // availability; latency (seconds, successes only; <= 0 means no sample)
 // is checked against the threshold.
 func (t *SLOTracker) ObserveAt(ts float64, ok bool, latency float64) {
+	t.ObservePathAt("", ts, ok, latency)
+}
+
+// ObservePathAt is ObserveAt carrying the path key the outcome belongs
+// to, so an OnFastBurn alert can name the offender. The tracker itself
+// stays path-blind; the key only rides along to the callback.
+func (t *SLOTracker) ObservePathAt(path string, ts float64, ok bool, latency float64) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if ts > t.hiwater {
 		t.hiwater = ts
 	}
@@ -160,6 +190,20 @@ func (t *SLOTracker) ObserveAt(ts float64, ok bool, latency float64) {
 		t.failed++
 	} else if latency > 0 && latency > t.cfg.LatencyThreshold {
 		t.slowN++
+	}
+	// Only a failure can push the burn over the line, so successes skip
+	// the window sum entirely.
+	var burn float64
+	fire := false
+	if !ok && t.cfg.OnFastBurn != nil {
+		if total, failed, _, _ := t.fast.sum(t.hiwater); total > 0 {
+			burn = (float64(failed) / float64(total)) / errBudget(t.cfg.AvailabilityObjective)
+			fire = burn >= t.cfg.AlertBurn
+		}
+	}
+	t.mu.Unlock()
+	if fire {
+		t.cfg.OnFastBurn(path, burn)
 	}
 }
 
@@ -205,11 +249,23 @@ func (s SLOSnapshot) JSON() []byte {
 	return b
 }
 
+// errBudget is the burn-rate denominator 1 − objective, floored so an
+// objective of exactly 1.0 ("every request must succeed") yields a huge
+// finite burn per failure instead of ±Inf poisoning the gauge and every
+// threshold comparison downstream.
+func errBudget(objective float64) float64 {
+	den := 1 - objective
+	if den < 1e-9 {
+		den = 1e-9
+	}
+	return den
+}
+
 func sloWindow(window float64, total, bad int64, objective float64) SLOWindow {
 	w := SLOWindow{Window: window, Total: total, Bad: bad, Compliance: 1}
 	if total > 0 {
 		w.Compliance = 1 - float64(bad)/float64(total)
-		w.BurnRate = (float64(bad) / float64(total)) / (1 - objective)
+		w.BurnRate = (float64(bad) / float64(total)) / errBudget(objective)
 	}
 	return w
 }

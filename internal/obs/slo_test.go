@@ -2,6 +2,8 @@ package obs
 
 import (
 	"encoding/json"
+	"math"
+	"strings"
 	"testing"
 )
 
@@ -82,5 +84,93 @@ func TestSLOSnapshotJSONAndProm(t *testing.T) {
 	s.WriteProm(p, "x")
 	if err := LintProm(p.Bytes()); err != nil {
 		t.Fatalf("prom lint: %v\n%s", err, p.Bytes())
+	}
+}
+
+func TestSLOObjectiveOneBurnStaysFinite(t *testing.T) {
+	// The regression: an objective of 1.0 (or a typo'd 1.5) used to make
+	// the burn denominator 1−objective zero or negative, so one failure
+	// rendered burn_rate as ±Inf on /metrics and wedged every threshold
+	// comparison. The clamp floors the error budget instead.
+	for _, objective := range []float64{1.0, 1.5} {
+		tr := NewSLOTracker(SLOConfig{AvailabilityObjective: objective})
+		if got := tr.Config().AvailabilityObjective; got != 1 {
+			t.Fatalf("objective %v normalized to %v, want clamp to 1", objective, got)
+		}
+		tr.ObserveAt(1, true, 0.05)
+		tr.ObserveAt(2, false, 0)
+		s := tr.Snapshot(-1)
+		burn := s.AvailabilityFast.BurnRate
+		if math.IsInf(burn, 0) || math.IsNaN(burn) {
+			t.Fatalf("objective %v: burn = %v, want finite", objective, burn)
+		}
+		if burn <= 0 {
+			t.Fatalf("objective %v: burn = %v, want huge positive per failure", objective, burn)
+		}
+		// The finite burn must survive Prometheus rendering and linting.
+		p := NewProm()
+		s.WriteProm(p, "x")
+		if err := LintProm(p.Bytes()); err != nil {
+			t.Fatalf("objective %v: prom lint: %v", objective, err)
+		}
+		if strings.Contains(string(p.Bytes()), "Inf") {
+			t.Fatalf("objective %v: /metrics still renders Inf:\n%s", objective, p.Bytes())
+		}
+	}
+}
+
+func TestSLOOnFastBurnFires(t *testing.T) {
+	type alert struct {
+		path string
+		burn float64
+	}
+	var alerts []alert
+	tr := NewSLOTracker(SLOConfig{
+		AvailabilityObjective: 0.9, // error budget 0.1 → one failure in 2 burns at 5
+		AlertBurn:             2,
+		OnFastBurn: func(path string, burn float64) {
+			alerts = append(alerts, alert{path, burn})
+		},
+	})
+	tr.ObservePathAt("relay-a", 1, true, 0.05)
+	if len(alerts) != 0 {
+		t.Fatalf("success fired an alert: %+v", alerts)
+	}
+	tr.ObservePathAt("relay-a", 2, false, 0)
+	if len(alerts) != 1 {
+		t.Fatalf("got %d alerts, want 1", len(alerts))
+	}
+	if alerts[0].path != "relay-a" {
+		t.Fatalf("alert path = %q, want relay-a", alerts[0].path)
+	}
+	// 1 failed / 2 total over budget 0.1 → burn 5.
+	if got := alerts[0].burn; math.Abs(got-5) > 1e-9 {
+		t.Fatalf("alert burn = %v, want 5", got)
+	}
+	// Path-blind feeding still alerts, with an empty path key.
+	alerts = nil
+	tr2 := NewSLOTracker(SLOConfig{
+		AvailabilityObjective: 0.9,
+		OnFastBurn:            func(path string, burn float64) { alerts = append(alerts, alert{path, burn}) },
+	})
+	tr2.ObserveAt(1, false, 0)
+	if len(alerts) != 1 || alerts[0].path != "" {
+		t.Fatalf("path-blind alerts = %+v", alerts)
+	}
+}
+
+func TestSLOOnFastBurnBelowThresholdSilent(t *testing.T) {
+	fired := 0
+	tr := NewSLOTracker(SLOConfig{
+		AvailabilityObjective: 0.5, // budget 0.5: one failure in 10 burns at 0.2
+		AlertBurn:             2,
+		OnFastBurn:            func(string, float64) { fired++ },
+	})
+	for i := 0; i < 9; i++ {
+		tr.ObserveAt(float64(i), true, 0.05)
+	}
+	tr.ObserveAt(9, false, 0)
+	if fired != 0 {
+		t.Fatalf("sub-threshold burn fired %d alerts", fired)
 	}
 }

@@ -39,6 +39,7 @@ import (
 	"repro/internal/httpx"
 	"repro/internal/objcache"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/relay"
 )
 
@@ -124,6 +125,13 @@ type Transport struct {
 	// disables tracing; every span site then reduces to a nil check, so
 	// the hot path's allocation profile is unchanged.
 	Spans *obs.SpanCollector
+
+	// Flight, when set, records one wide event per transfer into the
+	// flight recorder's bounded ring (phases, bytes, cache state, retries,
+	// trace ID) and exposes in-flight transfers to its active table. Nil
+	// (the default) disables recording; every hook reduces to a nil check
+	// on the handle, so the hot path's allocation profile is unchanged.
+	Flight *flight.Recorder
 
 	// Retries counts retry attempts performed across all transfers.
 	// It is kept in lockstep with the RetryScheduled events for callers
@@ -418,16 +426,27 @@ func (t *Transport) startFetch(ctx context.Context, obj core.Object, path core.P
 			tspan.SetAttr("warm", "true")
 		}
 	}
+	ft := t.Flight.Start("client", obsPathID(obj, path).Label(), obj.Name)
+	if warm {
+		ft.SetWarm()
+	}
+	if tspan != nil {
+		ft.SetTrace(tspan.Context().Trace.String())
+	}
 
 	ctx, cancelCtx := t.transferContext(ctx)
 	go func() {
 		defer cancelCtx()
-		err := t.fetch(ctx, h, obj, path, off, n, warm, tspan)
-		// The fetch goroutine owns the span: even when the watcher below
-		// publishes a cancellation first, fetch returns the typed error
-		// moments later (the closed socket unwinds its read), so the span
-		// still ends exactly once with the right class.
+		var err error
+		flight.DoLabeled(ctx, "fetch", func(ctx context.Context) {
+			err = t.fetch(ctx, h, obj, path, off, n, warm, tspan, ft)
+		})
+		// The fetch goroutine owns the span (and the wide event): even when
+		// the watcher below publishes a cancellation first, fetch returns
+		// the typed error moments later (the closed socket unwinds its
+		// read), so both still end exactly once with the right class.
 		tspan.End(core.ErrClassOf(err), errString(err))
+		ft.Finish(core.ErrClassOf(err).String(), errString(err))
 		h.finish(t.Now(), err)
 	}()
 	// The watcher makes cancellation prompt: the instant ctx dies it
@@ -594,7 +613,7 @@ func (t *Transport) scheduleRetry(ctx context.Context, obj core.Object, path cor
 // leave the connection in a known-good state park it for the next warm
 // continuation — including status-error responses whose body was fully
 // drained, since the server answered cleanly.
-func (t *Transport) fetch(ctx context.Context, h *handle, obj core.Object, path core.Path, off, n int64, warm bool, tspan *obs.ActiveSpan) error {
+func (t *Transport) fetch(ctx context.Context, h *handle, obj core.Object, path core.Path, off, n int64, warm bool, tspan *obs.ActiveSpan, ft *flight.Transfer) error {
 	if c := t.objCache(); c != nil {
 		if data, ok := c.Get(objCacheKey(obj), off, n); ok {
 			// Fully covered by cached spans: the transfer completes without
@@ -603,7 +622,9 @@ func (t *Transport) fetch(ctx context.Context, h *handle, obj core.Object, path 
 			if tspan != nil {
 				tspan.SetAttr("cache", "hit")
 			}
+			ft.SetCache("hit")
 			delivered := int64(len(data))
+			ft.StoreBytes(delivered)
 			h.progress.Store(delivered)
 			t.emitProgress(obj, path, off, delivered, delivered, n)
 			return nil
@@ -640,6 +661,7 @@ func (t *Transport) fetch(ctx context.Context, h *handle, obj core.Object, path 
 		if pc == nil {
 			dspan := t.childSpan(tspan, "dial")
 			dspan.SetAttr("addr", dialAddr)
+			ft.Phase("dial")
 			conn, err := t.dialConn(ctx, dialAddr)
 			if err != nil {
 				dspan.End(core.ErrClassOf(err), err.Error())
@@ -650,6 +672,7 @@ func (t *Transport) fetch(ctx context.Context, h *handle, obj core.Object, path 
 					return fmt.Errorf("realnet: dial %s: %w", dialAddr, err)
 				}
 				retries++
+				ft.Retry()
 				if berr := t.scheduleRetry(ctx, obj, path, retries, err); berr != nil {
 					return berr
 				}
@@ -673,7 +696,7 @@ func (t *Transport) fetch(ctx context.Context, h *handle, obj core.Object, path 
 			continue
 		}
 		h.progress.Store(0)
-		reusable, err := t.doRange(pc, h, obj, path, target, host, off, n, tspan)
+		reusable, err := t.doRange(pc, h, obj, path, target, host, off, n, tspan, ft)
 		h.setConn(nil)
 		if err != nil {
 			var se *StatusError
@@ -715,6 +738,7 @@ func (t *Transport) fetch(ctx context.Context, h *handle, obj core.Object, path 
 				return err
 			}
 			retries++
+			ft.Retry()
 			if berr := t.scheduleRetry(ctx, obj, path, retries, err); berr != nil {
 				return berr
 			}
@@ -752,7 +776,7 @@ var streamBufs = sync.Pool{
 // and counted into the handle's progress as it arrives, so nothing
 // proportional to n is ever held in memory. It reports whether the
 // connection remains usable for another request.
-func (t *Transport) doRange(pc *pooledConn, h *handle, obj core.Object, path core.Path, target, host string, off, n int64, tspan *obs.ActiveSpan) (reusable bool, err error) {
+func (t *Transport) doRange(pc *pooledConn, h *handle, obj core.Object, path core.Path, target, host string, off, n int64, tspan *obs.ActiveSpan, ft *flight.Transfer) (reusable bool, err error) {
 	req := httpx.NewGet(target, host)
 	delete(req.Header, "connection") // keep-alive
 	req.SetRange(off, n)
@@ -763,12 +787,14 @@ func (t *Transport) doRange(pc *pooledConn, h *handle, obj core.Object, path cor
 		req.Header[obs.TraceHeader] = tspan.Context().Header()
 	}
 	wspan := t.childSpan(tspan, "request-write")
+	ft.Phase("request-write")
 	if err := req.Write(pc.conn); err != nil {
 		wspan.End(obs.ClassFailed, err.Error())
 		return false, err
 	}
 	wspan.EndOK()
 	fspan := t.childSpan(tspan, "ttfb")
+	ft.Phase("ttfb")
 	resp, err := httpx.ReadResponse(pc.br)
 	if err != nil {
 		fspan.End(obs.ClassFailed, err.Error())
@@ -808,6 +834,7 @@ func (t *Transport) doRange(pc *pooledConn, h *handle, obj core.Object, path cor
 	buf := streamBufs.Get().([]byte)
 	defer streamBufs.Put(buf)
 	sspan := t.childSpan(tspan, "stream")
+	ft.Phase("stream")
 	// Verification interleaves with streaming, so its cost is measured as
 	// cumulative busy time and recorded as one after-the-fact span spanning
 	// first check to stream end (with the busy total as an attribute) —
@@ -845,6 +872,7 @@ func (t *Transport) doRange(pc *pooledConn, h *handle, obj core.Object, path cor
 			}
 			delivered += int64(m)
 			h.progress.Store(delivered)
+			ft.StoreBytes(delivered)
 			t.emitProgress(obj, path, off, int64(m), delivered, n)
 		}
 		if rerr != nil {

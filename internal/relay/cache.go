@@ -14,6 +14,7 @@ import (
 	"repro/internal/httpx"
 	"repro/internal/objcache"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 )
 
 // This file is the relay's cached forwarding path. With a cache
@@ -71,7 +72,7 @@ func (r *Relay) cacheRange(key, rg string) (off, want int64, whole, ok bool) {
 // range, or a failed shared fill) and the caller must forward plainly.
 // healthAddr is empty for hits and shared fills: they never touched
 // the upstream path, so they say nothing about its health.
-func (r *Relay) serveCached(conn net.Conn, req *httpx.Request, fspan *obs.ActiveSpan, upstreamAddr, path string) (handled, again bool, class obs.ErrClass, detail, healthAddr string, n int64) {
+func (r *Relay) serveCached(conn net.Conn, req *httpx.Request, fspan *obs.ActiveSpan, ft *flight.Transfer, upstreamAddr, path string) (handled, again bool, class obs.ErrClass, detail, healthAddr string, n int64) {
 	key := cacheKey(upstreamAddr, path)
 	off, want, whole, ok := r.cacheRange(key, req.Header["range"])
 	if !ok {
@@ -82,12 +83,13 @@ func (r *Relay) serveCached(conn net.Conn, req *httpx.Request, fspan *obs.Active
 			return false, false, obs.ClassOK, "", "", 0
 		}
 		if data, hit := r.cache.Get(key, off, want); hit {
-			again, class, detail, n = r.writeCached(conn, key, data, off, whole, "hit")
+			again, class, detail, n = r.writeCached(conn, ft, key, data, off, whole, "hit")
 			return true, again, class, detail, "", n
 		}
 	}
 	fl, leader := r.cache.StartFlight(key, off, want)
 	if !leader {
+		ft.Phase("shared-wait")
 		data, err := fl.Wait(context.Background())
 		if err != nil {
 			// The leader's fetch failed or was uncacheable; fetch for
@@ -100,17 +102,19 @@ func (r *Relay) serveCached(conn net.Conn, req *httpx.Request, fspan *obs.Active
 		if int64(len(data)) > want {
 			data = data[:want]
 		}
-		again, class, detail, n = r.writeCached(conn, key, data, off, whole, "shared")
+		again, class, detail, n = r.writeCached(conn, ft, key, data, off, whole, "shared")
 		return true, again, class, detail, "", n
 	}
-	return r.fillForward(conn, req, fspan, upstreamAddr, path, key, fl, off, want, whole)
+	return r.fillForward(conn, req, fspan, ft, upstreamAddr, path, key, fl, off, want, whole)
 }
 
 // writeCached serves data (the bytes of [off, off+len)) straight from
 // memory, with the response shape the origin would have used: 200 for
 // whole-object requests, 206 with Content-Range for ranged ones. The
 // x-cache header says how the bytes were obtained.
-func (r *Relay) writeCached(conn net.Conn, key string, data []byte, off int64, whole bool, how string) (again bool, class obs.ErrClass, detail string, n int64) {
+func (r *Relay) writeCached(conn net.Conn, ft *flight.Transfer, key string, data []byte, off int64, whole bool, how string) (again bool, class obs.ErrClass, detail string, n int64) {
+	ft.SetCache(how)
+	ft.Phase("write")
 	header := map[string]string{
 		"content-length": strconv.Itoa(len(data)),
 		"accept-ranges":  "bytes",
@@ -130,6 +134,7 @@ func (r *Relay) writeCached(conn net.Conn, key string, data []byte, off int64, w
 	}
 	m, err := conn.Write(data)
 	n = int64(m)
+	ft.StoreBytes(n)
 	r.BytesRelayed.Add(n)
 	if err != nil {
 		return false, obs.ClassCanceled, "client: " + err.Error(), n
@@ -170,9 +175,10 @@ func parseContentRange(h string) (off, size int64) {
 // every waiter is served from this one origin fetch. If the client
 // hangs up mid-stream the fill keeps draining the upstream — the
 // waiters and the cache still get their bytes.
-func (r *Relay) fillForward(conn net.Conn, req *httpx.Request, fspan *obs.ActiveSpan, upstreamAddr, path, key string, fl *objcache.Flight, off, want int64, whole bool) (handled, again bool, class obs.ErrClass, detail, healthAddr string, n int64) {
+func (r *Relay) fillForward(conn net.Conn, req *httpx.Request, fspan *obs.ActiveSpan, ft *flight.Transfer, upstreamAddr, path, key string, fl *objcache.Flight, off, want int64, whole bool) (handled, again bool, class obs.ErrClass, detail, healthAddr string, n int64) {
 	handled = true
 	healthAddr = upstreamAddr
+	ft.SetCache("miss")
 
 	dial := r.Dial
 	if dial == nil {
@@ -180,6 +186,7 @@ func (r *Relay) fillForward(conn net.Conn, req *httpx.Request, fspan *obs.Active
 	}
 	dspan := r.childSpan(fspan, "dial")
 	dspan.SetAttr("addr", upstreamAddr)
+	ft.Phase("dial")
 	upstream, err := dial("tcp", upstreamAddr)
 	if err != nil {
 		dspan.End(obs.ClassFailed, err.Error())
@@ -204,6 +211,7 @@ func (r *Relay) fillForward(conn net.Conn, req *httpx.Request, fspan *obs.Active
 		fwd.Header[obs.TraceHeader] = fspan.Context().Header()
 	}
 	tspan := r.childSpan(fspan, "ttfb")
+	ft.Phase("ttfb")
 	if err := fwd.Write(upstream); err != nil {
 		tspan.End(obs.ClassFailed, err.Error())
 		fl.Complete(nil, err)
@@ -237,7 +245,7 @@ func (r *Relay) fillForward(conn net.Conn, req *httpx.Request, fspan *obs.Active
 			return handled, false, obs.ClassCanceled, "client: " + werr.Error(), healthAddr, 0
 		}
 		var werr, rerr error
-		n, werr, rerr = copyStream(conn, resp.Body)
+		n, werr, rerr = copyStream(conn, resp.Body, ft)
 		r.BytesRelayed.Add(n)
 		switch {
 		case werr != nil:
@@ -282,6 +290,7 @@ func (r *Relay) fillForward(conn net.Conn, req *httpx.Request, fspan *obs.Active
 	}
 
 	sspan := r.childSpan(fspan, "stream")
+	ft.Phase("stream")
 	var fill []byte
 	if tee {
 		fill = make([]byte, 0, resp.ContentLength)
@@ -307,6 +316,7 @@ func (r *Relay) fillForward(conn net.Conn, req *httpx.Request, fspan *obs.Active
 			if clientErr == nil {
 				nw, werr := conn.Write(buf[:nr])
 				n += int64(nw)
+				ft.AddBytes(int64(nw))
 				if werr != nil {
 					clientErr = werr
 					if !tee {

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/objcache"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 )
 
 // This file is the options-first construction API for the relay tier,
@@ -34,6 +35,7 @@ type options struct {
 	cacheTTL      time.Duration
 	verify        VerifyFunc
 	upstreamStall time.Duration
+	flight        *flight.Recorder
 }
 
 // Option configures a relay-tier constructor.
@@ -85,6 +87,14 @@ func WithVerifier(v VerifyFunc) Option {
 	return func(o *options) { o.verify = v }
 }
 
+// WithFlight attaches a flight recorder: every forwarded request
+// records one wide event (phases, bytes, cache state, retries, trace
+// ID) into its bounded ring and appears in its in-flight table while
+// active. Nil (the default) costs nothing.
+func WithFlight(rec *flight.Recorder) Option {
+	return func(o *options) { o.flight = rec }
+}
+
 // WithUpstreamStall bounds upstream silence while a response streams
 // through the relay: each upstream read re-arms a deadline of d, so a
 // slow-loris origin fails the request (and folds as a path failure)
@@ -110,7 +120,7 @@ func New(opts ...Option) *Relay {
 	for _, opt := range opts {
 		opt(&o)
 	}
-	r := &Relay{Dial: o.dial, Spans: o.spans, Health: o.health, UpstreamStall: o.upstreamStall}
+	r := &Relay{Dial: o.dial, Spans: o.spans, Health: o.health, UpstreamStall: o.upstreamStall, Flight: o.flight}
 	if o.cacheBytes > 0 {
 		var verify objcache.VerifyFunc
 		if o.verify != nil {

@@ -2,6 +2,7 @@ package relay
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"io"
 	"net"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/httpx"
 	"repro/internal/objcache"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 )
 
 // Relay is the intermediate-node forwarding service: it accepts
@@ -40,6 +42,12 @@ type Relay struct {
 	// feeding /debug/paths and the health score it self-reports to the
 	// registry. Nil costs nothing.
 	Health *obs.HealthMonitor
+
+	// Flight, when set, records one wide event per forwarded request into
+	// the flight recorder (keyed by the upstream address like Health, with
+	// phase durations, bytes, cache state, and trace ID) and exposes
+	// in-flight forwards to its active table. Nil costs nothing.
+	Flight *flight.Recorder
 
 	// UpstreamStall bounds how long the upstream may go silent while a
 	// response streams through: each upstream read re-arms a deadline of
@@ -118,14 +126,42 @@ func (r *Relay) forwardOne(conn net.Conn, req *httpx.Request) bool {
 	// The trace header is parsed even when span recording is off: the
 	// latency histogram's exemplars link buckets to traces, and a traced
 	// client deserves that link whether or not this relay keeps spans.
-	parent, _ := obs.ParseTraceHeader(req.Header[obs.TraceHeader])
+	parent, hasTrace := obs.ParseTraceHeader(req.Header[obs.TraceHeader])
 	var fspan *obs.ActiveSpan
 	if r.Spans != nil {
 		fspan = r.Spans.StartSpan(parent, "relay", "forward")
 		fspan.SetAttr("target", req.Target)
 	}
-	again, class, detail, upstream, n := r.forward(conn, req, fspan)
+	var ft *flight.Transfer
+	if r.Flight != nil {
+		// The wide event is keyed like Health: by the upstream address the
+		// request names. Malformed targets still get an event (path "",
+		// object = raw target) — the anomaly log should show garbage too.
+		addr, opath, ok := req.AbsoluteTarget()
+		if ok {
+			ft = r.Flight.Start("relay", addr, strings.TrimPrefix(opath, "/"))
+		} else {
+			ft = r.Flight.Start("relay", "", req.Target)
+		}
+		switch {
+		case fspan != nil:
+			ft.SetTrace(fspan.Context().Trace.String())
+		case hasTrace:
+			ft.SetTrace(parent.Trace.String())
+		}
+	}
+	var (
+		again    bool
+		class    obs.ErrClass
+		detail   string
+		upstream string
+		n        int64
+	)
+	flight.DoLabeled(context.Background(), "forward", func(context.Context) {
+		again, class, detail, upstream, n = r.forward(conn, req, fspan, ft)
+	})
 	fspan.End(class, detail)
+	ft.Finish(class.String(), detail)
 	elapsed := time.Since(start)
 	r.lat.ObserveTrace(elapsed, parent.Trace)
 	if r.Health != nil && upstream != "" {
@@ -148,7 +184,7 @@ func (r *Relay) childSpan(parent *obs.ActiveSpan, phase string) *obs.ActiveSpan 
 // forward span and the health monitor (addr is the upstream the request
 // named, "" when malformed; n the body bytes forwarded). Upstream
 // connections are per-request; the client-facing connection stays warm.
-func (r *Relay) forward(conn net.Conn, req *httpx.Request, fspan *obs.ActiveSpan) (again bool, class obs.ErrClass, detail, addr string, n int64) {
+func (r *Relay) forward(conn net.Conn, req *httpx.Request, fspan *obs.ActiveSpan, ft *flight.Transfer) (again bool, class obs.ErrClass, detail, addr string, n int64) {
 	upstreamAddr, path, ok := req.AbsoluteTarget()
 	if !ok {
 		httpx.WriteResponseHead(conn, 400, "Bad Request: relay requires absolute-form target",
@@ -157,7 +193,7 @@ func (r *Relay) forward(conn net.Conn, req *httpx.Request, fspan *obs.ActiveSpan
 	}
 
 	if r.cache != nil && req.Method == "GET" {
-		handled, cagain, cclass, cdetail, caddr, cn := r.serveCached(conn, req, fspan, upstreamAddr, path)
+		handled, cagain, cclass, cdetail, caddr, cn := r.serveCached(conn, req, fspan, ft, upstreamAddr, path)
 		if handled {
 			return cagain, cclass, cdetail, caddr, cn
 		}
@@ -170,6 +206,7 @@ func (r *Relay) forward(conn net.Conn, req *httpx.Request, fspan *obs.ActiveSpan
 	}
 	dspan := r.childSpan(fspan, "dial")
 	dspan.SetAttr("addr", upstreamAddr)
+	ft.Phase("dial")
 	upstream, err := dial("tcp", upstreamAddr)
 	if err != nil {
 		dspan.End(obs.ClassFailed, err.Error())
@@ -202,6 +239,7 @@ func (r *Relay) forward(conn net.Conn, req *httpx.Request, fspan *obs.ActiveSpan
 		fwd.Header[obs.TraceHeader] = fspan.Context().Header()
 	}
 	tspan := r.childSpan(fspan, "ttfb")
+	ft.Phase("ttfb")
 	if err := fwd.Write(upstream); err != nil {
 		tspan.End(obs.ClassFailed, err.Error())
 		httpx.WriteResponseHead(conn, 502, "Bad Gateway",
@@ -239,12 +277,13 @@ func (r *Relay) forward(conn net.Conn, req *httpx.Request, fspan *obs.ActiveSpan
 		return false, obs.ClassCanceled, "client: " + err.Error(), upstreamAddr, 0
 	}
 	sspan := r.childSpan(fspan, "stream")
+	ft.Phase("stream")
 	body := resp.Body
 	if r.UpstreamStall > 0 {
 		body = &stallGuard{conn: upstream, d: r.UpstreamStall, r: body}
 	}
 	var werr, rerr error
-	n, werr, rerr = copyStream(conn, body)
+	n, werr, rerr = copyStream(conn, body, ft)
 	r.BytesRelayed.Add(n)
 	if sspan != nil {
 		sspan.SetAttr("bytes", strconv.FormatInt(n, 10))
@@ -301,8 +340,9 @@ var relayBufs = sync.Pool{
 // copyStream pumps src to dst like io.Copy but reports read (upstream)
 // and write (downstream) failures separately: the relay's health
 // telemetry must not blame the upstream path when the downstream client
-// hung up.
-func copyStream(dst io.Writer, src io.Reader) (n int64, werr, rerr error) {
+// hung up. A non-nil flight handle sees the byte count live, so the
+// in-flight inspector shows a wedged stream's progress while it hangs.
+func copyStream(dst io.Writer, src io.Reader, ft *flight.Transfer) (n int64, werr, rerr error) {
 	buf := relayBufs.Get().([]byte)
 	defer relayBufs.Put(buf)
 	for {
@@ -310,6 +350,7 @@ func copyStream(dst io.Writer, src io.Reader) (n int64, werr, rerr error) {
 		if nr > 0 {
 			nw, err := dst.Write(buf[:nr])
 			n += int64(nw)
+			ft.AddBytes(int64(nw))
 			if err != nil {
 				return n, err, nil
 			}

@@ -454,9 +454,14 @@ func ObsOverhead(w io.Writer, r experiment.ObsOverheadResult) {
 			fmt.Sprintf("%.3f", r.BareMedianSecs), fmt.Sprintf("%.0f", r.BareRPS)},
 		{"full plane (health+SLO+traces)", fmt.Sprintf("%.3f", r.ObservedMinSecs),
 			fmt.Sprintf("%.3f", r.ObservedMedianSecs), fmt.Sprintf("%.0f", r.ObservedRPS)},
+		{"+ flight wide-event ring", "-",
+			fmt.Sprintf("%.3f", r.FlightMedianSecs), "-"},
 	})
-	fmt.Fprintf(w, "  overhead %.2f%% (trimmed CPU-time ratio, ABBA blocks); tail retention kept %d traces, dropped %d; %d upstream paths tracked\n",
+	fmt.Fprintf(w, "  overhead %.2f%% (trimmed CPU-time ratio, mirrored blocks); tail retention kept %d traces, dropped %d; %d upstream paths tracked\n",
 		100*r.OverheadFrac, r.KeptTraces, r.DroppedTraces, r.Paths)
+	fmt.Fprintf(w, "  flight always-on %.2f%% = ring increment %.2f%% + profiler cycle %.3fs CPU amortised over %.0fs cadence (%.2f%%); %d wide events recorded\n",
+		100*r.AlwaysOnOverheadFrac, 100*r.FlightOverheadFrac,
+		r.ProfilerCycleCPUSecs, r.ProfilerCadenceSecs, 100*r.ProfilerOverheadFrac, r.FlightEvents)
 	fmt.Fprintln(w, "  the full observability plane must cost so little it never gets turned off")
 }
 
@@ -495,20 +500,22 @@ func Chaos(w io.Writer, r experiment.ChaosResult) {
 		if !e.VerdictOK {
 			verdict += " (WRONG)"
 		}
-		burn := "-"
+		burn, bundles := "-", "-"
 		if e.Mode == "live" {
 			burn = fmt.Sprintf("%v", e.BurnAlert)
+			bundles = fmt.Sprintf("%d", e.Bundles)
 		}
 		rows = append(rows, []string{
 			e.Class, e.Mode,
 			fmt.Sprintf("%d", e.Transfers), fmt.Sprintf("%d", e.Failures),
-			verdict, fmt.Sprintf("%v", e.Recovered), burn,
+			verdict, fmt.Sprintf("%v", e.Recovered), burn, bundles,
 			fmt.Sprintf("%.2f", e.MaxTransfer),
 			fmt.Sprintf("%d", e.DeadlineExceeded), fmt.Sprintf("%d", e.CorruptDeliveries),
 		})
 	}
-	Table(w, []string{"Fault", "Mode", "Xfers", "Fail", "Verdict", "Recovered", "Burn", "Max s", "Over-DL", "Corrupt"}, rows)
+	Table(w, []string{"Fault", "Mode", "Xfers", "Fail", "Verdict", "Recovered", "Burn", "Bundles", "Max s", "Over-DL", "Corrupt"}, rows)
 	fmt.Fprintf(w, "  verdicts ok: %v; recovered: %v; deadline overruns %d; corrupt cache serves %d\n",
 		r.AllVerdictsOK, r.AllRecovered, r.TotalDeadlineExceeded, r.TotalCorruptDeliveries)
 	fmt.Fprintln(w, "  every fault class must degrade the verdict it should, heal when lifted, and never wedge or corrupt a transfer")
+	fmt.Fprintln(w, "  hard-failing live classes each capture exactly one rate-limited flight-recorder debug bundle")
 }
